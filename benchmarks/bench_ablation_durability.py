@@ -1,0 +1,57 @@
+"""Durability ablation: what the audit layer buys the stored data.
+
+Not a paper figure, but the quantitative justification for the whole
+exercise: the same erasure code with and without working audit/repair
+(detection probability from the Fig. 9 confidence model) differs by many
+nines of annual durability.
+"""
+
+from __future__ import annotations
+
+from repro.core.confidence import detection_probability
+from repro.sim.durability import DurabilityModel, compare_redundancy_levels
+
+SHARD_LOSS_RATE = 0.01  # 1% chance a provider silently loses a shard per day
+
+
+def test_ablation_durability(benchmark, report):
+    def build() -> dict:
+        rows = {}
+        for detection_label, detection in (
+            ("no audits", 0.0),
+            ("k=60 audits (45% det.)", detection_probability(60, 0.01)),
+            ("k=300 audits (95% det.)", detection_probability(300, 0.01)),
+            ("whole-shard loss (100%)", 1.0),
+        ):
+            model = DurabilityModel(
+                n=10, k=3, shard_loss_rate=SHARD_LOSS_RATE, detection=detection
+            )
+            rows[detection_label] = model.annual_durability()
+        return rows
+
+    rows = benchmark.pedantic(build, rounds=1, iterations=1)
+    lines = [
+        "Annual durability of RS(10,3) at 1%/day silent shard loss,",
+        "as a function of the audit layer's detection probability:",
+        "",
+    ]
+    for label, survival in rows.items():
+        nines = "inf" if survival >= 1.0 else f"{-__import__('math').log10(1-survival):.1f}"
+        lines.append(f"  {label:<26} survival {survival:.8f}  ({nines} nines)")
+    lines += [
+        "",
+        "Redundancy sweep at daily audits with full detection:",
+    ]
+    for label, survival in compare_redundancy_levels(
+        SHARD_LOSS_RATE, periods=365
+    ).items():
+        lines.append(f"  {label:<9} {survival:.8f}")
+    lines += [
+        "",
+        "Reading: erasure coding without audits decays (losses accumulate",
+        "undetected); audits without redundancy only *observe* the loss.",
+        "The paper's combination is what produces archival durability.",
+    ]
+    report("ablation_durability", "\n".join(lines))
+    assert rows["k=300 audits (95% det.)"] > rows["no audits"]
+    assert rows["whole-shard loss (100%)"] >= rows["k=300 audits (95% det.)"]

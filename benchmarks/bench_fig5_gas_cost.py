@@ -1,0 +1,72 @@
+"""Fig. 5 — gas cost vs extrapolated verification time (5-9 ms).
+
+Reproduces the paper's own methodology: gas = fixed(calldata + audit-trail
+storage) + slope x verification-time, anchored at 589k gas / 7.2 ms for the
+288-byte private proof.  Also prints the measured Python verification time
+(our substrate's wall clock, reported separately) and the vanilla-EVM
+per-opcode ablation that motivates the custom precompile.
+"""
+
+from __future__ import annotations
+
+from repro.chain.gas import (
+    AuditPrecompileModel,
+    GasSchedule,
+    PAPER_AUDIT_GAS,
+    vanilla_evm_verification_gas,
+)
+from repro.core.challenge import random_challenge
+from repro.core.verifier import VerifyReport
+
+TIMES_MS = (5.0, 6.0, 7.0, 7.2, 8.0, 9.0)
+
+
+def test_fig5_verification_kernel(benchmark, audit_system, params, rng):
+    """The timing kernel behind the x-axis: one Eq. (2) verification."""
+    _, provider, package, verifier = audit_system
+    challenge = random_challenge(params, rng=rng)
+    proof = provider.respond(package.name, challenge)
+    ok = benchmark.pedantic(
+        verifier.verify_private, args=(challenge, proof), rounds=3, iterations=1
+    )
+    assert ok
+
+
+def test_fig5_report(benchmark, report, audit_system, params, rng):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only entry
+    model = AuditPrecompileModel(GasSchedule.istanbul())
+    lines = [
+        "Fig. 5 reproduction: gas vs extrapolated verification time.",
+        f"Calibrated slope: {model.compute_slope_gas_per_ms:,.0f} gas/ms "
+        f"(anchor: {PAPER_AUDIT_GAS:,} gas at 7.2 ms, 288-byte proof).",
+        "",
+        f"{'ms':>5} {'w/ privacy (288B)':>18} {'w/o privacy (96B)':>18}",
+    ]
+    for ms in TIMES_MS:
+        private = model.verification_gas(288, ms)
+        plain = model.verification_gas(96, ms)
+        lines.append(f"{ms:>5.1f} {private:>18,} {plain:>18,}")
+        assert private > plain
+    assert model.private_audit_gas() == PAPER_AUDIT_GAS
+
+    # Measured wall time of our Python verifier, reported separately.
+    _, provider, package, verifier = audit_system
+    challenge = random_challenge(params, rng=rng)
+    proof = provider.respond(package.name, challenge)
+    verify_report = VerifyReport()
+    assert verifier.verify_private(challenge, proof, verify_report)
+    lines += [
+        "",
+        f"Measured pure-Python verification: {verify_report.total_seconds*1000:.0f} ms "
+        f"(pairings {verify_report.pairing_seconds*1000:.0f} ms, "
+        f"chi hashing {verify_report.hash_seconds*1000:.0f} ms, "
+        f"MSM {verify_report.msm_seconds*1000:.0f} ms)",
+        "The paper's 7.2 ms is its Go+asm precompile; the gas model is an",
+        "extrapolation in both works, so the native anchor is used above.",
+        "",
+        "Ablation - vanilla EVM (no custom precompile), k = 300:",
+        f"  Istanbul  prices: {vanilla_evm_verification_gas(GasSchedule.istanbul(), 300):>12,} gas",
+        f"  Byzantium prices: {vanilla_evm_verification_gas(GasSchedule.byzantium(), 300):>12,} gas",
+        f"  custom precompile: {PAPER_AUDIT_GAS:>11,} gas  <- why the paper built one",
+    ]
+    report("fig5_gas_cost", "\n".join(lines))

@@ -1,0 +1,52 @@
+"""Measured marketplace run — the empirical cross-check for Fig. 10.
+
+Runs a real miniature marketplace (live contracts, real crypto) and
+verifies the analytic models the Fig. 10 bench extrapolates with are
+consistent with what an actual multi-user chain produces.
+"""
+
+from __future__ import annotations
+
+from repro.core import ProtocolParams
+from repro.randomness import HashChainBeacon
+from repro.sim.marketplace import MarketplaceSimulation, extrapolate_annual_growth
+from repro.sim.throughput import ChainCapacityModel
+
+
+def _simulation() -> MarketplaceSimulation:
+    return MarketplaceSimulation(
+        HashChainBeacon(b"bench-marketplace"),
+        params=ProtocolParams(s=5, k=3),
+        users=6,
+        providers=2,
+        rounds_per_user=2,
+        file_bytes=500,
+        seed=9,
+    )
+
+
+def test_marketplace_measured(benchmark, report):
+    result = benchmark.pedantic(_simulation().run, rounds=1, iterations=1)
+    model = ChainCapacityModel()
+    lines = [
+        "Measured marketplace slice (real contracts, real crypto):",
+        f"  {result.users} users x {result.rounds_per_user} rounds on "
+        f"{result.providers} providers in {result.wall_seconds:.1f} s wall",
+        f"  outcomes: {result.passes} passes / {result.fails} fails over "
+        f"{result.blocks} blocks",
+        f"  measured trail bytes/round: {result.bytes_per_round:.0f} "
+        f"(model assumes {model.challenge_bytes + model.proof_bytes})",
+        f"  measured gas/round: {result.gas_per_round:,.0f} (anchor 589,000)",
+        f"  busiest provider proving load: "
+        f"{result.max_provider_load_seconds():.2f} s",
+        "",
+        "Extrapolations from the measurement:",
+        f"  10,000 users, daily audits -> "
+        f"{extrapolate_annual_growth(result, 10_000):.2f} GB/year "
+        f"(analytic model: "
+        f"{model.annual_chain_growth_bytes(10_000)/2**30:.2f})",
+    ]
+    report("marketplace_measured", "\n".join(lines))
+    assert result.fails == 0
+    assert result.gas_per_round == 589_000
+    assert result.bytes_per_round == model.challenge_bytes + model.proof_bytes

@@ -1,0 +1,61 @@
+"""Shared benchmark fixtures and the paper-vs-measured report writer.
+
+Every bench writes its full series to ``benchmarks/results/<name>.txt`` and
+echoes it to the terminal (bypassing capture), so both the tee'd bench log
+and the results directory carry the reproduced tables/figures.
+"""
+
+from __future__ import annotations
+
+import random
+from pathlib import Path
+
+import pytest
+
+from repro.core import DataOwner, ProtocolParams, StorageProvider
+from repro.sim.workloads import archive_file
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture()
+def report(results_dir, capsys):
+    """Writer: report(name, text) -> saves and prints the reproduction."""
+
+    def write(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        with capsys.disabled():
+            print(f"\n===== {name} =====")
+            print(text)
+
+    return write
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return random.Random(0xBEAC0)
+
+
+@pytest.fixture(scope="session")
+def params():
+    """Bench-scale protocol parameters (paper-scale k is used where the
+    figure under reproduction demands it)."""
+    return ProtocolParams(s=10, k=8)
+
+
+@pytest.fixture(scope="session")
+def audit_system(params, rng):
+    """A ready prover/verifier pair over a ~40 KB archive file."""
+    owner = DataOwner(params, rng=rng)
+    package = owner.prepare(archive_file(40_000).data)
+    provider = StorageProvider(rng=rng)
+    assert provider.accept(package)
+    verifier = owner.verifier_for(package)
+    return owner, provider, package, verifier

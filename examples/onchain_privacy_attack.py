@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""The Section V-C on-chain privacy attack, demonstrated both ways.
+
+An eclipse attacker who can feed a victim chosen challenge randomness
+observes audit trails on the public chain:
+
+* against the **non-private** protocol (paper Eq. 1), s*u transcripts let
+  it Lagrange-interpolate the response polynomials and solve a linear
+  system that recovers **every raw block** of the challenged chunks;
+* against the **Sigma-masked** protocol (paper Eq. 2 — this paper's
+  contribution), the identical pipeline yields field noise.
+
+The file is "encrypted" with deterministic (convergent) encryption, the
+dedup-friendly mode the paper warns about: recovering ciphertext blocks is
+enough for confirmation-of-file attacks.
+
+Run:  python examples/onchain_privacy_attack.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.core import (
+    DataOwner,
+    EclipseChallengeFactory,
+    InterpolationAttacker,
+    ProtocolParams,
+    StorageProvider,
+    transcript_from_plain,
+    transcript_from_private,
+    transcripts_needed,
+)
+from repro.storage.encryption import encrypt_file, generate_key
+
+
+def run_attack(params, package, prover, respond, to_transcript, rng):
+    """The eclipse scenario: pin C1 (indices), vary C2 and r."""
+    factory = EclipseChallengeFactory(params, rng=rng)
+    attacker = InterpolationAttacker(params, package.num_chunks)
+    pinned_c1, _ = factory.fresh_set_seeds()
+    target = None
+    for _ in range(params.k):                 # u = k coefficient sets
+        _, c2 = factory.fresh_set_seeds()
+        for _ in range(params.s):             # s evaluation points each
+            challenge = factory.challenge(pinned_c1, c2)
+            proof = respond(challenge)
+            attacker.observe(to_transcript(challenge, proof))
+            if target is None:
+                target = challenge.expand(package.num_chunks).indices
+    return attacker, target
+
+
+def main() -> None:
+    rng = random.Random(31337)
+    params = ProtocolParams(s=6, k=4)
+
+    # The victim's file: convergent-encrypted "private" photos.
+    plaintext = b"EXIF:2026:06:08 GPS:22.3193,114.1694 " * 40
+    key = generate_key(plaintext, "convergent")
+    ciphertext = encrypt_file(plaintext, key, "convergent").ciphertext
+
+    owner = DataOwner(params, rng=rng)
+    package = owner.prepare(ciphertext)
+    provider = StorageProvider(rng=rng)
+    assert provider.accept(package)
+    prover = provider.prover_for(package.name)
+    need = transcripts_needed(params, params.k)
+    print(f"victim file: {len(ciphertext)} bytes -> {package.num_chunks} chunks")
+    print(f"attack budget: s*u = {params.s}*{params.k} = {need} transcripts\n")
+
+    # ---- phase 1: the legacy non-private protocol --------------------------
+    print("=== attacking NON-PRIVATE proofs (paper Eq. 1) ===")
+    attacker, target = run_attack(
+        params, package, prover, prover.respond_plain, transcript_from_plain, rng
+    )
+    recovered = attacker.recover_blocks(target)
+    assert recovered is not None
+    hits = sum(
+        list(package.chunked.chunks[i]) == recovered[i] for i in target
+    )
+    print(f"observed {attacker.transcripts_seen} on-chain transcripts")
+    print(f"recovered {hits}/{len(target)} challenged chunks EXACTLY")
+    # Convergent encryption => the attacker can now run confirmation attacks
+    # against candidate plaintexts entirely off-line.
+    print("with convergent encryption these ciphertext blocks enable "
+          "confirmation-of-file attacks\n")
+
+    # ---- phase 2: the paper's Sigma-masked protocol -------------------------
+    print("=== attacking PRIVATE proofs (paper Eq. 2, this work) ===")
+    attacker2, target2 = run_attack(
+        params, package, prover, prover.respond_private,
+        transcript_from_private, rng,
+    )
+    recovered2 = attacker2.recover_blocks(target2)
+    if recovered2 is None:
+        print("attack pipeline failed outright (singular system)")
+    else:
+        hits2 = sum(
+            list(package.chunked.chunks[i]) == recovered2[i] for i in target2
+        )
+        print(f"observed {attacker2.transcripts_seen} transcripts")
+        print(f"recovered {hits2}/{len(target2)} chunks "
+              f"(every 'recovered' block is uniform field noise)")
+    print("\nthe Sigma masking (y' = zeta*y + z, fresh z per proof) is a "
+          "one-time pad over Zp:\nno number of transcripts helps.")
+
+
+if __name__ == "__main__":
+    main()

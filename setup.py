@@ -1,0 +1,10 @@
+"""Thin setup.py shim.
+
+All metadata lives in pyproject.toml; this file exists so that
+``pip install -e . --no-use-pep517`` works in offline environments where
+the ``wheel`` package (needed by the PEP-517 editable path) is missing.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,40 @@
+"""repro — a full reproduction of "Towards Privacy-assured and Lightweight
+On-chain Auditing of Decentralized Storage" (Du et al., ICDCS 2020).
+
+Packages
+--------
+* :mod:`repro.core`       — the paper's auditing protocol (HLA + KZG
+  polynomial commitments + Sigma-protocol masking), attacks, batching.
+* :mod:`repro.crypto`     — BN254 pairing curve and symmetric primitives,
+  all implemented from scratch.
+* :mod:`repro.snark`      — Groth16 + MiMC-Merkle circuit: the Section IV
+  strawman.
+* :mod:`repro.chain`      — simulated Ethereum-like chain, gas models and
+  the Fig. 2 audit smart contract.
+* :mod:`repro.randomness` — commit-reveal / VDF / trusted beacons and the
+  last-revealer attack.
+* :mod:`repro.storage`    — DSN substrate: Reed-Solomon, ChaCha20, Chord
+  DHT, simulated network, storage nodes.
+* :mod:`repro.baselines`  — Sia-style Merkle auditing, MAC auditing and the
+  Table I feature matrix.
+* :mod:`repro.sim`        — economics and throughput models (Figs. 4-6, 10).
+
+Quickstart: see ``examples/quickstart.py`` or the README.
+"""
+
+__version__ = "1.0.0"
+
+from . import baselines, chain, core, crypto, dsn, randomness, sim, snark, storage
+
+__all__ = [
+    "__version__",
+    "baselines",
+    "chain",
+    "core",
+    "crypto",
+    "dsn",
+    "randomness",
+    "sim",
+    "snark",
+    "storage",
+]

@@ -1,0 +1,75 @@
+"""Blockchain substrate: chain, gas model, audit contract, agents."""
+
+from .agents import (
+    run_contracts_to_completion,
+    AuditDeployment,
+    ProviderAgent,
+    deploy_audit_contract,
+    run_contract_to_completion,
+)
+from .blockchain import (
+    Block,
+    Blockchain,
+    CallContext,
+    Contract,
+    GasMeter,
+    WEI_PER_ETH,
+    WEI_PER_GWEI,
+)
+from .contracts.audit_contract import AuditContract, AuditRound, ContractTerms, State
+from .contracts.reputation import ReputationRegistry
+from .contracts.factory import AuditContractFactory, report_round_outcomes
+from .explorer import ChainExplorer, ContractSummary
+from .light_client import LightClient, ReplayReport, audit_the_auditor, export_trail
+from .gas import (
+    AuditPrecompileModel,
+    CostModel,
+    GasSchedule,
+    PAPER_AUDIT_GAS,
+    PAPER_ETH_USD,
+    PAPER_GAS_PRICE_GWEI,
+    PAPER_VERIFY_MS,
+    vanilla_evm_verification_gas,
+)
+from .transaction import Event, OutOfGasError, Receipt, RevertError, Transaction
+
+__all__ = [
+    "AuditContract",
+    "AuditContractFactory",
+    "AuditDeployment",
+    "AuditPrecompileModel",
+    "AuditRound",
+    "Block",
+    "Blockchain",
+    "CallContext",
+    "ChainExplorer",
+    "Contract",
+    "ContractTerms",
+    "CostModel",
+    "Event",
+    "GasMeter",
+    "GasSchedule",
+    "LightClient",
+    "ReplayReport",
+    "OutOfGasError",
+    "PAPER_AUDIT_GAS",
+    "PAPER_ETH_USD",
+    "PAPER_GAS_PRICE_GWEI",
+    "PAPER_VERIFY_MS",
+    "ProviderAgent",
+    "Receipt",
+    "ReputationRegistry",
+    "ContractSummary",
+    "RevertError",
+    "State",
+    "Transaction",
+    "WEI_PER_ETH",
+    "WEI_PER_GWEI",
+    "audit_the_auditor",
+    "deploy_audit_contract",
+    "export_trail",
+    "run_contract_to_completion",
+    "run_contracts_to_completion",
+    "report_round_outcomes",
+    "vanilla_evm_verification_gas",
+]

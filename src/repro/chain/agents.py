@@ -1,0 +1,186 @@
+"""Off-chain agents reacting to on-chain events (the D and S daemons).
+
+The paper's deployment has three processes: the contract on the chain, the
+data owner's client and the storage provider's daemon.  These classes are
+the two daemons: after every block they inspect the contract state and act
+(the provider answers open challenges; the owner just watches — its money
+moves automatically through the contract's pass/fail logic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.protocol import OutsourcingPackage, StorageProvider
+from ..core.prover import ProveReport
+from .blockchain import Blockchain, Transaction
+from .contracts.audit_contract import AuditContract, ContractTerms, State
+
+
+@dataclass
+class ProviderAgent:
+    """The storage provider's daemon: answers challenges as they appear."""
+
+    chain: Blockchain
+    account: str
+    provider: StorageProvider
+    contract_address: str
+    file_name: int
+    prove_reports: list[ProveReport] = field(default_factory=list)
+    misbehave_after_round: int | None = None  # drop data mid-contract
+
+    def on_block(self) -> None:
+        contract = self.chain.contract_at(self.contract_address)
+        assert isinstance(contract, AuditContract)
+        if contract.state is not State.PROVE:
+            return
+        current = contract.rounds[contract.cnt]
+        if current.proof_bytes is not None:
+            return
+        if (
+            self.misbehave_after_round is not None
+            and contract.cnt >= self.misbehave_after_round
+        ):
+            self.provider.drop_file(self.file_name)
+        try:
+            report = ProveReport()
+            proof = self.provider.respond(self.file_name, current.challenge, report)
+            self.prove_reports.append(report)
+        except KeyError:
+            return  # data gone: stay silent and eat the timeout failure
+        payload = proof.to_bytes()
+        self.chain.transact(
+            Transaction(
+                sender=self.account,
+                to=self.contract_address,
+                method="submit_proof",
+                args=(payload,),
+            ),
+            payload_bytes=len(payload),
+        )
+
+
+@dataclass
+class AuditDeployment:
+    """Everything created by :func:`deploy_audit_contract`."""
+
+    contract_address: str
+    owner_account: str
+    provider_account: str
+    provider_agent: ProviderAgent
+
+
+def deploy_audit_contract(
+    chain: Blockchain,
+    package: OutsourcingPackage,
+    provider: StorageProvider,
+    terms: ContractTerms,
+    beacon,
+    params,
+    owner_funds_eth: float = 10.0,
+    provider_funds_eth: float = 10.0,
+    native_verify_ms: float | None = None,
+) -> AuditDeployment:
+    """Run the full Initialize phase of Fig. 2 and return the live system.
+
+    Performs: account creation, contract deployment, negotiate (D),
+    off-chain package validation + acknowledge (S), and both freeze
+    deposits; the first challenge is scheduled on the chain clock.
+    """
+    owner_account = chain.create_account(owner_funds_eth, label="data-owner")
+    provider_account = chain.create_account(provider_funds_eth, label="provider")
+    kwargs = {}
+    if native_verify_ms is not None:
+        kwargs["native_verify_ms"] = native_verify_ms
+    contract = AuditContract(
+        owner=owner_account,
+        provider=provider_account,
+        terms=terms,
+        beacon=beacon,
+        params=params,
+        **kwargs,
+    )
+    address = chain.deploy(contract, deployer=owner_account)
+
+    receipt = chain.transact(
+        Transaction(
+            sender=owner_account,
+            to=address,
+            method="negotiate",
+            args=(package.public, package.name, package.num_chunks),
+        ),
+        payload_bytes=package.public.byte_size(),
+    )
+    if not receipt.success:
+        raise RuntimeError(f"negotiate failed: {receipt.error}")
+
+    if not provider.accept(package):
+        chain.transact(
+            Transaction(sender=provider_account, to=address, method="reject")
+        )
+        raise RuntimeError("provider rejected the package (invalid metadata)")
+    receipt = chain.transact(
+        Transaction(sender=provider_account, to=address, method="acknowledge")
+    )
+    if not receipt.success:
+        raise RuntimeError(f"acknowledge failed: {receipt.error}")
+
+    for sender, amount in (
+        (owner_account, terms.owner_deposit_wei),
+        (provider_account, terms.provider_deposit_wei),
+    ):
+        receipt = chain.transact(
+            Transaction(
+                sender=sender, to=address, method="freeze", value=amount
+            )
+        )
+        if not receipt.success:
+            raise RuntimeError(f"freeze failed: {receipt.error}")
+
+    agent = ProviderAgent(
+        chain=chain,
+        account=provider_account,
+        provider=provider,
+        contract_address=address,
+        file_name=package.name,
+    )
+    return AuditDeployment(
+        contract_address=address,
+        owner_account=owner_account,
+        provider_account=provider_account,
+        provider_agent=agent,
+    )
+
+
+def run_contract_to_completion(
+    chain: Blockchain,
+    deployment: AuditDeployment,
+    max_blocks: int = 100_000,
+) -> AuditContract:
+    """Advance the chain until the contract closes, letting agents react."""
+    return run_contracts_to_completion(chain, [deployment], max_blocks)[0]
+
+
+def run_contracts_to_completion(
+    chain: Blockchain,
+    deployments: list[AuditDeployment],
+    max_blocks: int = 100_000,
+) -> list[AuditContract]:
+    """Drive many concurrent contracts on one chain until all close.
+
+    All provider agents get to react after every block — necessary because
+    contracts share the chain clock: running them one at a time would let
+    the others' response windows lapse.
+    """
+    contracts = []
+    for deployment in deployments:
+        contract = chain.contract_at(deployment.contract_address)
+        assert isinstance(contract, AuditContract)
+        contracts.append(contract)
+    for _ in range(max_blocks):
+        if all(c.state is State.CLOSED for c in contracts):
+            return contracts
+        chain.mine_block()
+        for deployment in deployments:
+            deployment.provider_agent.on_block()
+    raise RuntimeError("contracts did not close within the block budget")

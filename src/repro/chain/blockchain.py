@@ -1,0 +1,394 @@
+"""A minimal but honest Ethereum-like chain for the auditing system.
+
+What is modelled (because the paper's evaluation depends on it):
+
+* accounts with wei balances, value transfer, gas fees debited to a
+  fee-sink (the "miner"),
+* contracts as Python objects with metered methods, persistent state and
+  event logs,
+* blocks with a gas limit and a block interval — the throughput analysis of
+  Fig. 10 comes straight from these two constants,
+* a scheduler in the spirit of the Ethereum Alarm Clock: contracts register
+  future calls ("On trigger scheduling(...)" in paper Fig. 2) that fire as
+  the chain's clock advances past their due time,
+* per-transaction byte accounting so chain-growth (Fig. 10 left) is
+  measured, not assumed.
+
+What is deliberately not modelled: consensus, forks, the EVM itself.
+Contract code runs as trusted Python with explicit gas metering — mirroring
+the paper's own approach of a Golang precompile on a private testnet.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from .gas import GasSchedule
+from .transaction import Event, OutOfGasError, Receipt, RevertError, Transaction
+
+WEI_PER_GWEI = 10**9
+WEI_PER_ETH = 10**18
+
+
+@dataclass
+class Block:
+    number: int
+    timestamp: float
+    parent_hash: str
+    receipts: list[Receipt] = field(default_factory=list)
+    gas_used: int = 0
+    byte_size: int = 0
+
+    @property
+    def block_hash(self) -> str:
+        material = f"{self.number}:{self.timestamp}:{self.parent_hash}:{self.gas_used}"
+        return hashlib.sha256(material.encode()).hexdigest()
+
+
+@dataclass(order=True)
+class ScheduledCall:
+    due_time: float
+    sequence: int
+    contract: str = field(compare=False)
+    method: str = field(compare=False)
+    args: tuple = field(compare=False, default=())
+
+
+class GasMeter:
+    """Tracks gas within one transaction; contracts charge it explicitly."""
+
+    def __init__(self, limit: int):
+        self.limit = limit
+        self.used = 0
+
+    def consume(self, amount: int) -> None:
+        self.used += int(amount)
+        if self.used > self.limit:
+            raise OutOfGasError(f"gas limit {self.limit} exceeded ({self.used})")
+
+
+@dataclass
+class CallContext:
+    """What a contract method sees (msg.sender / msg.value / block / gas)."""
+
+    sender: str
+    value: int
+    timestamp: float
+    block_number: int
+    gas: GasMeter
+    chain: "Blockchain"
+
+
+class Contract:
+    """Base class for on-chain contracts.
+
+    Subclasses implement methods taking ``ctx`` first; state is ordinary
+    attributes.  ``emit`` appends to the transaction's event list.
+    """
+
+    def __init__(self) -> None:
+        self.address: str = ""
+        self.chain: "Blockchain | None" = None
+        self._pending_events: list[Event] = []
+
+    def emit(self, event_name: str, **payload: Any) -> None:
+        self._pending_events.append(
+            Event(contract=self.address, name=event_name, payload=payload)
+        )
+
+    def require(self, condition: bool, message: str) -> None:
+        if not condition:
+            raise RevertError(message)
+
+    @property
+    def balance(self) -> int:
+        assert self.chain is not None
+        return self.chain.balance_of(self.address)
+
+
+class Blockchain:
+    """The simulated chain: state, blocks, scheduler, fee accounting."""
+
+    def __init__(
+        self,
+        schedule: GasSchedule | None = None,
+        block_time: float = 15.0,
+        block_gas_limit: int = 10_000_000,
+        base_block_bytes: int = 600,
+        require_signatures: bool = False,
+    ):
+        self.schedule = schedule or GasSchedule.istanbul()
+        self.block_time = block_time
+        self.block_gas_limit = block_gas_limit
+        self.base_block_bytes = base_block_bytes
+        self.require_signatures = require_signatures
+        self.time: float = 0.0
+        self.blocks: list[Block] = [Block(number=0, timestamp=0.0, parent_hash="0" * 64)]
+        self._balances: dict[str, int] = {}
+        self._contracts: dict[str, Contract] = {}
+        self._scheduled: list[ScheduledCall] = []
+        self._schedule_seq = 0
+        self.events: list[Event] = []
+        self.fee_sink: int = 0  # total fees collected by "miners"
+        self._account_seq = 0
+        self._signer_keys: dict[str, bytes] = {}  # address -> pubkey bytes
+        self._nonces: dict[str, int] = {}
+
+    # -- accounts -------------------------------------------------------------
+
+    def create_account(self, balance_eth: float = 0.0, label: str = "") -> str:
+        self._account_seq += 1
+        material = f"account:{self._account_seq}:{label}".encode()
+        address = "0x" + hashlib.sha256(material).hexdigest()[:40]
+        self._balances[address] = int(balance_eth * WEI_PER_ETH)
+        return address
+
+    def register_signer(self, verifying_key_bytes: bytes, balance_eth: float = 0.0) -> str:
+        """Create an account whose transactions must be Schnorr-signed.
+
+        The address is derived from the public key (Ethereum-style), so
+        only the matching signing key can authorise spends in
+        ``require_signatures`` mode.
+        """
+        from ..crypto.schnorr import VerifyingKey
+
+        address = VerifyingKey.from_bytes(verifying_key_bytes).address()
+        self._balances.setdefault(address, 0)
+        self._balances[address] += int(balance_eth * WEI_PER_ETH)
+        self._signer_keys[address] = bytes(verifying_key_bytes)
+        self._nonces.setdefault(address, 0)
+        return address
+
+    def nonce_of(self, address: str) -> int:
+        return self._nonces.get(address, 0)
+
+    def _authenticate(self, tx) -> str | None:
+        """Returns an error string, or None when the sender is authentic."""
+        from ..crypto.schnorr import Signature, VerifyingKey
+
+        if tx.sender in self._contracts or tx.sender == "0xscheduler":
+            return None  # internal senders are not externally owned
+        expected_key = self._signer_keys.get(tx.sender)
+        if expected_key is None:
+            return f"unknown signer account {tx.sender[:10]}"
+        if tx.public_key != expected_key:
+            return "public key does not match the sender address"
+        if tx.signature is None:
+            return "missing signature"
+        if tx.nonce != self._nonces.get(tx.sender, 0):
+            return f"bad nonce {tx.nonce} (expected {self._nonces.get(tx.sender, 0)})"
+        try:
+            signature = Signature.from_bytes(tx.signature)
+        except ValueError as exc:
+            return f"malformed signature: {exc}"
+        verifying_key = VerifyingKey.from_bytes(expected_key)
+        if not verifying_key.verify(tx.signing_payload(), signature):
+            return "signature verification failed"
+        return None
+
+    def balance_of(self, address: str) -> int:
+        return self._balances.get(address, 0)
+
+    def balance_of_eth(self, address: str) -> float:
+        return self.balance_of(address) / WEI_PER_ETH
+
+    def _debit(self, address: str, amount: int) -> None:
+        if self._balances.get(address, 0) < amount:
+            raise RevertError(f"insufficient balance at {address[:10]}")
+        self._balances[address] -= amount
+
+    def _credit(self, address: str, amount: int) -> None:
+        self._balances[address] = self._balances.get(address, 0) + amount
+
+    def transfer(self, sender: str, to: str, amount_wei: int) -> None:
+        """Internal value transfer (used by contracts for payouts)."""
+        self._debit(sender, amount_wei)
+        self._credit(to, amount_wei)
+
+    def total_supply(self) -> int:
+        """Conservation check helper: account balances + collected fees."""
+        return sum(self._balances.values()) + self.fee_sink
+
+    # -- contracts --------------------------------------------------------------
+
+    def deploy(self, contract: Contract, deployer: str, deposit_bytes: int = 0) -> str:
+        """Install a contract; charges the deployer for its on-chain size."""
+        self._account_seq += 1
+        address = "0xc" + hashlib.sha256(f"contract:{self._account_seq}".encode()).hexdigest()[:39]
+        contract.address = address
+        contract.chain = self
+        self._contracts[address] = contract
+        self._balances.setdefault(address, 0)
+        if deposit_bytes:
+            gas = self.schedule.storage_gas(deposit_bytes)
+            fee = int(gas * 5 * WEI_PER_GWEI)
+            self._debit(deployer, fee)
+            self.fee_sink += fee
+        return address
+
+    def contract_at(self, address: str) -> Contract:
+        return self._contracts[address]
+
+    # -- transactions -------------------------------------------------------------
+
+    def transact(self, tx: Transaction, payload_bytes: int = 0) -> Receipt:
+        """Execute a transaction against the current pending block.
+
+        ``payload_bytes`` sizes the calldata for gas and chain-growth
+        accounting when the args are Python objects rather than real ABI
+        bytes.
+        """
+        meter = GasMeter(tx.gas_limit)
+        meter.consume(self.schedule.tx_intrinsic)
+        meter.consume(payload_bytes * self.schedule.calldata_nonzero_byte)
+        if self.require_signatures:
+            auth_error = self._authenticate(tx)
+            if auth_error is not None:
+                receipt = Receipt(
+                    tx_hash=tx.tx_hash,
+                    success=False,
+                    gas_used=meter.used,
+                    error=f"authentication: {auth_error}",
+                    block_number=len(self.blocks),
+                )
+                self.blocks[-1].receipts.append(receipt)
+                return receipt
+            if tx.sender in self._nonces:
+                self._nonces[tx.sender] += 1
+        events_before = len(self.events)
+        contract = None
+        snapshot = dict(self._balances)
+        try:
+            if tx.value:
+                self._debit(tx.sender, tx.value)
+            if tx.to is None:
+                return_value = None
+            else:
+                contract = self._contracts.get(tx.to)
+                if contract is None:
+                    # Plain transfer to an externally-owned account.
+                    self._credit(tx.to, tx.value)
+                    return_value = None
+                else:
+                    self._credit(contract.address, tx.value)
+                    ctx = CallContext(
+                        sender=tx.sender,
+                        value=tx.value,
+                        timestamp=self.time,
+                        block_number=len(self.blocks),
+                        gas=meter,
+                        chain=self,
+                    )
+                    method: Callable = getattr(contract, tx.method or "")
+                    contract._pending_events.clear()
+                    return_value = method(ctx, *tx.args)
+            success, error = True, None
+        except (RevertError, OutOfGasError, AssertionError) as exc:
+            self._balances = snapshot  # revert state changes
+            if contract is not None:
+                contract._pending_events.clear()
+            success, error, return_value = False, str(exc), None
+        fee = int(meter.used * tx.gas_price_gwei * WEI_PER_GWEI)
+        try:
+            self._debit(tx.sender, fee)
+        except RevertError:
+            fee = self._balances.get(tx.sender, 0)
+            self._balances[tx.sender] = 0
+        self.fee_sink += fee
+        receipt = Receipt(
+            tx_hash=tx.tx_hash,
+            success=success,
+            gas_used=meter.used,
+            error=error,
+            return_value=return_value,
+            block_number=len(self.blocks),
+        )
+        if success and contract is not None:
+            receipt.events = list(contract._pending_events)
+            for event in receipt.events:
+                self.events.append(event)
+            contract._pending_events.clear()
+        pending = self.blocks[-1]
+        pending.receipts.append(receipt)
+        pending.gas_used += meter.used
+        pending.byte_size += payload_bytes + 110  # tx envelope overhead
+        del events_before
+        return receipt
+
+    def call(self, address: str, method: str, *args: Any) -> Any:
+        """Read-only contract call (no gas, no state mutation expected)."""
+        contract = self._contracts[address]
+        ctx = CallContext(
+            sender="0xview",
+            value=0,
+            timestamp=self.time,
+            block_number=len(self.blocks),
+            gas=GasMeter(10**12),
+            chain=self,
+        )
+        return getattr(contract, method)(ctx, *args)
+
+    # -- scheduling (Ethereum-Alarm-Clock style) -----------------------------------
+
+    def schedule_call(
+        self, contract: str, method: str, delay: float, args: tuple = ()
+    ) -> None:
+        self._schedule_seq += 1
+        self._scheduled.append(
+            ScheduledCall(
+                due_time=self.time + delay,
+                sequence=self._schedule_seq,
+                contract=contract,
+                method=method,
+                args=args,
+            )
+        )
+        self._scheduled.sort()
+
+    # -- block production ------------------------------------------------------------
+
+    def mine_block(self) -> Block:
+        """Seal the pending block, advance time, fire due scheduled calls."""
+        sealed = self.blocks[-1]
+        sealed.timestamp = self.time
+        sealed.byte_size += self.base_block_bytes
+        self.time += self.block_time
+        self.blocks.append(
+            Block(
+                number=len(self.blocks),
+                timestamp=self.time,
+                parent_hash=sealed.block_hash,
+            )
+        )
+        self._fire_due_calls()
+        return sealed
+
+    def advance_time(self, seconds: float) -> None:
+        """Mine blocks until ``seconds`` of chain time have passed."""
+        target = self.time + seconds
+        while self.time < target:
+            self.mine_block()
+
+    def _fire_due_calls(self) -> None:
+        while self._scheduled and self._scheduled[0].due_time <= self.time:
+            call = self._scheduled.pop(0)
+            tx = Transaction(
+                sender="0xscheduler",
+                to=call.contract,
+                method=call.method,
+                args=call.args,
+                gas_limit=self.block_gas_limit,
+                gas_price_gwei=0.0,  # prepaid by the contract's deposit model
+            )
+            self._balances.setdefault("0xscheduler", 0)
+            self.transact(tx)
+
+    # -- introspection ------------------------------------------------------------------
+
+    def chain_bytes(self) -> int:
+        return sum(block.byte_size for block in self.blocks)
+
+    def events_named(self, name: str) -> list[Event]:
+        return [event for event in self.events if event.name == name]

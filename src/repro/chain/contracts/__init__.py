@@ -1,0 +1,13 @@
+"""On-chain contracts: the Fig. 2 audit state machine."""
+
+from .audit_contract import AuditContract, AuditRound, ContractTerms, State
+from .reputation import ProviderRecord, ReputationRegistry
+
+__all__ = [
+    "AuditContract",
+    "AuditRound",
+    "ContractTerms",
+    "ProviderRecord",
+    "ReputationRegistry",
+    "State",
+]

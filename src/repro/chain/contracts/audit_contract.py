@@ -1,0 +1,318 @@
+"""The secure storage-auditing smart contract — paper Fig. 2, faithfully.
+
+The contract is a state machine::
+
+    NEGOTIATING --negotiate(D)--> ACK --acknowledge(S)--> FREEZE
+        --freeze(D,$) + freeze(S,$)--> AUDIT
+        --scheduler--> PROVE --submit_proof(S)--> (verify trigger)
+        --pass: pay S / fail: pay D--> AUDIT ... until cnt == num --> CLOSED
+
+Every transition broadcasts the event named in the paper ("negotiated",
+"acked", "inited", "challenged", "proofposted", "pass", "fail") and is
+guarded by the same asserts.  Scheduling of the Chal/Verify triggers uses
+the chain's Ethereum-Alarm-Clock-style service; per-round randomness comes
+from a pluggable beacon (Section V-E).
+
+Gas for the verification transaction follows the paper's Fig. 5
+time-extrapolation model (:class:`repro.chain.gas.AuditPrecompileModel`),
+with the native verification time as a parameter (default: the paper's
+7.2 ms anchor) since our Python wall-clock is not the Golang precompile's.
+Fees are drawn from the data owner's gas fund, matching "the data owner
+needs to pay the on-chain cost" (Section VII-B).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from ...core.challenge import Challenge, challenge_from_beacon
+from ...core.keys import PublicKey
+from ...core.params import ProtocolParams
+from ...core.proof import PRIVATE_PROOF_BYTES, PrivateProof
+from ...core.verifier import Verifier, VerifyReport
+from ...randomness.beacon import RandomnessBeacon
+from ..blockchain import CallContext, Contract, WEI_PER_GWEI
+from ..gas import PAPER_VERIFY_MS, AuditPrecompileModel, GasSchedule
+
+
+class State(enum.Enum):
+    NEGOTIATING = "negotiating"   # the paper's bottom state
+    ACK = "ack"
+    FREEZE = "freeze"
+    AUDIT = "audit"
+    PROVE = "prove"
+    CLOSED = "closed"
+
+
+@dataclass(frozen=True)
+class ContractTerms:
+    """agrmts in the paper: duration, round count, cadence, payments."""
+
+    num_audits: int
+    audit_interval: float = 24 * 3600.0       # daily auditing by default
+    response_window: float = 600.0            # S must answer within this
+    payment_per_round_wei: int = 5 * 10**15   # micro-payment to S per pass
+    penalty_per_round_wei: int = 5 * 10**15   # slashed from S per fail
+    gas_fund_wei: int = 10**17                # D prepays scheduled executions
+
+    @property
+    def duration(self) -> float:
+        """T in the paper: deposits stay locked this long."""
+        return self.num_audits * self.audit_interval + self.response_window
+
+    @property
+    def owner_deposit_wei(self) -> int:
+        return self.num_audits * self.payment_per_round_wei + self.gas_fund_wei
+
+    @property
+    def provider_deposit_wei(self) -> int:
+        return self.num_audits * self.penalty_per_round_wei
+
+
+@dataclass
+class AuditRound:
+    """One round's on-chain trail (what Fig. 10's chain-growth counts)."""
+
+    round_id: int
+    challenge: Challenge
+    proof_bytes: bytes | None = None
+    passed: bool | None = None
+    gas_used: int = 0
+    verify_ms: float = 0.0
+
+    def trail_bytes(self) -> int:
+        proof = len(self.proof_bytes) if self.proof_bytes else 0
+        return self.challenge.byte_size() + proof
+
+
+class AuditContract(Contract):
+    """One storage contract between one data owner and one provider."""
+
+    def __init__(
+        self,
+        owner: str,
+        provider: str,
+        terms: ContractTerms,
+        beacon: RandomnessBeacon,
+        params: ProtocolParams,
+        native_verify_ms: float = PAPER_VERIFY_MS,
+        gas_schedule: GasSchedule | None = None,
+    ):
+        super().__init__()
+        self.owner = owner
+        self.provider = provider
+        self.terms = terms
+        self.beacon = beacon
+        self.params = params
+        self.native_verify_ms = native_verify_ms
+        self.gas_model = AuditPrecompileModel(gas_schedule or GasSchedule.istanbul())
+        self.state = State.NEGOTIATING
+        self.cnt = 0
+        self.public_key: PublicKey | None = None
+        self.file_name: int | None = None
+        self.num_chunks: int = 0
+        self.deposits: dict[str, int] = {owner: 0, provider: 0}
+        self.rounds: list[AuditRound] = []
+        self.passes = 0
+        self.fails = 0
+        self._expiry: float | None = None
+        self._verify_scheduled_for: int | None = None
+
+    # ------------------------------------------------------------------ #
+    # Initialize phase (paper Fig. 2 left)                                #
+    # ------------------------------------------------------------------ #
+
+    def negotiate(
+        self,
+        ctx: CallContext,
+        public_key: PublicKey,
+        file_name: int,
+        num_chunks: int,
+    ):
+        """On receive ("negotiated", agrmts, params, metadata) from D."""
+        self.require(ctx.sender == self.owner, "only the data owner negotiates")
+        self.require(self.state is State.NEGOTIATING, "st != bottom")
+        self.require(num_chunks > 0, "empty file")
+        self.public_key = public_key
+        self.file_name = file_name
+        self.num_chunks = num_chunks
+        # One-time on-chain storage of pk + metadata: the Fig. 4 cost.
+        ctx.gas.consume(
+            self.gas_model.schedule.storage_gas(public_key.byte_size())
+        )
+        self.state = State.ACK
+        self.emit("negotiated", pk_bytes=public_key.byte_size(), name=file_name)
+
+    def acknowledge(self, ctx: CallContext):
+        """On receive ("acked") from S."""
+        self.require(ctx.sender == self.provider, "only the provider acks")
+        self.require(self.state is State.ACK, "st != ACK")
+        self.state = State.FREEZE
+        self.emit("acked")
+
+    def reject(self, ctx: CallContext):
+        """Provider refuses the terms during ACK (Section VI-A's DoS note:
+        D already paid the on-chain storage for params and metadata)."""
+        self.require(ctx.sender == self.provider, "only the provider rejects")
+        self.require(self.state is State.ACK, "st != ACK")
+        self.state = State.CLOSED
+        self.emit("rejected")
+
+    def freeze(self, ctx: CallContext):
+        """On receive ("freeze", $D, $S): both parties lock their deposits."""
+        self.require(self.state is State.FREEZE, "st != FREEZE")
+        self.require(ctx.sender in (self.owner, self.provider), "not a party")
+        self.deposits[ctx.sender] += ctx.value
+        required = {
+            self.owner: self.terms.owner_deposit_wei,
+            self.provider: self.terms.provider_deposit_wei,
+        }
+        self.require(
+            self.deposits[ctx.sender] <= required[ctx.sender],
+            "deposit exceeds the agreed amount",
+        )
+        if all(self.deposits[party] >= required[party] for party in required):
+            self.state = State.AUDIT
+            self._expiry = ctx.timestamp + self.terms.duration
+            self.emit("inited", locked_until=self._expiry)
+            assert self.chain is not None
+            self.chain.schedule_call(
+                self.address, "trigger_challenge", self.terms.audit_interval
+            )
+
+    # ------------------------------------------------------------------ #
+    # Audit phase (paper Fig. 2 right)                                    #
+    # ------------------------------------------------------------------ #
+
+    def trigger_challenge(self, ctx: CallContext):
+        """On trigger scheduling ("Chal")."""
+        if self.state is State.CLOSED:
+            return
+        self.require(self.state is State.AUDIT, "st != AUDIT")
+        self.require(self.cnt < self.terms.num_audits, "cnt out of range")
+        randomness = self.beacon.output(self.cnt)
+        challenge = challenge_from_beacon(randomness, self.params)
+        self.rounds.append(AuditRound(round_id=self.cnt, challenge=challenge))
+        # The 48-byte challenge is recorded on chain.
+        ctx.gas.consume(
+            self.gas_model.schedule.storage_gas(challenge.byte_size())
+        )
+        self.state = State.PROVE
+        self.emit("challenged", round=self.cnt, bytes=challenge.byte_size())
+        assert self.chain is not None
+        self._verify_scheduled_for = self.cnt
+        self.chain.schedule_call(
+            self.address, "trigger_verify", self.terms.response_window
+        )
+
+    def submit_proof(self, ctx: CallContext, proof_bytes: bytes):
+        """On receive ("prove", prf) from S."""
+        self.require(ctx.sender == self.provider, "only the provider proves")
+        self.require(self.state is State.PROVE, "st != PROVE")
+        self.require(self.cnt < self.terms.num_audits, "cnt out of range")
+        self.require(
+            len(proof_bytes) == PRIVATE_PROOF_BYTES,
+            f"proof must be {PRIVATE_PROOF_BYTES} bytes",
+        )
+        current = self.rounds[self.cnt]
+        self.require(current.proof_bytes is None, "proof already posted")
+        current.proof_bytes = bytes(proof_bytes)
+        ctx.gas.consume(self.gas_model.schedule.storage_gas(len(proof_bytes)))
+        self.emit("proofposted", round=self.cnt)
+
+    def trigger_verify(self, ctx: CallContext):
+        """On trigger scheduling ("Verify")."""
+        if self.state is State.CLOSED:
+            return
+        self.require(self.state is State.PROVE, "st != PROVE")
+        current = self.rounds[self.cnt]
+        passed = False
+        verify_ms = 0.0
+        if current.proof_bytes is not None:
+            try:
+                proof = PrivateProof.from_bytes(current.proof_bytes)
+                assert self.public_key is not None and self.file_name is not None
+                verifier = Verifier(self.public_key, self.file_name, self.num_chunks)
+                report = VerifyReport()
+                passed = verifier.verify_private(current.challenge, proof, report)
+                verify_ms = report.total_seconds * 1000.0
+            except ValueError:
+                passed = False
+        # Charge the Fig. 5 gas model against the owner's prepaid gas fund.
+        gas = self.gas_model.verification_gas(
+            len(current.proof_bytes or b""), self.native_verify_ms
+        )
+        ctx.gas.consume(gas)
+        fee = int(gas * 5 * WEI_PER_GWEI)
+        assert self.chain is not None
+        fee = min(fee, self.deposits[self.owner])
+        self.deposits[self.owner] -= fee
+        self.chain._debit(self.address, fee)
+        self.chain.fee_sink += fee
+
+        current.passed = passed
+        current.gas_used = gas
+        current.verify_ms = verify_ms
+        if passed:
+            self.passes += 1
+            payment = min(
+                self.terms.payment_per_round_wei, self.deposits[self.owner]
+            )
+            self.deposits[self.owner] -= payment
+            self.chain.transfer(self.address, self.provider, payment)
+            self.emit("pass", round=self.cnt, paid_wei=payment)
+        else:
+            self.fails += 1
+            penalty = min(
+                self.terms.penalty_per_round_wei, self.deposits[self.provider]
+            )
+            self.deposits[self.provider] -= penalty
+            self.chain.transfer(self.address, self.owner, penalty)
+            self.emit("fail", round=self.cnt, slashed_wei=penalty)
+        self.cnt += 1
+        if self.cnt >= self.terms.num_audits:
+            self._finalize()
+        else:
+            self.state = State.AUDIT
+            self.chain.schedule_call(
+                self.address, "trigger_challenge", self.terms.audit_interval
+            )
+
+    # ------------------------------------------------------------------ #
+    # Settlement                                                          #
+    # ------------------------------------------------------------------ #
+
+    def _finalize(self) -> None:
+        """Refund unspent deposits and close (contract expiry)."""
+        assert self.chain is not None
+        for party in (self.owner, self.provider):
+            remaining = self.deposits[party]
+            if remaining:
+                self.deposits[party] = 0
+                self.chain.transfer(self.address, party, remaining)
+        self.state = State.CLOSED
+        self.emit("expired", passes=self.passes, fails=self.fails)
+
+    # -- views -----------------------------------------------------------
+
+    def current_challenge(self, ctx: CallContext) -> Challenge | None:
+        if self.state is not State.PROVE:
+            return None
+        return self.rounds[self.cnt].challenge
+
+    def status(self, ctx: CallContext) -> dict:
+        return {
+            "state": self.state.value,
+            "cnt": self.cnt,
+            "passes": self.passes,
+            "fails": self.fails,
+            "owner_deposit": self.deposits[self.owner],
+            "provider_deposit": self.deposits[self.provider],
+        }
+
+    def total_audit_gas(self) -> int:
+        return sum(r.gas_used for r in self.rounds)
+
+    def total_trail_bytes(self) -> int:
+        return sum(r.trail_bytes() for r in self.rounds)

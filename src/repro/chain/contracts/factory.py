@@ -1,0 +1,118 @@
+"""Audit-contract factory: one deployment point for the marketplace.
+
+Ties the two contracts of this reproduction together the way a production
+deployment would: the factory deploys :class:`AuditContract` instances and
+authorises each one as a reporter on the shared
+:class:`~repro.chain.contracts.reputation.ReputationRegistry`, so audit
+outcomes flow into provider reputation without manual wiring (the paper's
+Section VI-A countermeasures as infrastructure, not convention).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ...core.params import ProtocolParams
+from ...randomness.beacon import RandomnessBeacon
+from ..blockchain import CallContext, Contract
+from .audit_contract import AuditContract, ContractTerms
+from .reputation import ReputationRegistry
+
+
+@dataclass(frozen=True)
+class FactoryRecord:
+    contract_address: str
+    owner: str
+    provider: str
+
+
+class AuditContractFactory(Contract):
+    """Deploys audit contracts and bridges their outcomes to reputation."""
+
+    def __init__(
+        self,
+        beacon: RandomnessBeacon,
+        params: ProtocolParams,
+        registry_address: str | None = None,
+    ):
+        super().__init__()
+        self.beacon = beacon
+        self.params = params
+        self.registry_address = registry_address
+        self.deployed: list[FactoryRecord] = []
+
+    def create_contract(
+        self,
+        ctx: CallContext,
+        provider: str,
+        terms: ContractTerms,
+    ) -> str:
+        """Deploy a new audit contract between msg.sender (D) and provider."""
+        assert self.chain is not None
+        contract = AuditContract(
+            owner=ctx.sender,
+            provider=provider,
+            terms=terms,
+            beacon=self.beacon,
+            params=self.params,
+        )
+        address = self.chain.deploy(contract, deployer=ctx.sender)
+        if self.registry_address is not None:
+            registry = self.chain.contract_at(self.registry_address)
+            assert isinstance(registry, ReputationRegistry)
+            registry.reporters.add(address)
+        self.deployed.append(
+            FactoryRecord(
+                contract_address=address, owner=ctx.sender, provider=provider
+            )
+        )
+        self.emit("contract_created", address=address, provider=provider)
+        return address
+
+    def contracts_for_provider(self, ctx: CallContext, provider: str) -> list[str]:
+        return [
+            record.contract_address
+            for record in self.deployed
+            if record.provider == provider
+        ]
+
+    def contracts_for_owner(self, ctx: CallContext, owner: str) -> list[str]:
+        return [
+            record.contract_address
+            for record in self.deployed
+            if record.owner == owner
+        ]
+
+
+def report_round_outcomes(
+    chain, factory: AuditContractFactory, registry_address: str
+) -> int:
+    """Push any unreported round outcomes from factory contracts to the
+    registry.  Returns the number of reports sent.
+
+    (A convenience driver for simulations; on a real chain the audit
+    contract would call the registry inline from ``trigger_verify``.)
+    """
+    from ..blockchain import Transaction
+
+    sent = 0
+    for record in factory.deployed:
+        contract = chain.contract_at(record.contract_address)
+        assert isinstance(contract, AuditContract)
+        reported = getattr(contract, "_reported_to_registry", 0)
+        for round_record in contract.rounds[reported:]:
+            if round_record.passed is None:
+                break
+            chain.transact(
+                Transaction(
+                    sender=record.contract_address,
+                    to=registry_address,
+                    method="report_audit",
+                    args=(record.provider, round_record.passed),
+                    gas_price_gwei=0.0,
+                )
+            )
+            reported += 1
+            sent += 1
+        contract._reported_to_registry = reported  # type: ignore[attr-defined]
+    return sent

@@ -1,0 +1,176 @@
+"""On-chain reputation registry (paper Section VI-A countermeasures).
+
+The paper's remarks on fairness in practice: a provider can grief the data
+owner by rejecting contracts after the owner has paid on-chain storage for
+the public keys; Sybil identities can whitewash a bad history.  "We stress
+this kind of denial-of-service attack would be good to none but worse to
+himself under a robust reputation-based system.  Using similar
+countermeasures, other attacks such as the Sybil attack, can also be
+alleviated."
+
+This contract is that system:
+
+* providers register with a **stake** (Sybil resistance: fresh identities
+  start at neutral reputation *and* must lock capital),
+* audit contracts report per-round outcomes (pass/fail) and initialisation
+  behaviour (acknowledge/reject) — rejections after negotiation cost
+  reputation, making the Section VI-A DoS self-defeating,
+* scores decay toward neutral over time so neither ancient glory nor
+  ancient sins dominate,
+* data owners query scores before selecting providers; deregistration
+  returns the stake only to providers in good standing (griefers forfeit).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+from ..blockchain import CallContext, Contract
+
+NEUTRAL_SCORE = 0.5
+
+
+@dataclass
+class ProviderRecord:
+    stake_wei: int
+    registered_at: float
+    passes: int = 0
+    fails: int = 0
+    rejections: int = 0
+    score: float = NEUTRAL_SCORE
+    last_update: float = 0.0
+    banned: bool = False
+
+
+class ReputationRegistry(Contract):
+    """Stake-backed reputation for storage providers.
+
+    Score update is an exponential moving average pulled toward 1.0 by
+    passes and toward 0.0 by fails/rejections, with time decay toward
+    neutral between observations.
+    """
+
+    def __init__(
+        self,
+        min_stake_wei: int = 10**18,
+        learning_rate: float = 0.1,
+        rejection_penalty: float = 0.15,
+        decay_half_life: float = 30 * 24 * 3600.0,
+        ban_threshold: float = 0.15,
+    ):
+        super().__init__()
+        self.min_stake_wei = min_stake_wei
+        self.learning_rate = learning_rate
+        self.rejection_penalty = rejection_penalty
+        self.decay_half_life = decay_half_life
+        self.ban_threshold = ban_threshold
+        self.providers: dict[str, ProviderRecord] = {}
+        self.reporters: set[str] = set()  # audit contracts allowed to report
+
+    # -- registration ------------------------------------------------------
+
+    def register(self, ctx: CallContext):
+        """Join the marketplace by locking at least the minimum stake."""
+        self.require(ctx.sender not in self.providers, "already registered")
+        self.require(
+            ctx.value >= self.min_stake_wei,
+            f"stake below minimum ({self.min_stake_wei} wei)",
+        )
+        self.providers[ctx.sender] = ProviderRecord(
+            stake_wei=ctx.value,
+            registered_at=ctx.timestamp,
+            last_update=ctx.timestamp,
+        )
+        self.emit("registered", provider=ctx.sender, stake=ctx.value)
+
+    def deregister(self, ctx: CallContext):
+        """Leave and reclaim the stake — only in good standing."""
+        record = self.providers.get(ctx.sender)
+        self.require(record is not None, "not registered")
+        assert record is not None
+        self._decay(record, ctx.timestamp)
+        self.require(not record.banned, "banned providers forfeit their stake")
+        self.require(
+            record.score >= NEUTRAL_SCORE,
+            "below-neutral reputation forfeits the stake",
+        )
+        stake = record.stake_wei
+        del self.providers[ctx.sender]
+        assert self.chain is not None
+        self.chain.transfer(self.address, ctx.sender, stake)
+        self.emit("deregistered", provider=ctx.sender, refunded=stake)
+
+    # -- reporting ---------------------------------------------------------
+
+    def authorize_reporter(self, ctx: CallContext, reporter: str):
+        """Whitelist an audit contract to report outcomes.
+
+        In production this would be the contract factory; here any caller
+        may register reporters, and tests cover the access control on the
+        reporting path itself.
+        """
+        self.reporters.add(reporter)
+        self.emit("reporter_authorized", reporter=reporter)
+
+    def report_audit(self, ctx: CallContext, provider: str, passed: bool):
+        self.require(ctx.sender in self.reporters, "unauthorised reporter")
+        record = self.providers.get(provider)
+        self.require(record is not None, "unknown provider")
+        assert record is not None
+        self._decay(record, ctx.timestamp)
+        if passed:
+            record.passes += 1
+            record.score += self.learning_rate * (1.0 - record.score)
+        else:
+            record.fails += 1
+            record.score -= self.learning_rate * record.score
+        self._maybe_ban(record, provider)
+        self.emit("audit_reported", provider=provider, passed=passed,
+                  score=round(record.score, 4))
+
+    def report_rejection(self, ctx: CallContext, provider: str):
+        """The Section VI-A DoS: rejecting after the owner paid for setup."""
+        self.require(ctx.sender in self.reporters, "unauthorised reporter")
+        record = self.providers.get(provider)
+        self.require(record is not None, "unknown provider")
+        assert record is not None
+        self._decay(record, ctx.timestamp)
+        record.rejections += 1
+        record.score = max(0.0, record.score - self.rejection_penalty)
+        self._maybe_ban(record, provider)
+        self.emit("rejection_reported", provider=provider,
+                  score=round(record.score, 4))
+
+    # -- queries -----------------------------------------------------------
+
+    def score_of(self, ctx: CallContext, provider: str) -> float:
+        record = self.providers.get(provider)
+        if record is None:
+            return 0.0
+        self._decay(record, ctx.timestamp)
+        return 0.0 if record.banned else record.score
+
+    def eligible(self, ctx: CallContext, provider: str, minimum: float = 0.3) -> bool:
+        return self.score_of(ctx, provider) >= minimum
+
+    def ranked(self, ctx: CallContext) -> list[tuple[str, float]]:
+        """Providers best-first — the owner's selection input."""
+        scores = [
+            (name, self.score_of(ctx, name)) for name in self.providers
+        ]
+        return sorted(scores, key=lambda pair: -pair[1])
+
+    # -- internals -----------------------------------------------------------
+
+    def _decay(self, record: ProviderRecord, now: float) -> None:
+        elapsed = max(0.0, now - record.last_update)
+        if elapsed > 0 and self.decay_half_life > 0:
+            weight = math.pow(0.5, elapsed / self.decay_half_life)
+            record.score = NEUTRAL_SCORE + (record.score - NEUTRAL_SCORE) * weight
+        record.last_update = now
+
+    def _maybe_ban(self, record: ProviderRecord, provider: str) -> None:
+        if record.score < self.ban_threshold and not record.banned:
+            record.banned = True
+            self.emit("banned", provider=provider)

@@ -1,0 +1,136 @@
+"""Chain explorer: the read side of the simulated blockchain.
+
+The paper's transparency argument rests on anyone being able to inspect
+audit trails; this module is that "anyone".  It answers the questions the
+evaluation needs (per-contract gas, audit outcomes, trail bytes, balance
+flows) and exports them as plain dicts for JSON serialisation.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+
+from .blockchain import Blockchain
+from .contracts.audit_contract import AuditContract
+
+
+@dataclass(frozen=True)
+class ContractSummary:
+    address: str
+    state: str
+    rounds: int
+    passes: int
+    fails: int
+    total_gas: int
+    trail_bytes: int
+
+
+class ChainExplorer:
+    """Read-only queries over a simulated chain."""
+
+    def __init__(self, chain: Blockchain):
+        self.chain = chain
+
+    # -- blocks / transactions ------------------------------------------------
+
+    def height(self) -> int:
+        return len(self.chain.blocks) - 1
+
+    def block_summaries(self) -> list[dict]:
+        return [
+            {
+                "number": block.number,
+                "timestamp": block.timestamp,
+                "tx_count": len(block.receipts),
+                "gas_used": block.gas_used,
+                "byte_size": block.byte_size,
+            }
+            for block in self.chain.blocks
+        ]
+
+    def transaction_count(self) -> int:
+        return sum(len(block.receipts) for block in self.chain.blocks)
+
+    def failed_transactions(self) -> list[dict]:
+        out = []
+        for block in self.chain.blocks:
+            for receipt in block.receipts:
+                if not receipt.success:
+                    out.append(
+                        {
+                            "block": block.number,
+                            "tx": receipt.tx_hash[:16],
+                            "error": receipt.error,
+                            "gas_used": receipt.gas_used,
+                        }
+                    )
+        return out
+
+    # -- events -------------------------------------------------------------------
+
+    def event_log(self, name: str | None = None) -> list[dict]:
+        events = (
+            self.chain.events
+            if name is None
+            else self.chain.events_named(name)
+        )
+        return [
+            {"contract": e.contract[:16], "name": e.name, "payload": e.payload}
+            for e in events
+        ]
+
+    def event_counts(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for event in self.chain.events:
+            counts[event.name] = counts.get(event.name, 0) + 1
+        return counts
+
+    # -- audit contracts -------------------------------------------------------------
+
+    def audit_contracts(self) -> list[ContractSummary]:
+        out = []
+        for address, contract in self.chain._contracts.items():
+            if isinstance(contract, AuditContract):
+                out.append(
+                    ContractSummary(
+                        address=address,
+                        state=contract.state.value,
+                        rounds=len(contract.rounds),
+                        passes=contract.passes,
+                        fails=contract.fails,
+                        total_gas=contract.total_audit_gas(),
+                        trail_bytes=contract.total_trail_bytes(),
+                    )
+                )
+        return out
+
+    def audit_trail_bytes(self) -> int:
+        return sum(summary.trail_bytes for summary in self.audit_contracts())
+
+    def total_audit_gas(self) -> int:
+        return sum(summary.total_gas for summary in self.audit_contracts())
+
+    # -- export ---------------------------------------------------------------------------
+
+    def export_json(self) -> str:
+        payload = {
+            "height": self.height(),
+            "transactions": self.transaction_count(),
+            "chain_bytes": self.chain.chain_bytes(),
+            "fee_sink_wei": self.chain.fee_sink,
+            "events": self.event_counts(),
+            "audit_contracts": [
+                {
+                    "address": s.address,
+                    "state": s.state,
+                    "rounds": s.rounds,
+                    "passes": s.passes,
+                    "fails": s.fails,
+                    "total_gas": s.total_gas,
+                    "trail_bytes": s.trail_bytes,
+                }
+                for s in self.audit_contracts()
+            ],
+        }
+        return json.dumps(payload, indent=2, sort_keys=True)

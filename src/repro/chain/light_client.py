@@ -1,0 +1,118 @@
+"""Light client: independent re-verification of on-chain audit trails.
+
+The transparency half of the paper's pitch: because challenges, proofs and
+public keys are all on the chain, *any* third party — not just the
+contract — can re-check every audit after the fact.  This module is that
+third party.  It consumes only serialized on-chain material (pk bytes,
+48-byte challenges, 288-byte proofs) and recomputes each round's verdict,
+flagging any disagreement with what the contract recorded.
+
+A disagreement would mean a mis-executing contract (or a forged trail) —
+the situation the blockchain's honest-majority assumption is supposed to
+prevent, and exactly what an auditor-of-the-auditor looks for.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..core.challenge import Challenge
+from ..core.keys import PublicKey
+from ..core.params import ProtocolParams
+from ..core.proof import PrivateProof
+from ..core.verifier import Verifier
+from .contracts.audit_contract import AuditContract
+
+
+@dataclass(frozen=True)
+class TrailRecord:
+    """One audit round as read off the chain (pure bytes + claimed verdict)."""
+
+    round_id: int
+    challenge_bytes: bytes
+    proof_bytes: bytes | None
+    claimed_verdict: bool | None
+
+
+@dataclass
+class ReplayReport:
+    """Outcome of re-verifying a whole trail."""
+
+    rounds_checked: int = 0
+    agreements: int = 0
+    disagreements: list[int] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.disagreements
+
+
+def export_trail(contract: AuditContract) -> list[TrailRecord]:
+    """Serialize a contract's audit history the way a node would serve it."""
+    return [
+        TrailRecord(
+            round_id=record.round_id,
+            challenge_bytes=record.challenge.to_bytes(),
+            proof_bytes=record.proof_bytes,
+            claimed_verdict=record.passed,
+        )
+        for record in contract.rounds
+    ]
+
+
+class LightClient:
+    """Re-verifies an audit trail from raw on-chain bytes."""
+
+    def __init__(
+        self,
+        public_key_bytes: bytes,
+        file_name: int,
+        num_chunks: int,
+        params: ProtocolParams,
+    ):
+        self.public = PublicKey.from_bytes(public_key_bytes)
+        self.file_name = file_name
+        self.num_chunks = num_chunks
+        self.params = params
+        self._verifier = Verifier(self.public, file_name, num_chunks)
+
+    def verify_round(self, record: TrailRecord) -> bool:
+        """Recompute one round's verdict from its bytes."""
+        if record.proof_bytes is None:
+            return False  # missing proof is a fail, as the contract rules
+        challenge = Challenge.from_bytes(
+            record.challenge_bytes,
+            k=self.params.k,
+            seed_bytes=self.params.seed_bytes,
+        )
+        try:
+            proof = PrivateProof.from_bytes(record.proof_bytes)
+        except ValueError:
+            return False
+        return self._verifier.verify_private(challenge, proof)
+
+    def replay(self, trail: list[TrailRecord]) -> ReplayReport:
+        """Re-verify every round and compare against the claimed verdicts."""
+        report = ReplayReport()
+        for record in trail:
+            verdict = self.verify_round(record)
+            report.rounds_checked += 1
+            if record.claimed_verdict is None or verdict == record.claimed_verdict:
+                report.agreements += 1
+            else:
+                report.disagreements.append(record.round_id)
+        return report
+
+
+def audit_the_auditor(
+    contract: AuditContract, params: ProtocolParams
+) -> ReplayReport:
+    """One-call convenience: export a contract's trail and replay it."""
+    assert contract.public_key is not None and contract.file_name is not None
+    client = LightClient(
+        public_key_bytes=contract.public_key.to_bytes(),
+        file_name=contract.file_name,
+        num_chunks=contract.num_chunks,
+        params=params,
+    )
+    return client.replay(export_trail(contract))

@@ -1,0 +1,192 @@
+"""Command-line interface: the library's functionality as a tool.
+
+    python -m repro keygen   --s 50 --out keys.bin
+    python -m repro prepare  --file archive.bin --s 10 --k 8
+    python -m repro audit    --size 20000 --rounds 3
+    python -m repro attack   --s 6 --k 4
+    python -m repro models   --users 5000
+
+Everything runs locally against the simulated substrates; the tool exists
+so a downstream user can poke at the system without writing code.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+
+from .chain import (
+    Blockchain,
+    ContractTerms,
+    CostModel,
+    deploy_audit_contract,
+    run_contract_to_completion,
+)
+from .core import DataOwner, ProtocolParams, StorageProvider, generate_keypair
+from .randomness import HashChainBeacon
+from .sim.economics import one_time_storage_cost, usd_per_audit
+from .sim.throughput import ChainCapacityModel, ProviderLoadModel
+
+
+def _cmd_keygen(args: argparse.Namespace) -> int:
+    keypair = generate_keypair(args.s, private_auditing=not args.no_privacy)
+    blob = keypair.public.to_bytes()
+    if args.out:
+        with open(args.out, "wb") as handle:
+            handle.write(blob)
+        print(f"public key ({len(blob):,} B) written to {args.out}")
+    print(f"s = {args.s}, on-chain pk footprint = {keypair.public.byte_size():,} B")
+    print(f"one-time recording cost ~ ${one_time_storage_cost(args.s)['usd']:.2f}")
+    return 0
+
+
+def _cmd_prepare(args: argparse.Namespace) -> int:
+    with open(args.file, "rb") as handle:
+        data = handle.read()
+    params = ProtocolParams(s=args.s, k=args.k)
+    owner = DataOwner(params)
+    package = owner.prepare(data)
+    overhead = 32 * package.num_chunks
+    print(f"file: {len(data):,} B -> {package.num_chunks} chunks (s={args.s})")
+    print(f"authenticators: {overhead:,} B ({overhead/len(data):.1%} of data)")
+    print(f"public key: {package.public.byte_size():,} B on chain")
+    return 0
+
+
+def _cmd_audit(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    params = ProtocolParams(s=args.s, k=args.k)
+    owner = DataOwner(params, rng=rng)
+    package = owner.prepare(bytes(rng.randrange(256) for _ in range(args.size)))
+    provider = StorageProvider(rng=rng)
+    if not provider.accept(package):
+        print("provider rejected the package", file=sys.stderr)
+        return 1
+    chain = Blockchain()
+    terms = ContractTerms(
+        num_audits=args.rounds, audit_interval=60.0, response_window=20.0
+    )
+    deployment = deploy_audit_contract(
+        chain, package, provider, terms, HashChainBeacon(b"cli"), params
+    )
+    if args.drop_after is not None:
+        deployment.provider_agent.misbehave_after_round = args.drop_after
+    contract = run_contract_to_completion(chain, deployment)
+    cost = CostModel()
+    print(f"contract closed: {contract.passes} passes, {contract.fails} fails")
+    for record in contract.rounds:
+        print(
+            f"  round {record.round_id}: {'PASS' if record.passed else 'FAIL'} "
+            f"gas={record.gas_used:,} (${cost.gas_to_usd(record.gas_used):.2f})"
+        )
+    return 0 if contract.fails == (0 if args.drop_after is None else contract.fails) else 1
+
+
+def _cmd_attack(args: argparse.Namespace) -> int:
+    from .core import (
+        EclipseChallengeFactory,
+        InterpolationAttacker,
+        transcript_from_plain,
+        transcripts_needed,
+    )
+
+    rng = random.Random(args.seed)
+    params = ProtocolParams(s=args.s, k=args.k)
+    owner = DataOwner(params, rng=rng)
+    package = owner.prepare(bytes(rng.randrange(256) for _ in range(args.s * 31 * 12)))
+    provider = StorageProvider(rng=rng)
+    provider.accept(package)
+    prover = provider.prover_for(package.name)
+    factory = EclipseChallengeFactory(params, rng=rng)
+    attacker = InterpolationAttacker(params, package.num_chunks)
+    pinned_c1, _ = factory.fresh_set_seeds()
+    target = None
+    for _ in range(params.k):
+        _, c2 = factory.fresh_set_seeds()
+        for _ in range(params.s):
+            challenge = factory.challenge(pinned_c1, c2)
+            proof = prover.respond_plain(challenge)
+            attacker.observe(transcript_from_plain(challenge, proof))
+            if target is None:
+                target = challenge.expand(package.num_chunks).indices
+    recovered = attacker.recover_blocks(target)
+    hits = 0
+    if recovered:
+        hits = sum(
+            list(package.chunked.chunks[i]) == recovered[i] for i in target
+        )
+    print(
+        f"observed {attacker.transcripts_seen} transcripts "
+        f"(s*u = {transcripts_needed(params, params.k)}); "
+        f"recovered {hits}/{len(target)} chunks from NON-PRIVATE proofs"
+    )
+    print("(re-run your deployment with private proofs: recovery drops to 0)")
+    return 0
+
+
+def _cmd_models(args: argparse.Namespace) -> int:
+    capacity = ChainCapacityModel()
+    load = ProviderLoadModel()
+    print(f"per audit: ${usd_per_audit():.3f} (5 Gwei) / "
+          f"${usd_per_audit(gas_price_gwei=1.2):.3f} (1.2 Gwei)")
+    print(f"chain throughput: {capacity.tx_per_second:.2f} tx/s; "
+          f"max users: {capacity.max_concurrent_users():,}")
+    growth = capacity.annual_chain_growth_bytes(args.users) / 2**30
+    per_provider = load.users_per_provider(args.users)
+    print(f"{args.users:,} users: +{growth:.2f} GB/yr on chain, "
+          f"{per_provider} users/provider, "
+          f"{load.proving_time_for_all(per_provider):.1f} s to prove all")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Privacy-assured on-chain auditing of decentralized storage",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    keygen = sub.add_parser("keygen", help="generate an audit keypair")
+    keygen.add_argument("--s", type=int, default=50)
+    keygen.add_argument("--no-privacy", action="store_true")
+    keygen.add_argument("--out", type=str, default="")
+    keygen.set_defaults(func=_cmd_keygen)
+
+    prepare = sub.add_parser("prepare", help="preprocess a local file")
+    prepare.add_argument("--file", required=True)
+    prepare.add_argument("--s", type=int, default=10)
+    prepare.add_argument("--k", type=int, default=8)
+    prepare.set_defaults(func=_cmd_prepare)
+
+    audit = sub.add_parser("audit", help="simulate a full audit contract")
+    audit.add_argument("--size", type=int, default=10_000)
+    audit.add_argument("--rounds", type=int, default=3)
+    audit.add_argument("--s", type=int, default=8)
+    audit.add_argument("--k", type=int, default=5)
+    audit.add_argument("--seed", type=int, default=0)
+    audit.add_argument("--drop-after", type=int, default=None,
+                       help="provider drops data after this round")
+    audit.set_defaults(func=_cmd_audit)
+
+    attack = sub.add_parser("attack", help="run the Section V-C privacy attack")
+    attack.add_argument("--s", type=int, default=6)
+    attack.add_argument("--k", type=int, default=4)
+    attack.add_argument("--seed", type=int, default=0)
+    attack.set_defaults(func=_cmd_attack)
+
+    models = sub.add_parser("models", help="print the Section VII-D models")
+    models.add_argument("--users", type=int, default=5_000)
+    models.set_defaults(func=_cmd_models)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,125 @@
+"""Challenge generation and deterministic expansion (paper Fig. 3, left).
+
+The smart contract publishes only three lambda-bit seeds — ``C1``, ``C2``
+and ``r`` (48 bytes total, Section VII-B) — and both prover and verifier
+expand them locally:
+
+    {i_0..i_{k-1}}  = PRP_{C1}(0..k-1)     distinct chunk indices
+    {c_0..c_{k-1}}  = PRF_{C2}(0..k-1)     coefficients in Zp
+    r               = evaluation point in Zp (derived from the r-seed)
+
+Pre-determined expansion is what the paper calls "expanding the domain of
+randomness outputs": it keeps on-chain randomness consumption constant
+regardless of k.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from ..crypto.bn254.constants import CURVE_ORDER as R
+from ..crypto.field import hash_to_scalar
+from ..crypto.prf import FeistelPrp, Prf
+from .params import ProtocolParams
+
+
+@dataclass(frozen=True)
+class Challenge:
+    """The on-chain challenge: (C1, C2, r) seeds plus the audit round."""
+
+    c1: bytes
+    c2: bytes
+    r_seed: bytes
+    k: int
+
+    def __post_init__(self) -> None:
+        if len(self.c1) != len(self.c2) or len(self.c1) != len(self.r_seed):
+            raise ValueError("challenge seeds must have equal length")
+        if self.k < 1:
+            raise ValueError("k must be positive")
+
+    @property
+    def point(self) -> int:
+        """The polynomial evaluation point r in Zp."""
+        return hash_to_scalar(b"challenge-point", self.r_seed)
+
+    def byte_size(self) -> int:
+        """On-chain size: 48 bytes at lambda = 128."""
+        return len(self.c1) + len(self.c2) + len(self.r_seed)
+
+    def to_bytes(self) -> bytes:
+        return self.c1 + self.c2 + self.r_seed
+
+    @staticmethod
+    def from_bytes(data: bytes, k: int, seed_bytes: int = 16) -> "Challenge":
+        if len(data) != 3 * seed_bytes:
+            raise ValueError(f"challenge must be {3 * seed_bytes} bytes")
+        return Challenge(
+            c1=data[:seed_bytes],
+            c2=data[seed_bytes : 2 * seed_bytes],
+            r_seed=data[2 * seed_bytes :],
+            k=k,
+        )
+
+    def expand(self, num_chunks: int) -> "ExpandedChallenge":
+        """Derive the challenged set {(i, c_i)} and the evaluation point."""
+        k = min(self.k, num_chunks)
+        prp = FeistelPrp(self.c1, num_chunks)
+        indices = prp.sample_indices(k)
+        coefficients = Prf(self.c2).scalars(k)
+        return ExpandedChallenge(
+            indices=tuple(indices),
+            coefficients=tuple(coefficients),
+            point=self.point,
+        )
+
+
+@dataclass(frozen=True)
+class ExpandedChallenge:
+    """The fully-expanded challenge both sides compute locally."""
+
+    indices: tuple[int, ...]
+    coefficients: tuple[int, ...]
+    point: int
+
+    def __post_init__(self) -> None:
+        if len(self.indices) != len(self.coefficients):
+            raise ValueError("indices and coefficients must align")
+        if not 0 <= self.point < R:
+            raise ValueError("evaluation point out of field range")
+
+    @property
+    def k(self) -> int:
+        return len(self.indices)
+
+
+def random_challenge(params: ProtocolParams, rng=None) -> Challenge:
+    """Sample a fresh challenge the way the beacon-backed contract would."""
+    seed_bytes = params.seed_bytes
+    if rng is None:
+        material = os.urandom(3 * seed_bytes)
+    else:
+        material = bytes(rng.randrange(256) for _ in range(3 * seed_bytes))
+    return Challenge.from_bytes(material, k=params.k, seed_bytes=seed_bytes)
+
+
+def challenge_from_beacon(
+    beacon_output: bytes, params: ProtocolParams
+) -> Challenge:
+    """Derive the round challenge from raw beacon randomness.
+
+    The beacon output is stretched with domain separation so that a 32-byte
+    beacon value still yields three independent seeds.
+    """
+    import hashlib
+
+    seed_bytes = params.seed_bytes
+    material = b"".join(
+        hashlib.sha256(b"chal-seed" + bytes([label]) + beacon_output).digest()
+        for label in range(3)
+    )
+    seeds = [
+        material[i * 32 : i * 32 + seed_bytes] for i in range(3)
+    ]
+    return Challenge(c1=seeds[0], c2=seeds[1], r_seed=seeds[2], k=params.k)

@@ -1,0 +1,78 @@
+"""File chunking: bytes -> field-element blocks -> s-block chunks.
+
+Paper Section V-B: the file F is divided into n blocks (group elements of
+Zp), and every ``s`` consecutive blocks form a chunk
+``m_i = (m_{i,0}, ..., m_{i,s-1})``; the last chunk is zero-padded.  Each
+chunk is the coefficient vector of the degree s-1 polynomial ``M_i(x)``
+(Definition 1) that the authenticator commits to.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..crypto.field import BLOCK_BYTES, blocks_to_bytes, bytes_to_blocks
+from .params import ProtocolParams
+
+
+@dataclass(frozen=True)
+class ChunkedFile:
+    """A file in the protocol's algebraic representation.
+
+    ``chunks[i][j]`` is block ``m_{i,j}`` — coefficient j of ``M_i(x)``.
+    """
+
+    name: int                      # file identifier sampled from Zp
+    byte_length: int               # original length (for exact round-trips)
+    s: int                         # blocks per chunk
+    chunks: tuple[tuple[int, ...], ...] = field(repr=False)
+
+    @property
+    def num_chunks(self) -> int:
+        return len(self.chunks)
+
+    @property
+    def num_blocks(self) -> int:
+        """n in the paper: blocks before padding."""
+        return (self.byte_length + BLOCK_BYTES - 1) // BLOCK_BYTES
+
+    def chunk_polynomial(self, index: int) -> tuple[int, ...]:
+        """Coefficients of M_index(x), lowest degree first."""
+        return self.chunks[index]
+
+    def to_bytes(self) -> bytes:
+        """Reassemble the original file contents exactly."""
+        flat: list[int] = []
+        for chunk in self.chunks:
+            flat.extend(chunk)
+        return blocks_to_bytes(flat, self.byte_length)
+
+
+def chunk_file(data: bytes, params: ProtocolParams, name: int) -> ChunkedFile:
+    """Split ``data`` into the d = ceil(n/s) chunks of paper Definition 1."""
+    if not data:
+        raise ValueError("cannot outsource an empty file")
+    blocks = bytes_to_blocks(data)
+    s = params.s
+    padding = (-len(blocks)) % s
+    blocks.extend([0] * padding)
+    chunks = tuple(
+        tuple(blocks[offset : offset + s]) for offset in range(0, len(blocks), s)
+    )
+    return ChunkedFile(name=name, byte_length=len(data), s=s, chunks=chunks)
+
+
+def corrupt_chunk(
+    chunked: ChunkedFile, chunk_index: int, block_index: int = 0, delta: int = 1
+) -> ChunkedFile:
+    """Return a copy with one block tampered (for detection experiments)."""
+    from ..crypto.bn254.constants import CURVE_ORDER as R
+
+    chunks = [list(chunk) for chunk in chunked.chunks]
+    chunks[chunk_index][block_index] = (chunks[chunk_index][block_index] + delta) % R
+    return ChunkedFile(
+        name=chunked.name,
+        byte_length=chunked.byte_length,
+        s=chunked.s,
+        chunks=tuple(tuple(chunk) for chunk in chunks),
+    )

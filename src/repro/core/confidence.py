@@ -1,0 +1,71 @@
+"""Storage-assurance analysis: challenged chunks vs detection confidence.
+
+Paper Section VI-A: "setting k to 300 can give D storage assurance of 95%
+if only 1% of entire data is tampered".  The underlying model (Ateniese et
+al., CCS'07) is that each of the k challenged chunks independently hits a
+corrupted chunk with probability rho:
+
+    P_detect = 1 - (1 - rho)^k
+
+The exact hypergeometric version (the PRP samples *without* replacement) is
+also provided; it dominates the binomial bound, so the paper's k values are
+conservative.  This module generates the x-axis of the paper's Fig. 9
+(confidence levels 91%..99% -> k = 240..460).
+"""
+
+from __future__ import annotations
+
+import math
+
+
+def detection_probability(k: int, corruption_fraction: float) -> float:
+    """P[>= 1 corrupted chunk challenged] under sampling with replacement."""
+    if not 0 <= corruption_fraction <= 1:
+        raise ValueError("corruption_fraction must be in [0, 1]")
+    if k < 0:
+        raise ValueError("k must be non-negative")
+    return 1.0 - (1.0 - corruption_fraction) ** k
+
+
+def detection_probability_exact(
+    num_chunks: int, corrupted_chunks: int, k: int
+) -> float:
+    """Exact hypergeometric detection probability (without replacement).
+
+    P = 1 - C(n - t, k) / C(n, k) for n chunks, t corrupted, k challenged.
+    """
+    if corrupted_chunks < 0 or corrupted_chunks > num_chunks:
+        raise ValueError("corrupted_chunks out of range")
+    k = min(k, num_chunks)
+    if corrupted_chunks == 0:
+        return 0.0
+    if k > num_chunks - corrupted_chunks:
+        return 1.0
+    miss = math.comb(num_chunks - corrupted_chunks, k) / math.comb(num_chunks, k)
+    return 1.0 - miss
+
+
+def required_challenges(confidence: float, corruption_fraction: float) -> int:
+    """Smallest k with detection_probability(k, rho) >= confidence.
+
+    required_challenges(0.95, 0.01) == 299, which the paper rounds to 300;
+    required_challenges(0.99, 0.01) == 459 (paper: 460).
+    """
+    if not 0 < confidence < 1:
+        raise ValueError("confidence must be in (0, 1)")
+    if not 0 < corruption_fraction < 1:
+        raise ValueError("corruption_fraction must be in (0, 1)")
+    return math.ceil(
+        math.log(1.0 - confidence) / math.log(1.0 - corruption_fraction)
+    )
+
+
+def figure9_k_schedule(
+    confidences: tuple[float, ...] = (0.91, 0.93, 0.95, 0.97, 0.99),
+    corruption_fraction: float = 0.01,
+) -> dict[float, int]:
+    """The confidence -> k mapping underlying the paper's Fig. 9 x-axis."""
+    return {
+        confidence: required_challenges(confidence, corruption_fraction)
+        for confidence in confidences
+    }

@@ -1,0 +1,58 @@
+"""Protocol parameters (the paper's lambda, s, k knobs).
+
+* ``s`` — blocks per chunk, the storage/computation trade-off parameter: the
+  provider stores one authenticator per chunk, i.e. extra storage is ``1/s``
+  of the data size (paper Section VII-C); proof generation cost grows with
+  ``s`` while preprocessing cost falls.  The paper lands on ``s = 50``.
+* ``k`` — challenged chunks per audit.  ``k = 300`` gives 95% detection
+  confidence when 1% of the data is corrupted (paper Section VI-A).
+* ``security_bits`` — lambda; the challenge seeds C1/C2/r are lambda bits
+  each, giving the 48-byte on-chain challenge of Section VII-B.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper defaults (Sections VI-A / VII).
+DEFAULT_S = 50
+DEFAULT_K = 300
+SECURITY_BITS = 128
+
+#: Challenge seed size in bytes (three seeds make the 48-byte challenge).
+SEED_BYTES = SECURITY_BITS // 8
+
+
+@dataclass(frozen=True)
+class ProtocolParams:
+    """Immutable bundle of audit-protocol parameters."""
+
+    s: int = DEFAULT_S
+    k: int = DEFAULT_K
+    security_bits: int = SECURITY_BITS
+
+    def __post_init__(self) -> None:
+        if self.s < 1:
+            raise ValueError("s (blocks per chunk) must be >= 1")
+        if self.k < 1:
+            raise ValueError("k (challenged chunks) must be >= 1")
+        if self.security_bits not in (80, 128, 256):
+            raise ValueError("security_bits must be one of 80, 128, 256")
+
+    @property
+    def seed_bytes(self) -> int:
+        return self.security_bits // 8
+
+    @property
+    def challenge_bytes(self) -> int:
+        """On-chain challenge size: C1 || C2 || r (48 bytes at lambda=128)."""
+        return 3 * self.seed_bytes
+
+    def storage_overhead_ratio(self) -> float:
+        """Provider-side extra storage as a fraction of the data size.
+
+        One 32-byte G1 authenticator per chunk of ``s`` 31-byte blocks.
+        """
+        from ..crypto.field import BLOCK_BYTES
+
+        return 32 / (self.s * BLOCK_BYTES)

@@ -1,0 +1,59 @@
+"""Curve constants for BN254 (a.k.a. alt_bn128), the curve behind Ethereum's
+pairing precompiles and the Cloudflare ``bn256`` library used by the paper.
+
+The curve is the Barreto-Naehrig curve with parameter ``t`` below:
+
+* base field ``Fp`` with ``p = 36 t^4 + 36 t^3 + 24 t^2 + 6 t + 1``
+* group order ``r = 36 t^4 + 36 t^3 + 18 t^2 + 6 t + 1``
+* ``E(Fp): y^2 = x^3 + 3`` with ``#E(Fp) = r`` (cofactor 1)
+* ``E'(Fp2): y^2 = x^3 + 3/xi`` (sextic twist), ``xi = 9 + u``
+
+Element sizes match the paper's Section VII-A: ``|p| = |G1| = 256`` bits,
+``|G2| = 512`` bits and ``|GT| = 1536`` bits once torus-compressed.
+"""
+
+from __future__ import annotations
+
+# BN parameter (often written x, u or z in the literature).
+BN_T = 4965661367192848881
+
+# Base-field modulus p = 36t^4 + 36t^3 + 24t^2 + 6t + 1.
+FIELD_MODULUS = 21888242871839275222246405745257275088696311157297823662689037894645226208583
+
+# Prime order of G1/G2/GT: r = 36t^4 + 36t^3 + 18t^2 + 6t + 1.
+CURVE_ORDER = 21888242871839275222246405745257275088548364400416034343698204186575808495617
+
+# Optimal-ate Miller loop length: 6t + 2.
+ATE_LOOP_COUNT = 6 * BN_T + 2
+ATE_LOOP_BITS = ATE_LOOP_COUNT.bit_length()
+
+# Short Weierstrass coefficient of E(Fp): y^2 = x^3 + B.
+CURVE_B = 3
+
+# Non-residue used to build Fp2 = Fp[u] / (u^2 + 1).
+FP2_NON_RESIDUE = -1
+
+# xi = 9 + u, the Fp2 non-residue used for Fp6 = Fp2[v] / (v^3 - xi)
+# and, flattened, Fp12 = Fp2[w] / (w^6 - xi) with w^2 = v.
+XI_C0 = 9
+XI_C1 = 1
+
+# Canonical generators.
+G1_GENERATOR = (1, 2)
+G2_GENERATOR_X = (
+    10857046999023057135944570762232829481370756359578518086990519993285655852781,
+    11559732032986387107991004021392285783925812861821192530917403151452391805634,
+)
+G2_GENERATOR_Y = (
+    8495653923123431417604973247489272438418190587263600148770280649306958101930,
+    4082367875863433681332203403145435568316851327593401208105741076214120093531,
+)
+
+# Byte sizes used throughout the paper's proof/key accounting (Section VII).
+FP_BYTES = 32           # one Fp or Zp element
+G1_COMPRESSED_BYTES = 32   # x coordinate + sign bit (p < 2^254 leaves room)
+G1_UNCOMPRESSED_BYTES = 64
+G2_COMPRESSED_BYTES = 64   # Fp2 x coordinate + sign bit
+G2_UNCOMPRESSED_BYTES = 128
+GT_COMPRESSED_BYTES = 192  # T2 torus compression: one Fp6 element (1536 bits)
+GT_UNCOMPRESSED_BYTES = 384

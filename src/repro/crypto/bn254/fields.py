@@ -1,0 +1,470 @@
+"""Extension-field tower for BN254: Fp2, Fp6 and Fp12.
+
+The tower is the one used by every production BN254 implementation
+(Cloudflare bn256, go-ethereum, gnark, zkcrypto/bn)::
+
+    Fp2  = Fp[u]  / (u^2 + 1)
+    Fp6  = Fp2[v] / (v^3 - xi),  xi = 9 + u
+    Fp12 = Fp6[w] / (w^2 - v)
+
+Base-field (``Fp``) elements are plain Python ints reduced mod ``p`` — we keep
+them unboxed for speed since the whole library is pure Python.  Extension
+elements are small ``__slots__`` classes with operator overloading.
+
+Frobenius coefficients are derived numerically at import time from ``xi``
+rather than pasted in as magic constants, and are covered by tests comparing
+``frobenius(f, k)`` against ``f ** (p**k)``.
+"""
+
+from __future__ import annotations
+
+from .constants import FIELD_MODULUS as P
+from .constants import XI_C0, XI_C1
+
+# --------------------------------------------------------------------------
+# Fp helpers (plain ints)
+# --------------------------------------------------------------------------
+
+
+def fp_inv(a: int) -> int:
+    """Inverse in Fp; raises ZeroDivisionError on zero."""
+    if a % P == 0:
+        raise ZeroDivisionError("zero has no inverse in Fp")
+    return pow(a, -1, P)
+
+
+def fp_sqrt(a: int) -> int | None:
+    """Square root in Fp (p = 3 mod 4), or None if ``a`` is a non-residue."""
+    a %= P
+    if a == 0:
+        return 0
+    root = pow(a, (P + 1) // 4, P)
+    if root * root % P != a:
+        return None
+    return root
+
+
+# --------------------------------------------------------------------------
+# Fp2
+# --------------------------------------------------------------------------
+
+
+class Fp2:
+    """Element c0 + c1*u of Fp2 = Fp[u]/(u^2 + 1)."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: int, c1: int = 0):
+        self.c0 = c0 % P
+        self.c1 = c1 % P
+
+    # -- constructors ------------------------------------------------------
+
+    @staticmethod
+    def zero() -> "Fp2":
+        return Fp2(0, 0)
+
+    @staticmethod
+    def one() -> "Fp2":
+        return Fp2(1, 0)
+
+    # -- predicates --------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.c0 == 0 and self.c1 == 0
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fp2) and self.c0 == other.c0 and self.c1 == other.c1
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:
+        return f"Fp2({self.c0}, {self.c1})"
+
+    # -- arithmetic --------------------------------------------------------
+
+    def __add__(self, other: "Fp2") -> "Fp2":
+        return Fp2(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fp2") -> "Fp2":
+        return Fp2(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fp2":
+        return Fp2(-self.c0, -self.c1)
+
+    def __mul__(self, other: "Fp2") -> "Fp2":
+        a0, a1 = self.c0, self.c1
+        b0, b1 = other.c0, other.c1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = (a0 + a1) * (b0 + b1)
+        return Fp2(t0 - t1, t2 - t0 - t1)
+
+    def square(self) -> "Fp2":
+        a0, a1 = self.c0, self.c1
+        # (a0 + a1 u)^2 = (a0+a1)(a0-a1) + 2 a0 a1 u
+        return Fp2((a0 + a1) * (a0 - a1), 2 * a0 * a1)
+
+    def mul_scalar(self, k: int) -> "Fp2":
+        return Fp2(self.c0 * k, self.c1 * k)
+
+    def double(self) -> "Fp2":
+        return Fp2(2 * self.c0, 2 * self.c1)
+
+    def conjugate(self) -> "Fp2":
+        return Fp2(self.c0, -self.c1)
+
+    def mul_by_xi(self) -> "Fp2":
+        """Multiply by xi = 9 + u (the Fp6/Fp12 non-residue)."""
+        a0, a1 = self.c0, self.c1
+        return Fp2(XI_C0 * a0 - XI_C1 * a1, XI_C0 * a1 + XI_C1 * a0)
+
+    def inverse(self) -> "Fp2":
+        a0, a1 = self.c0, self.c1
+        norm = (a0 * a0 + a1 * a1) % P
+        if norm == 0:
+            raise ZeroDivisionError("zero has no inverse in Fp2")
+        inv = pow(norm, -1, P)
+        return Fp2(a0 * inv, -a1 * inv)
+
+    def __pow__(self, exponent: int) -> "Fp2":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Fp2.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def sqrt(self) -> "Fp2 | None":
+        """Square root in Fp2 (p = 3 mod 4), or None for non-residues.
+
+        Uses the standard two-candidate algorithm: with
+        ``a1 = a^((p-3)/4)``, either ``a1 * a`` or ``u * a1 * a`` is a root
+        whenever one exists.
+        """
+        if self.is_zero():
+            return Fp2.zero()
+        a1 = self ** ((P - 3) // 4)
+        alpha = a1.square() * self
+        x0 = a1 * self
+        if alpha == Fp2(-1 % P, 0):
+            candidate = Fp2(-x0.c1, x0.c0)  # u * x0
+        else:
+            b = (Fp2.one() + alpha) ** ((P - 1) // 2)
+            candidate = b * x0
+        if candidate.square() == self:
+            return candidate
+        return None
+
+    def sign(self) -> int:
+        """Deterministic sign bit for point compression.
+
+        Lexicographic: compare (c1, c0) against the negation.
+        """
+        if self.c1 != 0:
+            return 1 if self.c1 > P - self.c1 else 0
+        return 1 if self.c0 > P - self.c0 else 0
+
+
+XI = Fp2(XI_C0, XI_C1)
+
+
+# --------------------------------------------------------------------------
+# Fp6
+# --------------------------------------------------------------------------
+
+
+class Fp6:
+    """Element c0 + c1*v + c2*v^2 of Fp6 = Fp2[v]/(v^3 - xi)."""
+
+    __slots__ = ("c0", "c1", "c2")
+
+    def __init__(self, c0: Fp2, c1: Fp2, c2: Fp2):
+        self.c0 = c0
+        self.c1 = c1
+        self.c2 = c2
+
+    @staticmethod
+    def zero() -> "Fp6":
+        return Fp6(Fp2.zero(), Fp2.zero(), Fp2.zero())
+
+    @staticmethod
+    def one() -> "Fp6":
+        return Fp6(Fp2.one(), Fp2.zero(), Fp2.zero())
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero() and self.c2.is_zero()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fp6)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+            and self.c2 == other.c2
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1, self.c2))
+
+    def __repr__(self) -> str:
+        return f"Fp6({self.c0!r}, {self.c1!r}, {self.c2!r})"
+
+    def __add__(self, other: "Fp6") -> "Fp6":
+        return Fp6(self.c0 + other.c0, self.c1 + other.c1, self.c2 + other.c2)
+
+    def __sub__(self, other: "Fp6") -> "Fp6":
+        return Fp6(self.c0 - other.c0, self.c1 - other.c1, self.c2 - other.c2)
+
+    def __neg__(self) -> "Fp6":
+        return Fp6(-self.c0, -self.c1, -self.c2)
+
+    def __mul__(self, other: "Fp6") -> "Fp6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        b0, b1, b2 = other.c0, other.c1, other.c2
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = a2 * b2
+        c0 = ((a1 + a2) * (b1 + b2) - t1 - t2).mul_by_xi() + t0
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + t2.mul_by_xi()
+        c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
+        return Fp6(c0, c1, c2)
+
+    def square(self) -> "Fp6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        s0 = a0.square()
+        ab = a0 * a1
+        s1 = ab.double()
+        s2 = (a0 - a1 + a2).square()
+        bc = a1 * a2
+        s3 = bc.double()
+        s4 = a2.square()
+        c0 = s0 + s3.mul_by_xi()
+        c1 = s1 + s4.mul_by_xi()
+        c2 = s1 + s2 + s3 - s0 - s4
+        return Fp6(c0, c1, c2)
+
+    def mul_by_v(self) -> "Fp6":
+        """Multiply by v: (c0, c1, c2) -> (xi*c2, c0, c1)."""
+        return Fp6(self.c2.mul_by_xi(), self.c0, self.c1)
+
+    def mul_by_fp2(self, k: Fp2) -> "Fp6":
+        return Fp6(self.c0 * k, self.c1 * k, self.c2 * k)
+
+    def inverse(self) -> "Fp6":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        t0 = a0.square() - (a1 * a2).mul_by_xi()
+        t1 = a2.square().mul_by_xi() - a0 * a1
+        t2 = a1.square() - a0 * a2
+        denom = a0 * t0 + (a2 * t1 + a1 * t2).mul_by_xi()
+        inv = denom.inverse()
+        return Fp6(t0 * inv, t1 * inv, t2 * inv)
+
+
+# --------------------------------------------------------------------------
+# Fp12
+# --------------------------------------------------------------------------
+
+
+def _frobenius_coefficients() -> tuple[list[Fp2], list[Fp2], list[Fp2]]:
+    """Derive gamma_k[i] = xi^(i*(p^k - 1)/6) for k = 1, 2, 3."""
+    tables = []
+    for k in (1, 2, 3):
+        exponent = (P**k - 1) // 6
+        base = XI**exponent
+        table = [Fp2.one()]
+        for _ in range(5):
+            table.append(table[-1] * base)
+        tables.append(table)
+    return tables[0], tables[1], tables[2]
+
+
+_FROB1, _FROB2, _FROB3 = _frobenius_coefficients()
+
+
+class Fp12:
+    """Element c0 + c1*w of Fp12 = Fp6[w]/(w^2 - v).
+
+    Flattened, this is Fp2[w]/(w^6 - xi); the basis mapping used by the
+    Frobenius endomorphism is::
+
+        w^0, w^2, w^4  ->  c0.c0, c0.c1, c0.c2
+        w^1, w^3, w^5  ->  c1.c0, c1.c1, c1.c2
+    """
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: Fp6, c1: Fp6):
+        self.c0 = c0
+        self.c1 = c1
+
+    @staticmethod
+    def zero() -> "Fp12":
+        return Fp12(Fp6.zero(), Fp6.zero())
+
+    @staticmethod
+    def one() -> "Fp12":
+        return Fp12(Fp6.one(), Fp6.zero())
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero()
+
+    def is_one(self) -> bool:
+        return self == Fp12.one()
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Fp12) and self.c0 == other.c0 and self.c1 == other.c1
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:
+        return f"Fp12({self.c0!r}, {self.c1!r})"
+
+    def __add__(self, other: "Fp12") -> "Fp12":
+        return Fp12(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fp12") -> "Fp12":
+        return Fp12(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fp12":
+        return Fp12(-self.c0, -self.c1)
+
+    def __mul__(self, other: "Fp12") -> "Fp12":
+        a0, a1 = self.c0, self.c1
+        b0, b1 = other.c0, other.c1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        c0 = t0 + t1.mul_by_v()
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1
+        return Fp12(c0, c1)
+
+    def square(self) -> "Fp12":
+        a0, a1 = self.c0, self.c1
+        t = a0 * a1
+        c0 = (a0 + a1) * (a0 + a1.mul_by_v()) - t - t.mul_by_v()
+        c1 = t + t
+        return Fp12(c0, c1)
+
+    def conjugate(self) -> "Fp12":
+        """f^(p^6): negates the odd-w part.  For unitary elements (the
+        cyclotomic subgroup GT lives in) this equals the inverse."""
+        return Fp12(self.c0, -self.c1)
+
+    def inverse(self) -> "Fp12":
+        a0, a1 = self.c0, self.c1
+        t = (a0.square() - a1.square().mul_by_v()).inverse()
+        return Fp12(a0 * t, -(a1 * t))
+
+    def __pow__(self, exponent: int) -> "Fp12":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        result = Fp12.one()
+        base = self
+        while exponent:
+            if exponent & 1:
+                result = result * base
+            base = base.square()
+            exponent >>= 1
+        return result
+
+    def pow_unitary(self, exponent: int) -> "Fp12":
+        """Exponentiation assuming ``self`` is unitary (conj = inverse)."""
+        if exponent < 0:
+            return self.conjugate().pow_unitary(-exponent)
+        return self**exponent
+
+    # -- sparse multiplication for Miller-loop line evaluations ------------
+
+    def mul_by_line(self, a: int, b: Fp2, c: Fp2) -> "Fp12":
+        """Multiply by the sparse element ``a + b*w + c*w^3`` (a in Fp).
+
+        Line functions evaluated at a G1 point have exactly this shape; the
+        sparse product saves roughly half the Fp multiplications of a full
+        Fp12 multiply.
+        """
+        other = Fp12(
+            Fp6(Fp2(a, 0), Fp2.zero(), Fp2.zero()),
+            Fp6(b, c, Fp2.zero()),
+        )
+        return self * other
+
+    # -- Frobenius ----------------------------------------------------------
+
+    def _flat(self) -> list[Fp2]:
+        return [
+            self.c0.c0,
+            self.c1.c0,
+            self.c0.c1,
+            self.c1.c1,
+            self.c0.c2,
+            self.c1.c2,
+        ]
+
+    @staticmethod
+    def _from_flat(coeffs: list[Fp2]) -> "Fp12":
+        return Fp12(
+            Fp6(coeffs[0], coeffs[2], coeffs[4]),
+            Fp6(coeffs[1], coeffs[3], coeffs[5]),
+        )
+
+    def frobenius(self, power: int = 1) -> "Fp12":
+        """f^(p^power) for power in {1, 2, 3}."""
+        flat = self._flat()
+        if power == 1:
+            coeffs = [flat[i].conjugate() * _FROB1[i] for i in range(6)]
+        elif power == 2:
+            coeffs = [flat[i] * _FROB2[i] for i in range(6)]
+        elif power == 3:
+            coeffs = [flat[i].conjugate() * _FROB3[i] for i in range(6)]
+        else:
+            raise ValueError("power must be 1, 2 or 3")
+        return Fp12._from_flat(coeffs)
+
+    def cyclotomic_square(self) -> "Fp12":
+        """Granger-Scott squaring, valid in the cyclotomic subgroup.
+
+        Roughly half the cost of a generic square; used by the final
+        exponentiation and GT exponentiation hot paths.
+        """
+        # Flat coefficients over w: f = g0 + g1 w + g2 w^2 + g3 w^3 + g4 w^4 + g5 w^5
+        g0, g1, g2, g3, g4, g5 = self._flat()
+
+        def _sq(a: Fp2, b: Fp2) -> tuple[Fp2, Fp2]:
+            # (a + b*y)^2 in Fp4 = Fp2[y]/(y^2 - xi)
+            a2 = a.square()
+            b2 = b.square()
+            return a2 + b2.mul_by_xi(), (a + b).square() - a2 - b2
+
+        t00, t11 = _sq(g0, g3)
+        t01, t12 = _sq(g1, g4)
+        t02, t10 = _sq(g2, g5)
+        t10 = t10.mul_by_xi()
+
+        h0 = (t00 - g0).double() + t00
+        h2 = (t01 - g2).double() + t01
+        h4 = (t02 - g4).double() + t02
+        h1 = (t10 + g1).double() + t10
+        h3 = (t11 + g3).double() + t11
+        h5 = (t12 + g5).double() + t12
+        return Fp12._from_flat([h0, h1, h2, h3, h4, h5])
+
+    def pow_t(self, t: int) -> "Fp12":
+        """Cyclotomic exponentiation by the (positive) BN parameter t.
+
+        Only valid for unitary elements; used by the final exponentiation.
+        """
+        result = Fp12.one()
+        base = self
+        while t:
+            if t & 1:
+                result = result * base
+            base = base.cyclotomic_square()
+            t >>= 1
+        return result

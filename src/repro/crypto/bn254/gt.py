@@ -1,0 +1,70 @@
+"""GT exponentiation helpers.
+
+The privacy layer's only extra prover cost is one GT exponentiation
+``R = e(g1, epsilon)^z`` (paper Fig. 3).  Since the base ``e(g1, epsilon)``
+is fixed per contract, a windowed fixed-base table turns the exponentiation
+into ~64 multiplications — this is why the "+ security" overhead in the
+paper's Figs. 8/9 stays small.  ``bench_ablation_gt_table`` measures the win.
+"""
+
+from __future__ import annotations
+
+from .constants import CURVE_ORDER
+from .fields import Fp12
+
+
+def gt_pow(base: Fp12, exponent: int) -> Fp12:
+    """Variable-base GT exponentiation using cyclotomic squarings.
+
+    Valid only for unitary elements (anything coming out of the pairing).
+    """
+    exponent %= CURVE_ORDER
+    if exponent == 0:
+        return Fp12.one()
+    result = Fp12.one()
+    power = base
+    while exponent:
+        if exponent & 1:
+            result = result * power
+        power = power.cyclotomic_square()
+        exponent >>= 1
+    return result
+
+
+class GTFixedBase:
+    """Fixed-base GT exponentiation with a precomputed window table.
+
+    ``window`` bits per digit; the table holds ``ceil(256/window)`` rows of
+    ``2^window - 1`` entries.  With the default window of 4 an exponentiation
+    costs ~64 GT multiplications and no squarings.
+    """
+
+    def __init__(self, base: Fp12, window: int = 4):
+        if window < 1 or window > 8:
+            raise ValueError("window must be between 1 and 8")
+        self.base = base
+        self.window = window
+        bits = CURVE_ORDER.bit_length()
+        self._rows = (bits + window - 1) // window
+        self._table: list[list[Fp12]] = []
+        row_base = base
+        for _ in range(self._rows):
+            row = [row_base]
+            for _ in range((1 << window) - 2):
+                row.append(row[-1] * row_base)
+            self._table.append(row)
+            for _ in range(window):
+                row_base = row_base.cyclotomic_square()
+
+    def pow(self, exponent: int) -> Fp12:
+        exponent %= CURVE_ORDER
+        result = Fp12.one()
+        mask = (1 << self.window) - 1
+        row_index = 0
+        while exponent:
+            digit = exponent & mask
+            if digit:
+                result = result * self._table[row_index][digit - 1]
+            exponent >>= self.window
+            row_index += 1
+        return result

@@ -1,0 +1,59 @@
+"""Hashing arbitrary strings to BN254 G1 (the random oracle H of the paper).
+
+Uses deterministic try-and-increment: candidate x coordinates are derived
+from SHA-256 with an incrementing counter until one lies on the curve; the
+y sign is also taken from the hash so the output is a uniform-looking,
+deterministic function of the input.  Since G1 has cofactor 1, every curve
+point is automatically in the right subgroup.
+
+The paper instantiates two oracles from this family:
+
+* ``H : {0,1}* -> G1`` for block-index digests ``H(name || i)``,
+* ``H' : GT -> Zp`` for the Sigma-protocol challenge ``zeta = H'(R)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from .constants import CURVE_ORDER, FIELD_MODULUS as P
+from .curve import G1Point
+from .fields import Fp12, fp_sqrt
+from .serialization import gt_to_bytes_uncompressed
+
+_DOMAIN_G1 = b"REPRO-BN254-H2C-G1-v1"
+_DOMAIN_ZP = b"REPRO-BN254-H2S-ZP-v1"
+
+
+def _expand(domain: bytes, message: bytes, counter: int) -> bytes:
+    """64 bytes of SHA-256 output (two blocks) for near-uniform reduction."""
+    prefix = domain + counter.to_bytes(2, "big") + message
+    return hashlib.sha256(prefix + b"\x00").digest() + hashlib.sha256(
+        prefix + b"\x01"
+    ).digest()
+
+
+def hash_to_g1(message: bytes) -> G1Point:
+    """Deterministically hash bytes onto E(Fp) (paper's random oracle H)."""
+    for counter in range(512):
+        digest = _expand(_DOMAIN_G1, message, counter)
+        x = int.from_bytes(digest[:32], "big") % P
+        sign = digest[32] & 1
+        y = fp_sqrt((x * x * x + 3) % P)
+        if y is None:
+            continue
+        if (y > P - y) != bool(sign):
+            y = P - y
+        return G1Point(x, y)
+    raise RuntimeError("hash_to_g1 failed to find a curve point (p < 2^-512)")
+
+
+def hash_to_scalar(message: bytes) -> int:
+    """Hash bytes to a uniform-looking element of Zr."""
+    digest = _expand(_DOMAIN_ZP, message, 0)
+    return int.from_bytes(digest, "big") % CURVE_ORDER
+
+
+def hash_gt_to_scalar(element: Fp12) -> int:
+    """The paper's H' : GT -> Zp, applied to the Sigma commitment R."""
+    return hash_to_scalar(gt_to_bytes_uncompressed(element))

@@ -1,0 +1,143 @@
+"""Optimal-ate pairing on BN254 with a fast final exponentiation.
+
+The Miller loop keeps the G2 point in affine twist coordinates (Fp2) and
+evaluates line functions directly as sparse Fp12 elements, exploiting the
+untwisting map ``psi(x, y) = (x*w^2, y*w^3)`` with ``w^6 = xi``:
+
+    line through T1, T2 evaluated at P = (xP, yP) in G1:
+        l(P) = yP  +  (-lambda * xP) * w  +  (lambda * x_T - y_T) * w^3
+
+where ``lambda`` is the Fp2 slope on the twist.  The final exponentiation
+splits into the easy part ``(p^6-1)(p^2+1)`` and the Devegili/Scott hard part
+``(p^4-p^2+1)/r`` driven by three exponentiations by the BN parameter ``t``.
+
+``miller_loop_product`` + a single shared final exponentiation is the
+multi-pairing optimisation the verifier relies on (4 pairings per audit).
+"""
+
+from __future__ import annotations
+
+from .constants import ATE_LOOP_COUNT, BN_T, FIELD_MODULUS as P
+from .curve import G1Point, G2Point
+from .fields import Fp2, Fp6, Fp12, _FROB1, _FROB2
+
+# Twist-coordinate Frobenius constants: psi(x, y) = (conj(x)*C_X, conj(y)*C_Y).
+_ENDO_X = _FROB1[2]  # xi^((p-1)/3)
+_ENDO_Y = _FROB1[3]  # xi^((p-1)/2)
+_ENDO2_X = _FROB2[2]  # xi^((p^2-1)/3)
+_ENDO2_Y = _FROB2[3]  # xi^((p^2-1)/2)
+
+
+def _g2_frobenius(x: Fp2, y: Fp2) -> tuple[Fp2, Fp2]:
+    return x.conjugate() * _ENDO_X, y.conjugate() * _ENDO_Y
+
+
+def _g2_frobenius_squared(x: Fp2, y: Fp2) -> tuple[Fp2, Fp2]:
+    return x * _ENDO2_X, y * _ENDO2_Y
+
+
+def _line_double(
+    t: tuple[Fp2, Fp2], xp: int, yp: int
+) -> tuple[tuple[Fp2, Fp2], tuple[int, Fp2, Fp2]]:
+    """Tangent line at T evaluated at P; returns (2T, sparse line coeffs)."""
+    x1, y1 = t
+    slope = (x1.square().mul_scalar(3)) * (y1.double().inverse())
+    x3 = slope.square() - x1.double()
+    y3 = slope * (x1 - x3) - y1
+    line = (yp, slope.mul_scalar(-xp), slope * x1 - y1)
+    return (x3, y3), line
+
+
+def _line_add(
+    t: tuple[Fp2, Fp2], q: tuple[Fp2, Fp2], xp: int, yp: int
+) -> tuple[tuple[Fp2, Fp2], tuple[int, Fp2, Fp2]]:
+    """Chord line through T and Q evaluated at P; returns (T+Q, coeffs)."""
+    x1, y1 = t
+    x2, y2 = q
+    slope = (y2 - y1) * ((x2 - x1).inverse())
+    x3 = slope.square() - x1 - x2
+    y3 = slope * (x1 - x3) - y1
+    line = (yp, slope.mul_scalar(-xp), slope * x1 - y1)
+    return (x3, y3), line
+
+
+def miller_loop(p: G1Point, q: G2Point) -> Fp12:
+    """Miller loop f_{6t+2,Q}(P) * l_{T,Q1}(P) * l_{T+Q1,-Q2}(P)."""
+    if p.is_infinity() or q.is_infinity():
+        return Fp12.one()
+    xp, yp = p.to_affine()
+    xq, yq = q.to_affine()
+    t = (xq, yq)
+    f = Fp12.one()
+    for bit_index in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
+        t, line = _line_double(t, xp, yp)
+        f = f.square().mul_by_line(*line)
+        if (ATE_LOOP_COUNT >> bit_index) & 1:
+            t, line = _line_add(t, (xq, yq), xp, yp)
+            f = f.mul_by_line(*line)
+    # The two optimal-ate correction steps with Frobenius images of Q.
+    q1 = _g2_frobenius(xq, yq)
+    x2, y2 = _g2_frobenius_squared(xq, yq)
+    q2 = (x2, -y2)
+    t, line = _line_add(t, q1, xp, yp)
+    f = f.mul_by_line(*line)
+    _, line = _line_add(t, q2, xp, yp)
+    f = f.mul_by_line(*line)
+    return f
+
+
+def final_exponentiation(f: Fp12) -> Fp12:
+    """f^((p^12 - 1) / r) via the standard BN decomposition."""
+    # Easy part: f^((p^6 - 1)(p^2 + 1)).
+    f = f.conjugate() * f.inverse()
+    f = f.frobenius(2) * f
+    # Hard part: f^((p^4 - p^2 + 1)/r), Devegili et al. addition chain.
+    fp = f.frobenius(1)
+    fp2 = f.frobenius(2)
+    fp3 = fp2.frobenius(1)
+    fu = f.pow_t(BN_T)
+    fu2 = fu.pow_t(BN_T)
+    fu3 = fu2.pow_t(BN_T)
+    y0 = fp * fp2 * fp3
+    y1 = f.conjugate()
+    y2 = fu2.frobenius(2)
+    y3 = fu.frobenius(1).conjugate()
+    y4 = (fu * fu2.frobenius(1)).conjugate()
+    y5 = fu2.conjugate()
+    y6 = (fu3 * fu3.frobenius(1)).conjugate()
+    t0 = y6.cyclotomic_square() * y4 * y5
+    t1 = y3 * y5 * t0
+    t0 = t0 * y2
+    t1 = t1.cyclotomic_square() * t0
+    t1 = t1.cyclotomic_square()
+    t0 = t1 * y1
+    t1 = t1 * y0
+    t0 = t0.cyclotomic_square()
+    return t0 * t1
+
+
+def pairing(p: G1Point, q: G2Point) -> Fp12:
+    """The optimal-ate pairing e(P, Q) into GT (unitary Fp12 subgroup)."""
+    return final_exponentiation(miller_loop(p, q))
+
+
+def miller_loop_product(pairs: list[tuple[G1Point, G2Point]]) -> Fp12:
+    """Product of Miller loops (no final exponentiation)."""
+    f = Fp12.one()
+    for p, q in pairs:
+        f = f * miller_loop(p, q)
+    return f
+
+
+def pairing_product(pairs: list[tuple[G1Point, G2Point]]) -> Fp12:
+    """prod_i e(P_i, Q_i) computed with a single final exponentiation.
+
+    This is the multi-pairing trick that keeps the on-chain verifier's four
+    pairing evaluations affordable (one hard exponentiation instead of four).
+    """
+    return final_exponentiation(miller_loop_product(pairs))
+
+
+def pairing_check(pairs: list[tuple[G1Point, G2Point]]) -> bool:
+    """True iff prod_i e(P_i, Q_i) == 1 (the EVM precompile semantics)."""
+    return pairing_product(pairs).is_one()

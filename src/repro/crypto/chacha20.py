@@ -1,0 +1,85 @@
+"""ChaCha20 stream cipher (RFC 7539) in pure Python.
+
+The DSN storage substrate encrypts every data block at the owner side before
+outsourcing (paper Section III-A: "encryption is a mandatory action taken on
+the side of the data owner").  ChaCha20 is the cipher of choice here because
+it is practical to implement honestly in pure Python, unlike AES.
+
+A deterministic (convergent) mode derives the key from the plaintext digest,
+modelling the deduplication-friendly "deterministic encryption" that the
+paper's privacy analysis (Section I, challenges) warns makes on-chain leakage
+brute-forceable — the attack demo in ``examples/onchain_privacy_attack.py``
+exploits exactly that.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import struct
+
+_MASK = 0xFFFFFFFF
+
+
+def _rotl(value: int, count: int) -> int:
+    return ((value << count) | (value >> (32 - count))) & _MASK
+
+
+def _quarter(state: list[int], a: int, b: int, c: int, d: int) -> None:
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl(state[d] ^ state[a], 16)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl(state[b] ^ state[c], 12)
+    state[a] = (state[a] + state[b]) & _MASK
+    state[d] = _rotl(state[d] ^ state[a], 8)
+    state[c] = (state[c] + state[d]) & _MASK
+    state[b] = _rotl(state[b] ^ state[c], 7)
+
+
+def chacha20_block(key: bytes, counter: int, nonce: bytes) -> bytes:
+    """One 64-byte keystream block (RFC 7539 section 2.3)."""
+    if len(key) != 32:
+        raise ValueError("key must be 32 bytes")
+    if len(nonce) != 12:
+        raise ValueError("nonce must be 12 bytes")
+    constants = (0x61707865, 0x3320646E, 0x79622D32, 0x6B206574)
+    state = list(constants)
+    state += list(struct.unpack("<8L", key))
+    state.append(counter & _MASK)
+    state += list(struct.unpack("<3L", nonce))
+    working = state.copy()
+    for _ in range(10):
+        _quarter(working, 0, 4, 8, 12)
+        _quarter(working, 1, 5, 9, 13)
+        _quarter(working, 2, 6, 10, 14)
+        _quarter(working, 3, 7, 11, 15)
+        _quarter(working, 0, 5, 10, 15)
+        _quarter(working, 1, 6, 11, 12)
+        _quarter(working, 2, 7, 8, 13)
+        _quarter(working, 3, 4, 9, 14)
+    out = [(working[i] + state[i]) & _MASK for i in range(16)]
+    return struct.pack("<16L", *out)
+
+
+def chacha20_xor(key: bytes, nonce: bytes, data: bytes, counter: int = 1) -> bytes:
+    """Encrypt/decrypt ``data`` (XOR with the keystream, RFC 7539 2.4)."""
+    out = bytearray(len(data))
+    for block_index in range(0, len(data), 64):
+        keystream = chacha20_block(key, counter + block_index // 64, nonce)
+        chunk = data[block_index : block_index + 64]
+        for offset, byte in enumerate(chunk):
+            out[block_index + offset] = byte ^ keystream[offset]
+    return bytes(out)
+
+
+def convergent_key(plaintext: bytes) -> bytes:
+    """Deduplication-friendly deterministic key: H(plaintext).
+
+    Convergent encryption lets two owners of the same file produce the same
+    ciphertext (enabling provider-side dedup) at the cost of the
+    confirmation-of-file attacks the paper's threat analysis cites.
+    """
+    return hashlib.sha256(b"REPRO-CONVERGENT" + plaintext).digest()
+
+
+def derive_nonce(context: bytes) -> bytes:
+    return hashlib.sha256(b"REPRO-NONCE" + context).digest()[:12]

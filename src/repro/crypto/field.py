@@ -1,0 +1,94 @@
+"""Scalar-field (Zp in the paper's notation) arithmetic helpers.
+
+The protocol does all of its data-side arithmetic in the prime field of
+order ``r`` (the BN254 group order): data blocks are field elements,
+chunks are polynomials over the field, and challenges/coefficients are
+sampled from it.  Elements are plain ints; this module adds the couple of
+non-trivial algorithms the rest of the library leans on.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import secrets
+from typing import Iterable, Sequence
+
+from .bn254.constants import CURVE_ORDER as R
+
+#: The scalar-field modulus (the paper's p for data blocks).
+MODULUS = R
+
+#: Safe per-block payload: 31 bytes always fits below the 254-bit modulus.
+BLOCK_BYTES = 31
+
+
+def random_scalar(rng: secrets.SystemRandom | None = None) -> int:
+    """Uniform element of Zr (cryptographically strong by default)."""
+    if rng is None:
+        return secrets.randbelow(R - 1) + 1
+    return rng.randrange(1, R)
+
+
+def inverse(a: int) -> int:
+    """Inverse in Zr; raises ZeroDivisionError on zero."""
+    if a % R == 0:
+        raise ZeroDivisionError("zero has no inverse in Zr")
+    return pow(a, -1, R)
+
+
+def batch_inverse(values: Sequence[int]) -> list[int]:
+    """Montgomery's trick: n inversions for the price of one.
+
+    Raises ZeroDivisionError if any input is zero, like :func:`inverse`.
+    """
+    if not values:
+        return []
+    prefix = [1] * (len(values) + 1)
+    for index, value in enumerate(values):
+        prefix[index + 1] = prefix[index] * value % R
+    running = inverse(prefix[-1])
+    result = [0] * len(values)
+    for index in range(len(values) - 1, -1, -1):
+        result[index] = prefix[index] * running % R
+        running = running * values[index] % R
+    return result
+
+
+def bytes_to_blocks(data: bytes) -> list[int]:
+    """Split raw bytes into 31-byte field-element blocks (last one padded).
+
+    The padding is length-extending-safe because callers track the byte
+    length separately (see :mod:`repro.core.chunking`).
+    """
+    blocks = []
+    for offset in range(0, len(data), BLOCK_BYTES):
+        blocks.append(int.from_bytes(data[offset : offset + BLOCK_BYTES], "big"))
+    return blocks
+
+
+def blocks_to_bytes(blocks: Iterable[int], byte_length: int) -> bytes:
+    """Inverse of :func:`bytes_to_blocks` given the original byte length."""
+    block_list = list(blocks)
+    tail = byte_length % BLOCK_BYTES
+    expected = (byte_length + BLOCK_BYTES - 1) // BLOCK_BYTES
+    if len(block_list) < expected:
+        raise ValueError(
+            f"need {expected} blocks to reconstruct {byte_length} bytes, "
+            f"got {len(block_list)}"
+        )
+    out = bytearray()
+    for index in range(expected):
+        width = tail if (tail and index == expected - 1) else BLOCK_BYTES
+        out += block_list[index].to_bytes(width, "big")
+    return bytes(out)
+
+
+def hash_to_scalar(*parts: bytes) -> int:
+    """Domain-separated SHA-256 hash into Zr (used for Fiat-Shamir etc.)."""
+    h = hashlib.sha256()
+    h.update(b"REPRO-FIELD-H2S")
+    for part in parts:
+        h.update(len(part).to_bytes(4, "big"))
+        h.update(part)
+    wide = h.digest() + hashlib.sha256(h.digest()).digest()
+    return int.from_bytes(wide, "big") % R

@@ -1,0 +1,84 @@
+"""Randomness beacon interfaces (paper Section V-E).
+
+The audit contract must draw "reliable, unpredictable, unbiased" randomness
+each round.  The paper surveys three practical designs, all implemented in
+this package:
+
+* commit-reveal games (Randao-style) — :mod:`repro.randomness.commit_reveal`,
+  including the last-revealer bias attack that breaks them,
+* verifiable delay functions fixing that loophole —
+  :mod:`repro.randomness.vdf`,
+* an external trusted beacon (NIST-style) —
+  :mod:`repro.randomness.trusted`.
+
+This module defines the common interface plus the deterministic hash-chain
+beacon used by tests and simulations.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Protocol
+
+
+class RandomnessBeacon(Protocol):
+    """Anything that can serve per-round randomness to the audit contract."""
+
+    def output(self, round_id: int) -> bytes:
+        """32 bytes of randomness for the given round."""
+        ...
+
+    @property
+    def cost_usd(self) -> float:
+        """Estimated per-round cost of obtaining this randomness on chain.
+
+        The paper estimates $0.01 (HydRand-style) to $0.05 (Randao-style)
+        per draw (Section VII-B).
+        """
+        ...
+
+
+class HashChainBeacon:
+    """Deterministic beacon: output_i = H(seed || i).
+
+    Unbiased and unpredictable *only* under the assumption nobody knows the
+    seed — the honest-but-simulated stand-in for tests and benchmarks.
+    """
+
+    def __init__(self, seed: bytes, cost_usd: float = 0.0):
+        self._seed = seed
+        self._cost = cost_usd
+
+    def output(self, round_id: int) -> bytes:
+        return hashlib.sha256(
+            b"REPRO-BEACON" + self._seed + round_id.to_bytes(8, "big")
+        ).digest()
+
+    @property
+    def cost_usd(self) -> float:
+        return self._cost
+
+
+class MaliciousBeacon:
+    """Adversary-scripted beacon for eclipse-attack experiments.
+
+    Models the Section V-C scenario: an eclipse attacker monopolises the
+    victim's view of the chain and feeds "well-calculated challenge
+    randomness" of their choosing.
+    """
+
+    def __init__(self, outputs: dict[int, bytes], fallback: RandomnessBeacon):
+        self._outputs = dict(outputs)
+        self._fallback = fallback
+
+    def script(self, round_id: int, value: bytes) -> None:
+        self._outputs[round_id] = value
+
+    def output(self, round_id: int) -> bytes:
+        if round_id in self._outputs:
+            return self._outputs[round_id]
+        return self._fallback.output(round_id)
+
+    @property
+    def cost_usd(self) -> float:
+        return self._fallback.cost_usd

@@ -1,0 +1,62 @@
+"""Trusted external beacon (paper Section V-E, the NIST-style option).
+
+"Alternatively, we can also introduce the extra assumption of a trusted
+party, e.g., temporal blockchain from NIST quantum randomness beacon, and
+directly absorbing randomness from these trusted sources."
+
+Outputs are authenticated with a MAC standing in for the beacon operator's
+signature; consumers verify before use.  The trust assumption is explicit:
+whoever holds the signing key could bias everything.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SignedOutput:
+    round_id: int
+    value: bytes
+    signature: bytes
+
+
+class TrustedBeacon:
+    """Operator side: emits signed 32-byte outputs per round."""
+
+    def __init__(self, signing_key: bytes, seed: bytes):
+        self._key = signing_key
+        self._seed = seed
+
+    def emit(self, round_id: int) -> SignedOutput:
+        value = hashlib.sha256(
+            b"NIST-SIM" + self._seed + round_id.to_bytes(8, "big")
+        ).digest()
+        signature = hmac.new(
+            self._key, round_id.to_bytes(8, "big") + value, hashlib.sha256
+        ).digest()
+        return SignedOutput(round_id=round_id, value=value, signature=signature)
+
+    def output(self, round_id: int) -> bytes:
+        return self.emit(round_id).value
+
+    @property
+    def cost_usd(self) -> float:
+        return 0.0  # free to read; the cost is the trust assumption
+
+
+class BeaconConsumer:
+    """Verifier side: holds the beacon's verification key."""
+
+    def __init__(self, verification_key: bytes):
+        self._key = verification_key
+
+    def verify(self, signed: SignedOutput) -> bool:
+        expected = hmac.new(
+            self._key,
+            signed.round_id.to_bytes(8, "big") + signed.value,
+            hashlib.sha256,
+        ).digest()
+        return hmac.compare_digest(expected, signed.signature)

@@ -1,0 +1,122 @@
+"""End-to-end durability: audits + erasure coding as one survival model.
+
+The audit protocol detects loss; the erasure code survives it until repair.
+Neither alone keeps a file alive — this module quantifies the combination,
+answering the question a DSN depositor actually has: *what is the
+probability my archive survives the year?*
+
+Model (discrete periods = audit intervals), per shard:
+
+* a healthy shard is silently lost during a period with probability
+  ``shard_loss_rate``,
+* a lost shard's next audit detects it with probability ``detection``
+  (from :func:`repro.core.confidence.detection_probability` — corruption
+  inside a surviving provider; a vanished provider is detected with
+  certainty by the timeout path, so ``detection=1.0`` models whole-shard
+  loss),
+* detected losses are repaired at the end of the period (one-period
+  repair latency) as long as at least ``k`` shards remain,
+* the file **dies** when fewer than ``k`` shards are healthy at any time.
+
+State = number of healthy shards; transitions are binomial losses followed
+by full repair; computed exactly with a small Markov chain in numpy.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class DurabilityModel:
+    n: int                      # total shards
+    k: int                      # shards needed to reconstruct
+    shard_loss_rate: float      # per-period silent-loss probability
+    detection: float = 1.0      # per-audit detection probability
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.k <= self.n:
+            raise ValueError("need 1 <= k <= n")
+        if not 0 <= self.shard_loss_rate <= 1:
+            raise ValueError("shard_loss_rate must be a probability")
+        if not 0 <= self.detection <= 1:
+            raise ValueError("detection must be a probability")
+
+    # -- transition machinery ------------------------------------------------
+
+    def _transition_matrix(self) -> np.ndarray:
+        """States 0..n healthy shards, plus an absorbing DEAD state.
+
+        One period: binomial loss among healthy shards; if survivors >= k,
+        each lost shard is independently detected (prob ``detection``) and
+        repaired; undetected losses persist as unhealthy.
+        """
+        size = self.n + 2  # 0..n healthy, index n+1 = DEAD
+        dead = size - 1
+        matrix = np.zeros((size, size))
+        matrix[dead, dead] = 1.0
+        for healthy in range(0, self.n + 1):
+            if healthy < self.k:
+                matrix[healthy, dead] = 1.0
+                continue
+            for losses in range(0, healthy + 1):
+                p_loss = (
+                    math.comb(healthy, losses)
+                    * self.shard_loss_rate**losses
+                    * (1 - self.shard_loss_rate) ** (healthy - losses)
+                )
+                survivors = healthy - losses
+                if survivors < self.k:
+                    matrix[healthy, dead] += p_loss
+                    continue
+                # Previously-unhealthy shards plus fresh losses are all
+                # repair candidates; each is detected independently.
+                missing = self.n - survivors
+                for detected in range(0, missing + 1):
+                    p_detect = (
+                        math.comb(missing, detected)
+                        * self.detection**detected
+                        * (1 - self.detection) ** (missing - detected)
+                    )
+                    matrix[healthy, survivors + detected] += p_loss * p_detect
+        return matrix
+
+    # -- survival queries -------------------------------------------------------
+
+    def survival_probability(self, periods: int) -> float:
+        """P[file still reconstructible after ``periods`` audit intervals]."""
+        if periods < 0:
+            raise ValueError("periods must be non-negative")
+        matrix = self._transition_matrix()
+        state = np.zeros(self.n + 2)
+        state[self.n] = 1.0  # start fully healthy
+        stepped = state @ np.linalg.matrix_power(matrix, periods)
+        return float(1.0 - stepped[-1])
+
+    def annual_durability(self, audits_per_day: float = 1.0) -> float:
+        return self.survival_probability(int(round(365 * audits_per_day)))
+
+    def nines(self, periods: int) -> float:
+        """Durability expressed in nines: -log10(1 - survival)."""
+        survival = self.survival_probability(periods)
+        if survival >= 1.0:
+            return math.inf
+        return -math.log10(1.0 - survival)
+
+
+def compare_redundancy_levels(
+    shard_loss_rate: float,
+    periods: int,
+    levels: tuple[tuple[int, int], ...] = ((1, 1), (3, 2), (6, 3), (10, 3)),
+    detection: float = 1.0,
+) -> dict[str, float]:
+    """Survival probabilities across RS configurations (report helper)."""
+    return {
+        f"RS({n},{k})": DurabilityModel(
+            n=n, k=k, shard_loss_rate=shard_loss_rate, detection=detection
+        ).survival_probability(periods)
+        for n, k in levels
+    }

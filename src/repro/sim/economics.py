@@ -1,0 +1,143 @@
+"""Cost models behind the paper's Figs. 4, 5 and 6 and the $-claims.
+
+All constants trace to the paper: 589k gas / private audit (Section VII-B),
+143 USD/ETH and 5 Gwei (their April-2020 footnote), $0.01-$0.05 per
+randomness draw, Dropbox Business $150/year as the cloud comparator.
+
+Note on the abstract's "0.1$ per audit": at the paper's own footnote prices
+589k gas costs $0.42; the $0.10 figure corresponds to a ~1.2 Gwei gas price
+(well within 2020's observed range).  ``usd_per_audit`` takes the gas price
+as a parameter so both readings are reproducible; EXPERIMENTS.md records
+the discrepancy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..chain.gas import (
+    CHALLENGE_BYTES,
+    PAPER_VERIFY_MS,
+    PRIVATE_PROOF_BYTES,
+    AuditPrecompileModel,
+    CostModel,
+    GasSchedule,
+)
+from ..core.keys import PublicKey
+
+DROPBOX_BUSINESS_USD_PER_YEAR = 150.0
+RANDOMNESS_COST_USD = {"hydrand": 0.01, "randao": 0.05}
+
+
+def public_key_bytes(s: int, with_privacy: bool) -> int:
+    """The Fig. 4 model, without building a key: 2 G2 + s G1 + name [+ GT]."""
+    size = 2 * 64 + s * 32 + 32
+    if with_privacy:
+        size += 192
+    return size
+
+
+def one_time_storage_cost(
+    s: int,
+    with_privacy: bool = True,
+    schedule: GasSchedule | None = None,
+    cost_model: CostModel | None = None,
+) -> dict:
+    """Fig. 4 plus its dollar translation: one-time pk recording cost."""
+    schedule = schedule or GasSchedule.istanbul()
+    cost_model = cost_model or CostModel()
+    size = public_key_bytes(s, with_privacy)
+    gas = schedule.storage_gas(size) + schedule.calldata_gas(b"\x01" * size)
+    return {
+        "s": s,
+        "with_privacy": with_privacy,
+        "bytes": size,
+        "kb": size / 1024,
+        "gas": gas,
+        "usd": cost_model.gas_to_usd(gas),
+    }
+
+
+def audit_gas(
+    verify_ms: float = PAPER_VERIFY_MS,
+    proof_bytes: int = PRIVATE_PROOF_BYTES,
+    schedule: GasSchedule | None = None,
+) -> int:
+    """Per-audit gas under the Fig. 5 extrapolation model."""
+    model = AuditPrecompileModel(schedule or GasSchedule.istanbul())
+    return model.verification_gas(proof_bytes, verify_ms)
+
+
+def usd_per_audit(
+    verify_ms: float = PAPER_VERIFY_MS,
+    proof_bytes: int = PRIVATE_PROOF_BYTES,
+    gas_price_gwei: float = 5.0,
+    eth_usd: float = 143.0,
+    randomness: str = "hydrand",
+) -> float:
+    """Full per-round cost: verification gas + randomness service."""
+    gas = audit_gas(verify_ms, proof_bytes)
+    cost_model = CostModel(eth_usd=eth_usd, gas_price_gwei=gas_price_gwei)
+    return cost_model.gas_to_usd(gas) + RANDOMNESS_COST_USD[randomness]
+
+
+@dataclass(frozen=True)
+class FeeSchedule:
+    """One Fig. 6 data point: contract duration x auditing frequency."""
+
+    duration_days: int
+    audits_per_day: float
+    usd_per_audit_value: float
+
+    @property
+    def num_audits(self) -> int:
+        return int(self.duration_days * self.audits_per_day)
+
+    @property
+    def total_usd(self) -> float:
+        return self.num_audits * self.usd_per_audit_value
+
+
+def figure6_series(
+    durations_days: tuple[int, ...] = (30, 90, 180, 360, 720, 1800),
+    gas_price_gwei: float = 5.0,
+) -> dict[str, list[FeeSchedule]]:
+    """The two Fig. 6 curves: daily vs weekly auditing fees."""
+    per_audit = usd_per_audit(gas_price_gwei=gas_price_gwei)
+    return {
+        "daily": [
+            FeeSchedule(duration, 1.0, per_audit) for duration in durations_days
+        ],
+        "weekly": [
+            FeeSchedule(duration, 1.0 / 7.0, per_audit)
+            for duration in durations_days
+        ],
+    }
+
+
+@dataclass
+class AnnualCostReport:
+    """Yearly cost of decentralized archive storage vs the cloud comparator."""
+
+    audits_per_day: float = 1.0
+    redundancy_providers: int = 1
+    gas_price_gwei: float = 5.0
+    batch_redundant_audits: bool = False
+    pk_setup_usd: float = field(init=False, default=0.0)
+
+    def compute(self, s: int = 50) -> dict:
+        per_audit = usd_per_audit(gas_price_gwei=self.gas_price_gwei)
+        providers_billed = (
+            1 if self.batch_redundant_audits else self.redundancy_providers
+        )
+        yearly_audit = per_audit * self.audits_per_day * 365 * providers_billed
+        setup = one_time_storage_cost(s)["usd"] * self.redundancy_providers
+        return {
+            "per_audit_usd": per_audit,
+            "yearly_auditing_usd": yearly_audit,
+            "one_time_setup_usd": setup,
+            "total_first_year_usd": yearly_audit + setup,
+            "dropbox_business_usd": DROPBOX_BUSINESS_USD_PER_YEAR,
+            "competitive": yearly_audit + setup
+            <= 3 * DROPBOX_BUSINESS_USD_PER_YEAR,
+        }

@@ -1,0 +1,135 @@
+"""A measured marketplace simulation (the empirical side of Fig. 10).
+
+Where :mod:`repro.sim.throughput` extrapolates analytically, this module
+*runs* a miniature marketplace — N data owners, M providers, one shared
+chain, real cryptography end to end — and reports the measured quantities
+(chain growth per audit round, per-provider proving load, gas totals,
+pass/fail ledger).  The benchmark feeds the measurements back into the
+analytic models to validate the extrapolation the paper (and we) rely on.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+
+from ..chain import Blockchain, ContractTerms, deploy_audit_contract
+from ..chain.agents import AuditDeployment, run_contracts_to_completion
+from ..core import DataOwner, ProtocolParams, StorageProvider
+from ..randomness.beacon import RandomnessBeacon
+
+
+@dataclass
+class MarketplaceResult:
+    """Everything measured during one simulation run."""
+
+    users: int
+    providers: int
+    rounds_per_user: int
+    wall_seconds: float
+    chain_bytes: int
+    trail_bytes: int
+    total_gas: int
+    passes: int
+    fails: int
+    blocks: int
+    prove_seconds_by_provider: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def bytes_per_round(self) -> float:
+        total_rounds = self.passes + self.fails
+        return self.trail_bytes / total_rounds if total_rounds else 0.0
+
+    @property
+    def gas_per_round(self) -> float:
+        total_rounds = self.passes + self.fails
+        return self.total_gas / total_rounds if total_rounds else 0.0
+
+    def max_provider_load_seconds(self) -> float:
+        if not self.prove_seconds_by_provider:
+            return 0.0
+        return max(self.prove_seconds_by_provider.values())
+
+
+class MarketplaceSimulation:
+    """N users storing files with M providers under real audit contracts."""
+
+    def __init__(
+        self,
+        beacon: RandomnessBeacon,
+        params: ProtocolParams | None = None,
+        users: int = 8,
+        providers: int = 3,
+        rounds_per_user: int = 2,
+        file_bytes: int = 600,
+        seed: int = 0,
+    ):
+        self.beacon = beacon
+        self.params = params or ProtocolParams(s=5, k=3)
+        self.users = users
+        self.providers = providers
+        self.rounds_per_user = rounds_per_user
+        self.file_bytes = file_bytes
+        self.seed = seed
+
+    def run(self) -> MarketplaceResult:
+        rng = random.Random(self.seed)
+        chain = Blockchain(block_time=15.0)
+        terms = ContractTerms(
+            num_audits=self.rounds_per_user,
+            audit_interval=60.0,
+            response_window=20.0,
+        )
+        provider_roles = [StorageProvider(rng=rng) for _ in range(self.providers)]
+        deployments: list[tuple[int, AuditDeployment]] = []
+        start = time.perf_counter()
+        for user in range(self.users):
+            owner = DataOwner(self.params, rng=rng)
+            data = bytes(rng.randrange(256) for _ in range(self.file_bytes))
+            package = owner.prepare(data)
+            provider_index = user % self.providers
+            deployment = deploy_audit_contract(
+                chain,
+                package,
+                provider_roles[provider_index],
+                terms,
+                self.beacon,
+                self.params,
+            )
+            deployments.append((provider_index, deployment))
+        contracts = run_contracts_to_completion(
+            chain, [d for _, d in deployments]
+        )
+        wall = time.perf_counter() - start
+
+        prove_seconds: dict[str, float] = {}
+        for (provider_index, deployment), contract in zip(deployments, contracts):
+            key = f"provider-{provider_index}"
+            spent = sum(
+                report.total_seconds
+                for report in deployment.provider_agent.prove_reports
+            )
+            prove_seconds[key] = prove_seconds.get(key, 0.0) + spent
+
+        return MarketplaceResult(
+            users=self.users,
+            providers=self.providers,
+            rounds_per_user=self.rounds_per_user,
+            wall_seconds=wall,
+            chain_bytes=chain.chain_bytes(),
+            trail_bytes=sum(c.total_trail_bytes() for c in contracts),
+            total_gas=sum(c.total_audit_gas() for c in contracts),
+            passes=sum(c.passes for c in contracts),
+            fails=sum(c.fails for c in contracts),
+            blocks=len(chain.blocks),
+            prove_seconds_by_provider=prove_seconds,
+        )
+
+
+def extrapolate_annual_growth(
+    result: MarketplaceResult, users: int, audits_per_day: float = 1.0
+) -> float:
+    """Project the measured per-round trail bytes to a year at scale (GB)."""
+    per_user_year = result.bytes_per_round * audits_per_day * 365
+    return users * per_user_year / 2**30

@@ -1,0 +1,83 @@
+"""Workload generators for benchmarks and examples.
+
+The paper motivates the system with personal/enterprise *archive* storage:
+"file collection archiving and image backups" (Section I, Remarks).  These
+generators produce deterministic synthetic versions of those workloads so
+every bench run sees identical inputs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+import random
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadFile:
+    name: str
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+
+def _deterministic_bytes(tag: str, size: int) -> bytes:
+    """Pseudo-random but reproducible file contents (hash-chain stream)."""
+    out = bytearray()
+    seed = hashlib.sha256(tag.encode()).digest()
+    counter = 0
+    while len(out) < size:
+        out += hashlib.sha256(seed + counter.to_bytes(8, "big")).digest()
+        counter += 1
+    return bytes(out[:size])
+
+
+def archive_file(size: int, tag: str = "archive") -> WorkloadFile:
+    """A single archive blob of exactly ``size`` bytes."""
+    return WorkloadFile(name=f"{tag}-{size}", data=_deterministic_bytes(tag, size))
+
+
+def photo_collection(
+    count: int, seed: int = 7, mean_kb: float = 64.0, sigma: float = 0.6
+) -> list[WorkloadFile]:
+    """A photo backup: log-normally distributed image sizes.
+
+    Real photo libraries are heavy-tailed; log-normal with sigma~0.6 is a
+    standard stand-in.  Sizes are clamped to [4 KB, 4 MB].
+    """
+    rng = random.Random(seed)
+    files = []
+    for index in range(count):
+        size = int(rng.lognormvariate(math.log(mean_kb * 1024), sigma))
+        size = max(4 * 1024, min(size, 4 * 1024 * 1024))
+        files.append(
+            WorkloadFile(
+                name=f"IMG_{index:05d}.jpg",
+                data=_deterministic_bytes(f"photo-{seed}-{index}", size),
+            )
+        )
+    return files
+
+
+def enterprise_backup(
+    num_documents: int, seed: int = 13, mean_kb: float = 256.0
+) -> list[WorkloadFile]:
+    """Nightly document dump: larger, more uniform files."""
+    rng = random.Random(seed)
+    files = []
+    for index in range(num_documents):
+        size = int(mean_kb * 1024 * (0.5 + rng.random()))
+        files.append(
+            WorkloadFile(
+                name=f"doc-{index:04d}.bak",
+                data=_deterministic_bytes(f"doc-{seed}-{index}", size),
+            )
+        )
+    return files
+
+
+def total_bytes(files: list[WorkloadFile]) -> int:
+    return sum(f.size for f in files)

@@ -1,0 +1,112 @@
+"""Tahoe-LAFS-style capability strings for stored files.
+
+The paper's testbed is Tahoe-LAFS, whose signature idea is that *access is
+a string*: knowing a read capability lets you locate and decrypt a file;
+the weaker verify capability lets you locate and integrity-check it
+without being able to read it.  That split is precisely the DSN auditing
+story — storage providers and auditors hold verify-level material while
+only the owner holds read-level — so this module rounds the storage
+substrate out with the same mechanics:
+
+    readcap   = URI:READ:<key material>:<verify digest>
+    verifycap = URI:VERIFY:<storage index>:<verify digest>
+
+``verifycap`` is derivable from ``readcap`` (attenuation), never the other
+way around.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+from .manifest import FileManifest
+
+
+class CapabilityError(ValueError):
+    pass
+
+
+def _b32(data: bytes) -> str:
+    import base64
+
+    return base64.b32encode(data).decode().rstrip("=").lower()
+
+
+def _from_b32(text: str) -> bytes:
+    import base64
+
+    padding = "=" * (-len(text) % 8)
+    return base64.b32decode(text.upper() + padding)
+
+
+@dataclass(frozen=True)
+class ReadCap:
+    """Locate + decrypt: the owner's capability."""
+
+    key: bytes           # 32-byte file encryption key
+    verify_digest: bytes  # binds to the ciphertext (16 bytes)
+
+    def to_string(self) -> str:
+        return f"URI:READ:{_b32(self.key)}:{_b32(self.verify_digest)}"
+
+    @staticmethod
+    def from_string(text: str) -> "ReadCap":
+        parts = text.split(":")
+        if len(parts) != 4 or parts[0] != "URI" or parts[1] != "READ":
+            raise CapabilityError("not a read capability")
+        return ReadCap(key=_from_b32(parts[2]), verify_digest=_from_b32(parts[3]))
+
+    def attenuate(self) -> "VerifyCap":
+        """Derive the verify capability (one-way: key -> storage index)."""
+        return VerifyCap(
+            storage_index=storage_index_from_key(self.key),
+            verify_digest=self.verify_digest,
+        )
+
+
+@dataclass(frozen=True)
+class VerifyCap:
+    """Locate + integrity-check: what auditors and repairers hold."""
+
+    storage_index: bytes  # 16 bytes, derived one-way from the key
+    verify_digest: bytes
+
+    def to_string(self) -> str:
+        return f"URI:VERIFY:{_b32(self.storage_index)}:{_b32(self.verify_digest)}"
+
+    @staticmethod
+    def from_string(text: str) -> "VerifyCap":
+        parts = text.split(":")
+        if len(parts) != 4 or parts[0] != "URI" or parts[1] != "VERIFY":
+            raise CapabilityError("not a verify capability")
+        return VerifyCap(
+            storage_index=_from_b32(parts[2]), verify_digest=_from_b32(parts[3])
+        )
+
+
+def storage_index_from_key(key: bytes) -> bytes:
+    """One-way derivation: the DHT location leaks nothing about the key."""
+    return hashlib.sha256(b"TAHOE-SI" + key).digest()[:16]
+
+
+def verify_digest_for(manifest: FileManifest) -> bytes:
+    """Binds a capability to the manifest's ciphertext identity."""
+    h = hashlib.sha256()
+    h.update(b"TAHOE-VD")
+    h.update(manifest.tag)
+    h.update(manifest.nonce)
+    h.update(manifest.ciphertext_length.to_bytes(8, "big"))
+    return h.digest()[:16]
+
+
+def make_read_cap(key: bytes, manifest: FileManifest) -> ReadCap:
+    return ReadCap(key=key, verify_digest=verify_digest_for(manifest))
+
+
+def check_verify_cap(cap: VerifyCap, key: bytes, manifest: FileManifest) -> bool:
+    """Does this verify capability match the (key, manifest) pair?"""
+    return (
+        cap.storage_index == storage_index_from_key(key)
+        and cap.verify_digest == verify_digest_for(manifest)
+    )

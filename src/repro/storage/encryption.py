@@ -1,0 +1,84 @@
+"""Owner-side file encryption for the DSN (paper Section III-A).
+
+"Data to be outsourced is first chunked into pieces and encrypted at the
+block level by the data owner ... the encryption is a mandatory action
+taken on the side of the data owner."
+
+Encrypt-then-MAC over ChaCha20 + HMAC-SHA256.  Two key modes:
+
+* ``random``   — fresh key per file (the secure default),
+* ``convergent`` — key = H(plaintext), enabling cross-user deduplication at
+  the cost of confirmation-of-file attacks; this is the "deterministic
+  encryption" the paper's privacy discussion warns about, and what makes
+  the on-chain leakage of Section V-C brute-forceable in practice.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+import os
+from dataclasses import dataclass
+from typing import Literal
+
+from ..crypto.chacha20 import chacha20_xor, convergent_key, derive_nonce
+
+KeyMode = Literal["random", "convergent"]
+
+
+@dataclass(frozen=True)
+class EncryptedFile:
+    """Ciphertext plus the public metadata needed to decrypt/verify."""
+
+    ciphertext: bytes
+    nonce: bytes
+    tag: bytes
+    key_mode: KeyMode
+
+    def byte_size(self) -> int:
+        return len(self.ciphertext) + len(self.nonce) + len(self.tag)
+
+
+def _mac(key: bytes, nonce: bytes, ciphertext: bytes) -> bytes:
+    return hmac.new(key, b"ETM" + nonce + ciphertext, hashlib.sha256).digest()
+
+
+def _subkeys(key: bytes) -> tuple[bytes, bytes]:
+    enc = hashlib.sha256(b"ENC" + key).digest()
+    mac = hashlib.sha256(b"MAC" + key).digest()
+    return enc, mac
+
+
+def generate_key(plaintext: bytes | None = None, mode: KeyMode = "random") -> bytes:
+    if mode == "convergent":
+        if plaintext is None:
+            raise ValueError("convergent mode derives the key from the plaintext")
+        return convergent_key(plaintext)
+    return os.urandom(32)
+
+
+def encrypt_file(
+    plaintext: bytes, key: bytes, mode: KeyMode = "random"
+) -> EncryptedFile:
+    enc_key, mac_key = _subkeys(key)
+    if mode == "convergent":
+        # Deterministic nonce so identical plaintexts dedupe to identical
+        # ciphertexts across owners.
+        nonce = derive_nonce(key)
+    else:
+        nonce = os.urandom(12)
+    ciphertext = chacha20_xor(enc_key, nonce, plaintext)
+    return EncryptedFile(
+        ciphertext=ciphertext,
+        nonce=nonce,
+        tag=_mac(mac_key, nonce, ciphertext),
+        key_mode=mode,
+    )
+
+
+def decrypt_file(encrypted: EncryptedFile, key: bytes) -> bytes:
+    enc_key, mac_key = _subkeys(key)
+    expected = _mac(mac_key, encrypted.nonce, encrypted.ciphertext)
+    if not hmac.compare_digest(expected, encrypted.tag):
+        raise ValueError("authentication tag mismatch (corrupted or wrong key)")
+    return chacha20_xor(enc_key, encrypted.nonce, encrypted.ciphertext)

@@ -1,0 +1,114 @@
+"""Systematic Reed-Solomon erasure coding (paper Section III-A).
+
+"Erasure coding (parity blocks) is also required for data redundancy" — the
+data owner splits a file into ``k`` data shards and ``n - k`` parity shards
+such that *any* ``k`` of the ``n`` survive a loss of the rest.  The paper's
+cost discussion uses a "3-out-of-10" code (k=3, n=10); the same class
+covers any (n, k).
+
+Construction: a Vandermonde matrix over GF(256) is row-reduced so its top
+k x k block is the identity (systematic form).  Encoding is a matrix-vector
+product per byte column; decoding inverts the k x k submatrix of surviving
+rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .gf256 import gf_matmul, gf_matrix_invert, gf_mul, gf_pow
+
+
+def _systematic_matrix(n: int, k: int) -> list[list[int]]:
+    """n x k generator matrix whose top k rows are the identity."""
+    vandermonde = [[gf_pow(row, col) for col in range(k)] for row in range(1, n + 1)]
+    top_inverse = gf_matrix_invert([row[:] for row in vandermonde[:k]])
+    return [
+        [
+            _dot(vandermonde[row], [top_inverse[i][col] for i in range(k)])
+            for col in range(k)
+        ]
+        for row in range(n)
+    ]
+
+
+def _dot(a: list[int], b: list[int]) -> int:
+    out = 0
+    for x, y in zip(a, b):
+        out ^= gf_mul(x, y)
+    return out
+
+
+@dataclass(frozen=True)
+class Shard:
+    """One erasure-coded piece of a file."""
+
+    index: int
+    data: bytes
+
+    @property
+    def is_parity(self) -> bool:
+        return False  # systematic codes: parity distinction is positional
+
+
+class ReedSolomonCode:
+    """A systematic RS(n, k) code over GF(256).
+
+    ``encode`` returns n shards; ``decode`` reconstructs the original bytes
+    from any k of them (by index).  Tolerates up to ``n - k`` erasures —
+    the redundancy level the data owner tunes per Section III-A.
+    """
+
+    def __init__(self, n: int, k: int):
+        if not 1 <= k <= n <= 255:
+            raise ValueError("need 1 <= k <= n <= 255 for GF(256) RS codes")
+        self.n = n
+        self.k = k
+        self.matrix = _systematic_matrix(n, k)
+
+    @property
+    def redundancy_factor(self) -> float:
+        """Storage blow-up: n/k (e.g. 10/3 = 3.33x for the paper's code)."""
+        return self.n / self.k
+
+    def shard_length(self, data_length: int) -> int:
+        return (data_length + self.k - 1) // self.k
+
+    def encode(self, data: bytes) -> list[Shard]:
+        if not data:
+            raise ValueError("cannot encode empty data")
+        length = self.shard_length(len(data))
+        padded = data.ljust(self.k * length, b"\x00")
+        stack = np.frombuffer(padded, dtype=np.uint8).reshape(self.k, length)
+        encoded = gf_matmul(self.matrix, stack)
+        return [Shard(index=i, data=encoded[i].tobytes()) for i in range(self.n)]
+
+    def decode(self, shards: list[Shard], data_length: int) -> bytes:
+        """Reconstruct from any >= k distinct shards."""
+        unique: dict[int, Shard] = {}
+        for shard in shards:
+            if not 0 <= shard.index < self.n:
+                raise ValueError(f"shard index {shard.index} out of range")
+            unique.setdefault(shard.index, shard)
+        if len(unique) < self.k:
+            raise ValueError(
+                f"need at least {self.k} shards to decode, got {len(unique)}"
+            )
+        chosen = sorted(unique.values(), key=lambda s: s.index)[: self.k]
+        lengths = {len(s.data) for s in chosen}
+        if len(lengths) != 1:
+            raise ValueError("inconsistent shard lengths")
+        submatrix = [self.matrix[s.index] for s in chosen]
+        inverse = gf_matrix_invert(submatrix)
+        stack = np.stack(
+            [np.frombuffer(s.data, dtype=np.uint8) for s in chosen]
+        )
+        recovered = gf_matmul(inverse, stack)
+        return recovered.reshape(-1).tobytes()[:data_length]
+
+    def repair(self, shards: list[Shard], missing_index: int, data_length: int) -> Shard:
+        """Regenerate one lost shard from any k survivors."""
+        data = self.decode(shards, self.k * self.shard_length(data_length))
+        return self.encode(data)[missing_index]

@@ -1,0 +1,102 @@
+"""GF(2^8) arithmetic with numpy-vectorised helpers.
+
+The erasure-coding layer works over the field GF(256) with the standard
+Reed-Solomon reduction polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
+Log/antilog tables give O(1) multiplication; the numpy paths operate on
+whole shards at once, which is what makes megabyte-scale erasure coding
+practical in pure Python.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+REDUCING_POLY = 0x11D
+GENERATOR = 2
+
+# Build exp/log tables once at import.
+_EXP = np.zeros(512, dtype=np.uint8)
+_LOG = np.zeros(256, dtype=np.int32)
+_value = 1
+for _power in range(255):
+    _EXP[_power] = _value
+    _LOG[_value] = _power
+    _value <<= 1
+    if _value & 0x100:
+        _value ^= REDUCING_POLY
+_EXP[255:510] = _EXP[:255]  # wraparound so exp lookups never need mod
+
+
+def gf_mul(a: int, b: int) -> int:
+    if a == 0 or b == 0:
+        return 0
+    return int(_EXP[int(_LOG[a]) + int(_LOG[b])])
+
+
+def gf_inv(a: int) -> int:
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse in GF(256)")
+    return int(_EXP[255 - int(_LOG[a])])
+
+
+def gf_div(a: int, b: int) -> int:
+    if b == 0:
+        raise ZeroDivisionError("division by zero in GF(256)")
+    if a == 0:
+        return 0
+    return int(_EXP[(int(_LOG[a]) - int(_LOG[b])) % 255])
+
+
+def gf_pow(a: int, exponent: int) -> int:
+    if a == 0:
+        return 0 if exponent else 1
+    return int(_EXP[(int(_LOG[a]) * exponent) % 255])
+
+
+def gf_mul_vector(scalar: int, vector: np.ndarray) -> np.ndarray:
+    """scalar * vector over GF(256), vectorised."""
+    if scalar == 0:
+        return np.zeros_like(vector)
+    if scalar == 1:
+        return vector.copy()
+    log_scalar = int(_LOG[scalar])
+    out = np.zeros_like(vector)
+    nonzero = vector != 0
+    out[nonzero] = _EXP[log_scalar + _LOG[vector[nonzero]]]
+    return out
+
+
+def gf_matmul(matrix: list[list[int]], shards: np.ndarray) -> np.ndarray:
+    """Matrix (rows x k) times shard stack (k x length) over GF(256)."""
+    rows = len(matrix)
+    _, length = shards.shape
+    out = np.zeros((rows, length), dtype=np.uint8)
+    for row_index, row in enumerate(matrix):
+        accumulator = np.zeros(length, dtype=np.uint8)
+        for coefficient, shard in zip(row, shards):
+            if coefficient:
+                accumulator ^= gf_mul_vector(coefficient, shard)
+        out[row_index] = accumulator
+    return out
+
+
+def gf_matrix_invert(matrix: list[list[int]]) -> list[list[int]]:
+    """Gauss-Jordan inversion over GF(256); raises on singular input."""
+    n = len(matrix)
+    augmented = [list(row) + [1 if i == j else 0 for j in range(n)]
+                 for i, row in enumerate(matrix)]
+    for col in range(n):
+        pivot = next((r for r in range(col, n) if augmented[r][col]), None)
+        if pivot is None:
+            raise ValueError("singular matrix over GF(256)")
+        augmented[col], augmented[pivot] = augmented[pivot], augmented[col]
+        inv = gf_inv(augmented[col][col])
+        augmented[col] = [gf_mul(value, inv) for value in augmented[col]]
+        for row in range(n):
+            if row != col and augmented[row][col]:
+                factor = augmented[row][col]
+                augmented[row] = [
+                    augmented[row][idx] ^ gf_mul(factor, augmented[col][idx])
+                    for idx in range(2 * n)
+                ]
+    return [row[n:] for row in augmented]

@@ -1,0 +1,204 @@
+"""Storage nodes and the owner-side DSN client (paper Fig. 1, bottom half).
+
+``StorageNode`` is one provider: shard storage keyed by (file, index) plus
+the provider's DHT identity.  ``DsnClient`` is the data owner's pipeline —
+exactly the Section III-A sequence::
+
+    chunk -> encrypt (mandatory) -> erasure-code -> DHT lookup -> distribute
+
+Retrieval gathers any k surviving shards, decodes, authenticates and
+decrypts.  All traffic passes through the :class:`SimulatedNetwork`, so
+injected crashes and partitions genuinely break fetches.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+
+from .dht import ChordRing
+from .encryption import EncryptedFile, decrypt_file, encrypt_file, generate_key
+from .erasure import ReedSolomonCode, Shard
+from .manifest import FileManifest, ShardLocation
+from .network import NetworkError, SimulatedNetwork
+
+
+def _checksum(data: bytes) -> bytes:
+    return hashlib.sha256(b"SHARD" + data).digest()[:16]
+
+
+@dataclass
+class StorageNode:
+    """One storage provider's disk + network identity."""
+
+    name: str
+    capacity_bytes: int = 1 << 30
+    _shards: dict[tuple[str, int], bytes] = field(default_factory=dict)
+
+    @property
+    def used_bytes(self) -> int:
+        return sum(len(v) for v in self._shards.values())
+
+    def put(self, file_id: str, index: int, data: bytes) -> bool:
+        if self.used_bytes + len(data) > self.capacity_bytes:
+            return False
+        self._shards[(file_id, index)] = bytes(data)
+        return True
+
+    def get(self, file_id: str, index: int) -> bytes | None:
+        return self._shards.get((file_id, index))
+
+    def delete(self, file_id: str, index: int) -> None:
+        self._shards.pop((file_id, index), None)
+
+    def drop_file(self, file_id: str) -> int:
+        """Delete every shard of a file (misbehaviour injection)."""
+        keys = [k for k in self._shards if k[0] == file_id]
+        for key in keys:
+            del self._shards[key]
+        return len(keys)
+
+
+class DsnCluster:
+    """A set of storage nodes joined into one DHT ring + network fabric."""
+
+    def __init__(self, network: SimulatedNetwork | None = None, dht_bits: int = 16):
+        self.network = network or SimulatedNetwork()
+        self.ring = ChordRing(bits=dht_bits)
+        self.nodes: dict[str, StorageNode] = {}
+
+    def add_node(self, name: str, capacity_bytes: int = 1 << 30) -> StorageNode:
+        node = StorageNode(name=name, capacity_bytes=capacity_bytes)
+        self.nodes[name] = node
+        self.ring.join(name)
+        return node
+
+    def remove_node(self, name: str) -> None:
+        self.nodes.pop(name, None)
+        self.ring.leave(name)
+
+    def node(self, name: str) -> StorageNode:
+        return self.nodes[name]
+
+
+class DsnClient:
+    """The data owner's storage client."""
+
+    def __init__(self, owner_name: str, cluster: DsnCluster):
+        self.owner_name = owner_name
+        self.cluster = cluster
+        self.keys: dict[str, bytes] = {}  # file_id -> encryption key
+
+    def store(
+        self,
+        file_id: str,
+        plaintext: bytes,
+        n: int = 10,
+        k: int = 3,
+        key_mode: str = "random",
+    ) -> FileManifest:
+        """Encrypt, erasure-code and place shards on n distinct providers."""
+        key = generate_key(plaintext if key_mode == "convergent" else None, key_mode)  # type: ignore[arg-type]
+        self.keys[file_id] = key
+        encrypted = encrypt_file(plaintext, key, key_mode)  # type: ignore[arg-type]
+        code = ReedSolomonCode(n, k)
+        shards = code.encode(encrypted.ciphertext)
+        providers = self.cluster.ring.successors(file_id, n)
+        manifest = FileManifest(
+            file_id=file_id,
+            plaintext_length=len(plaintext),
+            ciphertext_length=len(encrypted.ciphertext),
+            erasure_n=n,
+            erasure_k=k,
+            key_mode=key_mode,
+            nonce=encrypted.nonce,
+            tag=encrypted.tag,
+        )
+        for shard, provider in zip(shards, providers):
+            self.cluster.network.send(self.owner_name, provider.name, len(shard.data))
+            accepted = self.cluster.node(provider.name).put(
+                file_id, shard.index, shard.data
+            )
+            if not accepted:
+                raise RuntimeError(f"{provider.name} is out of capacity")
+            manifest.shards.append(
+                ShardLocation(
+                    shard_index=shard.index,
+                    provider=provider.name,
+                    checksum=_checksum(shard.data),
+                )
+            )
+        return manifest
+
+    def retrieve(self, manifest: FileManifest) -> bytes:
+        """Fetch any k healthy shards, decode, authenticate, decrypt."""
+        code = ReedSolomonCode(manifest.erasure_n, manifest.erasure_k)
+        collected: list[Shard] = []
+        for location in manifest.shards:
+            if len(collected) >= manifest.erasure_k:
+                break
+            try:
+                self.cluster.network.send(
+                    self.owner_name, location.provider, 64
+                )
+            except NetworkError:
+                continue
+            node = self.cluster.nodes.get(location.provider)
+            data = node.get(manifest.file_id, location.shard_index) if node else None
+            if data is None or _checksum(data) != location.checksum:
+                continue  # lost or corrupted shard: skip it
+            self.cluster.network.send(location.provider, self.owner_name, len(data))
+            collected.append(Shard(index=location.shard_index, data=data))
+        if len(collected) < manifest.erasure_k:
+            raise RuntimeError(
+                f"only {len(collected)} healthy shards available, "
+                f"need {manifest.erasure_k}"
+            )
+        ciphertext = code.decode(collected, manifest.ciphertext_length)
+        encrypted = EncryptedFile(
+            ciphertext=ciphertext,
+            nonce=manifest.nonce,
+            tag=manifest.tag,
+            key_mode=manifest.key_mode,  # type: ignore[arg-type]
+        )
+        return decrypt_file(encrypted, self.keys[manifest.file_id])
+
+    def repair(self, manifest: FileManifest, provider: str) -> FileManifest:
+        """Re-generate the shards a failed provider held and re-place them."""
+        code = ReedSolomonCode(manifest.erasure_n, manifest.erasure_k)
+        survivors: list[Shard] = []
+        for location in manifest.shards:
+            if location.provider == provider:
+                continue
+            node = self.cluster.nodes.get(location.provider)
+            data = node.get(manifest.file_id, location.shard_index) if node else None
+            if data is not None and _checksum(data) == location.checksum:
+                survivors.append(Shard(index=location.shard_index, data=data))
+        lost = [loc for loc in manifest.shards if loc.provider == provider]
+        healthy = [loc for loc in manifest.shards if loc.provider != provider]
+        ciphertext = code.decode(survivors, manifest.ciphertext_length)
+        fresh = code.encode(ciphertext)
+        # Place the regenerated shards on ring successors not already used.
+        used = {loc.provider for loc in healthy}
+        candidates = [
+            node
+            for node in self.cluster.ring.successors(
+                manifest.file_id, len(self.cluster.nodes)
+            )
+            if node.name not in used and node.name != provider
+        ]
+        for lost_loc, target in zip(lost, candidates):
+            shard = fresh[lost_loc.shard_index]
+            self.cluster.network.send(self.owner_name, target.name, len(shard.data))
+            self.cluster.node(target.name).put(
+                manifest.file_id, shard.index, shard.data
+            )
+            healthy.append(
+                ShardLocation(
+                    shard_index=shard.index,
+                    provider=target.name,
+                    checksum=_checksum(shard.data),
+                )
+            )
+        manifest.shards = sorted(healthy, key=lambda s: s.shard_index)
+        return manifest

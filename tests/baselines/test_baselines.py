@@ -1,0 +1,146 @@
+"""Baselines: Table I matrix, Sia-style auditing + exhaustion, MAC scheme."""
+
+from __future__ import annotations
+
+import os
+import random
+
+import pytest
+
+from repro.baselines import (
+    CachingCheater,
+    MacAuditor,
+    MacProver,
+    SiaStyleAuditor,
+    SiaStyleProver,
+    TABLE_I,
+    expected_coverage,
+    render_table,
+)
+
+
+class TestFeatureMatrix:
+    def test_all_paper_systems_present(self):
+        names = {row.name for row in TABLE_I}
+        for system in ("IPFS", "Swarm", "Storj", "MaidSafe", "Sia",
+                       "Filecoin", "ZKCSP", "Hawk", "This work"):
+            assert system in names
+
+    def test_this_work_row_matches_demonstrated_properties(self):
+        ours = next(row for row in TABLE_I if row.name == "This work")
+        assert str(ours.onchain_security) == "o"   # tests/core/test_attacks
+        assert str(ours.prover_efficiency) == "o"  # Fig. 8/9 benches
+        assert str(ours.storage_guarantee) == "High"
+
+    def test_render(self):
+        text = render_table()
+        assert "Sia" in text and "Filecoin" in text
+        assert len(text.splitlines()) == len(TABLE_I) + 2
+
+
+class TestSiaStyle:
+    @pytest.fixture(scope="class")
+    def system(self):
+        blocks = [bytes([i]) * 64 for i in range(32)]
+        prover = SiaStyleProver(blocks)
+        auditor = SiaStyleAuditor(prover.root, prover.num_leaves)
+        return blocks, prover, auditor
+
+    def test_honest_round(self, system):
+        _, prover, auditor = system
+        challenge = auditor.challenge(0, b"rand-0")
+        proof = prover.respond(challenge)
+        assert auditor.verify(challenge, proof)
+
+    def test_wrong_leaf_rejected(self, system):
+        _, prover, auditor = system
+        c0 = auditor.challenge(0, b"rand-0")
+        c1 = next(
+            auditor.challenge(i, b"rand")
+            for i in range(1, 50)
+            if auditor.challenge(i, b"rand").leaf_index != c0.leaf_index
+        )
+        assert not auditor.verify(c1, prover.respond(c0))
+
+    def test_proof_leaks_raw_block(self, system):
+        """The privacy failure: the on-chain proof contains the block."""
+        blocks, prover, auditor = system
+        challenge = auditor.challenge(3, b"rand-3")
+        proof = prover.respond(challenge)
+        assert proof.leaked_block == blocks[challenge.leaf_index]
+
+    def test_trail_larger_than_ours(self, system):
+        """Sia-style trail grows with block size + log(n); ours is 288 B."""
+        _, prover, auditor = system
+        proof = prover.respond(auditor.challenge(0, b"r"))
+        assert proof.byte_size() > 64  # leaf alone already 64 B
+
+    def test_exhaustion_attack(self, system):
+        """Paper Section II: providers reuse proofs for challenged blocks."""
+        _, prover, auditor = system
+        cheater = CachingCheater()
+        rng = random.Random(4)
+        # Honest phase: the cheater scrapes 200 rounds of public trails.
+        for round_id in range(200):
+            challenge = auditor.challenge(round_id, b"beacon")
+            cheater.observe(prover.respond(challenge))
+        coverage = cheater.coverage(prover.num_leaves)
+        assert coverage > 0.95  # nearly the whole space seen
+        cheater.go_rogue()
+        # Post-drop: cheater answers from cache alone.
+        wins = 0
+        for round_id in range(200, 260):
+            challenge = auditor.challenge(round_id, b"beacon")
+            response = cheater.respond(challenge)
+            if response is not None and auditor.verify(challenge, response):
+                wins += 1
+        assert wins >= 55  # passes almost every audit with no data
+
+    def test_expected_coverage_formula(self):
+        assert expected_coverage(32, 0) == 0.0
+        assert expected_coverage(32, 200) > 0.99
+        assert expected_coverage(32, 10) == pytest.approx(
+            1 - (31 / 32) ** 10
+        )
+
+
+class TestMacBaseline:
+    def test_honest_rounds(self):
+        data = os.urandom(1000)
+        auditor = MacAuditor(data, num_challenges=5)
+        prover = MacProver(data)
+        for _ in range(5):
+            challenge = auditor.challenge()
+            assert auditor.verify(challenge, prover.respond(challenge))
+
+    def test_challenge_exhaustion(self):
+        """Paper Section VIII: 'cannot support unlimited times of challenges'."""
+        data = b"x" * 100
+        auditor = MacAuditor(data, num_challenges=2)
+        prover = MacProver(data)
+        for _ in range(2):
+            challenge = auditor.challenge()
+            assert auditor.verify(challenge, prover.respond(challenge))
+        assert auditor.challenges_remaining == 0
+        with pytest.raises(RuntimeError):
+            auditor.challenge()
+
+    def test_corrupted_data_detected(self):
+        data = os.urandom(500)
+        auditor = MacAuditor(data, num_challenges=3)
+        prover = MacProver(data[:-1] + b"\x00")
+        challenge = auditor.challenge()
+        assert not auditor.verify(challenge, prover.respond(challenge))
+
+    def test_prover_reads_whole_file_every_round(self):
+        """The scalability failure: O(|F|) per audit."""
+        data = os.urandom(4096)
+        auditor = MacAuditor(data, num_challenges=3)
+        prover = MacProver(data)
+        for _ in range(3):
+            prover.respond(auditor.challenge())
+        assert prover.bytes_read_total == 3 * len(data)
+
+    def test_table_storage_accounting(self):
+        auditor = MacAuditor(b"d", num_challenges=100)
+        assert auditor.table_bytes == 100 * 48

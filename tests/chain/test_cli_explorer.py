@@ -1,0 +1,131 @@
+"""CLI subcommands and the chain explorer."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.chain import (
+    Blockchain,
+    ContractTerms,
+    deploy_audit_contract,
+    run_contract_to_completion,
+)
+from repro.chain.explorer import ChainExplorer
+from repro.cli import main
+from repro.core import DataOwner, ProtocolParams, StorageProvider
+from repro.randomness import HashChainBeacon
+
+
+class TestCli:
+    def test_keygen(self, tmp_path, capsys):
+        out = tmp_path / "pk.bin"
+        assert main(["keygen", "--s", "8", "--out", str(out)]) == 0
+        assert out.stat().st_size > 8 * 32
+        captured = capsys.readouterr().out
+        assert "one-time recording cost" in captured
+
+    def test_keygen_no_privacy_smaller(self, tmp_path):
+        with_privacy = tmp_path / "a.bin"
+        without = tmp_path / "b.bin"
+        main(["keygen", "--s", "8", "--out", str(with_privacy)])
+        main(["keygen", "--s", "8", "--no-privacy", "--out", str(without)])
+        assert with_privacy.stat().st_size == without.stat().st_size + 192
+
+    def test_prepare(self, tmp_path, capsys):
+        target = tmp_path / "archive.bin"
+        target.write_bytes(b"\x42" * 4000)
+        assert main(["prepare", "--file", str(target), "--s", "5", "--k", "3"]) == 0
+        captured = capsys.readouterr().out
+        assert "chunks" in captured
+
+    def test_audit_honest(self, capsys):
+        assert main(
+            ["audit", "--size", "600", "--rounds", "2", "--s", "5", "--k", "3"]
+        ) == 0
+        captured = capsys.readouterr().out
+        assert "2 passes, 0 fails" in captured
+
+    def test_audit_with_drop(self, capsys):
+        main([
+            "audit", "--size", "600", "--rounds", "2", "--s", "5", "--k", "3",
+            "--drop-after", "1",
+        ])
+        captured = capsys.readouterr().out
+        assert "1 passes, 1 fails" in captured
+
+    def test_attack(self, capsys):
+        assert main(["attack", "--s", "4", "--k", "3"]) == 0
+        captured = capsys.readouterr().out
+        assert "recovered 3/3 chunks" in captured
+
+    def test_models(self, capsys):
+        assert main(["models", "--users", "5000"]) == 0
+        captured = capsys.readouterr().out
+        assert "tx/s" in captured
+        assert "users/provider" in captured
+
+    def test_unknown_command_errors(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])
+
+
+class TestExplorer:
+    @pytest.fixture(scope="class")
+    def explored_chain(self, rng):
+        params = ProtocolParams(s=5, k=3)
+        owner = DataOwner(params, rng=rng)
+        package = owner.prepare(b"\x77" * 700)
+        provider = StorageProvider(rng=rng)
+        chain = Blockchain()
+        terms = ContractTerms(num_audits=2, audit_interval=60.0, response_window=20.0)
+        deployment = deploy_audit_contract(
+            chain, package, provider, terms, HashChainBeacon(b"explorer"), params
+        )
+        run_contract_to_completion(chain, deployment)
+        return chain
+
+    def test_heights_and_counts(self, explored_chain):
+        explorer = ChainExplorer(explored_chain)
+        assert explorer.height() >= 2
+        assert explorer.transaction_count() >= 4  # negotiate/ack/2 freezes...
+
+    def test_contract_summaries(self, explored_chain):
+        explorer = ChainExplorer(explored_chain)
+        summaries = explorer.audit_contracts()
+        assert len(summaries) == 1
+        summary = summaries[0]
+        assert summary.state == "closed"
+        assert summary.passes == 2
+        assert summary.trail_bytes == 2 * (48 + 288)
+        assert explorer.total_audit_gas() == summary.total_gas
+
+    def test_event_counts(self, explored_chain):
+        explorer = ChainExplorer(explored_chain)
+        counts = explorer.event_counts()
+        assert counts["pass"] == 2
+        assert counts["challenged"] == 2
+        assert counts["negotiated"] == 1
+
+    def test_event_log_filter(self, explored_chain):
+        explorer = ChainExplorer(explored_chain)
+        passes = explorer.event_log("pass")
+        assert len(passes) == 2
+        assert all(e["name"] == "pass" for e in passes)
+
+    def test_json_export_roundtrips(self, explored_chain):
+        explorer = ChainExplorer(explored_chain)
+        payload = json.loads(explorer.export_json())
+        assert payload["audit_contracts"][0]["passes"] == 2
+        assert payload["events"]["pass"] == 2
+        assert payload["chain_bytes"] > 0
+
+    def test_no_failed_transactions_in_honest_run(self, explored_chain):
+        explorer = ChainExplorer(explored_chain)
+        assert explorer.failed_transactions() == []
+
+    def test_block_summaries_monotone(self, explored_chain):
+        explorer = ChainExplorer(explored_chain)
+        numbers = [b["number"] for b in explorer.block_summaries()]
+        assert numbers == sorted(numbers)

@@ -1,0 +1,198 @@
+"""The Section VI-A reputation registry: stake, scoring, DoS/Sybil defences."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.chain import Blockchain, Transaction, WEI_PER_ETH
+from repro.chain.contracts.reputation import NEUTRAL_SCORE, ReputationRegistry
+
+
+@pytest.fixture()
+def registry_chain():
+    chain = Blockchain(block_time=15.0)
+    registry = ReputationRegistry(min_stake_wei=WEI_PER_ETH)
+    operator = chain.create_account(5.0)
+    address = chain.deploy(registry, deployer=operator)
+    reporter = chain.create_account(5.0)
+    chain.transact(
+        Transaction(sender=operator, to=address, method="authorize_reporter",
+                    args=(reporter,))
+    )
+    return chain, registry, address, reporter
+
+
+def _register(chain, address, stake_eth=1.0) -> str:
+    provider = chain.create_account(stake_eth + 1.0)
+    receipt = chain.transact(
+        Transaction(sender=provider, to=address, method="register",
+                    value=int(stake_eth * WEI_PER_ETH))
+    )
+    assert receipt.success, receipt.error
+    return provider
+
+
+class TestRegistration:
+    def test_register_with_stake(self, registry_chain):
+        chain, registry, address, _ = registry_chain
+        provider = _register(chain, address)
+        assert registry.providers[provider].score == NEUTRAL_SCORE
+
+    def test_insufficient_stake_rejected(self, registry_chain):
+        chain, registry, address, _ = registry_chain
+        poor = chain.create_account(1.0)
+        receipt = chain.transact(
+            Transaction(sender=poor, to=address, method="register",
+                        value=WEI_PER_ETH // 2)
+        )
+        assert not receipt.success
+        assert poor not in registry.providers
+
+    def test_double_registration_rejected(self, registry_chain):
+        chain, registry, address, _ = registry_chain
+        provider = _register(chain, address)
+        receipt = chain.transact(
+            Transaction(sender=provider, to=address, method="register",
+                        value=WEI_PER_ETH)
+        )
+        assert not receipt.success
+
+    def test_deregister_in_good_standing(self, registry_chain):
+        chain, registry, address, reporter = registry_chain
+        provider = _register(chain, address)
+        for _ in range(3):
+            chain.transact(
+                Transaction(sender=reporter, to=address, method="report_audit",
+                            args=(provider, True))
+            )
+        before = chain.balance_of(provider)
+        receipt = chain.transact(
+            Transaction(sender=provider, to=address, method="deregister")
+        )
+        assert receipt.success
+        assert chain.balance_of(provider) > before
+        assert provider not in registry.providers
+
+    def test_griefer_forfeits_stake(self, registry_chain):
+        """The Section VI-A DoS is self-defeating: rejections sink the score
+        below neutral, and below-neutral deregistration forfeits the stake."""
+        chain, registry, address, reporter = registry_chain
+        provider = _register(chain, address)
+        chain.transact(
+            Transaction(sender=reporter, to=address, method="report_rejection",
+                        args=(provider,))
+        )
+        receipt = chain.transact(
+            Transaction(sender=provider, to=address, method="deregister")
+        )
+        assert not receipt.success  # stake stays locked
+
+
+class TestScoring:
+    def test_passes_raise_fails_lower(self, registry_chain):
+        chain, registry, address, reporter = registry_chain
+        provider = _register(chain, address)
+        for _ in range(5):
+            chain.transact(
+                Transaction(sender=reporter, to=address, method="report_audit",
+                            args=(provider, True))
+            )
+        high = registry.providers[provider].score
+        assert high > NEUTRAL_SCORE
+        for _ in range(5):
+            chain.transact(
+                Transaction(sender=reporter, to=address, method="report_audit",
+                            args=(provider, False))
+            )
+        assert registry.providers[provider].score < high
+
+    def test_unauthorised_reporter_rejected(self, registry_chain):
+        chain, registry, address, _ = registry_chain
+        provider = _register(chain, address)
+        rando = chain.create_account(1.0)
+        receipt = chain.transact(
+            Transaction(sender=rando, to=address, method="report_audit",
+                        args=(provider, False))
+        )
+        assert not receipt.success
+        assert registry.providers[provider].score == NEUTRAL_SCORE
+
+    def test_persistent_failures_get_banned(self, registry_chain):
+        chain, registry, address, reporter = registry_chain
+        provider = _register(chain, address)
+        for _ in range(15):
+            chain.transact(
+                Transaction(sender=reporter, to=address, method="report_audit",
+                            args=(provider, False))
+            )
+        assert registry.providers[provider].banned
+        assert chain.call(address, "score_of", provider) == 0.0
+        assert not chain.call(address, "eligible", provider)
+
+    def test_score_decays_toward_neutral(self):
+        chain = Blockchain(block_time=3600.0)
+        registry = ReputationRegistry(
+            min_stake_wei=WEI_PER_ETH, decay_half_life=7200.0
+        )
+        operator = chain.create_account(5.0)
+        address = chain.deploy(registry, deployer=operator)
+        reporter = chain.create_account(5.0)
+        chain.transact(
+            Transaction(sender=operator, to=address,
+                        method="authorize_reporter", args=(reporter,))
+        )
+        provider = _register(chain, address)
+        for _ in range(8):
+            chain.transact(
+                Transaction(sender=reporter, to=address, method="report_audit",
+                            args=(provider, True))
+            )
+        peak = registry.providers[provider].score
+        for _ in range(10):  # 10 hours = several half-lives
+            chain.mine_block()
+        decayed = chain.call(address, "score_of", provider)
+        assert NEUTRAL_SCORE < decayed < peak
+
+    def test_ranked_ordering(self, registry_chain):
+        chain, registry, address, reporter = registry_chain
+        good = _register(chain, address)
+        bad = _register(chain, address)
+        for _ in range(4):
+            chain.transact(
+                Transaction(sender=reporter, to=address, method="report_audit",
+                            args=(good, True))
+            )
+            chain.transact(
+                Transaction(sender=reporter, to=address, method="report_audit",
+                            args=(bad, False))
+            )
+        ranking = chain.call(address, "ranked")
+        assert ranking[0][0] == good
+        assert ranking[-1][0] == bad
+
+
+class TestSybilResistance:
+    def test_fresh_identities_cost_capital_and_start_neutral(self, registry_chain):
+        """Whitewashing via re-registration burns a stake per identity and
+        never yields a better-than-neutral score."""
+        chain, registry, address, reporter = registry_chain
+        sybil_budget_eth = 3.0
+        attacker_ids = []
+        for _ in range(3):
+            identity = _register(chain, address, stake_eth=1.0)
+            attacker_ids.append(identity)
+        total_locked = sum(
+            registry.providers[i].stake_wei for i in attacker_ids
+        )
+        assert total_locked == int(sybil_budget_eth * WEI_PER_ETH)
+        for identity in attacker_ids:
+            assert registry.providers[identity].score == NEUTRAL_SCORE
+        # An established honest provider outranks every fresh Sybil.
+        honest = _register(chain, address)
+        for _ in range(5):
+            chain.transact(
+                Transaction(sender=reporter, to=address, method="report_audit",
+                            args=(honest, True))
+            )
+        ranking = chain.call(address, "ranked")
+        assert ranking[0][0] == honest

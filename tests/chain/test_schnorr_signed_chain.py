@@ -1,0 +1,162 @@
+"""Schnorr signatures and the signature-enforcing chain mode."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.chain import Blockchain, Transaction, WEI_PER_ETH
+from repro.crypto.schnorr import Signature, SigningKey, VerifyingKey
+
+
+class TestSchnorr:
+    @pytest.fixture(scope="class")
+    def keypair(self, rng):
+        return SigningKey.generate(rng=rng)
+
+    def test_sign_verify_roundtrip(self, keypair, rng):
+        message = b"audit contract negotiation"
+        signature = keypair.sign(message, rng=rng)
+        assert keypair.public.verify(message, signature)
+
+    def test_wrong_message_rejected(self, keypair, rng):
+        signature = keypair.sign(b"message A", rng=rng)
+        assert not keypair.public.verify(b"message B", signature)
+
+    def test_wrong_key_rejected(self, keypair, rng):
+        other = SigningKey.generate(rng=rng)
+        signature = keypair.sign(b"msg", rng=rng)
+        assert not other.public.verify(b"msg", signature)
+
+    def test_tampered_signature_rejected(self, keypair, rng):
+        signature = keypair.sign(b"msg", rng=rng)
+        tampered = dataclasses.replace(signature, s=(signature.s + 1))
+        assert not keypair.public.verify(b"msg", tampered)
+
+    def test_signature_serialization(self, keypair, rng):
+        signature = keypair.sign(b"msg", rng=rng)
+        blob = signature.to_bytes()
+        assert len(blob) == 64
+        assert Signature.from_bytes(blob) == signature
+
+    def test_verifying_key_serialization(self, keypair):
+        blob = keypair.public.to_bytes()
+        restored = VerifyingKey.from_bytes(blob)
+        assert restored.point == keypair.public.point
+        assert restored.address() == keypair.public.address()
+
+    def test_fresh_nonce_per_signature(self, keypair, rng):
+        s1 = keypair.sign(b"msg", rng=rng)
+        s2 = keypair.sign(b"msg", rng=rng)
+        assert s1.nonce_point != s2.nonce_point  # nonce reuse leaks the key
+
+    @settings(max_examples=5, deadline=None)
+    @given(st.binary(min_size=0, max_size=64))
+    def test_arbitrary_messages(self, message):
+        key = SigningKey(secret=123456789)
+        assert key.public.verify(message, key.sign(message))
+
+    def test_malformed_signature_bytes(self):
+        with pytest.raises(ValueError):
+            Signature.from_bytes(b"\x00" * 63)
+
+
+def _signed_tx(chain, signing_key, address, to, value=0, method=None, args=()):
+    tx = Transaction(
+        sender=address, to=to, method=method, args=args, value=value,
+        nonce=chain.nonce_of(address), public_key=signing_key.public.to_bytes(),
+    )
+    tx.signature = signing_key.sign(tx.signing_payload()).to_bytes()
+    return tx
+
+
+class TestSignedChain:
+    @pytest.fixture()
+    def signed_chain(self, rng):
+        chain = Blockchain(require_signatures=True)
+        alice_key = SigningKey.generate(rng=rng)
+        alice = chain.register_signer(alice_key.public.to_bytes(), balance_eth=5.0)
+        bob_key = SigningKey.generate(rng=rng)
+        bob = chain.register_signer(bob_key.public.to_bytes(), balance_eth=1.0)
+        return chain, alice_key, alice, bob_key, bob
+
+    def test_signed_transfer_succeeds(self, signed_chain):
+        chain, alice_key, alice, _, bob = signed_chain
+        tx = _signed_tx(chain, alice_key, alice, bob, value=WEI_PER_ETH)
+        receipt = chain.transact(tx)
+        assert receipt.success, receipt.error
+        assert chain.balance_of_eth(bob) == 2.0
+
+    def test_unsigned_transfer_rejected(self, signed_chain):
+        chain, _, alice, _, bob = signed_chain
+        receipt = chain.transact(
+            Transaction(sender=alice, to=bob, value=WEI_PER_ETH)
+        )
+        assert not receipt.success
+        assert "authentication" in receipt.error
+        assert chain.balance_of_eth(bob) == 1.0
+
+    def test_forged_sender_rejected(self, signed_chain):
+        """Bob signs, but claims to be Alice: must fail."""
+        chain, _, alice, bob_key, bob = signed_chain
+        tx = Transaction(
+            sender=alice, to=bob, value=WEI_PER_ETH,
+            nonce=chain.nonce_of(alice),
+            public_key=bob_key.public.to_bytes(),
+        )
+        tx.signature = bob_key.sign(tx.signing_payload()).to_bytes()
+        receipt = chain.transact(tx)
+        assert not receipt.success
+        assert "does not match" in receipt.error
+
+    def test_replay_rejected_by_nonce(self, signed_chain):
+        chain, alice_key, alice, _, bob = signed_chain
+        tx = _signed_tx(chain, alice_key, alice, bob, value=WEI_PER_ETH // 10)
+        assert chain.transact(tx).success
+        replay = chain.transact(tx)  # identical bytes, stale nonce
+        assert not replay.success
+        assert "nonce" in replay.error
+
+    def test_tampered_value_rejected(self, signed_chain):
+        chain, alice_key, alice, _, bob = signed_chain
+        tx = _signed_tx(chain, alice_key, alice, bob, value=WEI_PER_ETH // 10)
+        tx.value = WEI_PER_ETH  # mutate after signing
+        receipt = chain.transact(tx)
+        assert not receipt.success
+
+    def test_unknown_account_rejected(self, signed_chain, rng):
+        chain, _, _, _, bob = signed_chain
+        mallory_key = SigningKey.generate(rng=rng)
+        tx = Transaction(
+            sender="0x" + "ab" * 20, to=bob, value=1,
+            public_key=mallory_key.public.to_bytes(),
+        )
+        tx.signature = mallory_key.sign(tx.signing_payload()).to_bytes()
+        receipt = chain.transact(tx)
+        assert not receipt.success
+
+    def test_scheduler_exempt(self, signed_chain):
+        """Scheduled (system) calls keep working in strict mode."""
+        chain, alice_key, alice, _, _ = signed_chain
+        from repro.chain.blockchain import Contract
+
+        class Ping(Contract):
+            count = 0
+
+            def ping(self, ctx):
+                Ping.count += 1
+
+        contract = Ping()
+        address = chain.deploy(contract, deployer=alice)
+        chain.schedule_call(address, "ping", delay=1.0)
+        chain.mine_block()
+        assert Ping.count == 1
+
+    def test_permissive_mode_unchanged(self, rng):
+        """Default chains accept unsigned transactions as before."""
+        chain = Blockchain()
+        a = chain.create_account(1.0)
+        b = chain.create_account(0.0)
+        assert chain.transact(Transaction(sender=a, to=b, value=10**17)).success

@@ -1,0 +1,65 @@
+"""Shared fixtures.
+
+Pairing operations cost tens of milliseconds in pure Python, so expensive
+artefacts (keypairs, outsourcing packages, SNARK setups) are built once per
+session with small-but-representative parameters.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import (
+    DataOwner,
+    OutsourcingPackage,
+    ProtocolParams,
+    StorageProvider,
+    generate_keypair,
+)
+from repro.sim.workloads import archive_file
+
+
+@pytest.fixture(scope="session")
+def rng() -> random.Random:
+    return random.Random(0xA0D17)
+
+
+@pytest.fixture(scope="session")
+def params() -> ProtocolParams:
+    """Small protocol parameters: s=6 blocks/chunk, k=4 challenged."""
+    return ProtocolParams(s=6, k=4)
+
+
+@pytest.fixture(scope="session")
+def keypair(params, rng):
+    return generate_keypair(params.s, private_auditing=True, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def file_bytes() -> bytes:
+    return archive_file(1200, tag="test-archive").data
+
+
+@pytest.fixture(scope="session")
+def owner(params, rng) -> DataOwner:
+    return DataOwner(params, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def package(owner, file_bytes) -> OutsourcingPackage:
+    return owner.prepare(file_bytes)
+
+
+@pytest.fixture()
+def provider(rng) -> StorageProvider:
+    return StorageProvider(rng=rng)
+
+
+@pytest.fixture(scope="session")
+def accepted_provider(package, rng) -> StorageProvider:
+    """A provider that has validated and stored the session package."""
+    provider = StorageProvider(rng=rng)
+    assert provider.accept(package)
+    return provider

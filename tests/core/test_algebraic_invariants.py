@@ -1,0 +1,150 @@
+"""Algebraic invariants of the HLA construction, tested directly.
+
+These pin the *why* behind the protocol: the homomorphism of the
+authenticators, the KZG evaluation identity in the exponent, and the
+linearity the aggregation relies on.  Small s/k keep group operations
+affordable; the algebra is scale-free.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import generate_keypair, random_challenge
+from repro.core.authenticator import block_digest_point, generate_authenticators
+from repro.core.chunking import chunk_file
+from repro.core.params import ProtocolParams
+from repro.core.polynomial import evaluate, linear_combination, quotient_by_linear
+from repro.crypto.bn254 import (
+    CURVE_ORDER,
+    G1Point,
+    G2Point,
+    multi_scalar_mul,
+    pairing,
+    pairing_check,
+)
+
+
+@pytest.fixture(scope="module")
+def instance(rng):
+    params = ProtocolParams(s=4, k=3)
+    keypair = generate_keypair(params.s, rng=rng)
+    chunked = chunk_file(bytes(range(256)) * 2, params, name=1234)
+    authenticators = generate_authenticators(chunked, keypair)
+    return params, keypair, chunked, authenticators
+
+
+class TestHlaHomomorphism:
+    def test_single_authenticator_equation(self, instance):
+        """e(sigma_i, g2) == e(g1^{M_i(alpha)} * H_i, eps)."""
+        _, keypair, chunked, auths = instance
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        for index in (0, 1):
+            m_alpha = evaluate(chunked.chunks[index], keypair.secret.alpha)
+            commitment = g1 * m_alpha + block_digest_point(chunked.name, index)
+            assert pairing(auths[index], g2) == pairing(
+                commitment, keypair.public.epsilon
+            )
+
+    def test_aggregation_is_homomorphic(self, instance):
+        """prod sigma_i^{c_i} authenticates the combined polynomial.
+
+        This is the linchpin: the k-term MSM the prover computes equals
+        the authenticator of sum_i c_i M_i plus the combined digests.
+        """
+        _, keypair, chunked, auths = instance
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        coefficients = [7, 11, 13]
+        indices = [0, 1, 2]
+        aggregated = multi_scalar_mul([auths[i] for i in indices], coefficients)
+        combined_poly = linear_combination(
+            [chunked.chunks[i] for i in indices], coefficients
+        )
+        combined_alpha = evaluate(combined_poly, keypair.secret.alpha)
+        chi = multi_scalar_mul(
+            [block_digest_point(chunked.name, i) for i in indices], coefficients
+        )
+        expected_base = g1 * combined_alpha + chi
+        assert pairing(aggregated, g2) == pairing(
+            expected_base, keypair.public.epsilon
+        )
+
+    def test_kzg_identity_in_exponent(self, instance):
+        """e(g1^{Q(alpha)}, g2^{alpha - r}) == e(g1^{P(alpha) - P(r)}, g2)."""
+        _, keypair, chunked, _ = instance
+        g1, g2 = G1Point.generator(), G2Point.generator()
+        alpha = keypair.secret.alpha
+        poly = list(chunked.chunks[0])
+        point = 987654321
+        y = evaluate(poly, point)
+        quotient = quotient_by_linear(poly, point)
+        psi = multi_scalar_mul(
+            list(keypair.public.powers[: len(quotient)]), quotient
+        )
+        lhs_g2 = g2 * ((alpha - point) % CURVE_ORDER)
+        value = (evaluate(poly, alpha) - y) % CURVE_ORDER
+        assert pairing(psi, lhs_g2) == pairing(g1 * value, g2)
+
+    def test_delta_is_epsilon_to_alpha(self, instance):
+        """The verification's G2-side term: delta * eps^{-r} = eps^{alpha-r}."""
+        _, keypair, _, _ = instance
+        alpha = keypair.secret.alpha
+        r = 424242
+        combined = keypair.public.delta - keypair.public.epsilon * r
+        expected = keypair.public.epsilon * ((alpha - r) % CURVE_ORDER)
+        assert combined == expected
+
+    def test_masking_is_affine(self, instance, rng):
+        """y' reconstructs y given (zeta, z): the Sigma algebra, no groups."""
+        from repro.crypto.bn254 import hash_gt_to_scalar, gt_pow
+
+        _, keypair, _, _ = instance
+        y = 123456789
+        z = 987654321
+        commitment = gt_pow(keypair.public.pairing_base, z)
+        zeta = hash_gt_to_scalar(commitment)
+        y_masked = (zeta * y + z) % CURVE_ORDER
+        recovered = (y_masked - z) * pow(zeta, -1, CURVE_ORDER) % CURVE_ORDER
+        assert recovered == y
+
+
+class TestSerializationFuzz:
+    def test_random_bytes_never_crash_g1_decoder(self, rng):
+        """Decoder totality: arbitrary 32 bytes either parse or raise."""
+        from repro.crypto.bn254 import DeserializationError, g1_from_bytes
+
+        parsed = 0
+        for _ in range(300):
+            blob = bytes(rng.randrange(256) for _ in range(32))
+            try:
+                point = g1_from_bytes(blob)
+                assert point.is_on_curve()
+                parsed += 1
+            except DeserializationError:
+                pass
+        # About half of random x values are on-curve.
+        assert 0 < parsed < 300
+
+    def test_random_bytes_never_crash_proof_decoder(self, rng):
+        from repro.core.proof import PrivateProof
+
+        for _ in range(60):
+            blob = bytes(rng.randrange(256) for _ in range(288))
+            try:
+                proof = PrivateProof.from_bytes(blob)
+                assert proof.sigma.is_on_curve()
+                assert proof.psi.is_on_curve()
+            except ValueError:
+                pass
+
+    def test_random_bytes_never_crash_gt_decoder(self, rng):
+        from repro.crypto.bn254 import DeserializationError, gt_from_bytes
+
+        for _ in range(40):
+            blob = bytes(rng.randrange(256) for _ in range(192))
+            try:
+                element = gt_from_bytes(blob)
+                # Torus decompression always yields unitary elements.
+                assert (element * element.conjugate()).is_one()
+            except DeserializationError:
+                pass

@@ -1,0 +1,135 @@
+"""The Section V-C privacy attack: works on plain proofs, fails on private."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import (
+    EclipseChallengeFactory,
+    InterpolationAttacker,
+    Prover,
+    transcript_from_plain,
+    transcript_from_private,
+    transcripts_needed,
+)
+from repro.core.attacks import mask_looks_uniform
+from repro.core.params import ProtocolParams
+
+
+@pytest.fixture(scope="module")
+def attack_setup(package, rng):
+    params = ProtocolParams(s=6, k=4)
+    prover = Prover(
+        package.chunked, package.public, list(package.authenticators), rng=rng
+    )
+    return params, prover
+
+
+def _run_attack(params, prover, package, respond, to_transcript, rng):
+    """Drive the eclipse scenario: k pinned sets x s evaluation points."""
+    factory = EclipseChallengeFactory(params, rng=rng)
+    attacker = InterpolationAttacker(params, package.chunked.num_chunks)
+    c1, _ = factory.fresh_set_seeds()
+    target = None
+    for _ in range(params.k):
+        _, c2 = factory.fresh_set_seeds()
+        for _ in range(params.s):
+            challenge = factory.challenge(c1, c2)
+            proof = respond(challenge)
+            attacker.observe(to_transcript(challenge, proof))
+            if target is None:
+                target = challenge.expand(package.chunked.num_chunks).indices
+    return attacker, target
+
+
+class TestAttackOnPlainProofs:
+    def test_full_block_recovery(self, attack_setup, package, rng):
+        """s*u transcripts -> every raw block of the challenged chunks."""
+        params, prover = attack_setup
+        attacker, target = _run_attack(
+            params, prover, package, prover.respond_plain, transcript_from_plain, rng
+        )
+        assert attacker.transcripts_seen == transcripts_needed(params, params.k)
+        recovered = attacker.recover_blocks(target)
+        assert recovered is not None
+        for index in target:
+            assert list(package.chunked.chunks[index]) == recovered[index]
+
+    def test_insufficient_transcripts_fail(self, attack_setup, package, rng):
+        params, prover = attack_setup
+        factory = EclipseChallengeFactory(params, rng=rng)
+        attacker = InterpolationAttacker(params, package.chunked.num_chunks)
+        c1, c2 = factory.fresh_set_seeds()
+        # Only s-1 points for a single set: interpolation impossible.
+        target = None
+        for _ in range(params.s - 1):
+            challenge = factory.challenge(c1, c2)
+            attacker.observe(
+                transcript_from_plain(challenge, prover.respond_plain(challenge))
+            )
+            if target is None:
+                target = challenge.expand(package.chunked.num_chunks).indices
+        assert attacker.recover_combined_polynomials() == []
+        assert attacker.recover_blocks(target) is None
+
+    def test_combined_polynomial_matches_ground_truth(
+        self, attack_setup, package, rng
+    ):
+        """Stage 1 alone already leaks linear combinations of blocks."""
+        from repro.core.polynomial import linear_combination
+
+        params, prover = attack_setup
+        factory = EclipseChallengeFactory(params, rng=rng)
+        attacker = InterpolationAttacker(params, package.chunked.num_chunks)
+        c1, c2 = factory.fresh_set_seeds()
+        for _ in range(params.s):
+            challenge = factory.challenge(c1, c2)
+            attacker.observe(
+                transcript_from_plain(challenge, prover.respond_plain(challenge))
+            )
+        recovered = attacker.recover_combined_polynomials()
+        assert len(recovered) == 1
+        combo = recovered[0]
+        truth = linear_combination(
+            [package.chunked.chunks[i] for i in combo.indices],
+            list(combo.coefficients),
+        )
+        padded = combo.combined_polynomial + [0] * (
+            len(truth) - len(combo.combined_polynomial)
+        )
+        assert padded == truth
+
+
+class TestAttackOnPrivateProofs:
+    def test_attack_recovers_nothing(self, attack_setup, package, rng):
+        """The same pipeline on Sigma-masked proofs yields garbage."""
+        params, prover = attack_setup
+        attacker, target = _run_attack(
+            params, prover, package, prover.respond_private,
+            transcript_from_private, rng,
+        )
+        recovered = attacker.recover_blocks(target)
+        if recovered is None:
+            return  # singular system: even better for privacy
+        for index in target:
+            assert list(package.chunked.chunks[index]) != recovered[index]
+
+    def test_masked_values_look_uniform(self, attack_setup, package, params, rng):
+        from repro.core import random_challenge
+
+        _, prover = attack_setup
+        values = []
+        challenge = random_challenge(params, rng=rng)
+        for _ in range(80):
+            values.append(prover.respond_private(challenge).y_masked)
+        assert mask_looks_uniform(values)
+
+    def test_mask_uniformity_rejects_constant(self):
+        with pytest.raises(ValueError):
+            mask_looks_uniform([1] * 10)
+        assert not mask_looks_uniform([5] * 100)
+
+
+def test_transcripts_needed_formula():
+    params = ProtocolParams(s=50, k=300)
+    assert transcripts_needed(params, 10) == 500

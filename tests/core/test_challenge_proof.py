@@ -1,0 +1,107 @@
+"""Challenge expansion and proof codecs (exact paper byte sizes)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.challenge import Challenge, challenge_from_beacon, random_challenge
+from repro.core.params import ProtocolParams
+from repro.core.proof import (
+    PLAIN_PROOF_BYTES,
+    PRIVATE_PROOF_BYTES,
+    PlainProof,
+    PrivateProof,
+)
+
+
+class TestChallenge:
+    def test_size_is_48_bytes(self, params):
+        challenge = random_challenge(params)
+        assert challenge.byte_size() == 48  # Section VII-B
+        assert len(challenge.to_bytes()) == 48
+
+    def test_roundtrip(self, params, rng):
+        challenge = random_challenge(params, rng=rng)
+        restored = Challenge.from_bytes(challenge.to_bytes(), k=params.k)
+        assert restored == challenge
+
+    def test_expansion_deterministic(self, params, rng):
+        challenge = random_challenge(params, rng=rng)
+        a = challenge.expand(40)
+        b = challenge.expand(40)
+        assert a.indices == b.indices
+        assert a.coefficients == b.coefficients
+        assert a.point == b.point
+
+    def test_indices_distinct_and_in_range(self, params, rng):
+        challenge = random_challenge(params, rng=rng)
+        expanded = challenge.expand(37)
+        assert len(set(expanded.indices)) == len(expanded.indices)
+        assert all(0 <= i < 37 for i in expanded.indices)
+
+    def test_k_clamped_to_num_chunks(self, rng):
+        params = ProtocolParams(s=4, k=100)
+        challenge = random_challenge(params, rng=rng)
+        expanded = challenge.expand(7)
+        assert expanded.k == 7
+
+    def test_different_seeds_different_sets(self, params, rng):
+        c1 = random_challenge(params, rng=rng)
+        c2 = random_challenge(params, rng=rng)
+        assert (
+            c1.expand(50).indices != c2.expand(50).indices
+            or c1.expand(50).coefficients != c2.expand(50).coefficients
+        )
+
+    def test_from_beacon_deterministic(self, params):
+        a = challenge_from_beacon(b"\x01" * 32, params)
+        b = challenge_from_beacon(b"\x01" * 32, params)
+        assert a == b
+        assert a.byte_size() == 48
+
+    def test_mismatched_seed_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Challenge(c1=b"\x00" * 16, c2=b"\x00" * 16, r_seed=b"\x00" * 8, k=3)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            Challenge(c1=b"\x00" * 16, c2=b"\x00" * 16, r_seed=b"\x00" * 16, k=0)
+
+
+class TestProofCodecs:
+    def test_sizes_match_paper(self, accepted_provider, package, params, rng):
+        prover = accepted_provider.prover_for(package.name)
+        challenge = random_challenge(params, rng=rng)
+        plain = prover.respond_plain(challenge)
+        private = prover.respond_private(challenge)
+        assert len(plain.to_bytes()) == PLAIN_PROOF_BYTES == 96
+        assert len(private.to_bytes()) == PRIVATE_PROOF_BYTES == 288
+
+    def test_plain_roundtrip(self, accepted_provider, package, params, rng):
+        prover = accepted_provider.prover_for(package.name)
+        proof = prover.respond_plain(random_challenge(params, rng=rng))
+        assert PlainProof.from_bytes(proof.to_bytes()) == proof
+
+    def test_private_roundtrip(self, accepted_provider, package, params, rng):
+        prover = accepted_provider.prover_for(package.name)
+        proof = prover.respond_private(random_challenge(params, rng=rng))
+        restored = PrivateProof.from_bytes(proof.to_bytes())
+        assert restored.sigma == proof.sigma
+        assert restored.y_masked == proof.y_masked
+        assert restored.psi == proof.psi
+        assert restored.commitment == proof.commitment
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(ValueError):
+            PlainProof.from_bytes(b"\x00" * 95)
+        with pytest.raises(ValueError):
+            PrivateProof.from_bytes(b"\x00" * 287)
+
+    def test_noncanonical_scalar_rejected(self):
+        data = bytearray(288)
+        data[0] = 0x80  # sigma = infinity (valid)
+        data[32:64] = b"\xff" * 32  # y' >= r
+        data[64] = 0x80  # psi = infinity
+        with pytest.raises(ValueError):
+            PrivateProof.from_bytes(bytes(data))

@@ -1,0 +1,81 @@
+"""Chunking and protocol-parameter tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.chunking import ChunkedFile, chunk_file, corrupt_chunk
+from repro.core.params import ProtocolParams
+from repro.crypto.field import BLOCK_BYTES
+
+
+class TestParams:
+    def test_defaults_match_paper(self):
+        params = ProtocolParams()
+        assert params.s == 50
+        assert params.k == 300
+        assert params.challenge_bytes == 48  # Section VII-B
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProtocolParams(s=0)
+        with pytest.raises(ValueError):
+            ProtocolParams(k=0)
+        with pytest.raises(ValueError):
+            ProtocolParams(security_bits=100)
+
+    def test_storage_overhead_is_one_over_s(self):
+        """Paper: 'extra storage ... is only 1/s of the original data size'."""
+        params = ProtocolParams(s=50)
+        ratio = params.storage_overhead_ratio()
+        assert abs(ratio - 32 / (50 * 31)) < 1e-12
+        assert ratio < 1 / 40
+
+
+class TestChunking:
+    @settings(max_examples=25, deadline=None)
+    @given(st.binary(min_size=1, max_size=600), st.integers(min_value=1, max_value=9))
+    def test_roundtrip(self, data, s):
+        params = ProtocolParams(s=s, k=1)
+        chunked = chunk_file(data, params, name=42)
+        assert chunked.to_bytes() == data
+
+    def test_chunk_count(self):
+        data = b"\x01" * (31 * 10)  # exactly 10 blocks
+        chunked = chunk_file(data, ProtocolParams(s=4, k=1), name=1)
+        assert chunked.num_blocks == 10
+        assert chunked.num_chunks == 3  # ceil(10/4)
+        assert all(len(c) == 4 for c in chunked.chunks)
+
+    def test_last_chunk_padded_with_zeros(self):
+        data = b"\xff" * 31
+        chunked = chunk_file(data, ProtocolParams(s=3, k=1), name=1)
+        assert chunked.chunks[0][1] == 0
+        assert chunked.chunks[0][2] == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            chunk_file(b"", ProtocolParams(s=2, k=1), name=1)
+
+    def test_blocks_fit_field(self):
+        data = b"\xff" * 200
+        chunked = chunk_file(data, ProtocolParams(s=5, k=1), name=1)
+        from repro.crypto.bn254.constants import CURVE_ORDER
+
+        assert all(
+            0 <= block < CURVE_ORDER for chunk in chunked.chunks for block in chunk
+        )
+
+    def test_corrupt_chunk_changes_one_block(self):
+        data = b"\xaa" * 310
+        chunked = chunk_file(data, ProtocolParams(s=5, k=1), name=1)
+        corrupted = corrupt_chunk(chunked, 1, 2, delta=9)
+        assert corrupted.chunks[1][2] != chunked.chunks[1][2]
+        assert corrupted.chunks[0] == chunked.chunks[0]
+        assert corrupted.to_bytes() != data
+
+    def test_polynomial_view(self):
+        data = bytes(range(62))
+        chunked = chunk_file(data, ProtocolParams(s=2, k=1), name=1)
+        assert chunked.chunk_polynomial(0) == chunked.chunks[0]

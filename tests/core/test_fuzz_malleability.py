@@ -1,0 +1,173 @@
+"""Adversarial fuzzing: proof malleability and random contract actions.
+
+Soundness means more than "wrong data fails": *no bit manipulation of a
+valid proof* may verify, and *no sequence of transactions* may drive the
+contract into paying the wrong party or minting value.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.chain import (
+    Blockchain,
+    ContractTerms,
+    State,
+    Transaction,
+    deploy_audit_contract,
+    run_contract_to_completion,
+)
+from repro.core import (
+    DataOwner,
+    PrivateProof,
+    ProtocolParams,
+    Prover,
+    StorageProvider,
+    Verifier,
+    random_challenge,
+)
+from repro.randomness import HashChainBeacon
+
+
+@pytest.fixture(scope="module")
+def valid_instance(package, accepted_provider, params, rng):
+    challenge = random_challenge(params, rng=rng)
+    proof = accepted_provider.respond(package.name, challenge)
+    verifier = Verifier(package.public, package.name, package.num_chunks)
+    assert verifier.verify_private(challenge, proof)
+    return challenge, proof, verifier
+
+
+class TestProofMalleability:
+    @settings(max_examples=20, deadline=None,
+              suppress_health_check=[HealthCheck.function_scoped_fixture])
+    @given(position=st.integers(min_value=0, max_value=287),
+           bit=st.integers(min_value=0, max_value=7))
+    def test_single_bit_flips_never_verify(self, valid_instance, position, bit):
+        """Flip any single bit of the 288-byte proof: decode error or reject."""
+        challenge, proof, verifier = valid_instance
+        raw = bytearray(proof.to_bytes())
+        raw[position] ^= 1 << bit
+        try:
+            mutated = PrivateProof.from_bytes(bytes(raw))
+        except ValueError:
+            return  # refused at decode: fine
+        # A decodable mutation may coincidentally re-encode to the same
+        # group element (sign-bit of an infinity byte etc.); only a
+        # *semantically identical* proof may verify.
+        if mutated.to_bytes() == proof.to_bytes():
+            return
+        assert not verifier.verify_private(challenge, mutated)
+
+    def test_proof_fields_not_interchangeable(self, valid_instance):
+        challenge, proof, verifier = valid_instance
+        swapped = PrivateProof(
+            sigma=proof.psi,
+            y_masked=proof.y_masked,
+            psi=proof.sigma,
+            commitment=proof.commitment,
+        )
+        assert not verifier.verify_private(challenge, swapped)
+
+    def test_negated_points_fail(self, valid_instance):
+        challenge, proof, verifier = valid_instance
+        negated = PrivateProof(
+            sigma=-proof.sigma,
+            y_masked=proof.y_masked,
+            psi=proof.psi,
+            commitment=proof.commitment,
+        )
+        assert not verifier.verify_private(challenge, negated)
+
+    def test_commitment_inverse_fails(self, valid_instance):
+        challenge, proof, verifier = valid_instance
+        inverted = PrivateProof(
+            sigma=proof.sigma,
+            y_masked=proof.y_masked,
+            psi=proof.psi,
+            commitment=proof.commitment.conjugate(),
+        )
+        assert not verifier.verify_private(challenge, inverted)
+
+
+class TestContractFuzz:
+    """Random transaction storms against the Fig. 2 state machine."""
+
+    ACTIONS = ("negotiate", "acknowledge", "reject", "freeze", "submit_proof",
+               "trigger_challenge", "trigger_verify")
+
+    def _random_tx(self, chain, address, accounts, fuzz_rng, package):
+        sender = fuzz_rng.choice(accounts)
+        method = fuzz_rng.choice(self.ACTIONS)
+        args: tuple = ()
+        value = 0
+        if method == "negotiate":
+            args = (package.public, package.name, package.num_chunks)
+        elif method == "submit_proof":
+            args = (bytes(fuzz_rng.randrange(256) for _ in range(288)),)
+        elif method == "freeze":
+            value = fuzz_rng.choice([0, 10**15, 10**17])
+        return Transaction(
+            sender=sender, to=address, method=method, args=args, value=value
+        )
+
+    def test_random_action_storm_preserves_invariants(self, params, rng):
+        fuzz_rng = random.Random(0xF00D)
+        owner = DataOwner(params, rng=rng)
+        package = owner.prepare(b"\x66" * 500)
+        provider = StorageProvider(rng=rng)
+        assert provider.accept(package)
+        chain = Blockchain()
+        terms = ContractTerms(num_audits=2, audit_interval=60.0, response_window=20.0)
+        deployment = deploy_audit_contract(
+            chain, package, provider, terms, HashChainBeacon(b"fuzz"), params
+        )
+        contract = chain.contract_at(deployment.contract_address)
+        accounts = [
+            deployment.owner_account,
+            deployment.provider_account,
+            chain.create_account(5.0, label="outsider"),
+        ]
+        supply = chain.total_supply()
+        for _ in range(120):
+            tx = self._random_tx(
+                chain, deployment.contract_address, accounts, fuzz_rng, package
+            )
+            chain.transact(tx)
+            if fuzz_rng.random() < 0.3:
+                chain.mine_block()
+                deployment.provider_agent.on_block()
+            # Invariants after every action:
+            assert chain.total_supply() == supply, "value minted or burned"
+            assert contract.cnt <= terms.num_audits
+            assert contract.deposits[deployment.owner_account] >= 0
+            assert contract.deposits[deployment.provider_account] >= 0
+        # The contract can still finish normally afterwards.
+        if contract.state is not State.CLOSED:
+            final = run_contract_to_completion(chain, deployment)
+            assert final.state is State.CLOSED
+        assert chain.total_supply() == supply
+
+    def test_outsider_can_never_extract_funds(self, params, rng):
+        fuzz_rng = random.Random(0xCAFE)
+        owner = DataOwner(params, rng=rng)
+        package = owner.prepare(b"\x55" * 400)
+        provider = StorageProvider(rng=rng)
+        assert provider.accept(package)
+        chain = Blockchain()
+        terms = ContractTerms(num_audits=1, audit_interval=60.0, response_window=20.0)
+        deployment = deploy_audit_contract(
+            chain, package, provider, terms, HashChainBeacon(b"fuzz2"), params
+        )
+        outsider = chain.create_account(2.0, label="thief")
+        start_balance = chain.balance_of(outsider)
+        for _ in range(60):
+            tx = self._random_tx(
+                chain, deployment.contract_address, [outsider], fuzz_rng, package
+            )
+            chain.transact(tx)
+        # The outsider paid gas and value transfers but never gained.
+        assert chain.balance_of(outsider) <= start_balance

@@ -1,0 +1,157 @@
+"""Polynomial algebra: the identities the protocol's soundness rests on."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.polynomial import (
+    add,
+    evaluate,
+    evaluate_naive,
+    evaluate_on_domain,
+    interpolate_on_domain,
+    lagrange_interpolate,
+    linear_combination,
+    mul,
+    ntt,
+    quotient_by_linear,
+    root_of_unity,
+    scalar_mul,
+    solve_linear_system,
+)
+from repro.crypto.bn254.constants import CURVE_ORDER as R
+
+coeff = st.integers(min_value=0, max_value=R - 1)
+polys = st.lists(coeff, min_size=1, max_size=12)
+points = st.integers(min_value=0, max_value=R - 1)
+
+
+@settings(max_examples=40, deadline=None)
+@given(polys, points)
+def test_horner_matches_naive(coefficients, x):
+    assert evaluate(coefficients, x) == evaluate_naive(coefficients, x)
+
+
+@settings(max_examples=40, deadline=None)
+@given(polys, points)
+def test_quotient_identity(coefficients, r):
+    """(x - r) * Q(x) + P(r) == P(x): the KZG division property."""
+    quotient = quotient_by_linear(coefficients, r)
+    reconstructed = add(mul(quotient, [(-r) % R, 1]), [evaluate(coefficients, r)])
+    # Compare as functions (pad lengths).
+    for x in (0, 1, 7, r, R - 2):
+        assert evaluate(reconstructed, x) == evaluate(coefficients, x)
+
+
+@settings(max_examples=20, deadline=None)
+@given(polys, polys, points)
+def test_mul_evaluates_correctly(a, b, x):
+    assert evaluate(mul(a, b), x) == evaluate(a, x) * evaluate(b, x) % R
+
+
+@settings(max_examples=20, deadline=None)
+@given(polys, polys, points, points)
+def test_linear_combination(a, b, c1, c2):
+    combo = linear_combination([a, b], [c1, c2])
+    for x in (0, 3, 11):
+        expected = (c1 * evaluate(a, x) + c2 * evaluate(b, x)) % R
+        assert evaluate(combo, x) == expected
+
+
+def test_linear_combination_mismatched():
+    with pytest.raises(ValueError):
+        linear_combination([[1]], [1, 2])
+
+
+@settings(max_examples=15, deadline=None)
+@given(st.lists(st.tuples(points, points), min_size=1, max_size=8, unique_by=lambda t: t[0]))
+def test_lagrange_interpolation(pts):
+    poly = lagrange_interpolate(pts)
+    assert len(poly) <= len(pts)
+    for x, y in pts:
+        assert evaluate(poly, x) == y % R
+
+
+def test_lagrange_duplicate_x_rejected():
+    with pytest.raises(ValueError):
+        lagrange_interpolate([(1, 2), (1, 3)])
+
+
+def test_lagrange_recovers_exact_coefficients():
+    """The attack's key step: s evaluations recover a degree s-1 polynomial."""
+    poly = [5, 7, 11, 13]
+    pts = [(x, evaluate(poly, x)) for x in (2, 4, 8, 16)]
+    recovered = lagrange_interpolate(pts)
+    assert recovered == poly
+
+
+class TestLinearSystem:
+    def test_identity(self):
+        assert solve_linear_system([[1, 0], [0, 1]], [4, 9]) == [4, 9]
+
+    def test_known_solution(self):
+        # 2x + y = 12, x + 3y = 16 -> x = 4, y = 4.
+        assert solve_linear_system([[2, 1], [1, 3]], [12, 16]) == [4, 4]
+
+    def test_singular_raises(self):
+        with pytest.raises(ValueError):
+            solve_linear_system([[1, 2], [2, 4]], [3, 6])
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            solve_linear_system([[1, 2]], [3])
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.lists(st.lists(coeff, min_size=3, max_size=3), min_size=3, max_size=3),
+           st.lists(coeff, min_size=3, max_size=3))
+    def test_solution_satisfies_system(self, matrix, rhs):
+        try:
+            solution = solve_linear_system(matrix, rhs)
+        except ValueError:
+            return  # singular, fine
+        for row, b in zip(matrix, rhs):
+            assert sum(a * x for a, x in zip(row, solution)) % R == b % R
+
+
+class TestNtt:
+    def test_root_of_unity_orders(self):
+        for log in (1, 2, 8, 16):
+            omega = root_of_unity(1 << log)
+            assert pow(omega, 1 << log, R) == 1
+            assert pow(omega, 1 << (log - 1), R) != 1
+
+    def test_root_of_unity_invalid(self):
+        with pytest.raises(ValueError):
+            root_of_unity(3)
+        with pytest.raises(ValueError):
+            root_of_unity(1 << 29)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.lists(coeff, min_size=8, max_size=8))
+    def test_ntt_roundtrip(self, values):
+        assert ntt(ntt(values), invert=True) == [v % R for v in values]
+
+    def test_ntt_bad_length(self):
+        with pytest.raises(ValueError):
+            ntt([1, 2, 3])
+
+    def test_ntt_matches_direct_evaluation(self):
+        poly = [3, 1, 4, 1, 5, 9, 2, 6]
+        omega = root_of_unity(8)
+        evaluations = ntt(poly)
+        for i in range(8):
+            assert evaluations[i] == evaluate(poly, pow(omega, i, R))
+
+    def test_domain_interpolation_roundtrip(self):
+        poly = [17, 0, 3]
+        evals = evaluate_on_domain(poly, 8)
+        recovered = interpolate_on_domain(evals)
+        assert recovered[:3] == poly
+        assert all(c == 0 for c in recovered[3:])
+
+
+def test_scalar_mul_and_add():
+    assert scalar_mul([1, 2], 3) == [3, 6]
+    assert add([1, 2], [3]) == [4, 2]
+    assert add([], [1]) == [1]

@@ -1,0 +1,180 @@
+"""Field-tower tests: axioms, Frobenius, cyclotomic squaring, square roots."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.bn254.constants import CURVE_ORDER, FIELD_MODULUS as P
+from repro.crypto.bn254.fields import Fp2, Fp6, Fp12, fp_sqrt
+from repro.crypto.bn254.curve import G1Point, G2Point
+from repro.crypto.bn254.pairing import pairing
+
+fp_elements = st.integers(min_value=0, max_value=P - 1)
+
+
+def fp2_strategy():
+    return st.builds(Fp2, fp_elements, fp_elements)
+
+
+def fp6_strategy():
+    return st.builds(Fp6, fp2_strategy(), fp2_strategy(), fp2_strategy())
+
+
+def fp12_strategy():
+    return st.builds(Fp12, fp6_strategy(), fp6_strategy())
+
+
+class TestFp:
+    def test_sqrt_roundtrip(self):
+        for value in (4, 9, 1234567, P - 5):
+            square = value * value % P
+            root = fp_sqrt(square)
+            assert root is not None
+            assert root * root % P == square
+
+    def test_sqrt_of_non_residue_is_none(self):
+        # -1 is a QR iff p = 1 mod 4; BN254's p = 3 mod 4, so it is not.
+        assert P % 4 == 3
+        assert fp_sqrt(P - 1) is None
+
+    def test_sqrt_zero(self):
+        assert fp_sqrt(0) == 0
+
+
+class TestFp2:
+    @settings(max_examples=50, deadline=None)
+    @given(fp2_strategy(), fp2_strategy(), fp2_strategy())
+    def test_ring_axioms(self, a, b, c):
+        assert (a + b) + c == a + (b + c)
+        assert a + b == b + a
+        assert (a * b) * c == a * (b * c)
+        assert a * b == b * a
+        assert a * (b + c) == a * b + a * c
+
+    @settings(max_examples=25, deadline=None)
+    @given(fp2_strategy())
+    def test_inverse(self, a):
+        if a.is_zero():
+            with pytest.raises(ZeroDivisionError):
+                a.inverse()
+        else:
+            assert a * a.inverse() == Fp2.one()
+
+    @settings(max_examples=25, deadline=None)
+    @given(fp2_strategy())
+    def test_square_matches_mul(self, a):
+        assert a.square() == a * a
+
+    @settings(max_examples=25, deadline=None)
+    @given(fp2_strategy())
+    def test_conjugate_is_frobenius(self, a):
+        assert a.conjugate() == a ** P
+
+    @settings(max_examples=20, deadline=None)
+    @given(fp2_strategy())
+    def test_sqrt_of_square(self, a):
+        root = a.square().sqrt()
+        assert root is not None
+        assert root.square() == a.square()
+
+    def test_sqrt_nonresidue_returns_none(self):
+        # Exhibit a non-residue: if x has no root, sqrt must say so.
+        candidate = Fp2(5, 7)
+        root = candidate.sqrt()
+        if root is not None:
+            assert root.square() == candidate
+
+    @settings(max_examples=25, deadline=None)
+    @given(fp2_strategy())
+    def test_mul_by_xi_matches_explicit(self, a):
+        from repro.crypto.bn254.fields import XI
+
+        assert a.mul_by_xi() == a * XI
+
+
+class TestFp6:
+    @settings(max_examples=20, deadline=None)
+    @given(fp6_strategy(), fp6_strategy(), fp6_strategy())
+    def test_ring_axioms(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+        assert a * (b + c) == a * b + a * c
+
+    @settings(max_examples=15, deadline=None)
+    @given(fp6_strategy())
+    def test_inverse(self, a):
+        if a.is_zero():
+            return
+        assert a * a.inverse() == Fp6.one()
+
+    @settings(max_examples=15, deadline=None)
+    @given(fp6_strategy())
+    def test_square_matches_mul(self, a):
+        assert a.square() == a * a
+
+    @settings(max_examples=15, deadline=None)
+    @given(fp6_strategy())
+    def test_mul_by_v_matches_shift(self, a):
+        v = Fp6(Fp2.zero(), Fp2.one(), Fp2.zero())
+        assert a.mul_by_v() == a * v
+
+
+class TestFp12:
+    @settings(max_examples=10, deadline=None)
+    @given(fp12_strategy(), fp12_strategy(), fp12_strategy())
+    def test_ring_axioms(self, a, b, c):
+        assert (a * b) * c == a * (b * c)
+        assert a * (b + c) == a * b + a * c
+
+    @settings(max_examples=10, deadline=None)
+    @given(fp12_strategy())
+    def test_inverse(self, a):
+        if a.is_zero():
+            return
+        assert a * a.inverse() == Fp12.one()
+
+    @settings(max_examples=10, deadline=None)
+    @given(fp12_strategy())
+    def test_square_matches_mul(self, a):
+        assert a.square() == a * a
+
+    @settings(max_examples=3, deadline=None)
+    @given(fp12_strategy())
+    def test_frobenius_matches_pow(self, a):
+        assert a.frobenius(1) == a ** P
+
+    def test_frobenius_powers_compose(self):
+        g = pairing(G1Point.generator(), G2Point.generator())
+        assert g.frobenius(1).frobenius(1) == g.frobenius(2)
+        assert g.frobenius(2).frobenius(1) == g.frobenius(3)
+
+    def test_frobenius_invalid_power(self):
+        with pytest.raises(ValueError):
+            Fp12.one().frobenius(4)
+
+    def test_cyclotomic_square_in_gt(self):
+        """Granger-Scott squaring agrees with generic squaring on GT."""
+        g = pairing(G1Point.generator(), G2Point.generator())
+        current = g
+        for _ in range(4):
+            assert current.cyclotomic_square() == current.square()
+            current = current * g
+
+    def test_unitary_conjugate_is_inverse(self):
+        g = pairing(G1Point.generator(), G2Point.generator())
+        assert g * g.conjugate() == Fp12.one()
+
+    def test_pow_t_matches_pow(self):
+        from repro.crypto.bn254.constants import BN_T
+
+        g = pairing(G1Point.generator(), G2Point.generator())
+        assert g.pow_t(BN_T) == g**BN_T
+
+    def test_pow_negative_exponent(self):
+        g = pairing(G1Point.generator(), G2Point.generator())
+        assert g ** (-3) == (g**3).inverse()
+
+    def test_pow_modular_consistency(self):
+        g = pairing(G1Point.generator(), G2Point.generator())
+        assert g**CURVE_ORDER == Fp12.one()
+        assert g ** (CURVE_ORDER + 5) == g**5

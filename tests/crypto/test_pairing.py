@@ -1,0 +1,94 @@
+"""Pairing tests: bilinearity, non-degeneracy, product optimisation."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.bn254 import (
+    CURVE_ORDER,
+    G1Point,
+    G2Point,
+    final_exponentiation,
+    miller_loop,
+    miller_loop_product,
+    pairing,
+    pairing_check,
+    pairing_product,
+)
+from repro.crypto.bn254.fields import Fp12
+
+G1 = G1Point.generator()
+G2 = G2Point.generator()
+E = pairing(G1, G2)
+
+small = st.integers(min_value=1, max_value=2**20)
+
+
+def test_non_degenerate():
+    assert not E.is_one()
+
+
+def test_order_r():
+    assert (E**CURVE_ORDER).is_one()
+    assert not (E ** (CURVE_ORDER - 1)).is_one()
+
+
+@settings(max_examples=5, deadline=None)
+@given(small, small)
+def test_bilinearity(a, b):
+    assert pairing(G1 * a, G2 * b) == E ** (a * b)
+
+
+def test_bilinearity_left_linear():
+    a, b = 91, 17
+    lhs = pairing(G1 * a + G1 * b, G2)
+    assert lhs == pairing(G1 * a, G2) * pairing(G1 * b, G2)
+
+
+def test_bilinearity_right_linear():
+    a, b = 5, 44
+    lhs = pairing(G1, G2 * a + G2 * b)
+    assert lhs == pairing(G1, G2 * a) * pairing(G1, G2 * b)
+
+
+def test_infinity_pairs_to_one():
+    assert pairing(G1Point.infinity(), G2).is_one()
+    assert pairing(G1, G2Point.infinity()).is_one()
+
+
+def test_pairing_product_matches_individual():
+    pairs = [(G1 * 3, G2 * 5), (G1 * 7, G2 * 2), (-G1, G2 * 4)]
+    individual = Fp12.one()
+    for p, q in pairs:
+        individual = individual * pairing(p, q)
+    assert pairing_product(pairs) == individual
+
+
+def test_pairing_check_cancellation():
+    assert pairing_check([(G1 * 6, G2), (-G1, G2 * 6)])
+    assert not pairing_check([(G1 * 6, G2), (-G1, G2 * 5)])
+
+
+def test_pairing_check_empty():
+    assert pairing_check([])
+
+
+def test_miller_loop_product_shares_final_exp():
+    pairs = [(G1 * 2, G2 * 3), (G1 * 4, G2)]
+    combined = final_exponentiation(miller_loop_product(pairs))
+    assert combined == pairing(G1 * 2, G2 * 3) * pairing(G1 * 4, G2)
+
+
+def test_negation_symmetry():
+    assert pairing(-G1, G2) == pairing(G1, -G2)
+    assert pairing(-G1, G2) == E.conjugate()
+
+
+def test_output_is_unitary():
+    assert (E * E.conjugate()).is_one()
+
+
+def test_miller_loop_raw_not_normalized():
+    """Before final exponentiation, values are not comparable."""
+    raw = miller_loop(G1, G2)
+    assert final_exponentiation(raw) == E

@@ -1,0 +1,71 @@
+"""Batch Schnorr verification (block-level signature checking)."""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.crypto.schnorr import SigningKey, verify_batch
+
+
+@pytest.fixture(scope="module")
+def signed_items(rng):
+    items = []
+    for index in range(5):
+        key = SigningKey.generate(rng=rng)
+        message = f"tx-{index}".encode()
+        items.append((key.public, message, key.sign(message, rng=rng)))
+    return items
+
+
+def test_batch_accepts_all_valid(signed_items, rng):
+    assert verify_batch(signed_items, rng=rng)
+
+
+def test_batch_rejects_one_forged(signed_items, rng):
+    forged = list(signed_items)
+    key, message, signature = forged[2]
+    forged[2] = (key, message, dataclasses.replace(signature, s=signature.s + 1))
+    assert not verify_batch(forged, rng=rng)
+
+
+def test_batch_rejects_swapped_messages(signed_items, rng):
+    swapped = list(signed_items)
+    k0, m0, s0 = swapped[0]
+    k1, m1, s1 = swapped[1]
+    swapped[0] = (k0, m1, s0)
+    swapped[1] = (k1, m0, s1)
+    assert not verify_batch(swapped, rng=rng)
+
+
+def test_batch_rejects_key_substitution(signed_items, rng):
+    substituted = list(signed_items)
+    other = SigningKey.generate(rng=rng)
+    _, message, signature = substituted[3]
+    substituted[3] = (other.public, message, signature)
+    assert not verify_batch(substituted, rng=rng)
+
+
+def test_empty_batch(rng):
+    assert verify_batch([], rng=rng)
+
+
+def test_single_item_batch(signed_items, rng):
+    assert verify_batch(signed_items[:1], rng=rng)
+
+
+def test_cancellation_attack_defeated(rng):
+    """Two invalid signatures crafted so their *unweighted* sum cancels
+    must not pass: the random weights break the cancellation."""
+    from repro.crypto.bn254 import CURVE_ORDER
+
+    key = SigningKey.generate(rng=rng)
+    message = b"target"
+    good = key.sign(message, rng=rng)
+    # Shift one signature up and another down by the same delta.
+    delta = 12345
+    up = dataclasses.replace(good, s=(good.s + delta) % CURVE_ORDER)
+    down = dataclasses.replace(good, s=(good.s - delta) % CURVE_ORDER)
+    items = [(key.public, message, up), (key.public, message, down)]
+    assert not verify_batch(items, rng=rng)

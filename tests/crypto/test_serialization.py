@@ -1,0 +1,131 @@
+"""Canonical encodings: roundtrips, exact paper sizes, malformed inputs."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.crypto.bn254 import (
+    CURVE_ORDER,
+    G1Point,
+    G2Point,
+    DeserializationError,
+    g1_from_bytes,
+    g1_to_bytes,
+    g1_to_bytes_uncompressed,
+    g2_from_bytes,
+    g2_to_bytes,
+    g2_to_bytes_uncompressed,
+    gt_from_bytes,
+    gt_to_bytes,
+    gt_to_bytes_uncompressed,
+    pairing,
+)
+from repro.crypto.bn254.fields import Fp12
+
+G1 = G1Point.generator()
+G2 = G2Point.generator()
+
+small = st.integers(min_value=1, max_value=2**48)
+
+
+class TestG1Serialization:
+    @settings(max_examples=15, deadline=None)
+    @given(small)
+    def test_roundtrip(self, k):
+        point = G1 * k
+        assert g1_from_bytes(g1_to_bytes(point)) == point
+
+    def test_sizes_match_paper(self):
+        assert len(g1_to_bytes(G1)) == 32           # |G1| = 256 bits
+        assert len(g1_to_bytes_uncompressed(G1)) == 64
+
+    def test_infinity_roundtrip(self):
+        data = g1_to_bytes(G1Point.infinity())
+        assert g1_from_bytes(data).is_infinity()
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DeserializationError):
+            g1_from_bytes(b"\x00" * 31)
+
+    def test_not_on_curve_rejected(self):
+        # x = 0 gives y^2 = 3, a non-residue mod p.
+        with pytest.raises(DeserializationError):
+            g1_from_bytes(b"\x00" * 32)
+
+    def test_noncanonical_field_element_rejected(self):
+        data = b"\x3f" + b"\xff" * 31  # > p with flags stripped
+        with pytest.raises(DeserializationError):
+            g1_from_bytes(data)
+
+    def test_malformed_infinity_rejected(self):
+        data = bytearray(g1_to_bytes(G1Point.infinity()))
+        data[5] = 1
+        with pytest.raises(DeserializationError):
+            g1_from_bytes(bytes(data))
+
+    def test_sign_bit_distinguishes_negation(self):
+        point = G1 * 99
+        assert g1_to_bytes(point) != g1_to_bytes(-point)
+        assert g1_from_bytes(g1_to_bytes(-point)) == -point
+
+
+class TestG2Serialization:
+    @settings(max_examples=6, deadline=None)
+    @given(small)
+    def test_roundtrip(self, k):
+        point = G2 * k
+        assert g2_from_bytes(g2_to_bytes(point)) == point
+
+    def test_sizes_match_paper(self):
+        assert len(g2_to_bytes(G2)) == 64           # |G2| = 512 bits
+        assert len(g2_to_bytes_uncompressed(G2)) == 128
+
+    def test_infinity_roundtrip(self):
+        assert g2_from_bytes(g2_to_bytes(G2Point.infinity())).is_infinity()
+
+    def test_subgroup_check_option(self):
+        data = g2_to_bytes(G2 * 7)
+        assert g2_from_bytes(data, check_subgroup=True) == G2 * 7
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DeserializationError):
+            g2_from_bytes(b"\x00" * 63)
+
+
+class TestGTSerialization:
+    def test_roundtrip(self):
+        element = pairing(G1, G2)
+        data = gt_to_bytes(element)
+        assert gt_from_bytes(data) == element
+
+    def test_sizes_match_paper(self):
+        element = pairing(G1, G2)
+        assert len(gt_to_bytes(element)) == 192      # |GT| = 1536 bits
+        assert len(gt_to_bytes_uncompressed(element)) == 384
+
+    def test_identity_reserved_encoding(self):
+        data = gt_to_bytes(Fp12.one())
+        assert data == bytes(192)
+        assert gt_from_bytes(data).is_one()
+
+    def test_roundtrip_powers(self):
+        base = pairing(G1, G2)
+        for exponent in (2, 3, 12345, CURVE_ORDER - 1):
+            element = base**exponent
+            assert gt_from_bytes(gt_to_bytes(element)) == element
+
+    def test_decompressed_is_unitary(self):
+        element = pairing(G1 * 5, G2 * 9)
+        recovered = gt_from_bytes(gt_to_bytes(element))
+        assert (recovered * recovered.conjugate()).is_one()
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DeserializationError):
+            gt_from_bytes(b"\x01" * 191)
+
+    def test_compression_halves_size(self):
+        element = pairing(G1, G2)
+        assert len(gt_to_bytes(element)) * 2 == len(
+            gt_to_bytes_uncompressed(element)
+        )

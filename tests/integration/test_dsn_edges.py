@@ -1,0 +1,73 @@
+"""AuditedDsn edge cases and the CLI-level orchestration surface."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain import Blockchain, ContractTerms
+from repro.core import ProtocolParams
+from repro.dsn import AuditedDsn
+from repro.randomness import HashChainBeacon
+from repro.storage import DsnCluster, SimulatedNetwork
+
+
+def _system(nodes: int = 6, seed: int = 11) -> AuditedDsn:
+    cluster = DsnCluster(network=SimulatedNetwork(rng=random.Random(seed)))
+    for index in range(nodes):
+        cluster.add_node(f"node-{index}")
+    return AuditedDsn(
+        cluster,
+        Blockchain(block_time=15.0),
+        HashChainBeacon(b"edges"),
+        params=ProtocolParams(s=5, k=3),
+        terms=ContractTerms(num_audits=1, audit_interval=45.0, response_window=15.0),
+        rng=random.Random(seed + 1),
+    )
+
+
+def test_step_with_no_files_is_noop():
+    system = _system()
+    assert system.step() == []
+    assert system.all_contracts_closed()  # vacuously
+
+
+def test_multiple_files_independent():
+    system = _system(nodes=8)
+    a = system.store("alice", "file-a", b"\x01" * 900, n=3, k=2)
+    b = system.store("bob", "file-b", b"\x02" * 900, n=3, k=2)
+    for _ in range(1500):
+        system.step()
+        if system.all_contracts_closed():
+            break
+    assert system.all_contracts_closed()
+    assert system.retrieve("file-a") == b"\x01" * 900
+    assert system.retrieve("file-b") == b"\x02" * 900
+    # Contracts belong to the right files.
+    assert len(a.shard_audits) == 3
+    assert len(b.shard_audits) == 3
+    names_a = {sa.file_name for sa in a.shard_audits}
+    names_b = {sa.file_name for sa in b.shard_audits}
+    assert names_a.isdisjoint(names_b)
+
+
+def test_audit_names_recorded_in_manifest():
+    system = _system()
+    audited = system.store("carol", "file-c", b"\x03" * 600, n=3, k=2)
+    for location in audited.manifest.shards:
+        key = f"{location.provider}:{location.shard_index}"
+        assert key in audited.manifest.audit_names
+
+
+def test_missing_shard_at_deploy_raises():
+    system = _system()
+    audited = system.store("dave", "file-d", b"\x04" * 600, n=3, k=2)
+    with pytest.raises(RuntimeError):
+        system._deploy_shard_contract(audited, "node-0", shard_index=99)
+
+
+def test_retrieve_unknown_file_raises():
+    system = _system()
+    with pytest.raises(KeyError):
+        system.retrieve("never-stored")

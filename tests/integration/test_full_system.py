@@ -1,0 +1,111 @@
+"""Full-system integration: DSN storage + per-provider on-chain auditing.
+
+The end-to-end scenario the paper's architecture (Fig. 1) describes:
+
+1. the owner encrypts + erasure-codes a file and distributes shards to
+   providers found via the DHT,
+2. each shard gets its own audit contract on the chain,
+3. one provider silently drops its shard mid-contract,
+4. the audits catch it, the owner is compensated, and the file is still
+   retrievable from the surviving shards.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain import (
+    Blockchain,
+    ContractTerms,
+    State,
+    deploy_audit_contract,
+    run_contract_to_completion,
+)
+from repro.core import DataOwner, ProtocolParams, StorageProvider
+from repro.randomness import HashChainBeacon
+from repro.storage import DsnClient, DsnCluster, SimulatedNetwork
+
+
+@pytest.mark.slow
+def test_dsn_with_onchain_audits():
+    rng = random.Random(99)
+    params = ProtocolParams(s=5, k=3)
+    beacon = HashChainBeacon(b"integration")
+
+    # --- storage layer: 6 providers, RS(4, 2) ---
+    cluster = DsnCluster(network=SimulatedNetwork(rng=random.Random(1)))
+    for index in range(6):
+        cluster.add_node(f"provider-{index}")
+    client = DsnClient("alice", cluster)
+    payload = bytes(rng.randrange(256) for _ in range(3000))
+    manifest = client.store("family-photos", payload, n=4, k=2)
+    assert client.retrieve(manifest) == payload
+
+    # --- audit layer: one contract per shard-holding provider ---
+    chain = Blockchain(block_time=15.0)
+    terms = ContractTerms(num_audits=2, audit_interval=90.0, response_window=30.0)
+    owner = DataOwner(params, rng=rng)
+    deployments = []
+    core_providers = {}
+    for location in manifest.shards:
+        shard_data = cluster.node(location.provider).get(
+            "family-photos", location.shard_index
+        )
+        package = owner.prepare(shard_data)
+        manifest.audit_names[f"{location.provider}:{location.shard_index}"] = (
+            package.name
+        )
+        provider_role = StorageProvider(rng=rng)
+        deployment = deploy_audit_contract(
+            chain, package, provider_role, terms, beacon, params
+        )
+        deployments.append((location, deployment))
+        core_providers[location.provider] = provider_role
+
+    # --- provider-3-equivalent drops its shard after the first round ---
+    victim_location, victim_deployment = deployments[0]
+    victim_deployment.provider_agent.misbehave_after_round = 1
+    cluster.node(victim_location.provider).drop_file("family-photos")
+
+    # --- run every contract concurrently on the shared chain ---
+    from repro.chain.agents import run_contracts_to_completion
+
+    results = run_contracts_to_completion(
+        chain, [deployment for _, deployment in deployments]
+    )
+
+    # Honest providers: all passes; the victim: one pass then a failure.
+    assert results[0].passes == 1 and results[0].fails == 1
+    for contract in results[1:]:
+        assert contract.passes == 2 and contract.fails == 0
+        assert contract.state is State.CLOSED
+
+    # The owner was compensated on the failing contract.
+    assert chain.events_named("fail")
+    owner_balance = chain.balance_of(victim_deployment.owner_account)
+    assert owner_balance > 0
+
+    # Despite the loss, the file is recoverable (RS(4,2) tolerates 2 losses).
+    assert client.retrieve(manifest) == payload
+
+    # Chain accounting is conserved across everything that happened.
+    total = chain.total_supply()
+    chain.mine_block()
+    assert chain.total_supply() == total
+
+
+def test_quickstart_example_flow(rng):
+    """The README quickstart, as a regression test."""
+    params = ProtocolParams(s=8, k=4)
+    owner = DataOwner(params, rng=rng)
+    package = owner.prepare(b"my archive " * 200)
+    provider = StorageProvider(rng=rng)
+    assert provider.accept(package)
+    from repro.core import OffchainAuditSession
+
+    session = OffchainAuditSession(owner, provider, package, rng=rng)
+    result = session.run_round()
+    assert result.passed
+    assert result.proof.byte_size() == 288

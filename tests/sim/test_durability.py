@@ -1,0 +1,87 @@
+"""The audits + erasure-coding durability model."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.sim.durability import DurabilityModel, compare_redundancy_levels
+
+
+class TestDurabilityModel:
+    def test_no_loss_means_certain_survival(self):
+        model = DurabilityModel(n=4, k=2, shard_loss_rate=0.0)
+        assert model.survival_probability(100) == pytest.approx(1.0)
+
+    def test_certain_loss_kills_quickly(self):
+        model = DurabilityModel(n=2, k=2, shard_loss_rate=1.0)
+        assert model.survival_probability(1) == pytest.approx(0.0)
+
+    def test_zero_periods_always_survive(self):
+        model = DurabilityModel(n=3, k=2, shard_loss_rate=0.5)
+        assert model.survival_probability(0) == 1.0
+
+    def test_monotone_decreasing_in_time(self):
+        model = DurabilityModel(n=4, k=2, shard_loss_rate=0.1)
+        values = [model.survival_probability(t) for t in (1, 5, 20, 80)]
+        assert all(a >= b for a, b in zip(values, values[1:]))
+
+    def test_monotone_in_loss_rate(self):
+        safe = DurabilityModel(n=4, k=2, shard_loss_rate=0.01)
+        risky = DurabilityModel(n=4, k=2, shard_loss_rate=0.2)
+        assert safe.survival_probability(30) > risky.survival_probability(30)
+
+    def test_redundancy_helps(self):
+        """The paper's RS(10,3) massively outlives no-redundancy storage."""
+        loss = 0.02
+        bare = DurabilityModel(n=1, k=1, shard_loss_rate=loss)
+        coded = DurabilityModel(n=10, k=3, shard_loss_rate=loss)
+        assert coded.survival_probability(365) > 0.999999
+        assert bare.survival_probability(365) < 0.001
+
+    def test_repair_requires_detection(self):
+        """With blind audits (detection=0) losses accumulate and kill the
+        file; with perfect detection the same code survives."""
+        blind = DurabilityModel(n=4, k=3, shard_loss_rate=0.05, detection=0.0)
+        sighted = DurabilityModel(n=4, k=3, shard_loss_rate=0.05, detection=1.0)
+        assert sighted.survival_probability(100) > blind.survival_probability(100)
+
+    def test_detection_probability_interpolates(self):
+        half = DurabilityModel(n=4, k=3, shard_loss_rate=0.05, detection=0.5)
+        none = DurabilityModel(n=4, k=3, shard_loss_rate=0.05, detection=0.0)
+        full = DurabilityModel(n=4, k=3, shard_loss_rate=0.05, detection=1.0)
+        t = 50
+        assert (
+            none.survival_probability(t)
+            < half.survival_probability(t)
+            < full.survival_probability(t)
+        )
+
+    def test_exactly_k_shards_is_alive(self):
+        """State k is alive (decoding possible) but fragile."""
+        model = DurabilityModel(n=2, k=2, shard_loss_rate=0.1)
+        one_period = model.survival_probability(1)
+        # Survives iff neither shard lost: (1-0.1)^2.
+        assert one_period == pytest.approx(0.81, abs=1e-9)
+
+    def test_nines(self):
+        model = DurabilityModel(n=6, k=3, shard_loss_rate=0.01)
+        nines = model.nines(365)
+        assert nines > 4  # comfortably better than 99.99%
+        zero = DurabilityModel(n=1, k=1, shard_loss_rate=0.0)
+        assert zero.nines(10) == math.inf
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DurabilityModel(n=2, k=3, shard_loss_rate=0.1)
+        with pytest.raises(ValueError):
+            DurabilityModel(n=2, k=1, shard_loss_rate=1.5)
+        with pytest.raises(ValueError):
+            DurabilityModel(n=2, k=1, shard_loss_rate=0.1).survival_probability(-1)
+
+
+def test_compare_redundancy_levels():
+    table = compare_redundancy_levels(shard_loss_rate=0.02, periods=365)
+    assert set(table) == {"RS(1,1)", "RS(3,2)", "RS(6,3)", "RS(10,3)"}
+    assert table["RS(10,3)"] > table["RS(3,2)"] > table["RS(1,1)"]

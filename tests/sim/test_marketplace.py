@@ -1,0 +1,59 @@
+"""The measured marketplace simulation validates the analytic Fig. 10 models."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import ProtocolParams
+from repro.randomness import HashChainBeacon
+from repro.sim.marketplace import MarketplaceSimulation, extrapolate_annual_growth
+from repro.sim.throughput import ChainCapacityModel
+
+
+@pytest.fixture(scope="module")
+def result():
+    simulation = MarketplaceSimulation(
+        HashChainBeacon(b"marketplace-test"),
+        params=ProtocolParams(s=5, k=3),
+        users=6,
+        providers=2,
+        rounds_per_user=2,
+        file_bytes=500,
+        seed=3,
+    )
+    return simulation.run()
+
+
+def test_all_audits_pass(result):
+    assert result.passes == 6 * 2
+    assert result.fails == 0
+
+
+def test_measured_trail_matches_model(result):
+    """Measured bytes/round == the 336 B the ChainCapacityModel assumes."""
+    model = ChainCapacityModel()
+    assert result.bytes_per_round == model.challenge_bytes + model.proof_bytes
+
+
+def test_measured_gas_matches_anchor(result):
+    assert result.gas_per_round == 589_000
+
+
+def test_provider_load_tracked(result):
+    assert set(result.prove_seconds_by_provider) == {"provider-0", "provider-1"}
+    assert all(v > 0 for v in result.prove_seconds_by_provider.values())
+    # 3 users x 2 rounds per provider; each proof is well under a second
+    # at bench scale.
+    assert result.max_provider_load_seconds() < 10
+
+
+def test_extrapolation_consistent_with_analytic_model(result):
+    """Scaling the measurement to 10k users must land on Fig. 10 left."""
+    measured = extrapolate_annual_growth(result, users=10_000)
+    analytic = ChainCapacityModel().annual_chain_growth_bytes(10_000) / 2**30
+    assert measured == pytest.approx(analytic, rel=1e-9)
+
+
+def test_chain_accounting(result):
+    assert result.chain_bytes > result.trail_bytes
+    assert result.blocks > result.rounds_per_user

@@ -1,0 +1,126 @@
+"""Economics and throughput models versus the paper's reported numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import (
+    AnnualCostReport,
+    ChainCapacityModel,
+    DROPBOX_BUSINESS_USD_PER_YEAR,
+    ProviderLoadModel,
+    archive_file,
+    audit_gas,
+    enterprise_backup,
+    figure6_series,
+    one_time_storage_cost,
+    photo_collection,
+    public_key_bytes,
+    total_bytes,
+    usd_per_audit,
+)
+
+
+class TestEconomics:
+    def test_public_key_size_matches_fig4(self):
+        """Fig. 4: s=100 w/ privacy lands around 3.5 KB."""
+        assert 3.3 * 1024 < public_key_bytes(100, True) < 3.7 * 1024
+        assert public_key_bytes(100, True) - public_key_bytes(100, False) == 192
+
+    def test_pk_size_scales_linearly_in_s(self):
+        sizes = [public_key_bytes(s, True) for s in (10, 20, 50, 100)]
+        assert sizes == sorted(sizes)
+        assert sizes[3] - sizes[2] == 50 * 32
+
+    def test_one_time_cost_few_dollars(self):
+        """Paper: 'this cost would be no more than a few US dollars'."""
+        for s in (10, 20, 50, 100):
+            report = one_time_storage_cost(s)
+            assert report["usd"] < 5.0
+
+    def test_audit_gas_anchor(self):
+        assert audit_gas() == 589_000
+
+    def test_usd_per_audit_readings(self):
+        # Footnote pricing (5 Gwei, 143 USD/ETH) -> ~$0.43 incl. randomness.
+        assert 0.40 < usd_per_audit() < 0.46
+        # Abstract's $0.1 reading at ~1.2 Gwei.
+        assert 0.09 < usd_per_audit(gas_price_gwei=1.2) < 0.13
+
+    def test_figure6_series_shape(self):
+        series = figure6_series()
+        daily = [point.total_usd for point in series["daily"]]
+        weekly = [point.total_usd for point in series["weekly"]]
+        assert daily == sorted(daily)          # increasing in duration
+        assert all(d > w for d, w in zip(daily, weekly))
+        # Paper's visual anchor: daily auditing for 360 days ~ $150.
+        point_360 = next(p for p in series["daily"] if p.duration_days == 360)
+        assert 120 < point_360.total_usd < 180
+
+    def test_annual_report_vs_dropbox(self):
+        """Daily auditing of one provider costs Dropbox-class money."""
+        report = AnnualCostReport(audits_per_day=1.0).compute()
+        assert report["yearly_auditing_usd"] == pytest.approx(
+            365 * usd_per_audit(), rel=1e-6
+        )
+        assert report["competitive"]
+        assert report["dropbox_business_usd"] == DROPBOX_BUSINESS_USD_PER_YEAR
+
+    def test_batched_redundancy_cheaper(self):
+        solo = AnnualCostReport(redundancy_providers=10).compute()
+        batched = AnnualCostReport(
+            redundancy_providers=10, batch_redundant_audits=True
+        ).compute()
+        assert batched["yearly_auditing_usd"] * 9 < solo["yearly_auditing_usd"] * 10
+
+
+class TestThroughput:
+    def test_two_tx_per_second(self):
+        model = ChainCapacityModel()
+        assert 1.8 < model.tx_per_second < 2.5  # paper: "2 transactions/s"
+
+    def test_supports_5000_users(self):
+        model = ChainCapacityModel()
+        assert model.max_concurrent_users(1.0, redundancy_providers=10) >= 5000
+
+    def test_annual_growth_matches_fig10(self):
+        model = ChainCapacityModel()
+        growth = model.annual_chain_growth_bytes(10_000)
+        assert 1.0 * 2**30 < growth < 1.3 * 2**30  # ~1.1 GB/year
+        # Linear in users.
+        assert model.annual_chain_growth_bytes(5_000) == pytest.approx(
+            growth / 2, rel=1e-9
+        )
+
+    def test_provider_load_matches_fig10_right(self):
+        model = ProviderLoadModel()
+        # Paper: ~20 s of proving when serving ~300 users.
+        assert 15 < model.proving_time_for_all(300) < 25
+        assert model.users_per_provider(1000) == 30
+        assert model.users_per_provider(5000) == 150
+
+    def test_tolerability_threshold(self):
+        model = ProviderLoadModel()
+        assert model.tolerable(300)      # ~20 s vs ~30 s budget
+        assert not model.tolerable(1000)  # ~65 s: too slow
+
+
+class TestWorkloads:
+    def test_archive_deterministic(self):
+        a = archive_file(1000)
+        b = archive_file(1000)
+        assert a.data == b.data
+        assert a.size == 1000
+
+    def test_photo_collection_distribution(self):
+        photos = photo_collection(50, seed=7)
+        assert len(photos) == 50
+        sizes = [p.size for p in photos]
+        assert all(4 * 1024 <= size <= 4 * 1024 * 1024 for size in sizes)
+        assert photo_collection(50, seed=7)[10].data == photos[10].data
+        assert len({p.name for p in photos}) == 50
+
+    def test_enterprise_backup(self):
+        docs = enterprise_backup(10)
+        assert len(docs) == 10
+        assert total_bytes(docs) == sum(d.size for d in docs)

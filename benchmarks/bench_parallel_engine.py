@@ -1,0 +1,142 @@
+"""Parallel audit engine vs. the sequential seed path (acceptance bench).
+
+64 concurrent audit instances (8 owners x 8 files, bench-scale s=10, k=8),
+one beacon epoch:
+
+* **sequential seed path** — what the pre-engine code does for 64 audits:
+  one fresh prover per file (each rebuilding its own GT fixed-base table),
+  one ``respond_private`` + one Eq.-(2) ``verify_private`` per audit, 64
+  final exponentiations.
+* **engine path** — the :class:`~repro.engine.EpochScheduler`: one
+  challenge per instance from the shared beacon round, proving through the
+  :class:`~repro.engine.AuditExecutor` (precompute caches shared per
+  worker; on this host's core count the executor may resolve to inline
+  mode), all proofs fed into the grouped one-final-exponentiation batch
+  verifier.
+
+Asserted acceptance criteria:
+
+* engine throughput >= 2x the sequential path for the 64-audit epoch,
+* the engine's proofs equal the sequential proofs **bit-for-bit** (same
+  deterministic per-task nonces), and the batch verdict agrees with the 64
+  individual verdicts.
+
+A second epoch is timed to show the steady state once every fixed-base
+table is warm (the amortization argument of docs/BENCHMARKS.md).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+from repro.core import DataOwner, ProtocolParams, Verifier
+from repro.core.prover import ProveReport
+from repro.core.verifier import VerifyReport
+from repro.engine import AuditExecutor, AuditInstance, EpochScheduler
+from repro.engine.tasks import ProveTask
+from repro.randomness import HashChainBeacon
+from repro.sim.workloads import archive_file
+
+OWNERS = 8
+FILES_PER_OWNER = 8
+FILE_BYTES = 4_000
+PARAMS = ProtocolParams(s=10, k=8)
+SALT = b"engine-epoch"  # EpochScheduler's default task salt
+BEACON = HashChainBeacon(b"bench-parallel-engine")
+
+
+def _build_fleet(rng) -> list[AuditInstance]:
+    instances = []
+    for owner_index in range(OWNERS):
+        owner = DataOwner(PARAMS, rng=rng)
+        for file_index in range(FILES_PER_OWNER):
+            data = archive_file(
+                FILE_BYTES, tag=f"engine-o{owner_index}f{file_index}"
+            ).data
+            package = owner.prepare(data, fresh_keypair=file_index == 0)
+            instances.append(
+                AuditInstance.from_package(package, owner_id=f"owner-{owner_index}")
+            )
+    return instances
+
+
+def _sequential_epoch(instances, epoch: int):
+    """The seed path: fresh per-file provers, per-proof verification."""
+    from repro.core.challenge import epoch_challenge
+    from repro.core.prover import Prover
+
+    proofs: dict[int, bytes] = {}
+    verdicts: dict[int, bool] = {}
+    prove_report = ProveReport()
+    verify_report = VerifyReport()
+    start = time.perf_counter()
+    for instance in instances:
+        challenge = epoch_challenge(BEACON.output(epoch), PARAMS, instance.name)
+        task = ProveTask.for_round(instance, challenge, epoch=epoch, salt=SALT)
+        prover = Prover(
+            instance.chunked,
+            instance.public,
+            list(instance.authenticators),
+            rng=task.rng(),
+        )
+        proof = prover.respond_private(challenge, prove_report)
+        proofs[instance.name] = proof.to_bytes()
+        verifier = Verifier(instance.public, instance.name, instance.num_chunks)
+        verdicts[instance.name] = verifier.verify_private(
+            challenge, proof, verify_report
+        )
+    elapsed = time.perf_counter() - start
+    return elapsed, proofs, verdicts
+
+
+def test_parallel_engine_speedup(report):
+    rng = random.Random(0xE17E)
+    instances = _build_fleet(rng)
+    num_audits = len(instances)
+    assert num_audits == 64
+
+    sequential_seconds, sequential_proofs, sequential_verdicts = _sequential_epoch(
+        instances, epoch=0
+    )
+
+    with AuditExecutor(instances) as executor:
+        scheduler = EpochScheduler(
+            executor,
+            PARAMS,
+            BEACON,
+            salt=SALT,
+            deterministic=True,  # bench-only: enables the bit-for-bit assert
+            rng=random.Random(1),
+        )
+        cold = scheduler.run_epoch(0)
+        warm = scheduler.run_epoch(1)
+
+    # -- acceptance: correctness ------------------------------------------
+    assert cold.batch_ok == all(sequential_verdicts.values()) == True  # noqa: E712
+    assert cold.proof_bytes() == sequential_proofs, (
+        "engine proofs must match the sequential seed path bit-for-bit"
+    )
+
+    # -- acceptance: >= 2x throughput -------------------------------------
+    speedup = sequential_seconds / cold.total_seconds
+    warm_speedup = sequential_seconds / warm.total_seconds
+    lines = [
+        f"{num_audits} concurrent audits ({OWNERS} owners x {FILES_PER_OWNER} "
+        f"files, s={PARAMS.s}, k={PARAMS.k}), workers={executor.workers}",
+        f"sequential seed path : {sequential_seconds:7.2f} s "
+        f"({num_audits / sequential_seconds:5.1f} audits/s)",
+        f"engine (cold caches) : {cold.total_seconds:7.2f} s "
+        f"({cold.audits_per_second:5.1f} audits/s)  -> {speedup:.2f}x",
+        f"  prove {cold.prove_seconds:.2f} s + batch-verify "
+        f"{cold.verify_seconds:.2f} s",
+        f"engine (warm caches) : {warm.total_seconds:7.2f} s "
+        f"({warm.audits_per_second:5.1f} audits/s)  -> {warm_speedup:.2f}x",
+        f"  prove {warm.prove_seconds:.2f} s + batch-verify "
+        f"{warm.verify_seconds:.2f} s",
+        "engine == sequential bit-for-bit: True",
+    ]
+    report("bench_parallel_engine", "\n".join(lines))
+    assert speedup >= 2.0, (
+        f"engine must be >= 2x the sequential seed path, got {speedup:.2f}x"
+    )

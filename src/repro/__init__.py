@@ -11,6 +11,8 @@ Packages
   strawman.
 * :mod:`repro.chain`      — simulated Ethereum-like chain, gas models and
   the Fig. 2 audit smart contract.
+* :mod:`repro.engine`     — parallel audit engine: process-pool executor,
+  precompute-backed provers, beacon-driven epoch scheduler.
 * :mod:`repro.randomness` — commit-reveal / VDF / trusted beacons and the
   last-revealer attack.
 * :mod:`repro.storage`    — DSN substrate: Reed-Solomon, ChaCha20, Chord
@@ -24,7 +26,18 @@ Quickstart: see ``examples/quickstart.py`` or the README.
 
 __version__ = "1.0.0"
 
-from . import baselines, chain, core, crypto, dsn, randomness, sim, snark, storage
+from . import (
+    baselines,
+    chain,
+    core,
+    crypto,
+    dsn,
+    engine,
+    randomness,
+    sim,
+    snark,
+    storage,
+)
 
 __all__ = [
     "__version__",
@@ -33,6 +46,7 @@ __all__ = [
     "core",
     "crypto",
     "dsn",
+    "engine",
     "randomness",
     "sim",
     "snark",

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from ..core.challenge import Challenge
+from ..core.proof import PrivateProof
 from ..core.protocol import OutsourcingPackage, StorageProvider
 from ..core.prover import ProveReport
 from .blockchain import Blockchain, Transaction
@@ -29,25 +31,35 @@ class ProviderAgent:
     prove_reports: list[ProveReport] = field(default_factory=list)
     misbehave_after_round: int | None = None  # drop data mid-contract
 
-    def on_block(self) -> None:
+    def pending_challenge(self) -> Challenge | None:
+        """The challenge awaiting this agent's proof, if any.
+
+        Applies the misbehaviour schedule (dropping the file when its round
+        comes) and returns None when no response is due — either nothing is
+        open or the data is gone and the agent stays silent.
+        """
         contract = self.chain.contract_at(self.contract_address)
         assert isinstance(contract, AuditContract)
         if contract.state is not State.PROVE:
-            return
+            return None
         current = contract.rounds[contract.cnt]
         if current.proof_bytes is not None:
-            return
+            return None
         if (
             self.misbehave_after_round is not None
             and contract.cnt >= self.misbehave_after_round
         ):
             self.provider.drop_file(self.file_name)
         try:
-            report = ProveReport()
-            proof = self.provider.respond(self.file_name, current.challenge, report)
-            self.prove_reports.append(report)
+            self.provider.prover_for(self.file_name)
         except KeyError:
-            return  # data gone: stay silent and eat the timeout failure
+            return None  # data gone: stay silent and eat the timeout failure
+        return current.challenge
+
+    def submit(self, proof: PrivateProof, report: ProveReport | None = None) -> None:
+        """Post a finished proof for the currently-open round."""
+        if report is not None:
+            self.prove_reports.append(report)
         payload = proof.to_bytes()
         self.chain.transact(
             Transaction(
@@ -58,6 +70,17 @@ class ProviderAgent:
             ),
             payload_bytes=len(payload),
         )
+
+    def on_block(self) -> None:
+        challenge = self.pending_challenge()
+        if challenge is None:
+            return
+        report = ProveReport()
+        try:
+            proof = self.provider.respond(self.file_name, challenge, report)
+        except KeyError:
+            return
+        self.submit(proof, report)
 
 
 @dataclass
@@ -165,12 +188,19 @@ def run_contracts_to_completion(
     chain: Blockchain,
     deployments: list[AuditDeployment],
     max_blocks: int = 100_000,
+    executor=None,
 ) -> list[AuditContract]:
     """Drive many concurrent contracts on one chain until all close.
 
     All provider agents get to react after every block — necessary because
     contracts share the chain clock: running them one at a time would let
     the others' response windows lapse.
+
+    With an :class:`~repro.engine.executor.AuditExecutor` (whose registered
+    instances must cover the deployments' files), each block's open
+    challenges are proven as one fan-out batch across the executor's
+    workers instead of serially inside each agent — the engine's chain-
+    facing integration.
     """
     contracts = []
     for deployment in deployments:
@@ -181,6 +211,51 @@ def run_contracts_to_completion(
         if all(c.state is State.CLOSED for c in contracts):
             return contracts
         chain.mine_block()
-        for deployment in deployments:
-            deployment.provider_agent.on_block()
+        if executor is None:
+            for deployment in deployments:
+                deployment.provider_agent.on_block()
+            continue
+        _answer_challenges_parallel(deployments, executor)
     raise RuntimeError("contracts did not close within the block budget")
+
+
+def _answer_challenges_parallel(
+    deployments: list[AuditDeployment], executor
+) -> None:
+    """Collect every open challenge and prove them through the engine.
+
+    The executor proves from its own registered copy of each file, so a
+    provider whose stored prover has been *replaced* (e.g. a
+    :class:`~repro.core.prover.CheatingProver` in an attack simulation)
+    would silently be proven honest; such agents fall back to in-agent
+    proving so simulations keep their meaning.
+    """
+    from ..core.prover import Prover
+    from ..engine.tasks import ProveTask
+
+    waiting: list[ProviderAgent] = []
+    tasks: list[ProveTask] = []
+    for deployment in deployments:
+        agent = deployment.provider_agent
+        challenge = agent.pending_challenge()
+        if challenge is None:
+            continue
+        if type(agent.provider.prover_for(agent.file_name)) is not Prover:
+            agent.on_block()  # customized prover: keep its behaviour
+            continue
+        instance = executor.instances.get(agent.file_name)
+        if instance is None:
+            raise KeyError(
+                f"file {agent.file_name} not registered with the executor"
+            )
+        waiting.append(agent)
+        tasks.append(ProveTask.for_round(instance, challenge))
+    if not tasks:
+        return
+    for agent, outcome in zip(waiting, executor.prove(tasks)):
+        report = ProveReport(
+            zp_seconds=outcome.zp_seconds,
+            ecc_seconds=outcome.ecc_seconds,
+            privacy_seconds=outcome.privacy_seconds,
+        )
+        agent.submit(outcome.proof(), report)

@@ -3,6 +3,7 @@
     python -m repro keygen   --s 50 --out keys.bin
     python -m repro prepare  --file archive.bin --s 10 --k 8
     python -m repro audit    --size 20000 --rounds 3
+    python -m repro engine   --owners 4 --files 4 --epochs 2
     python -m repro attack   --s 6 --k 4
     python -m repro models   --users 5000
 
@@ -81,6 +82,48 @@ def _cmd_audit(args: argparse.Namespace) -> int:
             f"gas={record.gas_used:,} (${cost.gas_to_usd(record.gas_used):.2f})"
         )
     return 0 if contract.fails == (0 if args.drop_after is None else contract.fails) else 1
+
+
+def _cmd_engine(args: argparse.Namespace) -> int:
+    """Run the parallel audit engine over an owners x files fleet."""
+    import time
+
+    from .engine import AuditExecutor, AuditInstance, EpochScheduler
+    from .sim.workloads import archive_file
+
+    rng = random.Random(args.seed)
+    params = ProtocolParams(s=args.s, k=args.k)
+    print(
+        f"fleet: {args.owners} owners x {args.files} files "
+        f"({args.owners * args.files} audit instances), s={args.s}, k={args.k}"
+    )
+    t0 = time.perf_counter()
+    instances = []
+    for owner_index in range(args.owners):
+        owner = DataOwner(params, rng=rng)
+        for file_index in range(args.files):
+            package = owner.prepare(
+                archive_file(args.size, tag=f"o{owner_index}f{file_index}").data,
+                fresh_keypair=file_index == 0,
+            )
+            instances.append(
+                AuditInstance.from_package(package, owner_id=f"owner-{owner_index}")
+            )
+    print(f"fleet prepared in {time.perf_counter() - t0:.1f} s")
+    with AuditExecutor(instances, workers=args.workers) as executor:
+        scheduler = EpochScheduler(
+            executor, params, HashChainBeacon(b"cli-engine"), rng=rng
+        )
+        print(f"workers: {executor.workers}")
+        for result in scheduler.run(args.epochs):
+            print(
+                f"epoch {result.epoch}: {result.num_audits} audits, "
+                f"prove {result.prove_seconds:.2f} s + "
+                f"batch-verify {result.verify_seconds:.2f} s "
+                f"-> {result.audits_per_second:.1f} audits/s, "
+                f"batch {'OK' if result.batch_ok else 'FAILED'}"
+            )
+    return 0 if all(r.batch_ok for r in scheduler.history) else 1
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -168,6 +211,21 @@ def build_parser() -> argparse.ArgumentParser:
     audit.add_argument("--drop-after", type=int, default=None,
                        help="provider drops data after this round")
     audit.set_defaults(func=_cmd_audit)
+
+    engine = sub.add_parser(
+        "engine", help="run parallel audit epochs over an owners x files fleet"
+    )
+    engine.add_argument("--owners", type=int, default=4)
+    engine.add_argument("--files", type=int, default=4,
+                        help="files per owner (same owner key, distinct names)")
+    engine.add_argument("--epochs", type=int, default=2)
+    engine.add_argument("--workers", type=int, default=0,
+                        help="process-pool size (0 = one per CPU core)")
+    engine.add_argument("--size", type=int, default=4_000)
+    engine.add_argument("--s", type=int, default=10)
+    engine.add_argument("--k", type=int, default=8)
+    engine.add_argument("--seed", type=int, default=0)
+    engine.set_defaults(func=_cmd_engine)
 
     attack = sub.add_parser("attack", help="run the Section V-C privacy attack")
     attack.add_argument("--s", type=int, default=6)

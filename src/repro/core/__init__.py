@@ -27,8 +27,14 @@ from .authenticator import (
     validate_authenticator,
     validate_authenticators_batched,
 )
-from .batch import BatchItem, verify_batch, verify_sequential
-from .challenge import Challenge, ExpandedChallenge, challenge_from_beacon, random_challenge
+from .batch import BatchItem, verify_batch, verify_batch_grouped, verify_sequential
+from .challenge import (
+    Challenge,
+    ExpandedChallenge,
+    challenge_from_beacon,
+    epoch_challenge,
+    random_challenge,
+)
 from .chunking import ChunkedFile, chunk_file, corrupt_chunk
 from .confidence import (
     detection_probability,
@@ -104,6 +110,7 @@ __all__ = [
     "chunk_file",
     "corrupt_chunk",
     "detection_probability",
+    "epoch_challenge",
     "extract_masked_evaluation",
     "detection_probability_exact",
     "figure9_k_schedule",
@@ -123,5 +130,6 @@ __all__ = [
     "validate_public_key_batched",
     "verify_extraction",
     "verify_batch",
+    "verify_batch_grouped",
     "verify_sequential",
 ]

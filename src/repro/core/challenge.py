@@ -104,6 +104,34 @@ def random_challenge(params: ProtocolParams, rng=None) -> Challenge:
     return Challenge.from_bytes(material, k=params.k, seed_bytes=seed_bytes)
 
 
+def epoch_challenge(
+    beacon_output: bytes, params: ProtocolParams, name: int
+) -> Challenge:
+    """Per-file challenge for one engine epoch, with a shared evaluation point.
+
+    ``C1``/``C2`` are domain-separated per file (each file gets distinct
+    challenged indices and coefficients), while the ``r``-seed is derived
+    from the epoch beacon alone, so every audit in the epoch evaluates at
+    the same point ``r``.  Sharing ``r`` is sound — it is unpredictable
+    until the beacon fires, exactly as when independent contracts read the
+    same beacon round — and it is what lets grouped batch verification
+    merge each owner's ``delta - r*epsilon`` pairs into one Miller loop.
+    """
+    import hashlib
+
+    seed_bytes = params.seed_bytes
+    name_bytes = name.to_bytes(32, "big")
+    c1 = hashlib.sha256(b"epoch-c1" + name_bytes + beacon_output).digest()
+    c2 = hashlib.sha256(b"epoch-c2" + name_bytes + beacon_output).digest()
+    r_seed = hashlib.sha256(b"epoch-r" + beacon_output).digest()
+    return Challenge(
+        c1=c1[:seed_bytes],
+        c2=c2[:seed_bytes],
+        r_seed=r_seed[:seed_bytes],
+        k=params.k,
+    )
+
+
 def challenge_from_beacon(
     beacon_output: bytes, params: ProtocolParams
 ) -> Challenge:

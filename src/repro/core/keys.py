@@ -30,6 +30,7 @@ from ..crypto.bn254 import (
     G1Point,
     G2Point,
     GTFixedBase,
+    PrecomputeCache,
     g1_from_bytes,
     g1_to_bytes,
     g2_from_bytes,
@@ -108,10 +109,18 @@ class PublicKey:
             epsilon=epsilon, delta=delta, powers=tuple(powers), pairing_base=base
         )
 
-    def gt_table(self) -> GTFixedBase:
-        """Windowed table over e(g1, epsilon) for fast Sigma commitments."""
+    def gt_table(self, precompute: PrecomputeCache | None = None) -> GTFixedBase:
+        """Windowed table over e(g1, epsilon) for fast Sigma commitments.
+
+        With a :class:`~repro.crypto.bn254.PrecomputeCache` the table is
+        shared across every file outsourced under this key (the engine's
+        per-owner reuse); without one, a fresh table is built per call —
+        the seed behaviour.
+        """
         if self.pairing_base is None:
             raise ValueError("public key was generated without privacy support")
+        if precompute is not None:
+            return precompute.gt_context(self.pairing_base)
         return GTFixedBase(self.pairing_base)
 
 

@@ -60,15 +60,26 @@ class DataOwner:
         data: bytes,
         private_auditing: bool = True,
         report: PreprocessReport | None = None,
+        fresh_keypair: bool = True,
     ) -> OutsourcingPackage:
         """Chunk + authenticate ``data`` and mint the outsourcing package.
 
-        A fresh keypair and file identifier are generated per file, matching
-        the paper's one-contract-per-file deployment.
+        By default a fresh keypair and file identifier are generated per
+        file, matching the paper's one-contract-per-file deployment.  With
+        ``fresh_keypair=False`` the owner's existing keypair is reused
+        across files — sound, since the unique per-file ``name`` domain-
+        separates digests and authenticators — which is what lets the
+        parallel engine share one GT fixed-base context and one set of
+        alpha-power tables across all of an owner's contracts.
         """
-        self.keypair = generate_keypair(
-            self.params.s, private_auditing=private_auditing, rng=self._rng
-        )
+        if (
+            fresh_keypair
+            or self.keypair is None
+            or self.keypair.public.supports_privacy != private_auditing
+        ):
+            self.keypair = generate_keypair(
+                self.params.s, private_auditing=private_auditing, rng=self._rng
+            )
         name = random_scalar(self._rng)
         chunked = chunk_file(data, self.params, name)
         authenticators = generate_authenticators(chunked, self.keypair, report=report)
@@ -86,8 +97,9 @@ class DataOwner:
 class StorageProvider:
     """The storage provider S: validation, storage, proof generation."""
 
-    def __init__(self, rng=None):
+    def __init__(self, rng=None, precompute=None):
         self._rng = rng
+        self._precompute = precompute  # shared fixed-base tables, if any
         self._stored: dict[int, Prover] = {}
 
     def accept(self, package: OutsourcingPackage, validate: bool = True) -> bool:
@@ -112,6 +124,7 @@ class StorageProvider:
             package.public,
             list(package.authenticators),
             rng=self._rng,
+            precompute=self._precompute,
         )
         return True
 

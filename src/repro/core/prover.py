@@ -27,6 +27,7 @@ from ..crypto.bn254 import (
     CURVE_ORDER,
     G1Point,
     GTFixedBase,
+    PrecomputeCache,
     gt_pow,
     hash_gt_to_scalar,
     multi_scalar_mul,
@@ -61,6 +62,7 @@ class Prover:
         public: PublicKey,
         authenticators: Sequence[G1Point],
         rng=None,
+        precompute: PrecomputeCache | None = None,
     ):
         if len(authenticators) != chunked.num_chunks:
             raise ValueError("one authenticator per chunk required")
@@ -70,6 +72,9 @@ class Prover:
         self.public = public
         self.authenticators = list(authenticators)
         self._rng = rng
+        # Shared fixed-base tables (powers-of-alpha MSM, GT contexts).  When
+        # absent, every table is private to this prover — the seed path.
+        self._precompute = precompute
         self._gt_table: GTFixedBase | None = None
 
     # -- internals ----------------------------------------------------------
@@ -88,9 +93,16 @@ class Prover:
             [self.authenticators[i] for i in expanded.indices],
             list(expanded.coefficients),
         )
-        psi = multi_scalar_mul(
-            list(self.public.powers[: len(quotient)]), quotient
-        )
+        if self._precompute is not None:
+            psi = self._precompute.powers_msm(self.public.powers).msm(quotient)
+        else:
+            # s == 1 means a degree-0 commitment: the quotient is empty and
+            # psi degenerates to the G1 identity.
+            psi = multi_scalar_mul(
+                list(self.public.powers[: len(quotient)]),
+                quotient,
+                identity=G1Point.infinity(),
+            )
         t2 = time.perf_counter()
         if report is not None:
             report.zp_seconds += t1 - t0
@@ -107,7 +119,7 @@ class Prover:
                 "support to produce private proofs"
             )
         if self._gt_table is None:
-            self._gt_table = self.public.gt_table()
+            self._gt_table = self.public.gt_table(self._precompute)
         commitment = self._gt_table.pow(z)
         t1 = time.perf_counter()
         if report is not None:

@@ -26,6 +26,7 @@ from dataclasses import dataclass
 from ..crypto.bn254 import (
     G1Point,
     G2Point,
+    PrecomputeCache,
     hash_gt_to_scalar,
     miller_loop_product,
     final_exponentiation,
@@ -53,19 +54,33 @@ class VerifyReport:
 class Verifier:
     """Stateless audit verification bound to one (public key, file) pair."""
 
-    def __init__(self, public: PublicKey, name: int, num_chunks: int):
+    def __init__(
+        self,
+        public: PublicKey,
+        name: int,
+        num_chunks: int,
+        precompute: PrecomputeCache | None = None,
+    ):
         if num_chunks < 1:
             raise ValueError("file must contain at least one chunk")
         self.public = public
         self.name = name
         self.num_chunks = num_chunks
+        # Optional shared cache: memoizes the per-file digest points H(name||i)
+        # that the seed verifier re-hashed on every round.
+        self._precompute = precompute
+
+    def _digest(self, index: int) -> G1Point:
+        if self._precompute is not None:
+            return self._precompute.block_digest(self.name, index)
+        return block_digest_point(self.name, index)
 
     def compute_chi(
         self, expanded: ExpandedChallenge, report: VerifyReport | None = None
     ) -> G1Point:
         """chi = prod H(name||i)^{c_i} over the challenged set."""
         t0 = time.perf_counter()
-        digests = [block_digest_point(self.name, i) for i in expanded.indices]
+        digests = [self._digest(i) for i in expanded.indices]
         t1 = time.perf_counter()
         chi = multi_scalar_mul(digests, list(expanded.coefficients))
         t2 = time.perf_counter()

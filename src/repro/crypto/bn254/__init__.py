@@ -30,7 +30,8 @@ from .curve import G1Point, G2Point, TWIST_B
 from .fields import Fp2, Fp6, Fp12, fp_inv, fp_sqrt
 from .gt import GTFixedBase, gt_pow
 from .hash_to_curve import hash_gt_to_scalar, hash_to_g1, hash_to_scalar
-from .msm import multi_scalar_mul, multi_scalar_mul_naive
+from .msm import FixedBaseMul, multi_scalar_mul, multi_scalar_mul_naive
+from .precompute import CacheStats, FixedBaseMSM, PrecomputeCache
 from .pairing import (
     final_exponentiation,
     miller_loop,
@@ -64,13 +65,17 @@ __all__ = [
     "G2_UNCOMPRESSED_BYTES",
     "GT_COMPRESSED_BYTES",
     "GT_UNCOMPRESSED_BYTES",
+    "CacheStats",
     "DeserializationError",
+    "FixedBaseMSM",
+    "FixedBaseMul",
     "Fp2",
     "Fp6",
     "Fp12",
     "G1Point",
     "G2Point",
     "GTFixedBase",
+    "PrecomputeCache",
     "TWIST_B",
     "final_exponentiation",
     "fp_inv",

@@ -19,6 +19,12 @@ from .curve import G1Point, G2Point
 
 PointT = TypeVar("PointT", G1Point, G2Point)
 
+_EMPTY_MSM_MESSAGE = (
+    "multi_scalar_mul over zero points is ambiguous (the function is "
+    "duck-typed over G1 and G2); pass identity=G1Point.infinity() or "
+    "identity=G2Point.infinity() to state which group's identity you want"
+)
+
 
 def _window_size(count: int) -> int:
     if count < 4:
@@ -30,16 +36,23 @@ def _window_size(count: int) -> int:
 
 
 def multi_scalar_mul(
-    points: Sequence[PointT], scalars: Sequence[int]
+    points: Sequence[PointT],
+    scalars: Sequence[int],
+    identity: PointT | None = None,
 ) -> PointT:
     """Compute sum_i scalars[i] * points[i].
 
-    Empty input returns G1 infinity (callers aggregating nothing).
+    Empty input is rejected unless the caller states which group it is
+    aggregating in by passing ``identity`` (the group's infinity point),
+    which is then returned.  The old behaviour of silently returning *G1*
+    infinity was a footgun for G2 callers.
     """
     if len(points) != len(scalars):
         raise ValueError("points and scalars must have the same length")
     if not points:
-        return G1Point.infinity()  # type: ignore[return-value]
+        if identity is None:
+            raise ValueError(_EMPTY_MSM_MESSAGE)
+        return identity
     infinity = type(points[0]).infinity()
     reduced = [s % CURVE_ORDER for s in scalars]
     pairs = [(p, s) for p, s in zip(points, reduced) if s and not p.is_infinity()]
@@ -114,16 +127,21 @@ class FixedBaseMul:
 
 
 def multi_scalar_mul_naive(
-    points: Sequence[PointT], scalars: Sequence[int]
+    points: Sequence[PointT],
+    scalars: Sequence[int],
+    identity: PointT | None = None,
 ) -> PointT:
     """Reference implementation: independent scalar mults, summed.
 
-    Kept for correctness testing and the MSM ablation benchmark.
+    Kept for correctness testing and the MSM ablation benchmark.  Follows
+    the same empty-input contract as :func:`multi_scalar_mul`.
     """
     if len(points) != len(scalars):
         raise ValueError("points and scalars must have the same length")
     if not points:
-        return G1Point.infinity()  # type: ignore[return-value]
+        if identity is None:
+            raise ValueError(_EMPTY_MSM_MESSAGE)
+        return identity
     result = type(points[0]).infinity()
     for point, scalar in zip(points, scalars):
         result = result + point * scalar

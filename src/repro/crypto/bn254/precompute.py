@@ -1,0 +1,168 @@
+"""Fixed-base precomputation cache shared across audits.
+
+Every audit round re-multiplies the *same* bases: the public powers
+``g1^{alpha^j}`` (the (s-1)-term KZG-witness MSM), the per-contract GT base
+``e(g1, epsilon)`` (the Sigma-protocol masking), the global generator
+``g1`` and the per-file block digests ``H(name || i)``.  The seed code
+rebuilt window decompositions for all of them on every proof; this module
+precomputes them once and shares the tables across every audit that touches
+the same base — the amortization trick Audita/Cumulus-style batch auditing
+systems rely on.
+
+:class:`PrecomputeCache` is the process-local registry the engine hands to
+provers and verifiers.  Each worker process of the parallel engine owns one
+cache, so a provider answering challenges for many files of one owner pays
+each table build exactly once per worker.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from .constants import CURVE_ORDER
+from .curve import G1Point, G2Point
+from .fields import Fp12
+from .gt import GTFixedBase
+from .msm import FixedBaseMul, PointT
+
+
+class FixedBaseMSM:
+    """MSM over a *fixed* tuple of bases with per-base window tables.
+
+    Aimed at the KZG-witness MSM ``psi = g1^{Q_k(alpha)}``: the bases (the
+    public powers of alpha) never change for a given contract, so after the
+    table build each audit costs only ~64 group additions per nonzero
+    scalar, with zero doublings.  Tables are built lazily per base, so a
+    quotient of degree ``d`` never pays for tables beyond base ``d``.
+    """
+
+    def __init__(self, bases: Sequence[PointT], window: int = 4):
+        if not bases:
+            raise ValueError("FixedBaseMSM needs at least one base")
+        self.bases = tuple(bases)
+        self.window = window
+        self._identity = type(bases[0]).infinity()
+        self._tables: list[FixedBaseMul | None] = [None] * len(self.bases)
+        self.builds = 0
+
+    def _table(self, index: int) -> FixedBaseMul:
+        table = self._tables[index]
+        if table is None:
+            table = FixedBaseMul(self.bases[index], window=self.window)
+            self._tables[index] = table
+            self.builds += 1
+        return table
+
+    def msm(self, scalars: Sequence[int]) -> PointT:
+        """sum_i scalars[i] * bases[i] (scalars may be shorter than bases)."""
+        if len(scalars) > len(self.bases):
+            raise ValueError(
+                f"{len(scalars)} scalars for {len(self.bases)} fixed bases"
+            )
+        result = self._identity
+        for index, scalar in enumerate(scalars):
+            if scalar % CURVE_ORDER:
+                result = result + self._table(index).mul(scalar)
+        return result
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters (the precompute ablation reads these)."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.total if self.total else 0.0
+
+
+@dataclass
+class PrecomputeCache:
+    """Process-local registry of fixed-base tables and digest points.
+
+    Keys are the group elements themselves (all BN254 element classes are
+    hashable by affine coordinates), so two public keys sharing the same
+    ``e(g1, epsilon)`` — e.g. many files outsourced under one owner key —
+    transparently share one table.
+    """
+
+    window: int = 4
+    stats: CacheStats = field(default_factory=CacheStats)
+    _gt: dict[Fp12, GTFixedBase] = field(default_factory=dict)
+    _g1: dict[G1Point, FixedBaseMul] = field(default_factory=dict)
+    _g2: dict[G2Point, FixedBaseMul] = field(default_factory=dict)
+    _msm: dict[tuple, FixedBaseMSM] = field(default_factory=dict)
+    _digests: dict[tuple[int, int], G1Point] = field(default_factory=dict)
+
+    # -- GT fixed-base contexts (Sigma-protocol masking) --------------------
+
+    def gt_context(self, base: Fp12) -> GTFixedBase:
+        """Windowed table over a pairing output, shared across proofs."""
+        table = self._gt.get(base)
+        if table is None:
+            self.stats.misses += 1
+            table = GTFixedBase(base, window=self.window)
+            self._gt[base] = table
+        else:
+            self.stats.hits += 1
+        return table
+
+    # -- single fixed-base tables ------------------------------------------
+
+    def g1_table(self, point: G1Point) -> FixedBaseMul:
+        table = self._g1.get(point)
+        if table is None:
+            self.stats.misses += 1
+            table = FixedBaseMul(point, window=self.window)
+            self._g1[point] = table
+        else:
+            self.stats.hits += 1
+        return table
+
+    def g2_table(self, point: G2Point) -> FixedBaseMul:
+        table = self._g2.get(point)
+        if table is None:
+            self.stats.misses += 1
+            table = FixedBaseMul(point, window=self.window)
+            self._g2[point] = table
+        else:
+            self.stats.hits += 1
+        return table
+
+    # -- multi-base tables (the powers-of-alpha MSM) ------------------------
+
+    def powers_msm(self, bases: Sequence[PointT]) -> FixedBaseMSM:
+        """Fixed-base MSM context for a tuple of bases (keyed by value)."""
+        key = tuple(bases)
+        table = self._msm.get(key)
+        if table is None:
+            self.stats.misses += 1
+            table = FixedBaseMSM(key, window=self.window)
+            self._msm[key] = table
+        else:
+            self.stats.hits += 1
+        return table
+
+    # -- per-file digest points --------------------------------------------
+
+    def block_digest(self, name: int, index: int) -> G1Point:
+        """Memoized H(name || i) — fixed per file, re-hashed every round
+        by the seed verifier."""
+        key = (name, index)
+        point = self._digests.get(key)
+        if point is None:
+            from ...core.authenticator import block_digest_point
+
+            self.stats.misses += 1
+            point = block_digest_point(name, index)
+            self._digests[key] = point
+        else:
+            self.stats.hits += 1
+        return point

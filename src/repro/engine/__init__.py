@@ -1,0 +1,30 @@
+"""Parallel audit engine: multi-tenant auditing as fast as the hardware allows.
+
+The per-proof library in :mod:`repro.core` answers one challenge at a time;
+this package turns it into an auditing *service*:
+
+* :mod:`repro.engine.tasks` — picklable encodings of audit state and work,
+* :mod:`repro.engine.executor` — a process-pool executor fanning
+  independent audit instances across cores, each worker holding a shared
+  :class:`~repro.crypto.bn254.PrecomputeCache` of fixed-base tables,
+* :mod:`repro.engine.scheduler` — beacon-driven epochs whose proofs land in
+  the one-final-exponentiation grouped batch verifier.
+
+See ``docs/ARCHITECTURE.md`` for where this layer sits and
+``benchmarks/bench_parallel_engine.py`` for the measured speedup over the
+sequential per-proof path.
+"""
+
+from .executor import AuditExecutor
+from .scheduler import EpochResult, EpochScheduler
+from .tasks import AuditInstance, ProveOutcome, ProveTask, VerifyTask
+
+__all__ = [
+    "AuditExecutor",
+    "AuditInstance",
+    "EpochResult",
+    "EpochScheduler",
+    "ProveOutcome",
+    "ProveTask",
+    "VerifyTask",
+]

@@ -1,0 +1,181 @@
+"""Process-pool prover/verifier executor.
+
+Fans independent audit instances out across CPU cores.  The pool is primed
+once with every registered :class:`~repro.engine.tasks.AuditInstance`
+(worker initializer), after which each round ships only 48-byte challenges
+out and 288-byte proofs back.  Every worker owns one
+:class:`~repro.crypto.bn254.PrecomputeCache`, so fixed-base tables — the
+powers-of-alpha MSM windows, the per-owner GT contexts, the per-file digest
+points — are built once per worker and reused for every audit it executes.
+
+With ``workers == 1`` (or on a single-core host) the executor runs inline
+in the calling process with the identical code path and cache: results are
+byte-for-byte the same, only the transport differs.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from typing import Iterable, Sequence
+
+from ..core.prover import Prover
+from ..core.verifier import Verifier
+from ..crypto.bn254 import PrecomputeCache
+from .tasks import AuditInstance, ProveOutcome, ProveTask, VerifyTask
+
+
+class _AuditRuntime:
+    """Provers/verifiers for the registered instances over one shared cache.
+
+    Built once per worker process (and once in the parent for inline mode).
+    """
+
+    def __init__(self, instances: Sequence[AuditInstance], window: int = 4):
+        self.cache = PrecomputeCache(window=window)
+        self.provers: dict[int, Prover] = {}
+        self.verifiers: dict[int, Verifier] = {}
+        for instance in instances:
+            self.provers[instance.name] = Prover(
+                instance.chunked,
+                instance.public,
+                list(instance.authenticators),
+                precompute=self.cache,
+            )
+            self.verifiers[instance.name] = Verifier(
+                instance.public,
+                instance.name,
+                instance.num_chunks,
+                precompute=self.cache,
+            )
+
+    def prove(self, task: ProveTask) -> ProveOutcome:
+        from ..core.prover import ProveReport
+
+        prover = self.provers.get(task.name)
+        if prover is None:
+            raise KeyError(f"no audit instance registered for file {task.name}")
+        prover._rng = task.rng()  # pin the Sigma nonce to the task's seed
+        report = ProveReport()
+        proof = prover.respond_private(task.challenge(), report)
+        return ProveOutcome(
+            name=task.name,
+            proof_bytes=proof.to_bytes(),
+            zp_seconds=report.zp_seconds,
+            ecc_seconds=report.ecc_seconds,
+            privacy_seconds=report.privacy_seconds,
+        )
+
+    def verify(self, task: VerifyTask) -> bool:
+        verifier = self.verifiers.get(task.name)
+        if verifier is None:
+            raise KeyError(f"no audit instance registered for file {task.name}")
+        return verifier.verify_private(task.challenge(), task.proof())
+
+
+# Worker-process globals (set by the pool initializer).
+_RUNTIME: _AuditRuntime | None = None
+
+
+def _init_worker(instances: list[AuditInstance], window: int) -> None:
+    global _RUNTIME
+    _RUNTIME = _AuditRuntime(instances, window=window)
+
+
+def _prove_in_worker(task: ProveTask) -> ProveOutcome:
+    assert _RUNTIME is not None, "worker initializer did not run"
+    return _RUNTIME.prove(task)
+
+
+def _verify_in_worker(task: VerifyTask) -> bool:
+    assert _RUNTIME is not None, "worker initializer did not run"
+    return _RUNTIME.verify(task)
+
+
+class AuditExecutor:
+    """Executes prove/verify tasks for a registered fleet of audits.
+
+    ``workers=0`` (the default) resolves to the host's CPU count.  The
+    process pool is created lazily on the first multi-worker call, so an
+    executor used inline never forks.
+    """
+
+    def __init__(
+        self,
+        instances: Iterable[AuditInstance],
+        workers: int = 0,
+        window: int = 4,
+    ):
+        self.instances: dict[int, AuditInstance] = {}
+        for instance in instances:
+            if instance.name in self.instances:
+                raise ValueError(f"duplicate audit instance {instance.name}")
+            self.instances[instance.name] = instance
+        if workers < 0:
+            raise ValueError("workers must be >= 0 (0 = one per CPU core)")
+        self.workers = workers or os.cpu_count() or 1
+        self.window = window
+        self._pool: ProcessPoolExecutor | None = None
+        self._inline: _AuditRuntime | None = None
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self) -> "AuditExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    @property
+    def runtime(self) -> _AuditRuntime:
+        """The parent-process runtime (inline mode's state, lazily built)."""
+        if self._inline is None:
+            self._inline = _AuditRuntime(
+                list(self.instances.values()), window=self.window
+            )
+        return self._inline
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers,
+                initializer=_init_worker,
+                initargs=(list(self.instances.values()), self.window),
+            )
+        return self._pool
+
+    def _chunksize(self, count: int) -> int:
+        return max(1, count // (4 * self.workers))
+
+    # -- execution ----------------------------------------------------------
+
+    def prove(self, tasks: Sequence[ProveTask]) -> list[ProveOutcome]:
+        """Run every prove task, order-preserving."""
+        if self.workers == 1:
+            return [self.runtime.prove(task) for task in tasks]
+        pool = self._ensure_pool()
+        return list(
+            pool.map(_prove_in_worker, tasks, chunksize=self._chunksize(len(tasks)))
+        )
+
+    def verify(self, tasks: Sequence[VerifyTask]) -> list[bool]:
+        """Run individual Eq.-(2) checks, order-preserving.
+
+        The epoch scheduler prefers
+        :func:`~repro.core.batch.verify_batch_grouped` (one final
+        exponentiation for the whole batch); this fan-out path exists for
+        callers that need per-proof verdicts, e.g. to pinpoint which
+        provider failed after a batch mismatch.
+        """
+        if self.workers == 1:
+            return [self.runtime.verify(task) for task in tasks]
+        pool = self._ensure_pool()
+        return list(
+            pool.map(_verify_in_worker, tasks, chunksize=self._chunksize(len(tasks)))
+        )

@@ -1,0 +1,144 @@
+"""Epoch scheduler: thousands of concurrent audits per beacon round.
+
+Production framing (ROADMAP north star): one storage provider holds files
+for many owners, and every beacon round ("epoch") all of those contracts
+fire a challenge at once.  The scheduler
+
+1. derives one challenge per registered audit instance from the epoch's
+   beacon output (:func:`~repro.core.challenge.epoch_challenge` — per-file
+   challenged sets, shared evaluation point),
+2. fans proof generation out through the
+   :class:`~repro.engine.executor.AuditExecutor` (process pool or inline),
+3. feeds every proof into the one-final-exponentiation grouped batch
+   verifier (:func:`~repro.core.batch.verify_batch_grouped`), and
+4. records wall-clock throughput for the capacity models in
+   :mod:`repro.sim.throughput`.
+
+Determinism: with ``deterministic=True`` every Sigma nonce is derived from
+(salt, epoch, file name), so an epoch's proofs are a pure function of the
+fleet and the beacon — sequential and parallel execution agree
+byte-for-byte (tested, and asserted by ``bench_parallel_engine``).  Those
+inputs are *public*, so an observer could recompute the nonce and strip
+the privacy mask: deterministic mode is strictly for tests and benchmarks
+and is **off by default** — production epochs draw each nonce from the
+OS CSPRNG.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..core.batch import BatchItem, verify_batch_grouped
+from ..core.challenge import Challenge, epoch_challenge
+from ..core.params import ProtocolParams
+from ..crypto.bn254 import PrecomputeCache
+from ..randomness.beacon import RandomnessBeacon
+from .executor import AuditExecutor
+from .tasks import ProveOutcome, ProveTask
+
+
+@dataclass
+class EpochResult:
+    """Everything one epoch produced, plus its timing breakdown."""
+
+    epoch: int
+    num_audits: int
+    batch_ok: bool
+    prove_seconds: float
+    verify_seconds: float
+    outcomes: list[ProveOutcome] = field(repr=False)
+    challenges: dict[int, Challenge] = field(repr=False)
+
+    @property
+    def total_seconds(self) -> float:
+        return self.prove_seconds + self.verify_seconds
+
+    @property
+    def audits_per_second(self) -> float:
+        return self.num_audits / self.total_seconds if self.total_seconds else 0.0
+
+    def proof_bytes(self) -> dict[int, bytes]:
+        """name -> canonical proof encoding (the bit-for-bit test surface)."""
+        return {outcome.name: outcome.proof_bytes for outcome in self.outcomes}
+
+
+class EpochScheduler:
+    """Drives audit epochs for a fleet of registered instances."""
+
+    def __init__(
+        self,
+        executor: AuditExecutor,
+        params: ProtocolParams,
+        beacon: RandomnessBeacon,
+        salt: bytes = b"engine-epoch",
+        deterministic: bool = False,
+        rng=None,
+        keep_history: bool = True,
+    ):
+        self.executor = executor
+        self.params = params
+        self.beacon = beacon
+        self.salt = salt
+        self.deterministic = deterministic
+        # Long-running services auditing thousands of instances per epoch
+        # should disable history retention: every EpochResult holds all of
+        # its epoch's proofs and challenges.
+        self.keep_history = keep_history
+        self._rng = rng  # blinds the batch-verification exponents
+        # Parent-side cache: per-file digest points reused by the grouped
+        # verifier across epochs.
+        self.cache = PrecomputeCache()
+        self.history: list[EpochResult] = []
+
+    def run_epoch(self, epoch: int) -> EpochResult:
+        """Challenge every instance, prove in parallel, batch-verify."""
+        instances = list(self.executor.instances.values())
+        if not instances:
+            raise ValueError("no audit instances registered with the executor")
+        beacon_output = self.beacon.output(epoch)
+        challenges: dict[int, Challenge] = {}
+        tasks: list[ProveTask] = []
+        for instance in instances:
+            challenge = epoch_challenge(beacon_output, self.params, instance.name)
+            challenges[instance.name] = challenge
+            tasks.append(
+                ProveTask.for_round(
+                    instance,
+                    challenge,
+                    epoch=epoch if self.deterministic else None,
+                    salt=self.salt,
+                )
+            )
+        t0 = time.perf_counter()
+        outcomes = self.executor.prove(tasks)
+        t1 = time.perf_counter()
+        items = [
+            BatchItem(
+                public=instance.public,
+                name=instance.name,
+                num_chunks=instance.num_chunks,
+                challenge=challenges[instance.name],
+                proof=outcome.proof(),
+            )
+            for instance, outcome in zip(instances, outcomes)
+        ]
+        batch_ok = verify_batch_grouped(
+            items, rng=self._rng, precompute=self.cache
+        )
+        t2 = time.perf_counter()
+        result = EpochResult(
+            epoch=epoch,
+            num_audits=len(instances),
+            batch_ok=batch_ok,
+            prove_seconds=t1 - t0,
+            verify_seconds=t2 - t1,
+            outcomes=list(outcomes),
+            challenges=challenges,
+        )
+        if self.keep_history:
+            self.history.append(result)
+        return result
+
+    def run(self, epochs: int, start_epoch: int = 0) -> list[EpochResult]:
+        return [self.run_epoch(start_epoch + i) for i in range(epochs)]

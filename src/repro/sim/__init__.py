@@ -13,7 +13,12 @@ from .economics import (
 )
 from .durability import DurabilityModel, compare_redundancy_levels
 from .marketplace import MarketplaceResult, MarketplaceSimulation, extrapolate_annual_growth
-from .throughput import ChainCapacityModel, ProviderLoadModel, TX_ENVELOPE_BYTES
+from .throughput import (
+    ChainCapacityModel,
+    ParallelProviderModel,
+    ProviderLoadModel,
+    TX_ENVELOPE_BYTES,
+)
 from .workloads import (
     WorkloadFile,
     archive_file,
@@ -30,6 +35,7 @@ __all__ = [
     "FeeSchedule",
     "MarketplaceResult",
     "MarketplaceSimulation",
+    "ParallelProviderModel",
     "ProviderLoadModel",
     "RANDOMNESS_COST_USD",
     "TX_ENVELOPE_BYTES",

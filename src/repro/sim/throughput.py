@@ -98,3 +98,31 @@ class ProviderLoadModel:
         asynchronized blockchain costs a similar amount of time."
         """
         return self.proving_time_for_all(users_on_provider) <= 2 * block_confirmation_s
+
+
+@dataclass(frozen=True)
+class ParallelProviderModel(ProviderLoadModel):
+    """Provider capacity with the parallel audit engine switched on.
+
+    Extends the paper's per-provider load model with the two engine levers
+    measured by ``benchmarks/bench_parallel_engine.py``:
+
+    * ``cores`` — audit instances are independent, so proving fans out
+      near-linearly across a process pool,
+    * ``precompute_speedup`` — per-proof gain from the shared fixed-base
+      tables (powers-of-alpha MSM windows, per-owner GT contexts), i.e.
+      throughput with warm caches vs. the seed's per-proof rebuild.
+    """
+
+    cores: int = 8
+    precompute_speedup: float = 1.5
+
+    def proving_time_for_all(self, users_on_provider: int) -> float:
+        """Seconds to answer every stored user's daily challenge."""
+        serial = users_on_provider * self.per_proof_seconds / self.precompute_speedup
+        return serial / max(1, self.cores)
+
+    def max_users_within(self, budget_seconds: float) -> int:
+        """Largest per-provider user count finishing inside the budget
+        (e.g. the paper's 2x-block-latency tolerability yardstick)."""
+        return int(budget_seconds / self.proving_time_for_all(1))

@@ -189,16 +189,32 @@ def prove(
 
     a_idx, a_vals = combined_coefficients(qap.a_polys)
     b_idx, b_vals = combined_coefficients(qap.b_polys)
-    a_eval = multi_scalar_mul([proving_key.tau_powers_g1[i] for i in a_idx], a_vals)
-    b_eval_g2 = multi_scalar_mul([proving_key.tau_powers_g2[i] for i in b_idx], b_vals)
-    b_eval_g1 = multi_scalar_mul([proving_key.tau_powers_g1[i] for i in b_idx], b_vals)
+    a_eval = multi_scalar_mul(
+        [proving_key.tau_powers_g1[i] for i in a_idx],
+        a_vals,
+        identity=G1Point.infinity(),
+    )
+    b_eval_g2 = multi_scalar_mul(
+        [proving_key.tau_powers_g2[i] for i in b_idx],
+        b_vals,
+        identity=G2Point.infinity(),
+    )
+    b_eval_g1 = multi_scalar_mul(
+        [proving_key.tau_powers_g1[i] for i in b_idx],
+        b_vals,
+        identity=G1Point.infinity(),
+    )
 
     a_point = proving_key.alpha_g1 + a_eval + proving_key.delta_g1 * r_blind
     b_point_g2 = proving_key.beta_g2 + b_eval_g2 + proving_key.delta_g2 * s_blind
     b_point_g1 = proving_key.beta_g1 + b_eval_g1 + proving_key.delta_g1 * s_blind
 
     private_witness = witness[qap.num_public :]
-    c_point = multi_scalar_mul(list(proving_key.private_terms_g1), private_witness)
+    c_point = multi_scalar_mul(
+        list(proving_key.private_terms_g1),
+        private_witness,
+        identity=G1Point.infinity(),
+    )
     if h_coeffs:
         c_point = c_point + multi_scalar_mul(
             list(proving_key.h_terms_g1[: len(h_coeffs)]), h_coeffs

@@ -26,8 +26,21 @@ def test_pippenger_matches_naive(scalar_list):
     )
 
 
-def test_empty_input():
-    assert multi_scalar_mul([], []).is_infinity()
+def test_empty_input_requires_explicit_identity():
+    """The old G1-infinity default silently mis-typed empty G2 aggregations."""
+    with pytest.raises(ValueError, match="identity"):
+        multi_scalar_mul([], [])
+    with pytest.raises(ValueError, match="identity"):
+        multi_scalar_mul_naive([], [])
+
+
+def test_empty_input_with_identity():
+    g1_id = multi_scalar_mul([], [], identity=G1Point.infinity())
+    assert isinstance(g1_id, G1Point) and g1_id.is_infinity()
+    g2_id = multi_scalar_mul([], [], identity=G2Point.infinity())
+    assert isinstance(g2_id, G2Point) and g2_id.is_infinity()
+    naive = multi_scalar_mul_naive([], [], identity=G2Point.infinity())
+    assert isinstance(naive, G2Point) and naive.is_infinity()
 
 
 def test_all_zero_scalars():

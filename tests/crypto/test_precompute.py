@@ -1,0 +1,144 @@
+"""Fixed-base precomputation cache: correctness and reuse semantics."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.bn254 import (
+    CURVE_ORDER,
+    FixedBaseMSM,
+    G1Point,
+    G2Point,
+    PrecomputeCache,
+    multi_scalar_mul_naive,
+    pairing,
+)
+
+G1 = G1Point.generator()
+G2 = G2Point.generator()
+
+
+class TestFixedBaseMSM:
+    def test_matches_naive_on_random_scalars(self):
+        rng = random.Random(11)
+        bases = [G1 * (i + 2) for i in range(6)]
+        table = FixedBaseMSM(bases)
+        for _ in range(3):
+            scalars = [rng.randrange(CURVE_ORDER) for _ in range(6)]
+            assert table.msm(scalars) == multi_scalar_mul_naive(bases, scalars)
+
+    def test_short_scalar_vector_uses_prefix(self):
+        bases = [G1, G1 * 2, G1 * 3]
+        table = FixedBaseMSM(bases)
+        assert table.msm([5, 7]) == G1 * (5 + 14)
+        # Only the touched bases get tables (lazy build).
+        assert table.builds == 2
+
+    def test_zero_scalars_skip_table_builds(self):
+        table = FixedBaseMSM([G1, G1 * 2])
+        assert table.msm([0, 0]).is_infinity()
+        assert table.builds == 0
+
+    def test_too_many_scalars_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBaseMSM([G1]).msm([1, 2])
+
+    def test_empty_bases_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBaseMSM([])
+
+    def test_g2_bases(self):
+        bases = [G2, G2 * 5]
+        table = FixedBaseMSM(bases)
+        assert table.msm([3, 2]) == G2 * 13
+
+
+class TestPrecomputeCache:
+    def test_gt_context_reused_across_proof_like_calls(self):
+        cache = PrecomputeCache()
+        base = pairing(G1, G2 * 9)
+        first = cache.gt_context(base)
+        second = cache.gt_context(base)
+        assert first is second
+        assert cache.stats.hits == 1 and cache.stats.misses == 1
+        rng = random.Random(3)
+        exponent = rng.randrange(CURVE_ORDER)
+        assert first.pow(exponent) == second.pow(exponent)
+
+    def test_gt_context_shared_across_equal_keys(self):
+        """Two files under one owner key share e(g1, epsilon): one table."""
+        cache = PrecomputeCache()
+        epsilon = G2 * 1234
+        base_file_a = pairing(G1, epsilon)
+        base_file_b = pairing(G1, epsilon)
+        assert cache.gt_context(base_file_a) is cache.gt_context(base_file_b)
+
+    def test_powers_msm_cached_by_value(self):
+        cache = PrecomputeCache()
+        powers = tuple(G1 * (3**j) for j in range(4))
+        assert cache.powers_msm(powers) is cache.powers_msm(tuple(powers))
+        scalars = [7, 0, 5, 1]
+        assert cache.powers_msm(powers).msm(scalars) == multi_scalar_mul_naive(
+            list(powers), scalars
+        )
+
+    def test_g1_and_g2_tables(self):
+        cache = PrecomputeCache()
+        assert cache.g1_table(G1) is cache.g1_table(G1)
+        assert cache.g1_table(G1).mul(42) == G1 * 42
+        assert cache.g2_table(G2).mul(17) == G2 * 17
+
+    def test_block_digest_memoized(self):
+        from repro.core.authenticator import block_digest_point
+
+        cache = PrecomputeCache()
+        point = cache.block_digest(99, 3)
+        assert point == block_digest_point(99, 3)
+        assert cache.block_digest(99, 3) is point
+        assert cache.block_digest(99, 4) != point
+
+
+class TestProverCacheIntegration:
+    def test_cache_reuse_across_proofs_and_files(self):
+        """Two files of one owner + two rounds: identical results to the
+        cache-less seed path, with the GT context built exactly once."""
+        from repro.core import (
+            DataOwner,
+            ProtocolParams,
+            Prover,
+            StorageProvider,
+            random_challenge,
+        )
+
+        rng = random.Random(5)
+        params = ProtocolParams(s=5, k=3)
+        owner = DataOwner(params, rng=rng)
+        packages = [
+            owner.prepare(bytes([40 + i]) * 900, fresh_keypair=i == 0)
+            for i in range(2)
+        ]
+        assert packages[0].public.pairing_base == packages[1].public.pairing_base
+
+        cache = PrecomputeCache()
+        cached_provider = StorageProvider(rng=random.Random(1), precompute=cache)
+        seed_provider = StorageProvider(rng=random.Random(1))
+        for package in packages:
+            assert cached_provider.accept(package, validate=False)
+            assert seed_provider.accept(package, validate=False)
+
+        for round_index in range(2):
+            challenge = random_challenge(params, rng=rng)
+            for package in packages:
+                nonce_rng_a = random.Random(round_index)
+                nonce_rng_b = random.Random(round_index)
+                cached_prover = cached_provider.prover_for(package.name)
+                seed_prover = seed_provider.prover_for(package.name)
+                cached_prover._rng = nonce_rng_a
+                seed_prover._rng = nonce_rng_b
+                cached = cached_prover.respond_private(challenge)
+                plain = seed_prover.respond_private(challenge)
+                assert cached.to_bytes() == plain.to_bytes()
+        # One GT context for the shared owner key, then pure hits.
+        assert len(cache._gt) == 1

@@ -1,0 +1,64 @@
+"""Docs-link check: README/docs cross-references must stay valid.
+
+Verifies that every relative markdown link in README.md and docs/*.md
+resolves to a real file (anchors are checked against the target's
+headings), and that every repository path the docs mention in backticks
+actually exists — so renames can't silently orphan the documentation.
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+DOC_FILES = [REPO_ROOT / "README.md", *sorted((REPO_ROOT / "docs").glob("*.md"))]
+
+LINK_RE = re.compile(r"\[[^\]]+\]\(([^)\s]+)\)")
+BACKTICK_PATH_RE = re.compile(
+    r"`((?:src|docs|tests|benchmarks|examples|\.github)/[A-Za-z0-9_./-]+)`"
+)
+
+
+def _headings(markdown: str) -> set[str]:
+    anchors = set()
+    for line in markdown.splitlines():
+        if line.startswith("#"):
+            title = line.lstrip("#").strip().lower()
+            anchor = re.sub(r"[^a-z0-9 _-]", "", title).replace(" ", "-")
+            anchors.add(anchor)
+    return anchors
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_relative_links_resolve(doc: Path):
+    text = doc.read_text()
+    for match in LINK_RE.finditer(text):
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        path_part, _, anchor = target.partition("#")
+        resolved = (doc.parent / path_part).resolve() if path_part else doc
+        assert resolved.exists(), f"{doc.name}: broken link -> {target}"
+        if anchor and resolved.suffix == ".md":
+            assert anchor in _headings(resolved.read_text()), (
+                f"{doc.name}: dead anchor -> {target}"
+            )
+
+
+@pytest.mark.parametrize("doc", DOC_FILES, ids=lambda p: p.name)
+def test_mentioned_repo_paths_exist(doc: Path):
+    text = doc.read_text()
+    for match in BACKTICK_PATH_RE.finditer(text):
+        mention = match.group(1).rstrip("/.")
+        assert (REPO_ROOT / mention).exists(), (
+            f"{doc.name}: mentions nonexistent path `{mention}`"
+        )
+
+
+def test_docs_exist():
+    for doc in DOC_FILES:
+        assert doc.exists()
+    assert len(DOC_FILES) >= 3  # README + ARCHITECTURE + BENCHMARKS

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Adversarial audit demo: byzantine providers, detection, on-chain dispute.
+
+Two acts, both fast enough for CI:
+
+1. **Engine-side detection** — a fleet mixing honest providers with one
+   provider per byzantine strategy (forged tags, replayed proofs,
+   selective storage, bit-rot, churn) runs three beacon epochs through the
+   parallel audit engine.  Every tampered or withheld response is caught;
+   measured detection rates are printed next to the closed-form
+   ``1 - (1 - rho)^c`` prediction.
+2. **On-chain consequences** — a replaying provider runs a real audit
+   contract.  The failed rounds record structured rejection reasons, the
+   data owner raises disputes, and arbitration slashes both contract
+   collateral and the provider's reputation-registry stake — all visible
+   in the chain explorer.
+
+Run:  PYTHONPATH=src python examples/adversarial_audit.py
+See:  docs/SCENARIOS.md for the full strategy catalogue.
+"""
+
+from __future__ import annotations
+
+from repro.adversary import (
+    ScenarioRunner,
+    StrategySpec,
+    measured_detection_rate,
+    run_onchain_dispute,
+)
+from repro.core import ProtocolParams
+
+
+def main() -> None:
+    params = ProtocolParams(s=4, k=4)
+
+    print("=== Act 1: strategy mix through the parallel audit engine ===")
+    runner = ScenarioRunner(
+        [
+            StrategySpec("honest", count=2),
+            StrategySpec("forge"),
+            StrategySpec("replay"),
+            StrategySpec("selective", rho=0.4),
+            StrategySpec("bitrot", rho=0.4),
+            StrategySpec("offline", rho=0.6),
+        ],
+        params=params,
+        file_bytes=1200,
+    )
+    report = runner.run(epochs=3)
+    print("\n".join(report.summary_lines()))
+    assert report.zero_false_accepts, "a tampered proof was accepted!"
+    assert report.zero_false_rejects, "an honest proof was rejected!"
+
+    measured, predicted = measured_detection_rate(
+        num_chunks=80, rho=0.25, params=ProtocolParams(s=4, k=6), trials=2000
+    )
+    print(
+        f"\nselective storage over 2000 sampled challenges: "
+        f"measured {measured:.3f} vs predicted 1-(1-rho)^c = {predicted:.3f}"
+    )
+
+    print("\n=== Act 2: on-chain dispute flow ===")
+    result = run_onchain_dispute(strategy="replay", rounds=3, params=params)
+    print("\n".join(result.summary_lines()))
+    assert result.fails > 0, "the cheating provider was never caught"
+    assert result.stake_after_wei < result.stake_before_wei, (
+        "the dispute did not slash the provider's registry stake"
+    )
+    print("\ncheating was detected, disputed, and slashed on chain.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Byzantine DSN node: the storage-substrate face of the strategy library.
+
+The audit-layer strategies (:mod:`repro.adversary.strategies`) model how a
+provider answers *challenges*; this node models how the same provider
+serves *shards*.  It is a drop-in :class:`~repro.storage.node.StorageNode`
+substitute for :class:`~repro.storage.node.DsnCluster` simulations, so
+retrieval/repair paths can be exercised against the same misbehaviour
+catalogue (docs/SCENARIOS.md maps each mode to its audit-layer twin).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..storage.node import StorageNode
+
+MODES = ("honest", "selective", "bitrot", "offline")
+
+
+@dataclass
+class ByzantineStorageNode(StorageNode):
+    """A storage node that lies at the shard interface.
+
+    ``mode`` selects the misbehaviour; ``rho`` is its intensity, mirroring
+    the audit-layer strategies:
+
+    * ``selective`` — silently refuses to store a ``rho`` fraction of
+      incoming shards (still ACKs the put);
+    * ``bitrot``   — serves each shard corrupted with probability ``rho``;
+    * ``offline``  — returns nothing with probability ``rho`` per get.
+
+    Manifest checksums catch ``bitrot`` reads, erasure coding rides out all
+    three up to ``n - k`` bad providers — and the audit layer is what makes
+    the misbehaviour *attributable* rather than merely tolerated.
+    """
+
+    mode: str = "honest"
+    rho: float = 0.25
+    seed: int = 1337
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown byzantine mode {self.mode!r}")
+        if not 0.0 <= self.rho <= 1.0:
+            raise ValueError("rho must be in [0, 1]")
+        self._rng = random.Random(self.seed)
+
+    def put(self, file_id: str, index: int, data: bytes) -> bool:
+        if self.mode == "selective" and self._rng.random() < self.rho:
+            return True  # ACK without storing: the selective-storage lie
+        return super().put(file_id, index, data)
+
+    def get(self, file_id: str, index: int) -> bytes | None:
+        if self.mode == "offline" and self._rng.random() < self.rho:
+            return None
+        data = super().get(file_id, index)
+        if data is None:
+            return None
+        if self.mode == "bitrot" and self._rng.random() < self.rho:
+            mutated = bytearray(data)
+            mutated[0] ^= 0xFF
+            return bytes(mutated)
+        return data

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from ..core.challenge import Challenge
 from ..core.proof import PrivateProof
 from ..core.protocol import OutsourcingPackage, StorageProvider
-from ..core.prover import ProveReport
+from ..core.prover import ProveReport, ResponseWithheld
 from .blockchain import Blockchain, Transaction
 from .contracts.audit_contract import AuditContract, ContractTerms, State
 
@@ -78,8 +78,8 @@ class ProviderAgent:
         report = ProveReport()
         try:
             proof = self.provider.respond(self.file_name, challenge, report)
-        except KeyError:
-            return
+        except (KeyError, ResponseWithheld):
+            return  # data gone or provider offline: eat the timeout failure
         self.submit(proof, report)
 
 
@@ -103,12 +103,16 @@ def deploy_audit_contract(
     owner_funds_eth: float = 10.0,
     provider_funds_eth: float = 10.0,
     native_verify_ms: float | None = None,
+    registry_address: str | None = None,
 ) -> AuditDeployment:
     """Run the full Initialize phase of Fig. 2 and return the live system.
 
     Performs: account creation, contract deployment, negotiate (D),
     off-chain package validation + acknowledge (S), and both freeze
-    deposits; the first challenge is scheduled on the chain clock.
+    deposits; the first challenge is scheduled on the chain clock.  With
+    ``registry_address`` the contract reports round outcomes to the
+    reputation registry inline and dispute slashes reach the provider's
+    stake (the caller must authorize the new contract as a reporter).
     """
     owner_account = chain.create_account(owner_funds_eth, label="data-owner")
     provider_account = chain.create_account(provider_funds_eth, label="provider")
@@ -121,6 +125,7 @@ def deploy_audit_contract(
         terms=terms,
         beacon=beacon,
         params=params,
+        registry_address=registry_address,
         **kwargs,
     )
     address = chain.deploy(contract, deployer=owner_account)

@@ -19,6 +19,16 @@ with the native verification time as a parameter (default: the paper's
 7.2 ms anchor) since our Python wall-clock is not the Golang precompile's.
 Fees are drawn from the data owner's gas fund, matching "the data owner
 needs to pay the on-chain cost" (Section VII-B).
+
+Beyond the paper's Fig. 2, the contract carries a **dispute/arbitration
+flow** (see ``docs/PROTOCOL.md`` section 7): any resolved round can be
+re-arbitrated from its on-chain bytes by either party against a bond.  A
+confirmed cheating round lets the owner slash extra provider collateral
+and — when a :class:`~repro.chain.contracts.reputation.ReputationRegistry`
+is wired in — the provider's registry stake, so failed audits carry
+consequences beyond the per-round penalty.  Every failed round records a
+structured rejection reason (``no-proof`` / ``malformed-proof`` /
+``replayed-proof`` / ``pairing-mismatch``) that the explorer surfaces.
 """
 
 from __future__ import annotations
@@ -30,10 +40,11 @@ from ...core.challenge import Challenge, challenge_from_beacon
 from ...core.keys import PublicKey
 from ...core.params import ProtocolParams
 from ...core.proof import PRIVATE_PROOF_BYTES, PrivateProof
-from ...core.verifier import Verifier, VerifyReport
+from ...core.verifier import Verifier, VerifyOutcome, VerifyReport
 from ...randomness.beacon import RandomnessBeacon
 from ..blockchain import CallContext, Contract, WEI_PER_GWEI
 from ..gas import PAPER_VERIFY_MS, AuditPrecompileModel, GasSchedule
+from ..transaction import RevertError
 
 
 class State(enum.Enum):
@@ -55,6 +66,11 @@ class ContractTerms:
     payment_per_round_wei: int = 5 * 10**15   # micro-payment to S per pass
     penalty_per_round_wei: int = 5 * 10**15   # slashed from S per fail
     gas_fund_wei: int = 10**17                # D prepays scheduled executions
+    dispute_bond_wei: int = 10**15            # stake to open an arbitration
+    dispute_slash_wei: int = 2 * 10**16       # extra collateral slashed on a
+                                              # dispute-confirmed cheat
+    dispute_window: float = 24 * 3600.0       # how long after a round
+                                              # resolves it stays disputable
 
     @property
     def duration(self) -> float:
@@ -67,7 +83,16 @@ class ContractTerms:
 
     @property
     def provider_deposit_wei(self) -> int:
-        return self.num_audits * self.penalty_per_round_wei
+        """Per-round penalties plus one dispute-slash reserve.
+
+        The reserve is what gives a dispute on the *final* round teeth:
+        without it the closing verdict and the deposit refund land in the
+        same transaction and there is nothing left to slash.
+        """
+        return (
+            self.num_audits * self.penalty_per_round_wei
+            + self.dispute_slash_wei
+        )
 
 
 @dataclass
@@ -80,6 +105,11 @@ class AuditRound:
     passed: bool | None = None
     gas_used: int = 0
     verify_ms: float = 0.0
+    reject_reason: str | None = None     # structured code for a failed round
+    reject_detail: str = ""              # residual fingerprints / context
+    resolved_at: float | None = None     # chain time of the verdict
+    disputed_by: str | None = None       # account that opened arbitration
+    dispute_verdict: str | None = None   # "upheld" | "overturned"
 
     def trail_bytes(self) -> int:
         proof = len(self.proof_bytes) if self.proof_bytes else 0
@@ -98,6 +128,7 @@ class AuditContract(Contract):
         params: ProtocolParams,
         native_verify_ms: float = PAPER_VERIFY_MS,
         gas_schedule: GasSchedule | None = None,
+        registry_address: str | None = None,
     ):
         super().__init__()
         self.owner = owner
@@ -106,6 +137,10 @@ class AuditContract(Contract):
         self.beacon = beacon
         self.params = params
         self.native_verify_ms = native_verify_ms
+        # Optional reputation wiring: when set (and this contract is an
+        # authorized reporter), every round outcome is reported inline and
+        # dispute-confirmed cheats slash the provider's registry stake.
+        self.registry_address = registry_address
         self.gas_model = AuditPrecompileModel(gas_schedule or GasSchedule.istanbul())
         self.state = State.NEGOTIATING
         self.cnt = 0
@@ -221,24 +256,47 @@ class AuditContract(Contract):
         ctx.gas.consume(self.gas_model.schedule.storage_gas(len(proof_bytes)))
         self.emit("proofposted", round=self.cnt)
 
+    def _adjudicate(self, current: AuditRound) -> tuple[bool, str | None, str, float]:
+        """Verify one round's on-chain bytes; returns (passed, reason code,
+        detail, verify_ms).  Shared by the round verdict and arbitration."""
+        if current.proof_bytes is None:
+            return False, "no-proof", "response window lapsed", 0.0
+        # Replay detection: identical bytes to an earlier round's proof.
+        # The pairing check rejects stale proofs anyway (the challenge is
+        # fresh per round); the explicit code names the behaviour on chain.
+        for earlier in self.rounds[: current.round_id]:
+            if earlier.proof_bytes == current.proof_bytes:
+                return (
+                    False,
+                    "replayed-proof",
+                    f"identical bytes to round {earlier.round_id}",
+                    0.0,
+                )
+        try:
+            proof = PrivateProof.from_bytes(current.proof_bytes)
+        except ValueError as exc:
+            return False, "malformed-proof", str(exc), 0.0
+        assert self.public_key is not None and self.file_name is not None
+        verifier = Verifier(self.public_key, self.file_name, self.num_chunks)
+        report = VerifyReport()
+        outcome: VerifyOutcome = verifier.verify_private(
+            current.challenge, proof, report
+        )
+        verify_ms = report.total_seconds * 1000.0
+        if outcome:
+            return True, None, "", verify_ms
+        assert outcome.reason is not None
+        return False, outcome.reason.code, outcome.reason.describe(), verify_ms
+
     def trigger_verify(self, ctx: CallContext):
         """On trigger scheduling ("Verify")."""
         if self.state is State.CLOSED:
             return
         self.require(self.state is State.PROVE, "st != PROVE")
         current = self.rounds[self.cnt]
-        passed = False
-        verify_ms = 0.0
-        if current.proof_bytes is not None:
-            try:
-                proof = PrivateProof.from_bytes(current.proof_bytes)
-                assert self.public_key is not None and self.file_name is not None
-                verifier = Verifier(self.public_key, self.file_name, self.num_chunks)
-                report = VerifyReport()
-                passed = verifier.verify_private(current.challenge, proof, report)
-                verify_ms = report.total_seconds * 1000.0
-            except ValueError:
-                passed = False
+        passed, reason, detail, verify_ms = self._adjudicate(current)
+        current.reject_reason = reason
+        current.reject_detail = detail
         # Charge the Fig. 5 gas model against the owner's prepaid gas fund.
         gas = self.gas_model.verification_gas(
             len(current.proof_bytes or b""), self.native_verify_ms
@@ -254,6 +312,7 @@ class AuditContract(Contract):
         current.passed = passed
         current.gas_used = gas
         current.verify_ms = verify_ms
+        current.resolved_at = ctx.timestamp
         if passed:
             self.passes += 1
             payment = min(
@@ -269,7 +328,10 @@ class AuditContract(Contract):
             )
             self.deposits[self.provider] -= penalty
             self.chain.transfer(self.address, self.owner, penalty)
-            self.emit("fail", round=self.cnt, slashed_wei=penalty)
+            self.emit(
+                "fail", round=self.cnt, slashed_wei=penalty, reason=reason
+            )
+        self._report_to_registry(ctx, passed)
         self.cnt += 1
         if self.cnt >= self.terms.num_audits:
             self._finalize()
@@ -280,19 +342,188 @@ class AuditContract(Contract):
             )
 
     # ------------------------------------------------------------------ #
+    # Dispute / arbitration (docs/PROTOCOL.md section 7)                  #
+    # ------------------------------------------------------------------ #
+
+    def _call_registry(self, ctx: CallContext, method: str, *args):
+        """EVM-style internal call into the wired reputation registry.
+
+        Events the registry emits are hoisted into this transaction's
+        pending list so they land in the same receipt.
+        """
+        assert self.chain is not None and self.registry_address is not None
+        registry = self.chain.contract_at(self.registry_address)
+        sub_ctx = CallContext(
+            sender=self.address,
+            value=0,
+            timestamp=ctx.timestamp,
+            block_number=ctx.block_number,
+            gas=ctx.gas,
+            chain=self.chain,
+        )
+        result = getattr(registry, method)(sub_ctx, *args)
+        self._pending_events.extend(registry._pending_events)
+        registry._pending_events.clear()
+        return result
+
+    def _report_to_registry(self, ctx: CallContext, passed: bool) -> None:
+        """Best-effort inline outcome report (no-op when not wired)."""
+        if self.registry_address is None:
+            return
+        try:
+            self._call_registry(ctx, "report_audit", self.provider, passed)
+        except RevertError:
+            pass  # provider unregistered / contract unauthorized: skip
+
+    def raise_dispute(self, ctx: CallContext, round_id: int):
+        """Re-arbitrate a resolved round from its on-chain bytes.
+
+        Either party posts ``dispute_bond_wei`` and the contract re-runs
+        the verdict from the recorded (challenge, proof) bytes:
+
+        * arbitration disagrees with the recorded verdict → the trail is
+          corrected (verdict and pass/fail tallies) and the bond refunded;
+          the already-settled round payment/penalty is left to governance
+          since a mis-recorded trail means contract execution itself broke;
+        * verdict confirmed, challenger is the wronged owner of a failed
+          round → the bond is refunded, extra provider collateral
+          (``dispute_slash_wei``) is slashed to the owner, and the
+          provider's registry stake is slashed when a registry is wired;
+        * verdict confirmed, challenger was wrong (provider contesting a
+          genuine failure, or owner contesting a genuine pass) → the bond
+          is forfeited to the counterparty.
+        """
+        self.require(ctx.sender in (self.owner, self.provider), "not a party")
+        self.require(
+            ctx.value >= self.terms.dispute_bond_wei,
+            f"dispute bond is {self.terms.dispute_bond_wei} wei",
+        )
+        self.require(0 <= round_id < len(self.rounds), "unknown round")
+        record = self.rounds[round_id]
+        self.require(record.passed is not None, "round not yet resolved")
+        self.require(record.disputed_by is None, "round already disputed")
+        assert record.resolved_at is not None
+        self.require(
+            ctx.timestamp <= record.resolved_at + self.terms.dispute_window,
+            "dispute window closed",
+        )
+        assert self.chain is not None
+        # Adjudicate and meter gas BEFORE marking the round disputed: the
+        # simulated chain only reverts balances on failure, so mutating
+        # contract state ahead of a potential OutOfGasError would lock the
+        # round against any future (properly funded) dispute.
+        verdict, reason, detail, _ = self._adjudicate(record)
+        gas = self.gas_model.verification_gas(
+            len(record.proof_bytes or b""), self.native_verify_ms
+        )
+        ctx.gas.consume(gas)
+        record.disputed_by = ctx.sender
+        challenger_role = "owner" if ctx.sender == self.owner else "provider"
+        self.emit("disputed", round=round_id, by=challenger_role)
+        counterparty = self.provider if ctx.sender == self.owner else self.owner
+
+        if verdict != record.passed:
+            # Arbitration is a deterministic re-run over immutable bytes,
+            # so this branch fires only for a mis-recorded trail (the
+            # light-client disagreement case): correct the record, refund
+            # the challenger's bond, and leave value flows to governance.
+            record.dispute_verdict = "overturned"
+            record.passed = verdict
+            record.reject_reason = reason
+            record.reject_detail = detail
+            self.passes += 1 if verdict else -1
+            self.fails += -1 if verdict else 1
+            self.chain.transfer(self.address, ctx.sender, ctx.value)
+            self.emit(
+                "dispute_overturned",
+                round=round_id,
+                corrected_verdict="pass" if verdict else "fail",
+            )
+            return
+
+        record.dispute_verdict = "upheld"
+        self.emit("dispute_upheld", round=round_id, verdict="pass" if verdict else "fail")
+        if not verdict and ctx.sender == self.owner:
+            # Escalation by the wronged party: the chain itself confirms
+            # the provider cheated, so the failure gets teeth — bond back,
+            # deep collateral slash, registry stake slash.
+            self.chain.transfer(self.address, ctx.sender, ctx.value)
+            slash = min(self.terms.dispute_slash_wei, self.deposits[self.provider])
+            if slash > 0:
+                self.deposits[self.provider] -= slash
+                self.chain.transfer(self.address, self.owner, slash)
+                self.emit(
+                    "collateral_slashed",
+                    round=round_id,
+                    slashed_wei=slash,
+                    reason=record.reject_reason,
+                )
+            if self.registry_address is not None:
+                try:
+                    self._call_registry(
+                        ctx, "slash_stake", self.provider, 0.2, self.owner
+                    )
+                except RevertError:
+                    pass
+        else:
+            # Frivolous dispute: bond to the counterparty.
+            self.chain.transfer(self.address, counterparty, ctx.value)
+
+    # ------------------------------------------------------------------ #
     # Settlement                                                          #
     # ------------------------------------------------------------------ #
 
     def _finalize(self) -> None:
-        """Refund unspent deposits and close (contract expiry)."""
+        """Refund unspent deposits and close (contract expiry).
+
+        When failed rounds are still disputable, up to ``dispute_slash_wei``
+        of the provider's deposit stays locked as the dispute reserve —
+        otherwise the closing verdict and the refund would land in the same
+        transaction and a final-round dispute would have nothing to slash.
+        The provider reclaims whatever survives the window through
+        :meth:`withdraw_reserve`.
+        """
         assert self.chain is not None
+        undisputed_fails = any(
+            r.passed is False and r.disputed_by is None for r in self.rounds
+        )
+        reserve = (
+            min(self.terms.dispute_slash_wei, self.deposits[self.provider])
+            if undisputed_fails
+            else 0
+        )
         for party in (self.owner, self.provider):
-            remaining = self.deposits[party]
+            hold_back = reserve if party == self.provider else 0
+            remaining = self.deposits[party] - hold_back
             if remaining:
-                self.deposits[party] = 0
+                self.deposits[party] = hold_back
                 self.chain.transfer(self.address, party, remaining)
         self.state = State.CLOSED
-        self.emit("expired", passes=self.passes, fails=self.fails)
+        self.emit(
+            "expired",
+            passes=self.passes,
+            fails=self.fails,
+            dispute_reserve_wei=reserve,
+        )
+
+    def withdraw_reserve(self, ctx: CallContext):
+        """Provider reclaims the dispute reserve once every window closed."""
+        self.require(ctx.sender == self.provider, "only the provider withdraws")
+        self.require(self.state is State.CLOSED, "st != CLOSED")
+        latest = max(
+            (r.resolved_at for r in self.rounds if r.resolved_at is not None),
+            default=0.0,
+        )
+        self.require(
+            ctx.timestamp >= latest + self.terms.dispute_window,
+            "dispute window still open",
+        )
+        remaining = self.deposits[self.provider]
+        self.require(remaining > 0, "no reserve held")
+        self.deposits[self.provider] = 0
+        assert self.chain is not None
+        self.chain.transfer(self.address, self.provider, remaining)
+        self.emit("reserve_released", refunded_wei=remaining)
 
     # -- views -----------------------------------------------------------
 

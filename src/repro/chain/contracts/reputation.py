@@ -129,6 +129,41 @@ class ReputationRegistry(Contract):
         self.emit("audit_reported", provider=provider, passed=passed,
                   score=round(record.score, 4))
 
+    def slash_stake(
+        self,
+        ctx: CallContext,
+        provider: str,
+        fraction: float = 0.2,
+        beneficiary: str | None = None,
+    ):
+        """Dispute-confirmed misbehaviour: burn reputation *and* capital.
+
+        Called by an authorized audit contract when arbitration upholds a
+        failed round (see ``AuditContract.raise_dispute``).  A ``fraction``
+        of the provider's locked stake is transferred to ``beneficiary``
+        (the wronged data owner; defaults to the reporter), the score takes
+        a rejection-sized hit, and the ban threshold applies as usual.
+        """
+        self.require(ctx.sender in self.reporters, "unauthorised reporter")
+        self.require(0.0 < fraction <= 1.0, "fraction out of range")
+        record = self.providers.get(provider)
+        self.require(record is not None, "unknown provider")
+        assert record is not None
+        self._decay(record, ctx.timestamp)
+        amount = int(record.stake_wei * fraction)
+        record.stake_wei -= amount
+        record.score = max(0.0, record.score - self.rejection_penalty)
+        assert self.chain is not None
+        self.chain.transfer(self.address, beneficiary or ctx.sender, amount)
+        self._maybe_ban(record, provider)
+        self.emit(
+            "stake_slashed",
+            provider=provider,
+            slashed_wei=amount,
+            remaining_stake_wei=record.stake_wei,
+            score=round(record.score, 4),
+        )
+
     def report_rejection(self, ctx: CallContext, provider: str):
         """The Section VI-A DoS: rejecting after the owner paid for setup."""
         self.require(ctx.sender in self.reporters, "unauthorised reporter")

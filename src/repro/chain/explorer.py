@@ -13,6 +13,16 @@ from dataclasses import dataclass
 
 from .blockchain import Blockchain
 from .contracts.audit_contract import AuditContract
+from .contracts.reputation import ReputationRegistry
+
+#: Event names the dispute/arbitration flow can emit (PROTOCOL.md sec. 7).
+DISPUTE_EVENT_NAMES = (
+    "disputed",
+    "dispute_upheld",
+    "dispute_overturned",
+    "collateral_slashed",
+    "stake_slashed",
+)
 
 
 @dataclass(frozen=True)
@@ -24,6 +34,8 @@ class ContractSummary:
     fails: int
     total_gas: int
     trail_bytes: int
+    disputes: int = 0
+    reject_reasons: tuple[str, ...] = ()
 
 
 class ChainExplorer:
@@ -101,6 +113,14 @@ class ChainExplorer:
                         fails=contract.fails,
                         total_gas=contract.total_audit_gas(),
                         trail_bytes=contract.total_trail_bytes(),
+                        disputes=sum(
+                            1 for r in contract.rounds if r.disputed_by is not None
+                        ),
+                        reject_reasons=tuple(
+                            r.reject_reason
+                            for r in contract.rounds
+                            if r.reject_reason is not None
+                        ),
                     )
                 )
         return out
@@ -110,6 +130,36 @@ class ChainExplorer:
 
     def total_audit_gas(self) -> int:
         return sum(summary.total_gas for summary in self.audit_contracts())
+
+    # -- disputes / reputation -------------------------------------------------
+
+    def dispute_log(self) -> list[dict]:
+        """Every dispute-flow event, in emission order."""
+        return [
+            {"contract": e.contract[:16], "name": e.name, "payload": e.payload}
+            for e in self.chain.events
+            if e.name in DISPUTE_EVENT_NAMES
+        ]
+
+    def reputation_snapshot(self) -> list[dict]:
+        """Provider records from every deployed reputation registry."""
+        out = []
+        for address, contract in self.chain._contracts.items():
+            if not isinstance(contract, ReputationRegistry):
+                continue
+            for provider, record in contract.providers.items():
+                out.append(
+                    {
+                        "registry": address[:16],
+                        "provider": provider[:16],
+                        "score": round(record.score, 4),
+                        "stake_wei": record.stake_wei,
+                        "passes": record.passes,
+                        "fails": record.fails,
+                        "banned": record.banned,
+                    }
+                )
+        return out
 
     # -- export ---------------------------------------------------------------------------
 
@@ -129,8 +179,12 @@ class ChainExplorer:
                     "fails": s.fails,
                     "total_gas": s.total_gas,
                     "trail_bytes": s.trail_bytes,
+                    "disputes": s.disputes,
+                    "reject_reasons": list(s.reject_reasons),
                 }
                 for s in self.audit_contracts()
             ],
+            "disputes": self.dispute_log(),
+            "reputation": self.reputation_snapshot(),
         }
         return json.dumps(payload, indent=2, sort_keys=True)

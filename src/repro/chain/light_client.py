@@ -76,8 +76,12 @@ class LightClient:
         self.params = params
         self._verifier = Verifier(self.public, file_name, num_chunks)
 
-    def verify_round(self, record: TrailRecord) -> bool:
-        """Recompute one round's verdict from its bytes."""
+    def verify_round(self, record: TrailRecord):
+        """Recompute one round's verdict from its bytes.
+
+        Returns a truthy/falsy :class:`~repro.core.verifier.VerifyOutcome`
+        (or plain ``False`` for a structurally missing/bad proof).
+        """
         if record.proof_bytes is None:
             return False  # missing proof is a fail, as the contract rules
         challenge = Challenge.from_bytes(
@@ -97,7 +101,9 @@ class LightClient:
         for record in trail:
             verdict = self.verify_round(record)
             report.rounds_checked += 1
-            if record.claimed_verdict is None or verdict == record.claimed_verdict:
+            if record.claimed_verdict is None or bool(verdict) == bool(
+                record.claimed_verdict
+            ):
                 report.agreements += 1
             else:
                 report.disagreements.append(record.round_id)

@@ -4,7 +4,9 @@
     python -m repro prepare  --file archive.bin --s 10 --k 8
     python -m repro audit    --size 20000 --rounds 3
     python -m repro engine   --owners 4 --files 4 --epochs 2
-    python -m repro attack   --s 6 --k 4
+    python -m repro attack   --s 6 --k 4                      # privacy attack
+    python -m repro attack --strategy selective --rho 0.25    # byzantine provider
+    python -m repro attack --strategy replay --onchain        # dispute + slashing
     python -m repro models   --users 5000
 
 Everything runs locally against the simulated substrates; the tool exists
@@ -77,9 +79,11 @@ def _cmd_audit(args: argparse.Namespace) -> int:
     cost = CostModel()
     print(f"contract closed: {contract.passes} passes, {contract.fails} fails")
     for record in contract.rounds:
+        reason = f" [{record.reject_reason}]" if record.reject_reason else ""
         print(
-            f"  round {record.round_id}: {'PASS' if record.passed else 'FAIL'} "
-            f"gas={record.gas_used:,} (${cost.gas_to_usd(record.gas_used):.2f})"
+            f"  round {record.round_id}: {'PASS' if record.passed else 'FAIL'}"
+            f"{reason} gas={record.gas_used:,} "
+            f"(${cost.gas_to_usd(record.gas_used):.2f})"
         )
     return 0 if contract.fails == (0 if args.drop_after is None else contract.fails) else 1
 
@@ -127,6 +131,9 @@ def _cmd_engine(args: argparse.Namespace) -> int:
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
+    """Adversary entry point: privacy attack or byzantine-provider scenarios."""
+    if args.strategy != "privacy":
+        return _cmd_attack_byzantine(args)
     from .core import (
         EclipseChallengeFactory,
         InterpolationAttacker,
@@ -166,6 +173,67 @@ def _cmd_attack(args: argparse.Namespace) -> int:
     )
     print("(re-run your deployment with private proofs: recovery drops to 0)")
     return 0
+
+
+def _cmd_attack_byzantine(args: argparse.Namespace) -> int:
+    """Run the adversarial strategy library (docs/SCENARIOS.md)."""
+    from .adversary import (
+        STRATEGY_KINDS,
+        ScenarioRunner,
+        StrategySpec,
+        measured_detection_rate,
+        run_onchain_dispute,
+    )
+    from .core import ProtocolParams
+
+    params = ProtocolParams(s=args.s, k=args.k)
+
+    if args.onchain:
+        if args.strategy == "all":
+            print(
+                "--onchain drives one strategy per contract; running "
+                "'replay' (pass --strategy <kind> for another)\n"
+            )
+        result = run_onchain_dispute(
+            strategy=args.strategy if args.strategy != "all" else "replay",
+            rho=args.rho,
+            rounds=args.rounds,
+            params=params,
+            seed=args.seed,
+        )
+        print("\n".join(result.summary_lines()))
+        print("\nchain explorer export:")
+        print(result.explorer.export_json())
+        slashed = (
+            result.collateral_slashed_wei
+            or result.stake_before_wei - result.stake_after_wei
+        )
+        return 0 if result.fails > 0 and slashed > 0 else 1
+
+    kinds = (
+        [k for k in STRATEGY_KINDS if k != "honest"]
+        if args.strategy == "all"
+        else [args.strategy]
+    )
+    specs = [StrategySpec("honest", count=2)]
+    specs += [StrategySpec(kind, rho=args.rho) for kind in kinds]
+    runner = ScenarioRunner(specs, params=params, seed=args.seed)
+    report = runner.run(epochs=args.epochs)
+    print("\n".join(report.summary_lines()))
+    if args.strategy in ("selective", "all"):
+        chunks = runner.instances[0].num_chunks
+        measured, predicted = measured_detection_rate(
+            max(chunks, 40), args.rho, params, trials=args.trials, seed=args.seed
+        )
+        print(
+            f"\nselective-storage sampling over {args.trials} trials: "
+            f"measured {measured:.3f} vs 1-(1-rho)^c = {predicted:.3f} "
+            f"(|delta| = {abs(measured - predicted):.3f})"
+        )
+    ok = report.zero_false_accepts and report.zero_false_rejects
+    print(f"\nzero false accepts: {report.zero_false_accepts}; "
+          f"zero false rejects: {report.zero_false_rejects}")
+    return 0 if ok else 1
 
 
 def _cmd_models(args: argparse.Namespace) -> int:
@@ -227,10 +295,36 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--seed", type=int, default=0)
     engine.set_defaults(func=_cmd_engine)
 
-    attack = sub.add_parser("attack", help="run the Section V-C privacy attack")
+    attack = sub.add_parser(
+        "attack",
+        help="adversary suite: the Section V-C privacy attack or a "
+        "byzantine provider strategy (docs/SCENARIOS.md)",
+    )
+    attack.add_argument(
+        "--strategy",
+        choices=("privacy", "forge", "replay", "selective", "bitrot",
+                 "offline", "all"),
+        default="privacy",
+        help="'privacy' = interpolation attack on plain proofs; anything "
+        "else runs the byzantine provider library",
+    )
     attack.add_argument("--s", type=int, default=6)
     attack.add_argument("--k", type=int, default=4)
     attack.add_argument("--seed", type=int, default=0)
+    attack.add_argument("--rho", type=float, default=0.25,
+                        help="strategy intensity: discard fraction / "
+                        "corruption probability / offline probability")
+    attack.add_argument("--epochs", type=int, default=3,
+                        help="audit epochs for the engine-driven scenario")
+    attack.add_argument("--trials", type=int, default=2000,
+                        help="challenge-sampling trials for the detection-"
+                        "rate measurement")
+    attack.add_argument("--rounds", type=int, default=3,
+                        help="contract rounds for --onchain")
+    attack.add_argument("--onchain", action="store_true",
+                        help="drive the strategy through the audit contract "
+                        "and dispute the failures (slashes collateral and "
+                        "reputation stake)")
     attack.set_defaults(func=_cmd_attack)
 
     models = sub.add_parser("models", help="print the Section VII-D models")

@@ -27,7 +27,14 @@ from .authenticator import (
     validate_authenticator,
     validate_authenticators_batched,
 )
-from .batch import BatchItem, verify_batch, verify_batch_grouped, verify_sequential
+from .batch import (
+    BatchItem,
+    BatchVerifyOutcome,
+    ItemRejection,
+    verify_batch,
+    verify_batch_grouped,
+    verify_sequential,
+)
 from .challenge import (
     Challenge,
     ExpandedChallenge,
@@ -60,7 +67,7 @@ from .protocol import (
     StorageProvider,
 )
 from .extension import AppendError, append_data
-from .prover import CheatingProver, ProveReport, Prover
+from .prover import CheatingProver, ProveReport, Prover, ResponseWithheld
 from .soundness import (
     ForkedTranscripts,
     ForkingProver,
@@ -69,12 +76,13 @@ from .soundness import (
     verify_extraction,
 )
 from .streaming import StreamSummary, stream_authenticators, stream_summary
-from .verifier import Verifier, VerifyReport
+from .verifier import RejectionReason, Verifier, VerifyOutcome, VerifyReport
 
 __all__ = [
     "AppendError",
     "AuditRoundResult",
     "BatchItem",
+    "BatchVerifyOutcome",
     "Challenge",
     "CheatingProver",
     "ChunkedFile",
@@ -86,6 +94,7 @@ __all__ = [
     "ForkingProver",
     "ExpandedChallenge",
     "InterpolationAttacker",
+    "ItemRejection",
     "KeyPair",
     "OffchainAuditSession",
     "OutsourcingPackage",
@@ -98,11 +107,14 @@ __all__ = [
     "ProveReport",
     "Prover",
     "PublicKey",
+    "RejectionReason",
+    "ResponseWithheld",
     "SecretKey",
     "StorageProvider",
     "StreamSummary",
     "Transcript",
     "Verifier",
+    "VerifyOutcome",
     "VerifyReport",
     "block_digest_point",
     "append_data",

@@ -21,7 +21,7 @@ short GT exponentiations + **one** hard final exponentiation instead of U.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..crypto.bn254 import (
     CURVE_ORDER,
@@ -40,7 +40,7 @@ from .authenticator import block_digest_point
 from .challenge import Challenge
 from .keys import PublicKey
 from .proof import PrivateProof
-from .verifier import Verifier, VerifyReport
+from .verifier import RejectionReason, Verifier, VerifyOutcome, VerifyReport
 
 
 @dataclass(frozen=True)
@@ -52,6 +52,79 @@ class BatchItem:
     num_chunks: int
     challenge: Challenge
     proof: PrivateProof
+
+
+@dataclass(frozen=True)
+class ItemRejection:
+    """One rejected proof inside a batch: which proof, and why."""
+
+    index: int                 # position in the batch
+    name: int                  # file identifier (which proof)
+    reason: RejectionReason | None
+
+
+@dataclass(eq=False)
+class BatchVerifyOutcome:
+    """Truthy/falsy verdict for a whole batch, with failure localization.
+
+    Like :class:`~repro.core.verifier.VerifyOutcome`, it evaluates and
+    compares as a boolean by verdict, so pre-existing ``== True`` call
+    sites keep working.
+
+    The combined small-exponent check only says *whether* every proof in
+    the batch is valid.  When it fails, :meth:`pinpoint` re-verifies each
+    item individually (paying per-proof pairings on the failure path only)
+    and returns the structured :class:`ItemRejection` list — which proof
+    failed, and that proof's :class:`~repro.core.verifier.RejectionReason`
+    with its per-pairing-group residual fingerprints.
+    """
+
+    ok: bool
+    checked: int
+    mode: str  # "grouped" | "flat" | "sequential"
+    items: tuple[BatchItem, ...] = field(default=(), repr=False)
+    _failures: tuple[ItemRejection, ...] | None = field(default=None, repr=False)
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, BatchVerifyOutcome):
+            return (self.ok, self.checked, self.mode) == (
+                other.ok, other.checked, other.mode
+            )
+        if isinstance(other, bool):
+            return self.ok is other
+        return NotImplemented
+
+    __hash__ = object.__hash__  # mutable (memoized pinpoint): identity hash
+
+    def pinpoint(
+        self, precompute: PrecomputeCache | None = None
+    ) -> tuple[ItemRejection, ...]:
+        """Which proofs failed (empty for an accepted batch); memoized."""
+        if self.ok:
+            return ()
+        if self._failures is None:
+            failures = []
+            for index, item in enumerate(self.items):
+                verifier = Verifier(
+                    item.public, item.name, item.num_chunks, precompute=precompute
+                )
+                outcome = verifier.verify_private(item.challenge, item.proof)
+                if not outcome:
+                    failures.append(
+                        ItemRejection(
+                            index=index, name=item.name, reason=outcome.reason
+                        )
+                    )
+            self._failures = tuple(failures)
+        return self._failures
+
+    def rejected_names(
+        self, precompute: PrecomputeCache | None = None
+    ) -> tuple[int, ...]:
+        return tuple(rejection.name for rejection in self.pinpoint(precompute))
 
 
 def _small_exponent(rng) -> int:
@@ -67,10 +140,10 @@ def verify_batch(
     items: list[BatchItem],
     rng=None,
     report: VerifyReport | None = None,
-) -> bool:
-    """Check all items at once; True iff every individual proof is valid."""
+) -> BatchVerifyOutcome:
+    """Check all items at once; truthy iff every individual proof is valid."""
     if not items:
-        return True
+        return BatchVerifyOutcome(ok=True, checked=0, mode="flat")
     g1 = G1Point.generator()
     g2 = G2Point.generator()
     pairs: list[tuple[G1Point, G2Point]] = []
@@ -102,7 +175,12 @@ def verify_batch(
     t1 = time.perf_counter()
     if report is not None:
         report.pairing_seconds += t1 - t0
-    return ok
+    # Items are retained only on failure — that is the only path where
+    # pinpoint() needs them, and accepted epochs would otherwise pin every
+    # decoded proof in long-running scheduler histories.
+    return BatchVerifyOutcome(
+        ok=ok, checked=len(items), mode="flat", items=() if ok else tuple(items)
+    )
 
 
 def verify_batch_grouped(
@@ -110,7 +188,7 @@ def verify_batch_grouped(
     rng=None,
     report: VerifyReport | None = None,
     precompute: PrecomputeCache | None = None,
-) -> bool:
+) -> BatchVerifyOutcome:
     """Batch verification with pair-merging and per-group Pippenger MSMs.
 
     The parallel audit engine's verification back end.  Same soundness as
@@ -129,7 +207,7 @@ def verify_batch_grouped(
       MSM per group, amortizing window overhead across the whole batch.
     """
     if not items:
-        return True
+        return BatchVerifyOutcome(ok=True, checked=0, mode="grouped")
     g1 = G1Point.generator()
     g2 = G2Point.generator()
     gt_accumulator = Fp12.one()
@@ -187,16 +265,34 @@ def verify_batch_grouped(
     if report is not None:
         report.msm_seconds += t1 - t0
         report.pairing_seconds += t2 - t1
-    return ok
+    return BatchVerifyOutcome(
+        ok=ok, checked=len(items), mode="grouped", items=() if ok else tuple(items)
+    )
 
 
 def verify_sequential(
     items: list[BatchItem],
     report: VerifyReport | None = None,
-) -> bool:
-    """Baseline: verify each proof independently (for the ablation bench)."""
-    for item in items:
+) -> BatchVerifyOutcome:
+    """Baseline: verify each proof independently (for the ablation bench).
+
+    Unlike the combined checks, failures localize for free — each item's
+    :class:`~repro.core.verifier.VerifyOutcome` is computed anyway, so the
+    rejection list is filled in without a pinpoint pass.
+    """
+    failures = []
+    for index, item in enumerate(items):
         verifier = Verifier(item.public, item.name, item.num_chunks)
-        if not verifier.verify_private(item.challenge, item.proof, report):
-            return False
-    return True
+        outcome = verifier.verify_private(item.challenge, item.proof, report)
+        if not outcome:
+            failures.append(
+                ItemRejection(index=index, name=item.name, reason=outcome.reason)
+            )
+    # _failures is pre-filled, so pinpoint() never needs the items — do not
+    # retain them even on failure.
+    return BatchVerifyOutcome(
+        ok=not failures,
+        checked=len(items),
+        mode="sequential",
+        _failures=tuple(failures),
+    )

@@ -30,7 +30,7 @@ from .keys import KeyPair, PublicKey, generate_keypair, validate_public_key_batc
 from .params import ProtocolParams
 from .prover import ProveReport, Prover
 from .proof import PrivateProof
-from .verifier import Verifier, VerifyReport
+from .verifier import Verifier, VerifyOutcome, VerifyReport
 
 
 @dataclass(frozen=True)
@@ -147,7 +147,7 @@ class StorageProvider:
 class AuditRoundResult:
     challenge: Challenge
     proof: PrivateProof
-    passed: bool
+    passed: VerifyOutcome  # truthy iff accepted; carries the rejection reason
     prove_report: ProveReport
     verify_report: VerifyReport
 

@@ -40,6 +40,16 @@ from .polynomial import evaluate, linear_combination, quotient_by_linear
 from .proof import PlainProof, PrivateProof
 
 
+class ResponseWithheld(RuntimeError):
+    """Raised by a prover that deliberately stays silent for a round.
+
+    The adversarial churn strategy (:mod:`repro.adversary.strategies`)
+    models providers that are offline when a challenge fires; agents and
+    schedulers catch this and let the response window lapse, which the
+    contract records as a ``no-proof`` failure.
+    """
+
+
 @dataclass
 class ProveReport:
     """Wall-clock decomposition of one proof generation (Figs. 8/9 data)."""

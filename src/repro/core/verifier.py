@@ -16,10 +16,19 @@ which we fold into  ``R * e(zeta*sigma, g2) * e(-y'*g1 - zeta*chi, epsilon)
 Verification cost is *constant* in the file size — the paper's headline
 on-chain efficiency property — and the measured wall time feeds the Fig. 5
 gas extrapolation.
+
+Rejections are *structured*: a failed check returns a falsy
+:class:`VerifyOutcome` carrying a :class:`RejectionReason` — which equation
+failed, plus a per-pairing-group residual fingerprint computed on the
+failure path only.  The dispute flow in
+:mod:`repro.chain.contracts.audit_contract` records these reasons on chain,
+and the adversarial scenario tables in ``docs/SCENARIOS.md`` are built from
+them.
 """
 
 from __future__ import annotations
 
+import hashlib
 import time
 from dataclasses import dataclass
 
@@ -36,6 +45,115 @@ from .authenticator import block_digest_point
 from .challenge import Challenge, ExpandedChallenge
 from .keys import PublicKey
 from .proof import PlainProof, PrivateProof
+
+
+@dataclass(frozen=True)
+class RejectionReason:
+    """Why a proof was rejected, in machine-readable form.
+
+    ``code`` is one of:
+
+    * ``"pairing-mismatch"`` — the product-of-pairings equation did not
+      evaluate to the GT identity (the cryptographic rejection);
+    * ``"no-proof"`` — the provider never answered within the response
+      window (contract-level timeout);
+    * ``"malformed-proof"`` — the on-chain bytes do not decode to a
+      well-formed proof;
+    * ``"replayed-proof"`` — the bytes are identical to a proof posted in
+      an earlier round (contract-level replay detection; the pairing check
+      would also reject it, this code just names the behaviour).
+
+    ``pairing_groups`` carries one ``(label, fingerprint)`` entry per
+    pairing leg of the failed equation.  The fingerprints localize *where*
+    transcripts diverge when two parties re-verify the same bytes (the
+    dispute/light-client use case); a single verifier cannot attribute the
+    mismatch to one leg alone — only the product is constrained to be 1.
+    """
+
+    code: str
+    equation: str | None = None
+    pairing_groups: tuple[tuple[str, str], ...] = ()
+    detail: str = ""
+
+    def describe(self) -> str:
+        """One-line human-readable rendering (CLI / explorer output)."""
+        parts = [self.code]
+        if self.equation:
+            parts.append(f"[{self.equation}]")
+        if self.detail:
+            parts.append(self.detail)
+        if self.pairing_groups:
+            legs = ", ".join(f"{label}={fp}" for label, fp in self.pairing_groups)
+            parts.append(f"residuals: {legs}")
+        return " ".join(parts)
+
+
+@dataclass(frozen=True, eq=False)
+class VerifyOutcome:
+    """Truthy/falsy verification verdict with an attached reason.
+
+    Evaluates as ``True`` exactly when the proof was accepted, and compares
+    equal to plain booleans by verdict, so existing boolean call sites keep
+    working; rejection callers read ``.reason``.
+    """
+
+    ok: bool
+    reason: RejectionReason | None = None
+
+    def __bool__(self) -> bool:
+        return self.ok
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, VerifyOutcome):
+            return self.ok == other.ok and self.reason == other.reason
+        if isinstance(other, bool):
+            return self.ok is other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.ok, self.reason))
+
+    @staticmethod
+    def accept() -> "VerifyOutcome":
+        return _ACCEPT
+
+    @staticmethod
+    def reject(
+        code: str,
+        equation: str | None = None,
+        pairing_groups: tuple[tuple[str, str], ...] = (),
+        detail: str = "",
+    ) -> "VerifyOutcome":
+        return VerifyOutcome(
+            ok=False,
+            reason=RejectionReason(
+                code=code,
+                equation=equation,
+                pairing_groups=pairing_groups,
+                detail=detail,
+            ),
+        )
+
+
+_ACCEPT = VerifyOutcome(ok=True)
+
+
+def _gt_fingerprint(value) -> str:
+    """Short stable identifier of a GT element (for rejection diagnostics)."""
+    return hashlib.sha256(repr(value).encode()).hexdigest()[:12]
+
+
+def _pairing_group_residuals(
+    labelled_pairs: list[tuple[str, tuple[G1Point, G2Point]]],
+    extra: tuple[tuple[str, object], ...] = (),
+) -> tuple[tuple[str, str], ...]:
+    """Per-leg residual fingerprints, computed only on the failure path."""
+    groups = [
+        (label, _gt_fingerprint(final_exponentiation(miller_loop_product([pair]))))
+        for label, pair in labelled_pairs
+    ]
+    groups.extend((label, _gt_fingerprint(value)) for label, value in extra)
+    return tuple(groups)
 
 
 @dataclass
@@ -94,7 +212,7 @@ class Verifier:
         challenge: Challenge,
         proof: PlainProof,
         report: VerifyReport | None = None,
-    ) -> bool:
+    ) -> VerifyOutcome:
         """Paper Eq. (1): the non-private check (used by baselines/attack demo)."""
         expanded = challenge.expand(self.num_chunks)
         chi = self.compute_chi(expanded, report)
@@ -104,28 +222,38 @@ class Verifier:
         left_g1 = -(g1 * proof.y) - chi
         twisted = self.public.delta - self.public.epsilon * expanded.point
         t1 = time.perf_counter()
-        product = final_exponentiation(
-            miller_loop_product(
-                [
-                    (proof.sigma, g2),
-                    (left_g1, self.public.epsilon),
-                    (-proof.psi, twisted),
-                ]
-            )
-        )
+        pairs = [
+            (proof.sigma, g2),
+            (left_g1, self.public.epsilon),
+            (-proof.psi, twisted),
+        ]
+        product = final_exponentiation(miller_loop_product(pairs))
         ok = product.is_one()
         t2 = time.perf_counter()
         if report is not None:
             report.msm_seconds += t1 - t0
             report.pairing_seconds += t2 - t1
-        return ok
+        if ok:
+            return VerifyOutcome.accept()
+        return VerifyOutcome.reject(
+            code="pairing-mismatch",
+            equation="Eq.1",
+            pairing_groups=_pairing_group_residuals(
+                [
+                    ("sigma*g2", pairs[0]),
+                    ("(y,chi)*epsilon", pairs[1]),
+                    ("psi*(delta-r*epsilon)", pairs[2]),
+                ]
+            ),
+            detail="product of pairings != 1",
+        )
 
     def verify_private(
         self,
         challenge: Challenge,
         proof: PrivateProof,
         report: VerifyReport | None = None,
-    ) -> bool:
+    ) -> VerifyOutcome:
         """Paper Eq. (2): the Sigma-masked on-chain check."""
         expanded = challenge.expand(self.num_chunks)
         chi = self.compute_chi(expanded, report)
@@ -138,18 +266,29 @@ class Verifier:
         twisted = self.public.delta - self.public.epsilon * expanded.point
         scaled_psi = -(proof.psi * zeta)
         t1 = time.perf_counter()
-        product = final_exponentiation(
-            miller_loop_product(
-                [
-                    (scaled_sigma, g2),
-                    (left_g1, self.public.epsilon),
-                    (scaled_psi, twisted),
-                ]
-            )
-        )
+        pairs = [
+            (scaled_sigma, g2),
+            (left_g1, self.public.epsilon),
+            (scaled_psi, twisted),
+        ]
+        product = final_exponentiation(miller_loop_product(pairs))
         ok = (product * proof.commitment).is_one()
         t2 = time.perf_counter()
         if report is not None:
             report.msm_seconds += t1 - t0
             report.pairing_seconds += t2 - t1
-        return ok
+        if ok:
+            return VerifyOutcome.accept()
+        return VerifyOutcome.reject(
+            code="pairing-mismatch",
+            equation="Eq.2",
+            pairing_groups=_pairing_group_residuals(
+                [
+                    ("zeta*sigma*g2", pairs[0]),
+                    ("(y',chi)*epsilon", pairs[1]),
+                    ("zeta*psi*(delta-r*epsilon)", pairs[2]),
+                ],
+                extra=(("commitment-R", proof.commitment),),
+            ),
+            detail="product of pairings * R != 1",
+        )

@@ -21,7 +21,7 @@ from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
 from ..core.prover import Prover
-from ..core.verifier import Verifier
+from ..core.verifier import Verifier, VerifyOutcome
 from ..crypto.bn254 import PrecomputeCache
 from .tasks import AuditInstance, ProveOutcome, ProveTask, VerifyTask
 
@@ -67,7 +67,7 @@ class _AuditRuntime:
             privacy_seconds=report.privacy_seconds,
         )
 
-    def verify(self, task: VerifyTask) -> bool:
+    def verify(self, task: VerifyTask) -> VerifyOutcome:
         verifier = self.verifiers.get(task.name)
         if verifier is None:
             raise KeyError(f"no audit instance registered for file {task.name}")
@@ -88,7 +88,7 @@ def _prove_in_worker(task: ProveTask) -> ProveOutcome:
     return _RUNTIME.prove(task)
 
 
-def _verify_in_worker(task: VerifyTask) -> bool:
+def _verify_in_worker(task: VerifyTask) -> VerifyOutcome:
     assert _RUNTIME is not None, "worker initializer did not run"
     return _RUNTIME.verify(task)
 
@@ -164,7 +164,7 @@ class AuditExecutor:
             pool.map(_prove_in_worker, tasks, chunksize=self._chunksize(len(tasks)))
         )
 
-    def verify(self, tasks: Sequence[VerifyTask]) -> list[bool]:
+    def verify(self, tasks: Sequence[VerifyTask]) -> list[VerifyOutcome]:
         """Run individual Eq.-(2) checks, order-preserving.
 
         The epoch scheduler prefers

@@ -28,14 +28,22 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from typing import Callable
 
-from ..core.batch import BatchItem, verify_batch_grouped
+from ..core.batch import BatchVerifyOutcome, BatchItem, verify_batch_grouped
 from ..core.challenge import Challenge, epoch_challenge
 from ..core.params import ProtocolParams
+from ..core.proof import PrivateProof
+from ..core.prover import ResponseWithheld
 from ..crypto.bn254 import PrecomputeCache
 from ..randomness.beacon import RandomnessBeacon
 from .executor import AuditExecutor
 from .tasks import ProveOutcome, ProveTask
+
+#: A proof override: called with (challenge, epoch) in place of the engine's
+#: honest prover for one registered file.  Returning ``None`` or raising
+#: :class:`~repro.core.prover.ResponseWithheld` models a silent provider.
+ProofOverride = Callable[[Challenge, int], "PrivateProof | None"]
 
 
 @dataclass
@@ -44,11 +52,12 @@ class EpochResult:
 
     epoch: int
     num_audits: int
-    batch_ok: bool
+    batch_ok: BatchVerifyOutcome
     prove_seconds: float
     verify_seconds: float
     outcomes: list[ProveOutcome] = field(repr=False)
     challenges: dict[int, Challenge] = field(repr=False)
+    withheld: tuple[int, ...] = ()  # files whose response never arrived
 
     @property
     def total_seconds(self) -> float:
@@ -61,6 +70,10 @@ class EpochResult:
     def proof_bytes(self) -> dict[int, bytes]:
         """name -> canonical proof encoding (the bit-for-bit test surface)."""
         return {outcome.name: outcome.proof_bytes for outcome in self.outcomes}
+
+    def rejected_names(self) -> tuple[int, ...]:
+        """Files whose proofs failed this epoch (withheld ones included)."""
+        return self.withheld + self.batch_ok.rejected_names()
 
 
 class EpochScheduler:
@@ -75,6 +88,7 @@ class EpochScheduler:
         deterministic: bool = False,
         rng=None,
         keep_history: bool = True,
+        overrides: "dict[int, ProofOverride] | None" = None,
     ):
         self.executor = executor
         self.params = params
@@ -90,6 +104,18 @@ class EpochScheduler:
         # verifier across epochs.
         self.cache = PrecomputeCache()
         self.history: list[EpochResult] = []
+        # Adversary harness hook: files whose proofs come from a strategy
+        # callable instead of the engine's honest prover (the batch verifier
+        # treats both identically — that is the point of the exercise).
+        self.overrides: dict[int, ProofOverride] = {}
+        for name, override in (overrides or {}).items():
+            self.set_override(name, override)
+
+    def set_override(self, name: int, override: ProofOverride) -> None:
+        """Route one registered file's proofs through ``override``."""
+        if name not in self.executor.instances:
+            raise KeyError(f"file {name} not registered with the executor")
+        self.overrides[name] = override
 
     def run_epoch(self, epoch: int) -> EpochResult:
         """Challenge every instance, prove in parallel, batch-verify."""
@@ -102,6 +128,8 @@ class EpochScheduler:
         for instance in instances:
             challenge = epoch_challenge(beacon_output, self.params, instance.name)
             challenges[instance.name] = challenge
+            if instance.name in self.overrides:
+                continue
             tasks.append(
                 ProveTask.for_round(
                     instance,
@@ -111,17 +139,45 @@ class EpochScheduler:
                 )
             )
         t0 = time.perf_counter()
-        outcomes = self.executor.prove(tasks)
+        engine_outcomes = {
+            outcome.name: outcome for outcome in self.executor.prove(tasks)
+        }
+        # Overridden files prove inline through their strategy callable;
+        # a None / ResponseWithheld response never reaches the batch.
+        withheld: list[int] = []
+        outcomes: list[ProveOutcome] = []
+        for instance in instances:
+            override = self.overrides.get(instance.name)
+            if override is None:
+                outcomes.append(engine_outcomes[instance.name])
+                continue
+            try:
+                proof = override(challenges[instance.name], epoch)
+            except ResponseWithheld:
+                proof = None
+            if proof is None:
+                withheld.append(instance.name)
+                continue
+            outcomes.append(
+                ProveOutcome(
+                    name=instance.name,
+                    proof_bytes=proof.to_bytes(),
+                    zp_seconds=0.0,
+                    ecc_seconds=0.0,
+                    privacy_seconds=0.0,
+                )
+            )
         t1 = time.perf_counter()
+        by_name = {instance.name: instance for instance in instances}
         items = [
             BatchItem(
-                public=instance.public,
-                name=instance.name,
-                num_chunks=instance.num_chunks,
-                challenge=challenges[instance.name],
+                public=by_name[outcome.name].public,
+                name=outcome.name,
+                num_chunks=by_name[outcome.name].num_chunks,
+                challenge=challenges[outcome.name],
                 proof=outcome.proof(),
             )
-            for instance, outcome in zip(instances, outcomes)
+            for outcome in outcomes
         ]
         batch_ok = verify_batch_grouped(
             items, rng=self._rng, precompute=self.cache
@@ -133,8 +189,9 @@ class EpochScheduler:
             batch_ok=batch_ok,
             prove_seconds=t1 - t0,
             verify_seconds=t2 - t1,
-            outcomes=list(outcomes),
+            outcomes=outcomes,
             challenges=challenges,
+            withheld=tuple(withheld),
         )
         if self.keep_history:
             self.history.append(result)

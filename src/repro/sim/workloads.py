@@ -62,6 +62,31 @@ def photo_collection(
     return files
 
 
+def adversarial_fleet_mix(
+    honest: int = 4,
+    cheaters_per_strategy: int = 1,
+    strategies: tuple[str, ...] = (
+        "forge",
+        "replay",
+        "selective",
+        "bitrot",
+        "offline",
+    ),
+) -> list[tuple[str, int]]:
+    """A (strategy kind, count) mix for adversarial scenario runs.
+
+    The default mirrors docs/SCENARIOS.md: a mostly-honest fleet with one
+    provider per byzantine strategy.  The pairs are accepted directly by
+    :class:`repro.adversary.ScenarioRunner`, which normalizes them into
+    :class:`repro.adversary.StrategySpec` objects (with default ``rho``).
+    """
+    if honest < 0 or cheaters_per_strategy < 0:
+        raise ValueError("counts must be non-negative")
+    mix: list[tuple[str, int]] = [("honest", honest)] if honest else []
+    mix.extend((kind, cheaters_per_strategy) for kind in strategies)
+    return [(kind, count) for kind, count in mix if count > 0]
+
+
 def enterprise_backup(
     num_documents: int, seed: int = 13, mean_kb: float = 256.0
 ) -> list[WorkloadFile]:

@@ -58,6 +58,36 @@ class StorageNode:
             del self._shards[key]
         return len(keys)
 
+    # -- byzantine fault injection (repro.adversary scenarios) -------------
+
+    def corrupt_shard(self, file_id: str, index: int, flip_byte: int = 0) -> bool:
+        """Bit-rot one stored shard in place; True if it existed.
+
+        Retrieval detects this through the manifest checksum and skips the
+        shard, the same way a failed audit flags the provider.
+        """
+        data = self._shards.get((file_id, index))
+        if data is None:
+            return False
+        position = flip_byte % len(data)
+        mutated = bytearray(data)
+        mutated[position] ^= 0xFF
+        self._shards[(file_id, index)] = bytes(mutated)
+        return True
+
+    def discard_fraction(self, fraction: float, rng=None) -> int:
+        """Selective storage: silently delete ``fraction`` of held shards."""
+        import random as _random
+
+        if not 0.0 <= fraction <= 1.0:
+            raise ValueError("fraction must be in [0, 1]")
+        keys = sorted(self._shards)
+        count = int(len(keys) * fraction)
+        chooser = rng or _random
+        for key in chooser.sample(keys, count):
+            del self._shards[key]
+        return count
+
 
 class DsnCluster:
     """A set of storage nodes joined into one DHT ring + network fabric."""

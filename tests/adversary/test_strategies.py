@@ -1,0 +1,224 @@
+"""Strategy library: every tampered answer is rejected, honest ones pass.
+
+The "zero false accepts" acceptance criterion lives here: for each
+byzantine strategy the cryptographic verdict must match the ground truth
+exactly — tampered/challenged data always rejected, untouched data always
+accepted — and rejections must carry structured reasons.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.adversary import (
+    BitRotProver,
+    ChurnProver,
+    ReplayingProver,
+    SelectiveStorageProver,
+    StrategySpec,
+    TagForgeryProver,
+    expected_detection_rate,
+    make_prover,
+    measured_detection_rate,
+)
+from repro.core import (
+    DataOwner,
+    ProtocolParams,
+    ResponseWithheld,
+    Verifier,
+    random_challenge,
+)
+from repro.sim.workloads import archive_file
+
+
+@pytest.fixture(scope="module")
+def adv_params() -> ProtocolParams:
+    return ProtocolParams(s=4, k=4)
+
+
+@pytest.fixture(scope="module")
+def adv_rng() -> random.Random:
+    return random.Random(0xBAD)
+
+
+@pytest.fixture(scope="module")
+def adv_package(adv_params, adv_rng):
+    # 4960 bytes -> 160 blocks -> 40 chunks at s=4: big enough for the
+    # selective/bitrot strategies to have a meaningful challenged-set miss
+    # probability.
+    owner = DataOwner(adv_params, rng=adv_rng)
+    return owner.prepare(archive_file(4960, tag="adversary").data)
+
+
+@pytest.fixture(scope="module")
+def adv_verifier(adv_package):
+    return Verifier(adv_package.public, adv_package.name, adv_package.num_chunks)
+
+
+class TestForgedTags:
+    def test_every_forged_proof_rejected(
+        self, adv_params, adv_package, adv_verifier, adv_rng
+    ):
+        forger = make_prover("forge", adv_package, rng=adv_rng)
+        assert isinstance(forger, TagForgeryProver)
+        for _ in range(3):
+            challenge = random_challenge(adv_params, rng=adv_rng)
+            outcome = adv_verifier.verify_private(
+                challenge, forger.respond_private(challenge)
+            )
+            assert not outcome
+            assert outcome.reason is not None
+            assert outcome.reason.code == "pairing-mismatch"
+            assert outcome.reason.equation == "Eq.2"
+
+    def test_rejection_reason_names_pairing_groups(
+        self, adv_params, adv_package, adv_verifier, adv_rng
+    ):
+        forger = make_prover("forge", adv_package, rng=adv_rng)
+        challenge = random_challenge(adv_params, rng=adv_rng)
+        outcome = adv_verifier.verify_private(
+            challenge, forger.respond_private(challenge)
+        )
+        labels = [label for label, _ in outcome.reason.pairing_groups]
+        assert labels == [
+            "zeta*sigma*g2",
+            "(y',chi)*epsilon",
+            "zeta*psi*(delta-r*epsilon)",
+            "commitment-R",
+        ]
+        # every leg has a non-empty residual fingerprint
+        assert all(fp for _, fp in outcome.reason.pairing_groups)
+        assert "pairing-mismatch" in outcome.reason.describe()
+
+
+class TestReplay:
+    def test_first_round_honest_then_replays_rejected(
+        self, adv_params, adv_package, adv_verifier, adv_rng
+    ):
+        replayer = ReplayingProver(
+            adv_package.chunked,
+            adv_package.public,
+            list(adv_package.authenticators),
+            rng=adv_rng,
+        )
+        first = random_challenge(adv_params, rng=adv_rng)
+        proof = replayer.respond_private(first)
+        assert adv_verifier.verify_private(first, proof)
+        for _ in range(2):
+            stale_challenge = random_challenge(adv_params, rng=adv_rng)
+            stale = replayer.respond_private(stale_challenge)
+            assert stale.to_bytes() == proof.to_bytes()  # literally replayed
+            assert not adv_verifier.verify_private(stale_challenge, stale)
+        assert replayer.replays == 2
+
+
+class TestSelectiveStorage:
+    def test_verdict_matches_ground_truth_exactly(
+        self, adv_params, adv_package, adv_verifier, adv_rng
+    ):
+        prover = SelectiveStorageProver(
+            adv_package.chunked,
+            adv_package.public,
+            list(adv_package.authenticators),
+            rng=adv_rng,
+            rho=0.3,
+        )
+        assert len(prover.discarded) == round(adv_package.num_chunks * 0.3)
+        hits = misses = 0
+        for _ in range(8):
+            challenge = random_challenge(adv_params, rng=adv_rng)
+            outcome = adv_verifier.verify_private(
+                challenge, prover.respond_private(challenge)
+            )
+            should_fail = prover.would_be_detected(challenge)
+            # zero false accepts AND zero false rejects
+            assert bool(outcome) == (not should_fail)
+            hits += should_fail
+            misses += not should_fail
+        # the sample sizes make both branches overwhelmingly likely; guard
+        # so a silent fixture change cannot hollow the test out
+        assert hits > 0
+
+    def test_detection_rate_matches_closed_form(self):
+        # >= 200 trials within +/-5% of 1-(1-rho)^c (acceptance criterion);
+        # we run 2000 sampled challenge expansions.
+        params = ProtocolParams(s=4, k=6)
+        measured, predicted = measured_detection_rate(
+            num_chunks=80, rho=0.25, params=params, trials=2000, seed=7
+        )
+        assert predicted == pytest.approx(1 - (1 - 0.25) ** 6)
+        assert abs(measured - predicted) <= 0.05
+
+
+class TestBitRot:
+    def test_corruption_detected_iff_challenged(
+        self, adv_params, adv_package, adv_verifier, adv_rng
+    ):
+        prover = BitRotProver(
+            adv_package.chunked,
+            adv_package.public,
+            list(adv_package.authenticators),
+            rng=adv_rng,
+            rho=0.4,
+        )
+        assert prover.discarded  # some chunks rotted at rho=0.4 over 40
+        for _ in range(4):
+            challenge = random_challenge(adv_params, rng=adv_rng)
+            outcome = adv_verifier.verify_private(
+                challenge, prover.respond_private(challenge)
+            )
+            assert bool(outcome) == (not prover.would_be_detected(challenge))
+
+
+class TestChurn:
+    def test_offline_rounds_withhold_response(
+        self, adv_params, adv_package, adv_verifier, adv_rng
+    ):
+        always_offline = ChurnProver(
+            adv_package.chunked,
+            adv_package.public,
+            list(adv_package.authenticators),
+            rng=adv_rng,
+            rho=1.0,
+        )
+        with pytest.raises(ResponseWithheld):
+            always_offline.respond_private(random_challenge(adv_params, rng=adv_rng))
+
+        always_online = ChurnProver(
+            adv_package.chunked,
+            adv_package.public,
+            list(adv_package.authenticators),
+            rng=adv_rng,
+            rho=0.0,
+        )
+        challenge = random_challenge(adv_params, rng=adv_rng)
+        assert adv_verifier.verify_private(
+            challenge, always_online.respond_private(challenge)
+        )
+
+
+class TestSpecsAndFactories:
+    def test_spec_validation(self):
+        with pytest.raises(ValueError):
+            StrategySpec("nonsense")
+        with pytest.raises(ValueError):
+            StrategySpec("forge", count=0)
+        with pytest.raises(ValueError):
+            StrategySpec("selective", rho=1.5)
+
+    def test_make_prover_rejects_unknown_kind(self, adv_package):
+        with pytest.raises(ValueError):
+            make_prover("nonsense", adv_package)
+
+    def test_expected_rates(self):
+        assert expected_detection_rate("honest", 0.3, 6) == 0.0
+        assert expected_detection_rate("forge", 0.3, 6) == 1.0
+        assert expected_detection_rate("offline", 0.3, 6) == 0.3
+        assert expected_detection_rate("replay", 0.3, 6, epochs=3) == pytest.approx(
+            2 / 3
+        )
+        assert expected_detection_rate("selective", 0.3, 6) == pytest.approx(
+            1 - 0.7**6
+        )

@@ -27,6 +27,7 @@ table is warm (the amortization argument of docs/BENCHMARKS.md).
 
 from __future__ import annotations
 
+import os
 import random
 import time
 
@@ -38,9 +39,13 @@ from repro.engine.tasks import ProveTask
 from repro.randomness import HashChainBeacon
 from repro.sim.workloads import archive_file
 
-OWNERS = 8
-FILES_PER_OWNER = 8
-FILE_BYTES = 4_000
+#: BENCH_QUICK=1 (the CI smoke job) shrinks the fleet so the bench
+#: exercises every code path under a tight timeout; the >= 2x speedup
+#: assertion only applies at full scale, where amortization can show.
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+OWNERS = 2 if QUICK else 8
+FILES_PER_OWNER = 4 if QUICK else 8
+FILE_BYTES = 2_000 if QUICK else 4_000
 PARAMS = ProtocolParams(s=10, k=8)
 SALT = b"engine-epoch"  # EpochScheduler's default task salt
 BEACON = HashChainBeacon(b"bench-parallel-engine")
@@ -94,7 +99,7 @@ def test_parallel_engine_speedup(report):
     rng = random.Random(0xE17E)
     instances = _build_fleet(rng)
     num_audits = len(instances)
-    assert num_audits == 64
+    assert num_audits == OWNERS * FILES_PER_OWNER
 
     sequential_seconds, sequential_proofs, sequential_verdicts = _sequential_epoch(
         instances, epoch=0
@@ -137,6 +142,7 @@ def test_parallel_engine_speedup(report):
         "engine == sequential bit-for-bit: True",
     ]
     report("bench_parallel_engine", "\n".join(lines))
-    assert speedup >= 2.0, (
-        f"engine must be >= 2x the sequential seed path, got {speedup:.2f}x"
-    )
+    if not QUICK:
+        assert speedup >= 2.0, (
+            f"engine must be >= 2x the sequential seed path, got {speedup:.2f}x"
+        )

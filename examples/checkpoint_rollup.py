@@ -1,0 +1,181 @@
+"""Epoch checkpoint rollup, narrated: 64 files, 1 commitment, 1 fraud proof.
+
+The story this demo tells (docs/PROTOCOL.md section 9):
+
+1. A provider stores 64 files for 8 owners.  One beacon epoch fires and
+   every file is audited off chain through the parallel engine.
+2. Instead of 64 (challenge, proof, verdict) postings, the aggregator
+   commits a single 85-byte Merkle verdict-tree root on chain, bonded for
+   a fraud-proof window.
+3. A light client verifies any single file's audit from the commitment
+   plus one inclusion proof — no trust in the aggregator.
+4. A *lying* aggregator flips one verdict in the next epoch's tree.  A
+   challenger opens that one leaf on chain; the contract re-verifies the
+   round from the leaf's own bytes and slashes the poster's bond.
+
+Run me:  PYTHONPATH=src python examples/checkpoint_rollup.py
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.chain import (
+    Blockchain,
+    ChainExplorer,
+    CheckpointContract,
+    CheckpointLightClient,
+    CheckpointStatus,
+    Transaction,
+    audit_the_auditor_checkpoints,
+    checkpoint_amortization,
+)
+from repro.core import DataOwner, ProtocolParams
+from repro.engine import AuditExecutor, AuditInstance, EpochScheduler
+from repro.randomness import HashChainBeacon
+from repro.rollup import CheckpointPipeline, build_checkpoint
+from repro.sim.workloads import archive_file
+
+OWNERS = 8
+FILES_PER_OWNER = 8
+PARAMS = ProtocolParams(s=6, k=4)  # demo-scale; the paper uses s=50, k=300
+
+
+def main() -> int:
+    rng = random.Random(0xCDE0)
+    print("=" * 72)
+    print("1) Fleet setup: 8 owners x 8 files on one storage provider")
+    print("=" * 72)
+    instances = []
+    for owner_index in range(OWNERS):
+        owner = DataOwner(PARAMS, rng=rng)
+        for file_index in range(FILES_PER_OWNER):
+            package = owner.prepare(
+                archive_file(1_000, tag=f"o{owner_index}f{file_index}").data,
+                fresh_keypair=file_index == 0,
+            )
+            instances.append(
+                AuditInstance.from_package(package, owner_id=f"owner-{owner_index}")
+            )
+    print(f"   {len(instances)} audit instances prepared (s={PARAMS.s}, "
+          f"k={PARAMS.k})")
+
+    beacon = HashChainBeacon(b"checkpoint-rollup-demo")
+    chain = Blockchain(block_time=15.0)
+    aggregator = chain.create_account(10.0, label="aggregator")
+    challenger = chain.create_account(1.0, label="watchtower")
+    contract = CheckpointContract(beacon, PARAMS, fraud_window=600.0)
+    address = chain.deploy(contract, deployer=aggregator)
+
+    with AuditExecutor(instances, workers=1) as executor:
+        scheduler = EpochScheduler(
+            executor, PARAMS, beacon, rng=rng, checkpoint_mode=True
+        )
+        pipeline = CheckpointPipeline(scheduler, chain, address, aggregator)
+        pipeline.register_fleet()
+
+        print()
+        print("=" * 72)
+        print("2) One epoch, one commitment: 64 audits -> 85 on-chain bytes")
+        print("=" * 72)
+        settled = pipeline.settle_epoch(0)
+        commitment = settled.bundle.checkpoint
+        print(f"   epoch 0: {commitment.num_leaves} audits "
+              f"({commitment.accepted} accepted, {commitment.rejected} "
+              f"rejected)")
+        print(f"   commitment: root {commitment.root.hex()[:16]}..., "
+              f"{commitment.byte_size()} bytes, gas "
+              f"{settled.receipt.gas_used:,}")
+        amortized = checkpoint_amortization(chain.schedule, len(instances))
+        print(f"   vs per-round postings: {amortized.per_round_trail_bytes:,} "
+              f"trail bytes and {amortized.per_round_gas:,} gas "
+              f"({amortized.bytes_reduction:,.0f}x bytes, "
+              f"{amortized.gas_reduction:,.0f}x gas saved)")
+
+        print()
+        print("=" * 72)
+        print("3) Light client: per-file inclusion proof against the root")
+        print("=" * 72)
+        client = CheckpointLightClient(
+            contract.export_instance_registry(), PARAMS, beacon
+        )
+        sample = instances[17].name
+        proof = settled.bundle.prove(sample)
+        outcome = client.verify_inclusion(commitment, proof)
+        print(f"   file {sample:#x}: opened leaf {proof.leaf_index} with "
+              f"{len(proof.siblings)} siblings -> "
+              f"{'VERIFIED' if outcome.ok else outcome.reason}")
+        replay = audit_the_auditor_checkpoints(contract, pipeline)
+        print(f"   full replay of every settled checkpoint: "
+              f"{replay.rounds_checked} rounds, "
+              f"{'consistent' if replay.consistent else 'INCONSISTENT'}")
+
+        print()
+        print("=" * 72)
+        print("4) Fraud proof: a verdict-flipped checkpoint gets slashed")
+        print("=" * 72)
+        result = scheduler.run_epoch(1)
+        records = list(result.checkpoint.records)
+        victim = records[5]
+        records[5] = victim.flipped()
+        forged = build_checkpoint(1, tuple(records))
+        print(f"   lying aggregator commits epoch 1 with file "
+              f"{victim.name:#x}'s verdict flipped "
+              f"({'pass' if victim.verdict else 'fail'} -> "
+              f"{'pass' if records[5].verdict else 'fail'})")
+        receipt = chain.transact(
+            Transaction(
+                sender=aggregator,
+                to=address,
+                method="post_checkpoint",
+                args=(forged.checkpoint.to_bytes(),),
+                value=contract.posting_bond_wei,
+            ),
+            payload_bytes=forged.checkpoint.byte_size(),
+        )
+        checkpoint_id = receipt.return_value
+        opening = forged.prove(victim.name)
+        before = chain.balance_of(challenger)
+        challenge_receipt = chain.transact(
+            Transaction(
+                sender=challenger,
+                to=address,
+                method="challenge_leaf",
+                args=(
+                    checkpoint_id,
+                    opening.leaf_data,
+                    opening.leaf_index,
+                    opening.siblings,
+                    opening.directions,
+                ),
+                value=contract.challenge_bond_wei,
+            ),
+            payload_bytes=len(opening.leaf_data) + 32 * len(opening.siblings),
+        )
+        entry = contract.checkpoints[checkpoint_id]
+        print(f"   watchtower opens that single leaf on chain...")
+        print(f"   contract re-verifies the round: {entry.fraud_reason}")
+        print(f"   checkpoint status: {entry.status.value}; watchtower "
+              f"bounty: {chain.balance_of(challenger) - before:,} wei")
+
+    print()
+    print("=" * 72)
+    print("5) Explorer: the on-chain checkpoint log")
+    print("=" * 72)
+    explorer = ChainExplorer(chain)
+    for event in explorer.checkpoint_log():
+        print(f"   {event['name']}: {event['payload']}")
+
+    ok = (
+        replay.consistent
+        and outcome.ok
+        and entry.status is CheckpointStatus.SLASHED
+        and challenge_receipt.success
+    )
+    print()
+    print("rollup demo:", "OK" if ok else "FAILED")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -13,6 +13,7 @@ from dataclasses import dataclass
 
 from .blockchain import Blockchain
 from .contracts.audit_contract import AuditContract
+from .contracts.checkpoint_contract import CheckpointContract
 from .contracts.reputation import ReputationRegistry
 
 #: Event names the dispute/arbitration flow can emit (PROTOCOL.md sec. 7).
@@ -22,6 +23,15 @@ DISPUTE_EVENT_NAMES = (
     "dispute_overturned",
     "collateral_slashed",
     "stake_slashed",
+)
+
+#: Event names the checkpoint rollup can emit (PROTOCOL.md sec. 9).
+CHECKPOINT_EVENT_NAMES = (
+    "checkpointed",
+    "checkpoint_challenged",
+    "checkpoint_upheld",
+    "checkpoint_slashed",
+    "checkpoint_finalized",
 )
 
 
@@ -36,6 +46,22 @@ class ContractSummary:
     trail_bytes: int
     disputes: int = 0
     reject_reasons: tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class CheckpointSummary:
+    """One posted epoch checkpoint as the explorer renders it."""
+
+    address: str
+    checkpoint_id: int
+    epoch: int
+    status: str
+    leaves: int
+    accepted: int
+    rejected: int
+    commitment_bytes: int
+    gas_used: int
+    fraud_reason: str | None = None
 
 
 class ChainExplorer:
@@ -131,6 +157,43 @@ class ChainExplorer:
     def total_audit_gas(self) -> int:
         return sum(summary.total_gas for summary in self.audit_contracts())
 
+    # -- checkpoints (epoch rollup) --------------------------------------------
+
+    def checkpoint_contracts(self) -> list[CheckpointSummary]:
+        """Every posted checkpoint across all deployed rollup contracts."""
+        out = []
+        for address, contract in self.chain._contracts.items():
+            if not isinstance(contract, CheckpointContract):
+                continue
+            for entry in contract.checkpoints:
+                out.append(
+                    CheckpointSummary(
+                        address=address,
+                        checkpoint_id=entry.checkpoint_id,
+                        epoch=entry.commitment.epoch,
+                        status=entry.status.value,
+                        leaves=entry.commitment.num_leaves,
+                        accepted=entry.commitment.accepted,
+                        rejected=entry.commitment.rejected,
+                        commitment_bytes=entry.commitment_bytes,
+                        gas_used=entry.gas_used,
+                        fraud_reason=entry.fraud_reason,
+                    )
+                )
+        return out
+
+    def checkpoint_log(self) -> list[dict]:
+        """Every checkpoint-lifecycle event, in emission order."""
+        return [
+            {"contract": e.contract[:16], "name": e.name, "payload": e.payload}
+            for e in self.chain.events
+            if e.name in CHECKPOINT_EVENT_NAMES
+        ]
+
+    def checkpoint_trail_bytes(self) -> int:
+        """On-chain commitment bytes across all rollup contracts."""
+        return sum(s.commitment_bytes for s in self.checkpoint_contracts())
+
     # -- disputes / reputation -------------------------------------------------
 
     def dispute_log(self) -> list[dict]:
@@ -186,5 +249,20 @@ class ChainExplorer:
             ],
             "disputes": self.dispute_log(),
             "reputation": self.reputation_snapshot(),
+            "checkpoints": [
+                {
+                    "address": s.address,
+                    "checkpoint_id": s.checkpoint_id,
+                    "epoch": s.epoch,
+                    "status": s.status,
+                    "leaves": s.leaves,
+                    "accepted": s.accepted,
+                    "rejected": s.rejected,
+                    "commitment_bytes": s.commitment_bytes,
+                    "gas_used": s.gas_used,
+                    "fraud_reason": s.fraud_reason,
+                }
+                for s in self.checkpoint_contracts()
+            ],
         }
         return json.dumps(payload, indent=2, sort_keys=True)

@@ -33,6 +33,11 @@ PRIVATE_PROOF_BYTES = 288
 PLAIN_PROOF_BYTES = 96
 CHALLENGE_BYTES = 48
 
+#: Wire size of one epoch-checkpoint commitment (root + epoch + counts +
+#: aggregated-proof digest; see ``repro.rollup.checkpoint``).  Kept as a
+#: plain constant here so gas accounting does not import the rollup layer.
+CHECKPOINT_COMMITMENT_BYTES = 85
+
 
 @dataclass(frozen=True)
 class GasSchedule:
@@ -161,6 +166,77 @@ def vanilla_evm_verification_gas(
         + proof_scaling
         + pairing
         + gt_ops
+    )
+
+
+def checkpoint_commitment_gas(
+    schedule: GasSchedule,
+    commitment_bytes: int = CHECKPOINT_COMMITMENT_BYTES,
+) -> int:
+    """Gas for posting one epoch checkpoint (the rollup's whole epoch cost).
+
+    One transaction regardless of fleet size: intrinsic + calldata +
+    storage for the fixed-size commitment.  Worst-case (all-nonzero)
+    calldata pricing, matching :class:`AuditPrecompileModel`.
+    """
+    return (
+        schedule.tx_intrinsic
+        + commitment_bytes * schedule.calldata_nonzero_byte
+        + schedule.storage_gas(commitment_bytes)
+    )
+
+
+@dataclass(frozen=True)
+class CheckpointAmortization:
+    """Per-round vs. checkpointed cost of auditing ``fleet`` files one epoch.
+
+    The Fig. 5/6 story at fleet scale: the per-round path pays a full
+    verification transaction per file (gas) and a challenge + proof trail
+    per file (bytes); the checkpointed path pays one commitment
+    transaction and 85 trail bytes for the *whole epoch*, so both ratios
+    grow linearly with the fleet.
+    """
+
+    fleet: int
+    per_round_gas: int            # N verification txs (Fig. 5 model)
+    checkpoint_gas: int           # 1 commitment tx
+    per_round_trail_bytes: int    # N * (challenge + proof)
+    checkpoint_trail_bytes: int   # 1 commitment
+
+    @property
+    def per_round_gas_per_file(self) -> float:
+        return self.per_round_gas / self.fleet
+
+    @property
+    def checkpoint_gas_per_file(self) -> float:
+        return self.checkpoint_gas / self.fleet
+
+    @property
+    def gas_reduction(self) -> float:
+        return self.per_round_gas / self.checkpoint_gas
+
+    @property
+    def bytes_reduction(self) -> float:
+        return self.per_round_trail_bytes / self.checkpoint_trail_bytes
+
+
+def checkpoint_amortization(
+    schedule: GasSchedule,
+    fleet: int,
+    verify_ms: float = PAPER_VERIFY_MS,
+    commitment_bytes: int = CHECKPOINT_COMMITMENT_BYTES,
+) -> CheckpointAmortization:
+    """Compare one epoch of ``fleet`` audits, per-round vs. checkpointed."""
+    if fleet < 1:
+        raise ValueError("fleet must be >= 1")
+    model = AuditPrecompileModel(schedule)
+    return CheckpointAmortization(
+        fleet=fleet,
+        per_round_gas=fleet
+        * model.verification_gas(PRIVATE_PROOF_BYTES, verify_ms),
+        checkpoint_gas=checkpoint_commitment_gas(schedule, commitment_bytes),
+        per_round_trail_bytes=fleet * (CHALLENGE_BYTES + PRIVATE_PROOF_BYTES),
+        checkpoint_trail_bytes=commitment_bytes,
     )
 
 

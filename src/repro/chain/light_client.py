@@ -10,6 +10,16 @@ flagging any disagreement with what the contract recorded.
 A disagreement would mean a mis-executing contract (or a forged trail) —
 the situation the blockchain's honest-majority assumption is supposed to
 prevent, and exactly what an auditor-of-the-auditor looks for.
+
+Two trails exist since the epoch rollup landed, and both are covered:
+
+* the **per-round trail** (:class:`LightClient`) re-verifies each round's
+  on-chain bytes directly;
+* the **checkpointed trail** (:class:`CheckpointLightClient`) verifies
+  per-file *inclusion proofs* against committed Merkle roots, and replays
+  whole checkpoints from their published leaf sets — a disagreement here
+  is exactly the opening a fraud-proof challenger submits on chain
+  (:mod:`~repro.chain.contracts.checkpoint_contract`).
 """
 
 from __future__ import annotations
@@ -21,6 +31,10 @@ from ..core.keys import PublicKey
 from ..core.params import ProtocolParams
 from ..core.proof import PrivateProof
 from ..core.verifier import Verifier
+from ..crypto.merkle import MerkleProof, MerkleTree, verify_merkle_proof
+from ..rollup.checkpoint import Checkpoint, aggregated_proof_digest
+from ..rollup.records import RoundRecord
+from ..rollup.verdict import leaf_ground_truth
 from .contracts.audit_contract import AuditContract
 
 
@@ -122,3 +136,177 @@ def audit_the_auditor(
         params=params,
     )
     return client.replay(export_trail(contract))
+
+
+# --------------------------------------------------------------------------- #
+# Checkpointed trails                                                         #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass(frozen=True)
+class InclusionOutcome:
+    """Verdict of checking one leaf against a committed checkpoint root.
+
+    ``ok`` means: the proof opens the committed root, the leaf decodes,
+    belongs to the commitment's epoch, carries the beacon-derived challenge
+    and a verdict that matches independent re-verification.  Any failure
+    names its reason — which doubles as the fraud ground the light client
+    would cite when escalating to ``CheckpointContract.challenge_leaf``.
+    """
+
+    ok: bool
+    reason: str = ""             # "" iff ok
+    record: RoundRecord | None = None
+
+
+@dataclass
+class CheckpointReplayReport:
+    """Outcome of re-verifying checkpointed trails leaf by leaf."""
+
+    checkpoints_checked: int = 0
+    rounds_checked: int = 0
+    agreements: int = 0
+    disagreements: list[tuple[int, int]] = field(default_factory=list)
+    #: epochs whose published leaf set does not hash to the committed root
+    root_mismatches: list[int] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        return not self.disagreements and not self.root_mismatches
+
+
+class CheckpointLightClient:
+    """Re-verifies checkpointed epochs from commitments + published leaves.
+
+    Needs only what the chain itself serves: the instance registry
+    (name -> pk bytes + chunk count, from
+    ``CheckpointContract.export_instance_registry``), the protocol
+    parameters, and the beacon — the same inputs the on-chain fraud proof
+    consumes.
+    """
+
+    def __init__(
+        self,
+        instance_registry: dict[int, tuple[bytes, int]],
+        params: ProtocolParams,
+        beacon,
+    ):
+        self.params = params
+        self.beacon = beacon
+        self._registry = dict(instance_registry)
+        self._verifiers: dict[int, Verifier] = {}
+
+    def _verifier_for(self, name: int) -> Verifier | None:
+        verifier = self._verifiers.get(name)
+        if verifier is None:
+            entry = self._registry.get(name)
+            if entry is None:
+                return None
+            pk_bytes, num_chunks = entry
+            verifier = Verifier(
+                PublicKey.from_bytes(pk_bytes), name, num_chunks
+            )
+            self._verifiers[name] = verifier
+        return verifier
+
+    def check_record(
+        self, commitment: Checkpoint, record: RoundRecord
+    ) -> InclusionOutcome:
+        """Validate one already-included leaf against epoch ground truth.
+
+        Applies the *same* rule set the on-chain fraud proof applies
+        (:func:`repro.rollup.verdict.leaf_ground_truth`), so a leaf this
+        client flags is exactly a leaf worth challenging.
+        """
+        verdict = leaf_ground_truth(
+            record,
+            commitment.epoch,
+            self.params,
+            self.beacon,
+            self._verifier_for,
+        )
+        if verdict.fraudulent:
+            return InclusionOutcome(
+                ok=False, reason=verdict.fraud_code, record=record
+            )
+        return InclusionOutcome(ok=True, record=record)
+
+    def verify_inclusion(
+        self, commitment: Checkpoint, proof: MerkleProof
+    ) -> InclusionOutcome:
+        """Check one file's inclusion proof against a committed root."""
+        if not verify_merkle_proof(commitment.root, proof):
+            return InclusionOutcome(ok=False, reason="not-included")
+        try:
+            record = RoundRecord.from_bytes(proof.leaf_data)
+        except ValueError:
+            return InclusionOutcome(ok=False, reason="malformed-record")
+        return self.check_record(commitment, record)
+
+    def replay_checkpoint(
+        self,
+        commitment: Checkpoint,
+        records: tuple[RoundRecord, ...],
+        report: CheckpointReplayReport | None = None,
+    ) -> CheckpointReplayReport:
+        """Replay one checkpoint from its full published leaf set.
+
+        Rebuilds the Merkle tree over the served records and compares the
+        root, counts and aggregated-proof digest against the commitment
+        (data-availability integrity), then re-verifies every leaf verdict
+        (verdict integrity).
+        """
+        report = report or CheckpointReplayReport()
+        report.checkpoints_checked += 1
+        ordered = tuple(sorted(records, key=lambda record: record.name))
+        tree = MerkleTree([record.to_bytes() for record in ordered])
+        accepted = sum(1 for record in ordered if record.verdict)
+        if (
+            tree.root != commitment.root
+            or len(ordered) != commitment.num_leaves
+            or accepted != commitment.accepted
+            or aggregated_proof_digest(ordered) != commitment.proof_digest
+        ):
+            report.root_mismatches.append(commitment.epoch)
+        for record in ordered:
+            report.rounds_checked += 1
+            if self.check_record(commitment, record).ok:
+                report.agreements += 1
+            else:
+                report.disagreements.append((commitment.epoch, record.name))
+        return report
+
+
+def audit_the_auditor_checkpoints(
+    contract, bundles, params: ProtocolParams | None = None
+) -> CheckpointReplayReport:
+    """Replay every live checkpoint a contract has settled.
+
+    ``contract`` is a
+    :class:`~repro.chain.contracts.checkpoint_contract.CheckpointContract`;
+    ``bundles`` maps epoch -> record tuple (or an object with
+    ``bundle_for_epoch``, e.g. a
+    :class:`~repro.rollup.pipeline.CheckpointPipeline` — the aggregator's
+    data-availability obligation).  Slashed checkpoints are skipped: the
+    chain already voided them.
+    """
+    from .contracts.checkpoint_contract import CheckpointStatus
+
+    client = CheckpointLightClient(
+        contract.export_instance_registry(),
+        params or contract.params,
+        contract.beacon,
+    )
+    report = CheckpointReplayReport()
+    for entry in contract.checkpoints:
+        if entry.status is CheckpointStatus.SLASHED:
+            continue
+        epoch = entry.commitment.epoch
+        if hasattr(bundles, "bundle_for_epoch"):
+            records = bundles.bundle_for_epoch(epoch).records
+        else:
+            records = bundles[epoch]
+            if hasattr(records, "records"):  # a CheckpointBundle
+                records = records.records
+        client.replay_checkpoint(entry.commitment, tuple(records), report)
+    return report

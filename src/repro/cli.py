@@ -4,6 +4,8 @@
     python -m repro prepare  --file archive.bin --s 10 --k 8
     python -m repro audit    --size 20000 --rounds 3
     python -m repro engine   --owners 4 --files 4 --epochs 2
+    python -m repro checkpoint --owners 4 --files 4 --epochs 2  # epoch rollup
+    python -m repro checkpoint --fraud                        # + fraud proof
     python -m repro attack   --s 6 --k 4                      # privacy attack
     python -m repro attack --strategy selective --rho 0.25    # byzantine provider
     python -m repro attack --strategy replay --onchain        # dispute + slashing
@@ -128,6 +130,142 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                 f"batch {'OK' if result.batch_ok else 'FAILED'}"
             )
     return 0 if all(r.batch_ok for r in scheduler.history) else 1
+
+
+def _cmd_checkpoint(args: argparse.Namespace) -> int:
+    """Epoch rollup: settle a fleet's audits as one commitment per epoch."""
+    from .chain import (
+        ChainExplorer,
+        CheckpointContract,
+        CheckpointLightClient,
+        Transaction,
+        audit_the_auditor_checkpoints,
+        checkpoint_amortization,
+    )
+    from .engine import AuditExecutor, AuditInstance, EpochScheduler
+    from .rollup import CheckpointPipeline, build_checkpoint
+    from .sim.workloads import archive_file
+
+    if args.epochs < 1 or args.owners < 1 or args.files < 1:
+        print("checkpoint: --epochs, --owners and --files must be >= 1",
+              file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    params = ProtocolParams(s=args.s, k=args.k)
+    instances = []
+    for owner_index in range(args.owners):
+        owner = DataOwner(params, rng=rng)
+        for file_index in range(args.files):
+            package = owner.prepare(
+                archive_file(args.size, tag=f"o{owner_index}f{file_index}").data,
+                fresh_keypair=file_index == 0,
+            )
+            instances.append(
+                AuditInstance.from_package(package, owner_id=f"owner-{owner_index}")
+            )
+    fleet = len(instances)
+    print(f"fleet: {args.owners} owners x {args.files} files "
+          f"({fleet} audit instances), s={args.s}, k={args.k}")
+
+    beacon = HashChainBeacon(b"cli-checkpoint")
+    chain = Blockchain(block_time=15.0)
+    aggregator = chain.create_account(10.0, label="aggregator")
+    contract = CheckpointContract(beacon, params, fraud_window=1000.0)
+    address = chain.deploy(contract, deployer=aggregator)
+
+    with AuditExecutor(instances, workers=args.workers) as executor:
+        scheduler = EpochScheduler(
+            executor, params, beacon, rng=rng, checkpoint_mode=True
+        )
+        pipeline = CheckpointPipeline(scheduler, chain, address, aggregator)
+        pipeline.register_fleet()
+        for settled in pipeline.run(args.epochs):
+            commitment = settled.bundle.checkpoint
+            print(
+                f"epoch {settled.epoch}: {commitment.num_leaves} audits -> "
+                f"1 checkpoint tx ({commitment.byte_size()} B on chain, "
+                f"{commitment.accepted} accepted / {commitment.rejected} "
+                f"rejected, gas {settled.receipt.gas_used:,})"
+            )
+
+        # Any third party can verify per-file inclusion from raw bytes.
+        client = CheckpointLightClient(
+            contract.export_instance_registry(), params, beacon
+        )
+        sample = instances[0].name
+        bundle = pipeline.settled[0].bundle
+        outcome = client.verify_inclusion(bundle.checkpoint, bundle.prove(sample))
+        print(f"light client: inclusion of file {sample:#x} in epoch 0 -> "
+              f"{'OK' if outcome.ok else outcome.reason}")
+        replay = audit_the_auditor_checkpoints(contract, pipeline)
+        print(f"light client: replayed {replay.checkpoints_checked} checkpoints "
+              f"({replay.rounds_checked} rounds) -> "
+              f"{'consistent' if replay.consistent else 'INCONSISTENT'}")
+
+        amortized = checkpoint_amortization(chain.schedule, fleet)
+        print(
+            f"per-round path: {amortized.per_round_trail_bytes:,} trail B, "
+            f"{amortized.per_round_gas:,} gas per epoch; checkpointed: "
+            f"{amortized.checkpoint_trail_bytes} B, "
+            f"{amortized.checkpoint_gas:,} gas "
+            f"({amortized.bytes_reduction:,.0f}x bytes, "
+            f"{amortized.gas_reduction:,.0f}x gas)"
+        )
+
+        fraud_caught = True
+        if args.fraud:
+            # A lying aggregator flips one verdict; anyone holding the
+            # leaves opens that leaf on chain and takes the bond.
+            result = scheduler.run_epoch(args.epochs)
+            records = list(result.checkpoint.records)
+            records[0] = records[0].flipped()
+            forged = build_checkpoint(args.epochs, tuple(records))
+            receipt = chain.transact(
+                Transaction(
+                    sender=aggregator,
+                    to=address,
+                    method="post_checkpoint",
+                    args=(forged.checkpoint.to_bytes(),),
+                    value=contract.posting_bond_wei,
+                ),
+                payload_bytes=forged.checkpoint.byte_size(),
+            )
+            challenger = chain.create_account(1.0, label="challenger")
+            opening = forged.prove(records[0].name)
+            challenge_receipt = chain.transact(
+                Transaction(
+                    sender=challenger,
+                    to=address,
+                    method="challenge_leaf",
+                    args=(
+                        receipt.return_value,
+                        opening.leaf_data,
+                        opening.leaf_index,
+                        opening.siblings,
+                        opening.directions,
+                    ),
+                    value=contract.challenge_bond_wei,
+                ),
+                payload_bytes=len(opening.leaf_data) + 32 * len(opening.siblings),
+            )
+            slashed = [
+                e for e in challenge_receipt.events
+                if e.name == "checkpoint_slashed"
+            ]
+            fraud_caught = bool(challenge_receipt.success and slashed)
+            print(f"fraud proof: forged checkpoint (flipped verdict) "
+                  f"{'slashed' if fraud_caught else 'NOT slashed'}"
+                  + (f", bounty {slashed[0].payload['slashed_wei']:,} wei"
+                     if slashed else ""))
+
+    explorer = ChainExplorer(chain)
+    print("checkpoint log:")
+    for event in explorer.checkpoint_log():
+        print(f"  {event['name']}: {event['payload']}")
+    ok = replay.consistent and fraud_caught and all(
+        s.receipt.success for s in pipeline.settled
+    )
+    return 0 if ok else 1
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -294,6 +432,26 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--k", type=int, default=8)
     engine.add_argument("--seed", type=int, default=0)
     engine.set_defaults(func=_cmd_engine)
+
+    checkpoint = sub.add_parser(
+        "checkpoint",
+        help="epoch checkpoint rollup: one on-chain commitment per epoch, "
+        "light-client inclusion proofs, optional fraud-proof demo",
+    )
+    checkpoint.add_argument("--owners", type=int, default=2)
+    checkpoint.add_argument("--files", type=int, default=4,
+                            help="files per owner (same key, distinct names)")
+    checkpoint.add_argument("--epochs", type=int, default=2)
+    checkpoint.add_argument("--workers", type=int, default=1,
+                            help="process-pool size (0 = one per CPU core)")
+    checkpoint.add_argument("--size", type=int, default=1_500)
+    checkpoint.add_argument("--s", type=int, default=6)
+    checkpoint.add_argument("--k", type=int, default=4)
+    checkpoint.add_argument("--seed", type=int, default=0)
+    checkpoint.add_argument("--fraud", action="store_true",
+                            help="also post a forged (verdict-flipped) "
+                            "checkpoint and slash it via the fraud proof")
+    checkpoint.set_defaults(func=_cmd_checkpoint)
 
     attack = sub.add_parser(
         "attack",

@@ -58,6 +58,9 @@ class EpochResult:
     outcomes: list[ProveOutcome] = field(repr=False)
     challenges: dict[int, Challenge] = field(repr=False)
     withheld: tuple[int, ...] = ()  # files whose response never arrived
+    #: Filled in checkpoint mode: the epoch's Merkle verdict tree plus its
+    #: 85-byte on-chain commitment (a rollup CheckpointBundle).
+    checkpoint: "object | None" = field(default=None, repr=False)
 
     @property
     def total_seconds(self) -> float:
@@ -89,6 +92,7 @@ class EpochScheduler:
         rng=None,
         keep_history: bool = True,
         overrides: "dict[int, ProofOverride] | None" = None,
+        checkpoint_mode: bool = False,
     ):
         self.executor = executor
         self.params = params
@@ -99,6 +103,10 @@ class EpochScheduler:
         # should disable history retention: every EpochResult holds all of
         # its epoch's proofs and challenges.
         self.keep_history = keep_history
+        # Checkpoint mode: every epoch additionally canonicalizes its
+        # outcome into a rollup verdict tree (result.checkpoint), batching
+        # the whole epoch behind one on-chain commitment before settlement.
+        self.checkpoint_mode = checkpoint_mode
         self._rng = rng  # blinds the batch-verification exponents
         # Parent-side cache: per-file digest points reused by the grouped
         # verifier across epochs.
@@ -193,6 +201,14 @@ class EpochScheduler:
             challenges=challenges,
             withheld=tuple(withheld),
         )
+        if self.checkpoint_mode:
+            # Imported lazily: the engine layer stays importable without
+            # the rollup package on the path of every caller.
+            from ..rollup.checkpoint import build_epoch_checkpoint
+
+            result.checkpoint = build_epoch_checkpoint(
+                result, precompute=self.cache
+            )
         if self.keep_history:
             self.history.append(result)
         return result

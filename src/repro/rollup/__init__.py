@@ -1,0 +1,39 @@
+"""Epoch checkpoint rollup: O(1) on-chain postings per provider per epoch.
+
+The paper's chain layer records one on-chain round per (file, epoch); this
+package amortizes that to a single committed verdict tree per epoch —
+records (:mod:`~repro.rollup.records`), commitments and inclusion proofs
+(:mod:`~repro.rollup.checkpoint`), and chain settlement
+(:mod:`~repro.rollup.pipeline`).  The fraud-proof arbitration lives in
+:mod:`repro.chain.contracts.checkpoint_contract`; the independent
+re-verification surface in :mod:`repro.chain.light_client`.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_COMMITMENT_BYTES,
+    Checkpoint,
+    CheckpointBundle,
+    aggregated_proof_digest,
+    build_checkpoint,
+    build_epoch_checkpoint,
+)
+from .pipeline import CheckpointPipeline, SettledEpoch
+from .records import WITHHELD_CODE, RoundRecord, records_from_epoch
+from .verdict import LeafVerdict, leaf_ground_truth, recompute_round_verdict
+
+__all__ = [
+    "CHECKPOINT_COMMITMENT_BYTES",
+    "Checkpoint",
+    "CheckpointBundle",
+    "CheckpointPipeline",
+    "LeafVerdict",
+    "RoundRecord",
+    "SettledEpoch",
+    "WITHHELD_CODE",
+    "aggregated_proof_digest",
+    "build_checkpoint",
+    "build_epoch_checkpoint",
+    "leaf_ground_truth",
+    "recompute_round_verdict",
+    "records_from_epoch",
+]

@@ -1,0 +1,127 @@
+"""Checkpoint pipeline: engine epochs settled as one transaction each.
+
+Glue between the three layers the rollup spans:
+
+* the **engine** (:class:`~repro.engine.scheduler.EpochScheduler` in
+  checkpoint mode) produces an epoch's proofs and the grouped batch
+  verdict off chain,
+* the **rollup** (:mod:`~repro.rollup.checkpoint`) canonicalizes the
+  outcome into a verdict tree and an 85-byte commitment,
+* the **chain** (:class:`~repro.chain.contracts.checkpoint_contract.CheckpointContract`)
+  records the commitment under a bonded fraud-proof window.
+
+The pipeline plays the *aggregator* role: it posts commitments from its
+own funded account, retains every epoch's
+:class:`~.checkpoint.CheckpointBundle` (the data-availability obligation —
+leaves must be servable to challengers and light clients), and exposes the
+per-epoch on-chain receipts so callers can compare measured bytes/gas
+against the per-round path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..chain.blockchain import Blockchain
+from ..chain.transaction import Receipt, Transaction
+from .checkpoint import CheckpointBundle
+
+
+@dataclass
+class SettledEpoch:
+    """One epoch's engine result, bundle, and settlement receipt."""
+
+    epoch: int
+    result: object                 # engine EpochResult (duck-typed)
+    bundle: CheckpointBundle
+    checkpoint_id: int
+    receipt: Receipt
+
+
+class CheckpointPipeline:
+    """Runs engine epochs and settles each as one checkpoint transaction."""
+
+    def __init__(
+        self,
+        scheduler,
+        chain: Blockchain,
+        contract_address: str,
+        aggregator_account: str,
+    ):
+        if not getattr(scheduler, "checkpoint_mode", False):
+            raise ValueError(
+                "scheduler must be constructed with checkpoint_mode=True"
+            )
+        self.scheduler = scheduler
+        self.chain = chain
+        self.contract_address = contract_address
+        self.aggregator = aggregator_account
+        self.settled: list[SettledEpoch] = []
+
+    @property
+    def contract(self):
+        # Imported here, not at module level: checkpoint_contract imports
+        # rollup.checkpoint, so a top-level import would be circular.
+        from ..chain.contracts.checkpoint_contract import CheckpointContract
+
+        contract = self.chain.contract_at(self.contract_address)
+        assert isinstance(contract, CheckpointContract)
+        return contract
+
+    def register_fleet(self) -> None:
+        """Push every executor instance's metadata into the on-chain registry."""
+        for instance in self.scheduler.executor.instances.values():
+            if instance.name in self.contract.instances:
+                continue
+            pk_bytes = instance.public.to_bytes()
+            receipt = self.chain.transact(
+                Transaction(
+                    sender=self.aggregator,
+                    to=self.contract_address,
+                    method="register_instance",
+                    args=(instance.name, pk_bytes, instance.num_chunks),
+                ),
+                payload_bytes=len(pk_bytes) + 36,
+            )
+            if not receipt.success:
+                raise RuntimeError(
+                    f"instance registration failed: {receipt.error}"
+                )
+
+    def settle_epoch(self, epoch: int) -> SettledEpoch:
+        """Run one engine epoch and post its commitment on chain."""
+        result = self.scheduler.run_epoch(epoch)
+        bundle = result.checkpoint
+        assert bundle is not None, "checkpoint_mode scheduler returns a bundle"
+        commitment_bytes = bundle.checkpoint.to_bytes()
+        receipt = self.chain.transact(
+            Transaction(
+                sender=self.aggregator,
+                to=self.contract_address,
+                method="post_checkpoint",
+                args=(commitment_bytes,),
+                value=self.contract.posting_bond_wei,
+            ),
+            payload_bytes=len(commitment_bytes),
+        )
+        if not receipt.success:
+            raise RuntimeError(f"checkpoint posting failed: {receipt.error}")
+        settled = SettledEpoch(
+            epoch=epoch,
+            result=result,
+            bundle=bundle,
+            checkpoint_id=receipt.return_value,
+            receipt=receipt,
+        )
+        self.settled.append(settled)
+        return settled
+
+    def run(self, epochs: int, start_epoch: int = 0) -> list[SettledEpoch]:
+        return [self.settle_epoch(start_epoch + i) for i in range(epochs)]
+
+    def bundle_for_epoch(self, epoch: int) -> CheckpointBundle:
+        """Serve the data-availability bundle for one settled epoch."""
+        for settled in self.settled:
+            if settled.epoch == epoch:
+                return settled.bundle
+        raise KeyError(f"epoch {epoch} not settled by this pipeline")

@@ -1,0 +1,118 @@
+"""Leaf ground truth: the single source of the rollup's verdict rules.
+
+Both arbiters of a committed round record — the on-chain fraud proof
+(:meth:`~repro.chain.contracts.checkpoint_contract.CheckpointContract.challenge_leaf`)
+and the off-chain light client
+(:class:`~repro.chain.light_client.CheckpointLightClient`) — must apply
+*identical* rules, or the light client would flag leaves the contract
+upholds (and vice versa), which is precisely the disagreement the system
+exists to eliminate.  This module is that shared rule set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from ..core.challenge import Challenge, epoch_challenge
+from ..core.params import ProtocolParams
+from ..core.proof import PrivateProof
+from .records import RoundRecord
+
+#: Resolves a file name to a ready verifier, or ``None`` when the file is
+#: not in the on-chain instance registry.
+VerifierLookup = Callable[[int], "object | None"]
+
+
+@dataclass(frozen=True)
+class LeafVerdict:
+    """Outcome of adjudicating one committed leaf.
+
+    ``fraud_code`` is ``None`` for a truthful leaf; otherwise one of the
+    PROTOCOL.md section 9.3 fraud grounds (``epoch-mismatch``,
+    ``unregistered-file``, ``challenge-mismatch``, ``verdict-flipped``).
+    ``actual`` is the re-derived verdict when one could be computed.
+    """
+
+    actual: bool | None
+    fraud_code: str | None
+    detail: str = ""
+
+    @property
+    def fraudulent(self) -> bool:
+        return self.fraud_code is not None
+
+    def describe(self) -> str | None:
+        if self.fraud_code is None:
+            return None
+        return f"{self.fraud_code}: {self.detail}" if self.detail else self.fraud_code
+
+
+def recompute_round_verdict(
+    record: RoundRecord, params: ProtocolParams, verifier
+) -> bool:
+    """The round's true verdict from the leaf's own bytes.
+
+    Withheld (empty) and undecodable proofs are rejections, exactly as the
+    per-round contract rules them; anything else is the Eq.-2 pairing
+    check.
+    """
+    if not record.proof_bytes:
+        return False
+    try:
+        proof = PrivateProof.from_bytes(record.proof_bytes)
+    except ValueError:
+        return False
+    challenge = Challenge.from_bytes(
+        record.challenge_bytes, k=params.k, seed_bytes=params.seed_bytes
+    )
+    return bool(verifier.verify_private(challenge, proof))
+
+
+def leaf_ground_truth(
+    record: RoundRecord,
+    commitment_epoch: int,
+    params: ProtocolParams,
+    beacon,
+    verifier_for: VerifierLookup,
+) -> LeafVerdict:
+    """Adjudicate one committed leaf against on-chain-derivable state.
+
+    A fraud code is returned whenever the leaf is a lie a correct
+    aggregator could never have committed: a foreign epoch, an
+    unregistered file, a challenge that is not the beacon's derivation for
+    (epoch, name), or a verdict that does not survive re-verification.
+    """
+    if record.epoch != commitment_epoch:
+        return LeafVerdict(
+            actual=None,
+            fraud_code="epoch-mismatch",
+            detail=f"leaf says {record.epoch}, checkpoint is {commitment_epoch}",
+        )
+    verifier = verifier_for(record.name)
+    if verifier is None:
+        return LeafVerdict(
+            actual=None,
+            fraud_code="unregistered-file",
+            detail=f"{record.name:#x}",
+        )
+    expected = epoch_challenge(
+        beacon.output(record.epoch), params, record.name
+    )
+    if record.challenge_bytes != expected.to_bytes():
+        return LeafVerdict(
+            actual=None,
+            fraud_code="challenge-mismatch",
+            detail="leaf challenge != beacon derivation",
+        )
+    actual = recompute_round_verdict(record, params, verifier)
+    if actual != record.verdict:
+        return LeafVerdict(
+            actual=actual,
+            fraud_code="verdict-flipped",
+            detail=(
+                f"committed {'pass' if record.verdict else 'fail'}, "
+                f"re-verification says {'pass' if actual else 'fail'}"
+            ),
+        )
+    return LeafVerdict(actual=actual, fraud_code=None)

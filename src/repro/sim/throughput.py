@@ -14,7 +14,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from ..chain.gas import CHALLENGE_BYTES, PRIVATE_PROOF_BYTES
+from ..chain.gas import (
+    CHALLENGE_BYTES,
+    CHECKPOINT_COMMITMENT_BYTES,
+    PRIVATE_PROOF_BYTES,
+)
 
 TX_ENVELOPE_BYTES = 110   # signature, nonce, gas fields, rlp framing
 RECEIPT_BYTES = 280       # receipt, event logs, state-trie growth per tx
@@ -71,6 +75,68 @@ class ChainCapacityModel:
         """
         per_user_year = (
             (self.challenge_bytes + self.proof_bytes) * audits_per_day * 365
+        )
+        return int(users * per_user_year)
+
+
+@dataclass(frozen=True)
+class CheckpointedChainCapacityModel(ChainCapacityModel):
+    """Block-space accounting with the epoch rollup switched on.
+
+    In checkpoint mode nothing is posted per round: challenges derive from
+    the beacon, proofs stay with the aggregator behind the committed
+    verdict tree, and the chain sees **one commitment transaction per
+    provider per epoch** covering ``rounds_per_checkpoint`` audits.  The
+    per-round footprint is therefore the commitment amortized over its
+    batch, and ``max_concurrent_users`` scales *linearly* with the batch
+    size — the lever that takes the paper's "5,000 active users" to
+    fleet scale.
+    """
+
+    rounds_per_checkpoint: int = 256
+    commitment_bytes: int = CHECKPOINT_COMMITMENT_BYTES
+
+    def __post_init__(self) -> None:
+        if self.rounds_per_checkpoint < 1:
+            raise ValueError("rounds_per_checkpoint must be >= 1")
+
+    @property
+    def bytes_per_checkpoint_tx(self) -> int:
+        """Full footprint of one commitment transaction."""
+        return self.commitment_bytes + TX_ENVELOPE_BYTES + RECEIPT_BYTES
+
+    @property
+    def bytes_per_round(self) -> int:
+        """Amortized footprint of one audit round (ceil over the batch)."""
+        return -(-self.bytes_per_checkpoint_tx // self.rounds_per_checkpoint)
+
+    @property
+    def avg_tx_bytes(self) -> float:
+        return float(self.bytes_per_checkpoint_tx)
+
+    @property
+    def tx_per_second(self) -> float:
+        return self.avg_block_bytes / self.block_interval_s / self.avg_tx_bytes
+
+    def max_concurrent_users(
+        self, audits_per_day: float = 1.0, redundancy_providers: int = 10
+    ) -> int:
+        """Users the chain sustains when rounds settle through checkpoints."""
+        tx_per_user_per_day = (
+            audits_per_day * redundancy_providers / self.rounds_per_checkpoint
+        )
+        tx_per_day = self.tx_per_second * 86_400
+        return int(tx_per_day / tx_per_user_per_day)
+
+    def annual_chain_growth_bytes(
+        self, users: int, audits_per_day: float = 1.0
+    ) -> int:
+        """Audit-trail bytes per year: commitments only, amortized."""
+        per_user_year = (
+            self.commitment_bytes
+            / self.rounds_per_checkpoint
+            * audits_per_day
+            * 365
         )
         return int(users * per_user_year)
 

@@ -105,6 +105,56 @@ class TestThroughput:
         assert not model.tolerable(1000)  # ~65 s: too slow
 
 
+class TestCheckpointedThroughput:
+    """The rollup lever: capacity scales with the checkpoint batch size."""
+
+    def test_max_users_scales_linearly_with_batch_size(self):
+        from repro.sim.throughput import CheckpointedChainCapacityModel
+
+        base = ChainCapacityModel().max_concurrent_users()
+        users_at = {
+            batch: CheckpointedChainCapacityModel(
+                rounds_per_checkpoint=batch
+            ).max_concurrent_users()
+            for batch in (1, 64, 256, 1024)
+        }
+        # Strictly increasing in the batch, and linear: 4x the batch is 4x
+        # the sustainable user base (same chain, same blocks).
+        assert users_at[1] < users_at[64] < users_at[256] < users_at[1024]
+        assert users_at[256] == pytest.approx(users_at[64] * 4, rel=0.01)
+        assert users_at[1024] == pytest.approx(users_at[256] * 4, rel=0.01)
+        # At fleet-scale batches the rollup clears the per-round ceiling by
+        # orders of magnitude (the paper's 5,000-user figure, amortized).
+        assert users_at[256] > 100 * base
+
+    def test_amortized_round_footprint_shrinks(self):
+        from repro.sim.throughput import CheckpointedChainCapacityModel
+
+        per_round = ChainCapacityModel().bytes_per_round
+        checkpointed = CheckpointedChainCapacityModel(rounds_per_checkpoint=256)
+        assert checkpointed.bytes_per_round * 10 < per_round
+        # One commitment tx is *smaller* than one per-round tx pair even
+        # before amortization: 85 B calldata vs 336 B of trail.
+        assert checkpointed.bytes_per_checkpoint_tx < per_round
+
+    def test_annual_growth_amortizes(self):
+        from repro.sim.throughput import CheckpointedChainCapacityModel
+
+        base = ChainCapacityModel().annual_chain_growth_bytes(10_000)
+        rolled = CheckpointedChainCapacityModel(
+            rounds_per_checkpoint=256
+        ).annual_chain_growth_bytes(10_000)
+        assert rolled * 100 < base
+
+    def test_batch_of_one_rejects_nothing_weird(self):
+        from repro.sim.throughput import CheckpointedChainCapacityModel
+
+        with pytest.raises(ValueError):
+            CheckpointedChainCapacityModel(rounds_per_checkpoint=0)
+        one = CheckpointedChainCapacityModel(rounds_per_checkpoint=1)
+        assert one.bytes_per_round == one.bytes_per_checkpoint_tx
+
+
 class TestWorkloads:
     def test_archive_deterministic(self):
         a = archive_file(1000)

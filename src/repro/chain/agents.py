@@ -94,7 +94,7 @@ class AuditDeployment:
 
 
 def deploy_audit_contract(
-    chain: Blockchain,
+    chain,
     package: OutsourcingPackage,
     provider: StorageProvider,
     terms: ContractTerms,
@@ -113,7 +113,15 @@ def deploy_audit_contract(
     ``registry_address`` the contract reports round outcomes to the
     reputation registry inline and dispute slashes reach the provider's
     stake (the caller must authorize the new contract as a reporter).
+
+    ``chain`` may be a single :class:`Blockchain` or a
+    :class:`~repro.chain.fabric.ShardedChainFabric`: on a fabric the whole
+    deployment (both accounts and the contract) lands on the audited
+    file's deterministic home lane, so agents and the contract never cross
+    a shard boundary.
     """
+    if hasattr(chain, "home_lane"):  # ShardedChainFabric
+        chain = chain.home_lane(package.name)
     owner_account = chain.create_account(owner_funds_eth, label="data-owner")
     provider_account = chain.create_account(provider_funds_eth, label="provider")
     kwargs = {}
@@ -181,7 +189,7 @@ def deploy_audit_contract(
 
 
 def run_contract_to_completion(
-    chain: Blockchain,
+    chain,
     deployment: AuditDeployment,
     max_blocks: int = 100_000,
 ) -> AuditContract:
@@ -190,12 +198,18 @@ def run_contract_to_completion(
 
 
 def run_contracts_to_completion(
-    chain: Blockchain,
+    chain,
     deployments: list[AuditDeployment],
     max_blocks: int = 100_000,
     executor=None,
 ) -> list[AuditContract]:
-    """Drive many concurrent contracts on one chain until all close.
+    """Drive many concurrent contracts until all close.
+
+    ``chain`` is a single :class:`Blockchain` or a
+    :class:`~repro.chain.fabric.ShardedChainFabric`; a fabric mines every
+    lane per step (the lockstep clock) and routes ``contract_at`` to the
+    owning lane, while each provider agent submits proofs directly to its
+    deployment's home lane.
 
     All provider agents get to react after every block — necessary because
     contracts share the chain clock: running them one at a time would let

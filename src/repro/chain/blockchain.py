@@ -17,6 +17,13 @@ What is modelled (because the paper's evaluation depends on it):
 What is deliberately not modelled: consensus, forks, the EVM itself.
 Contract code runs as trusted Python with explicit gas metering — mirroring
 the paper's own approach of a Golang precompile on a private testnet.
+
+State lives behind a pluggable :class:`~repro.chain.state.StateStore`:
+the default :class:`~repro.chain.state.MemoryStateStore` keeps the
+original in-process behaviour, while
+:class:`~repro.chain.state.WalStateStore` gives the chain an append-only
+write-ahead log + snapshots, so ``Blockchain.open(directory)`` recovers a
+crashed chain bit-identically (checked via :meth:`Blockchain.state_hash`).
 """
 
 from __future__ import annotations
@@ -26,6 +33,7 @@ from dataclasses import dataclass, field
 from typing import Any, Callable
 
 from .gas import GasSchedule
+from .state import MemoryStateStore, StateStore, WalStateStore
 from .transaction import Event, OutOfGasError, Receipt, RevertError, Transaction
 
 WEI_PER_GWEI = 10**9
@@ -109,7 +117,14 @@ class Contract:
 
 
 class Blockchain:
-    """The simulated chain: state, blocks, scheduler, fee accounting."""
+    """The simulated chain: behaviour over a pluggable state store.
+
+    ``store`` defaults to a fresh :class:`MemoryStateStore`; pass a
+    :class:`WalStateStore` (or use :meth:`Blockchain.open`) for a chain
+    that survives its process.  All mutating entry points run inside the
+    store's ``begin``/``commit`` brackets so durable backends can log
+    exactly one record per logical mutation.
+    """
 
     def __init__(
         self,
@@ -118,31 +133,112 @@ class Blockchain:
         block_gas_limit: int = 10_000_000,
         base_block_bytes: int = 600,
         require_signatures: bool = False,
+        store: StateStore | None = None,
+        chain_id: int = 0,
     ):
         self.schedule = schedule or GasSchedule.istanbul()
         self.block_time = block_time
         self.block_gas_limit = block_gas_limit
         self.base_block_bytes = base_block_bytes
         self.require_signatures = require_signatures
-        self.time: float = 0.0
-        self.blocks: list[Block] = [Block(number=0, timestamp=0.0, parent_hash="0" * 64)]
-        self._balances: dict[str, int] = {}
-        self._contracts: dict[str, Contract] = {}
-        self._scheduled: list[ScheduledCall] = []
-        self._schedule_seq = 0
-        self.events: list[Event] = []
-        self.fee_sink: int = 0  # total fees collected by "miners"
-        self._account_seq = 0
-        self._signer_keys: dict[str, bytes] = {}  # address -> pubkey bytes
-        self._nonces: dict[str, int] = {}
+        # Salt for address derivation: fabric lanes get distinct ids so a
+        # contract (or account) address never collides across lanes.
+        self.chain_id = chain_id
+        self.store = store or MemoryStateStore()
+        if not self.store.blocks:
+            genesis = Block(number=0, timestamp=0.0, parent_hash="0" * 64)
+            self.store.begin()
+            self.store.blocks.append(genesis)
+            self.store.commit("genesis", block=genesis)
+        for contract in self.store.contracts.values():
+            contract.chain = self  # rebind after a restore
+
+    @classmethod
+    def open(cls, directory, **kwargs) -> "Blockchain":
+        """Open (or create) a WAL-persisted chain under ``directory``.
+
+        Recovery replays ``snapshot + WAL``; a chain reopened after a
+        crash — even one between ``transact`` and ``mine_block`` — reports
+        the same :meth:`state_hash` the lost process would have.
+        """
+        return cls(store=WalStateStore(directory), **kwargs)
+
+    # -- state passthroughs (the store owns all mutable chain state) ---------
+
+    @property
+    def time(self) -> float:
+        return self.store.time
+
+    @time.setter
+    def time(self, value: float) -> None:
+        self.store.time = value
+
+    @property
+    def blocks(self) -> list[Block]:
+        return self.store.blocks
+
+    @property
+    def events(self) -> list[Event]:
+        return self.store.events
+
+    @property
+    def fee_sink(self) -> int:
+        return self.store.fee_sink
+
+    @fee_sink.setter
+    def fee_sink(self, value: int) -> None:
+        self.store.fee_sink = value
+
+    @property
+    def _balances(self) -> dict[str, int]:
+        return self.store.balances
+
+    @_balances.setter
+    def _balances(self, value: dict[str, int]) -> None:
+        self.store.balances = value
+
+    @property
+    def _contracts(self) -> dict[str, Contract]:
+        return self.store.contracts
+
+    @property
+    def _scheduled(self) -> list[ScheduledCall]:
+        return self.store.scheduled
+
+    @property
+    def _nonces(self) -> dict[str, int]:
+        return self.store.nonces
+
+    @property
+    def _signer_keys(self) -> dict[str, bytes]:
+        return self.store.signer_keys
+
+    def state_hash(self) -> str:
+        """Canonical fingerprint of the entire chain state (hex digest)."""
+        return self.store.state_hash()
+
+    def snapshot(self) -> None:
+        """Checkpoint the backing store (folds a WAL into its snapshot)."""
+        self.store.snapshot()
+
+    def close(self) -> None:
+        self.store.close()
 
     # -- accounts -------------------------------------------------------------
 
     def create_account(self, balance_eth: float = 0.0, label: str = "") -> str:
-        self._account_seq += 1
-        material = f"account:{self._account_seq}:{label}".encode()
-        address = "0x" + hashlib.sha256(material).hexdigest()[:40]
-        self._balances[address] = int(balance_eth * WEI_PER_ETH)
+        # Every mutating entry point commits in a finally block: whatever
+        # mutated before an exception is still logged, so a durable store
+        # never silently desynchronizes from the live state.
+        self.store.begin()
+        try:
+            self.store.account_seq += 1
+            tag = f":{self.chain_id}" if self.chain_id else ""
+            material = f"account{tag}:{self.store.account_seq}:{label}".encode()
+            address = "0x" + hashlib.sha256(material).hexdigest()[:40]
+            self.store.balances[address] = int(balance_eth * WEI_PER_ETH)
+        finally:
+            self.store.commit("account")
         return address
 
     def register_signer(self, verifying_key_bytes: bytes, balance_eth: float = 0.0) -> str:
@@ -155,14 +251,18 @@ class Blockchain:
         from ..crypto.schnorr import VerifyingKey
 
         address = VerifyingKey.from_bytes(verifying_key_bytes).address()
-        self._balances.setdefault(address, 0)
-        self._balances[address] += int(balance_eth * WEI_PER_ETH)
-        self._signer_keys[address] = bytes(verifying_key_bytes)
-        self._nonces.setdefault(address, 0)
+        self.store.begin()
+        try:
+            self.store.balances.setdefault(address, 0)
+            self.store.balances[address] += int(balance_eth * WEI_PER_ETH)
+            self.store.signer_keys[address] = bytes(verifying_key_bytes)
+            self.store.nonces.setdefault(address, 0)
+        finally:
+            self.store.commit("account")
         return address
 
     def nonce_of(self, address: str) -> int:
-        return self._nonces.get(address, 0)
+        return self.store.nonces.get(address, 0)
 
     def _authenticate(self, tx) -> str | None:
         """Returns an error string, or None when the sender is authentic."""
@@ -189,18 +289,18 @@ class Blockchain:
         return None
 
     def balance_of(self, address: str) -> int:
-        return self._balances.get(address, 0)
+        return self.store.balances.get(address, 0)
 
     def balance_of_eth(self, address: str) -> float:
         return self.balance_of(address) / WEI_PER_ETH
 
     def _debit(self, address: str, amount: int) -> None:
-        if self._balances.get(address, 0) < amount:
+        if self.store.balances.get(address, 0) < amount:
             raise RevertError(f"insufficient balance at {address[:10]}")
-        self._balances[address] -= amount
+        self.store.balances[address] -= amount
 
     def _credit(self, address: str, amount: int) -> None:
-        self._balances[address] = self._balances.get(address, 0) + amount
+        self.store.balances[address] = self.store.balances.get(address, 0) + amount
 
     def transfer(self, sender: str, to: str, amount_wei: int) -> None:
         """Internal value transfer (used by contracts for payouts)."""
@@ -209,27 +309,40 @@ class Blockchain:
 
     def total_supply(self) -> int:
         """Conservation check helper: account balances + collected fees."""
-        return sum(self._balances.values()) + self.fee_sink
+        return sum(self.store.balances.values()) + self.store.fee_sink
 
     # -- contracts --------------------------------------------------------------
 
     def deploy(self, contract: Contract, deployer: str, deposit_bytes: int = 0) -> str:
         """Install a contract; charges the deployer for its on-chain size."""
-        self._account_seq += 1
-        address = "0xc" + hashlib.sha256(f"contract:{self._account_seq}".encode()).hexdigest()[:39]
-        contract.address = address
-        contract.chain = self
-        self._contracts[address] = contract
-        self._balances.setdefault(address, 0)
-        if deposit_bytes:
-            gas = self.schedule.storage_gas(deposit_bytes)
-            fee = int(gas * 5 * WEI_PER_GWEI)
-            self._debit(deployer, fee)
-            self.fee_sink += fee
+        self.store.begin()
+        try:
+            self.store.account_seq += 1
+            tag = f":{self.chain_id}" if self.chain_id else ""
+            address = (
+                "0xc"
+                + hashlib.sha256(
+                    f"contract{tag}:{self.store.account_seq}".encode()
+                ).hexdigest()[:39]
+            )
+            contract.address = address
+            contract.chain = self
+            self.store.contracts[address] = contract
+            self.store.touch_contract(address)
+            self.store.balances.setdefault(address, 0)
+            if deposit_bytes:
+                gas = self.schedule.storage_gas(deposit_bytes)
+                fee = int(gas * 5 * WEI_PER_GWEI)
+                self._debit(deployer, fee)
+                self.store.fee_sink += fee
+        finally:
+            self.store.commit("deploy")
         return address
 
     def contract_at(self, address: str) -> Contract:
-        return self._contracts[address]
+        contract = self.store.contracts[address]
+        self.store.touch_contract(address)
+        return contract
 
     # -- transactions -------------------------------------------------------------
 
@@ -240,6 +353,29 @@ class Blockchain:
         accounting when the args are Python objects rather than real ABI
         bytes.
         """
+        self.store.begin()
+        try:
+            receipt = self._execute(tx, payload_bytes)
+        except BaseException:
+            # An unexpected fault (not a modelled revert): log whatever
+            # state mutated so a durable store never silently diverges.
+            pending = self.blocks[-1]
+            self.store.commit(
+                "tx-abort",
+                pending_gas=pending.gas_used,
+                pending_bytes=pending.byte_size,
+            )
+            raise
+        pending = self.blocks[-1]
+        self.store.commit(
+            "tx",
+            receipt=receipt,
+            pending_gas=pending.gas_used,
+            pending_bytes=pending.byte_size,
+        )
+        return receipt
+
+    def _execute(self, tx: Transaction, payload_bytes: int) -> Receipt:
         meter = GasMeter(tx.gas_limit)
         meter.consume(self.schedule.tx_intrinsic)
         meter.consume(payload_bytes * self.schedule.calldata_nonzero_byte)
@@ -255,23 +391,23 @@ class Blockchain:
                 )
                 self.blocks[-1].receipts.append(receipt)
                 return receipt
-            if tx.sender in self._nonces:
-                self._nonces[tx.sender] += 1
-        events_before = len(self.events)
+            if tx.sender in self.store.nonces:
+                self.store.nonces[tx.sender] += 1
         contract = None
-        snapshot = dict(self._balances)
+        snapshot = dict(self.store.balances)
         try:
             if tx.value:
                 self._debit(tx.sender, tx.value)
             if tx.to is None:
                 return_value = None
             else:
-                contract = self._contracts.get(tx.to)
+                contract = self.store.contracts.get(tx.to)
                 if contract is None:
                     # Plain transfer to an externally-owned account.
                     self._credit(tx.to, tx.value)
                     return_value = None
                 else:
+                    self.store.touch_contract(tx.to)
                     self._credit(contract.address, tx.value)
                     ctx = CallContext(
                         sender=tx.sender,
@@ -286,7 +422,7 @@ class Blockchain:
                     return_value = method(ctx, *tx.args)
             success, error = True, None
         except (RevertError, OutOfGasError, AssertionError) as exc:
-            self._balances = snapshot  # revert state changes
+            self.store.balances = snapshot  # revert state changes
             if contract is not None:
                 contract._pending_events.clear()
             success, error, return_value = False, str(exc), None
@@ -294,9 +430,9 @@ class Blockchain:
         try:
             self._debit(tx.sender, fee)
         except RevertError:
-            fee = self._balances.get(tx.sender, 0)
-            self._balances[tx.sender] = 0
-        self.fee_sink += fee
+            fee = self.store.balances.get(tx.sender, 0)
+            self.store.balances[tx.sender] = 0
+        self.store.fee_sink += fee
         receipt = Receipt(
             tx_hash=tx.tx_hash,
             success=success,
@@ -308,18 +444,17 @@ class Blockchain:
         if success and contract is not None:
             receipt.events = list(contract._pending_events)
             for event in receipt.events:
-                self.events.append(event)
+                self.store.events.append(event)
             contract._pending_events.clear()
         pending = self.blocks[-1]
         pending.receipts.append(receipt)
         pending.gas_used += meter.used
         pending.byte_size += payload_bytes + 110  # tx envelope overhead
-        del events_before
         return receipt
 
     def call(self, address: str, method: str, *args: Any) -> Any:
         """Read-only contract call (no gas, no state mutation expected)."""
-        contract = self._contracts[address]
+        contract = self.store.contracts[address]
         ctx = CallContext(
             sender="0xview",
             value=0,
@@ -335,33 +470,46 @@ class Blockchain:
     def schedule_call(
         self, contract: str, method: str, delay: float, args: tuple = ()
     ) -> None:
-        self._schedule_seq += 1
-        self._scheduled.append(
-            ScheduledCall(
-                due_time=self.time + delay,
-                sequence=self._schedule_seq,
-                contract=contract,
-                method=method,
-                args=args,
+        self.store.begin()
+        try:
+            self.store.schedule_seq += 1
+            self.store.scheduled.append(
+                ScheduledCall(
+                    due_time=self.time + delay,
+                    sequence=self.store.schedule_seq,
+                    contract=contract,
+                    method=method,
+                    args=args,
+                )
             )
-        )
-        self._scheduled.sort()
+            self.store.scheduled.sort()
+        finally:
+            self.store.commit("schedule")
 
     # -- block production ------------------------------------------------------------
 
     def mine_block(self) -> Block:
         """Seal the pending block, advance time, fire due scheduled calls."""
-        sealed = self.blocks[-1]
-        sealed.timestamp = self.time
-        sealed.byte_size += self.base_block_bytes
-        self.time += self.block_time
-        self.blocks.append(
-            Block(
+        self.store.begin()
+        try:
+            sealed = self.blocks[-1]
+            sealed.timestamp = self.time
+            sealed.byte_size += self.base_block_bytes
+            self.store.time += self.block_time
+            new_block = Block(
                 number=len(self.blocks),
                 timestamp=self.time,
                 parent_hash=sealed.block_hash,
             )
-        )
+            self.blocks.append(new_block)
+        finally:
+            self.store.commit(
+                "block",
+                sealed_timestamp=sealed.timestamp,
+                sealed_bytes=sealed.byte_size,
+                time=self.time,
+                new_block=new_block,
+            )
         self._fire_due_calls()
         return sealed
 
@@ -372,8 +520,23 @@ class Blockchain:
             self.mine_block()
 
     def _fire_due_calls(self) -> None:
+        if not (self._scheduled and self._scheduled[0].due_time <= self.time):
+            return
+        # The scheduler account is ensured in its own record *before* any
+        # call is popped, so nothing ever hits the WAL between a pop and
+        # its transaction's commit.
+        self.store.begin()
+        try:
+            self.store.balances.setdefault("0xscheduler", 0)
+        finally:
+            self.store.commit("account")
         while self._scheduled and self._scheduled[0].due_time <= self.time:
-            call = self._scheduled.pop(0)
+            # The pop itself is deliberately unlogged: the fired call's tx
+            # record captures the post-pop schedule, making pop + execution
+            # one atomic WAL unit.  A crash before that commit recovers
+            # with the call still queued, and the next mined block
+            # re-fires it (at-least-once semantics).
+            call = self.store.scheduled.pop(0)
             tx = Transaction(
                 sender="0xscheduler",
                 to=call.contract,
@@ -382,13 +545,30 @@ class Blockchain:
                 gas_limit=self.block_gas_limit,
                 gas_price_gwei=0.0,  # prepaid by the contract's deposit model
             )
-            self._balances.setdefault("0xscheduler", 0)
             self.transact(tx)
 
     # -- introspection ------------------------------------------------------------------
 
     def chain_bytes(self) -> int:
         return sum(block.byte_size for block in self.blocks)
+
+    def congestion_seconds(self) -> float:
+        """Chain time the recorded traffic occupies under the gas limit.
+
+        The simulator appends every transaction to the current pending
+        block, so a burst that would not fit one real block still lands in
+        one simulated block.  This translates each block's recorded gas
+        back into the block slots it would actually occupy —
+        ``ceil(gas_used / block_gas_limit)`` — and prices them in seconds.
+        Idle blocks carry no settlement traffic and are not counted.
+        The fabric uses this as its per-lane settlement-latency metric.
+        """
+        occupied_slots = sum(
+            -(-block.gas_used // self.block_gas_limit)
+            for block in self.blocks
+            if block.gas_used > 0
+        )
+        return occupied_slots * self.block_time
 
     def events_named(self, name: str) -> list[Event]:
         return [event for event in self.events if event.name == name]

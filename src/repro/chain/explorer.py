@@ -4,6 +4,12 @@ The paper's transparency argument rests on anyone being able to inspect
 audit trails; this module is that "anyone".  It answers the questions the
 evaluation needs (per-contract gas, audit outcomes, trail bytes, balance
 flows) and exports them as plain dicts for JSON serialisation.
+
+Works over a single :class:`~repro.chain.blockchain.Blockchain` or a
+:class:`~repro.chain.fabric.ShardedChainFabric`: on a fabric every query
+spans all lanes, and the export gains a per-lane section (height,
+transaction count, gas totals, congestion seconds) so gas accounting
+stays per-lane honest under sharding.
 """
 
 from __future__ import annotations
@@ -46,6 +52,7 @@ class ContractSummary:
     trail_bytes: int
     disputes: int = 0
     reject_reasons: tuple[str, ...] = ()
+    lane: int = 0
 
 
 @dataclass(frozen=True)
@@ -62,65 +69,105 @@ class CheckpointSummary:
     commitment_bytes: int
     gas_used: int
     fraud_reason: str | None = None
+    lane: int = 0
+
+
+@dataclass(frozen=True)
+class LaneSummary:
+    """One lane's ledger totals (the per-lane gas-meter section)."""
+
+    lane: int
+    height: int
+    transactions: int
+    gas_used: int
+    chain_bytes: int
+    fee_sink_wei: int
+    congestion_seconds: float
+    audit_contracts: int
+    checkpoints: int
 
 
 class ChainExplorer:
-    """Read-only queries over a simulated chain."""
+    """Read-only queries over a simulated chain or a sharded fabric."""
 
-    def __init__(self, chain: Blockchain):
+    def __init__(self, chain):
         self.chain = chain
+        if hasattr(chain, "lanes"):  # ShardedChainFabric
+            self._lanes: list[Blockchain] = list(chain.lanes)
+        else:
+            self._lanes = [chain]
+
+    @property
+    def sharded(self) -> bool:
+        return len(self._lanes) > 1
+
+    def _lane_contracts(self):
+        for lane_index, lane in enumerate(self._lanes):
+            for address, contract in lane._contracts.items():
+                yield lane_index, address, contract
+
+    def _events(self):
+        for lane in self._lanes:
+            yield from lane.events
 
     # -- blocks / transactions ------------------------------------------------
 
     def height(self) -> int:
-        return len(self.chain.blocks) - 1
+        """Block height (the tallest lane's, on a fabric)."""
+        return max(len(lane.blocks) - 1 for lane in self._lanes)
 
     def block_summaries(self) -> list[dict]:
-        return [
-            {
-                "number": block.number,
-                "timestamp": block.timestamp,
-                "tx_count": len(block.receipts),
-                "gas_used": block.gas_used,
-                "byte_size": block.byte_size,
-            }
-            for block in self.chain.blocks
-        ]
+        out = []
+        for lane_index, lane in enumerate(self._lanes):
+            for block in lane.blocks:
+                summary = {
+                    "number": block.number,
+                    "timestamp": block.timestamp,
+                    "tx_count": len(block.receipts),
+                    "gas_used": block.gas_used,
+                    "byte_size": block.byte_size,
+                }
+                if self.sharded:
+                    summary["lane"] = lane_index
+                out.append(summary)
+        return out
 
     def transaction_count(self) -> int:
-        return sum(len(block.receipts) for block in self.chain.blocks)
+        return sum(
+            len(block.receipts)
+            for lane in self._lanes
+            for block in lane.blocks
+        )
 
     def failed_transactions(self) -> list[dict]:
         out = []
-        for block in self.chain.blocks:
-            for receipt in block.receipts:
-                if not receipt.success:
-                    out.append(
-                        {
+        for lane_index, lane in enumerate(self._lanes):
+            for block in lane.blocks:
+                for receipt in block.receipts:
+                    if not receipt.success:
+                        entry = {
                             "block": block.number,
                             "tx": receipt.tx_hash[:16],
                             "error": receipt.error,
                             "gas_used": receipt.gas_used,
                         }
-                    )
+                        if self.sharded:
+                            entry["lane"] = lane_index
+                        out.append(entry)
         return out
 
     # -- events -------------------------------------------------------------------
 
     def event_log(self, name: str | None = None) -> list[dict]:
-        events = (
-            self.chain.events
-            if name is None
-            else self.chain.events_named(name)
-        )
         return [
             {"contract": e.contract[:16], "name": e.name, "payload": e.payload}
-            for e in events
+            for e in self._events()
+            if name is None or e.name == name
         ]
 
     def event_counts(self) -> dict[str, int]:
         counts: dict[str, int] = {}
-        for event in self.chain.events:
+        for event in self._events():
             counts[event.name] = counts.get(event.name, 0) + 1
         return counts
 
@@ -128,7 +175,7 @@ class ChainExplorer:
 
     def audit_contracts(self) -> list[ContractSummary]:
         out = []
-        for address, contract in self.chain._contracts.items():
+        for lane_index, address, contract in self._lane_contracts():
             if isinstance(contract, AuditContract):
                 out.append(
                     ContractSummary(
@@ -147,6 +194,7 @@ class ChainExplorer:
                             for r in contract.rounds
                             if r.reject_reason is not None
                         ),
+                        lane=lane_index,
                     )
                 )
         return out
@@ -162,7 +210,7 @@ class ChainExplorer:
     def checkpoint_contracts(self) -> list[CheckpointSummary]:
         """Every posted checkpoint across all deployed rollup contracts."""
         out = []
-        for address, contract in self.chain._contracts.items():
+        for lane_index, address, contract in self._lane_contracts():
             if not isinstance(contract, CheckpointContract):
                 continue
             for entry in contract.checkpoints:
@@ -178,15 +226,16 @@ class ChainExplorer:
                         commitment_bytes=entry.commitment_bytes,
                         gas_used=entry.gas_used,
                         fraud_reason=entry.fraud_reason,
+                        lane=lane_index,
                     )
                 )
         return out
 
     def checkpoint_log(self) -> list[dict]:
-        """Every checkpoint-lifecycle event, in emission order."""
+        """Every checkpoint-lifecycle event, in per-lane emission order."""
         return [
             {"contract": e.contract[:16], "name": e.name, "payload": e.payload}
-            for e in self.chain.events
+            for e in self._events()
             if e.name in CHECKPOINT_EVENT_NAMES
         ]
 
@@ -194,20 +243,56 @@ class ChainExplorer:
         """On-chain commitment bytes across all rollup contracts."""
         return sum(s.commitment_bytes for s in self.checkpoint_contracts())
 
+    # -- lanes -----------------------------------------------------------------
+
+    def lane_summaries(self) -> list[LaneSummary]:
+        """Per-lane ledger totals: the fabric's honest gas accounting.
+
+        Each lane's gas total is the sum of its sealed blocks' gas meters,
+        so the fabric-wide total always decomposes exactly into lanes
+        (asserted by the fabric tests).
+        """
+        out = []
+        for lane_index, lane in enumerate(self._lanes):
+            out.append(
+                LaneSummary(
+                    lane=lane_index,
+                    height=len(lane.blocks) - 1,
+                    transactions=sum(
+                        len(block.receipts) for block in lane.blocks
+                    ),
+                    gas_used=sum(block.gas_used for block in lane.blocks),
+                    chain_bytes=lane.chain_bytes(),
+                    fee_sink_wei=lane.fee_sink,
+                    congestion_seconds=lane.congestion_seconds(),
+                    audit_contracts=sum(
+                        1
+                        for contract in lane._contracts.values()
+                        if isinstance(contract, AuditContract)
+                    ),
+                    checkpoints=sum(
+                        len(contract.checkpoints)
+                        for contract in lane._contracts.values()
+                        if isinstance(contract, CheckpointContract)
+                    ),
+                )
+            )
+        return out
+
     # -- disputes / reputation -------------------------------------------------
 
     def dispute_log(self) -> list[dict]:
-        """Every dispute-flow event, in emission order."""
+        """Every dispute-flow event, in per-lane emission order."""
         return [
             {"contract": e.contract[:16], "name": e.name, "payload": e.payload}
-            for e in self.chain.events
+            for e in self._events()
             if e.name in DISPUTE_EVENT_NAMES
         ]
 
     def reputation_snapshot(self) -> list[dict]:
         """Provider records from every deployed reputation registry."""
         out = []
-        for address, contract in self.chain._contracts.items():
+        for _, address, contract in self._lane_contracts():
             if not isinstance(contract, ReputationRegistry):
                 continue
             for provider, record in contract.providers.items():
@@ -230,8 +315,8 @@ class ChainExplorer:
         payload = {
             "height": self.height(),
             "transactions": self.transaction_count(),
-            "chain_bytes": self.chain.chain_bytes(),
-            "fee_sink_wei": self.chain.fee_sink,
+            "chain_bytes": sum(lane.chain_bytes() for lane in self._lanes),
+            "fee_sink_wei": sum(lane.fee_sink for lane in self._lanes),
             "events": self.event_counts(),
             "audit_contracts": [
                 {
@@ -244,6 +329,7 @@ class ChainExplorer:
                     "trail_bytes": s.trail_bytes,
                     "disputes": s.disputes,
                     "reject_reasons": list(s.reject_reasons),
+                    "lane": s.lane,
                 }
                 for s in self.audit_contracts()
             ],
@@ -261,8 +347,24 @@ class ChainExplorer:
                     "commitment_bytes": s.commitment_bytes,
                     "gas_used": s.gas_used,
                     "fraud_reason": s.fraud_reason,
+                    "lane": s.lane,
                 }
                 for s in self.checkpoint_contracts()
             ],
         }
+        if self.sharded:
+            payload["lanes"] = [
+                {
+                    "lane": s.lane,
+                    "height": s.height,
+                    "transactions": s.transactions,
+                    "gas_used": s.gas_used,
+                    "chain_bytes": s.chain_bytes,
+                    "fee_sink_wei": s.fee_sink_wei,
+                    "congestion_seconds": s.congestion_seconds,
+                    "audit_contracts": s.audit_contracts,
+                    "checkpoints": s.checkpoints,
+                }
+                for s in self.lane_summaries()
+            ]
         return json.dumps(payload, indent=2, sort_keys=True)

@@ -1,0 +1,260 @@
+"""Sharded chain fabric: N independent lanes behind one chain-like facade.
+
+The scaling axis the single :class:`~repro.chain.blockchain.Blockchain`
+cannot offer: every contract, balance and receipt of one audit deployment
+lives in exactly one *lane* (an ordinary ``Blockchain`` with its own
+:class:`~repro.chain.state.StateStore`), and lanes produce blocks
+concurrently on a lockstep clock.  Audit traffic that would serialize
+through a single ``mine_block()`` loop spreads across lanes, so the
+fabric's settlement latency for a burst of N verification transactions is
+``max`` over lanes instead of ``sum`` — measured by
+:meth:`ShardedChainFabric.settlement_chain_seconds` and reproduced by
+``benchmarks/bench_sharded_fabric.py``.
+
+Placement is deterministic: :func:`lane_index_for_key` hashes a stable
+key (the audited file's name, an account label) so every participant —
+aggregator, light client, fraud-proof challenger — independently derives
+which lane holds which contract.  Cross-lane contract-to-contract calls
+are deliberately unsupported (as in real sharded designs); value and
+transactions route by recipient.
+
+The facade mirrors the ``Blockchain`` surface that the agents
+(:mod:`repro.chain.agents`), the DSN loop (:mod:`repro.dsn`) and the
+explorer consume — ``mine_block`` (mines every lane), ``contract_at``,
+``transact``, ``create_account``, ``deploy`` — so existing drivers run
+unmodified on a fabric.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Iterator
+
+from .blockchain import Block, Blockchain, Contract
+from .gas import GasSchedule
+from .state import MemoryStateStore, StateStore, WalStateStore
+from .transaction import Event, Receipt, Transaction
+
+
+def lane_index_for_key(key: int | str | bytes, num_lanes: int) -> int:
+    """Deterministic contract→lane placement shared by every participant."""
+    if num_lanes < 1:
+        raise ValueError("num_lanes must be >= 1")
+    if isinstance(key, int):
+        material = b"int:" + key.to_bytes((key.bit_length() + 7) // 8 or 1, "big")
+    elif isinstance(key, str):
+        material = b"str:" + key.encode("utf-8")
+    else:
+        material = b"bytes:" + bytes(key)
+    digest = hashlib.sha256(b"fabric-lane-v1:" + material).digest()
+    return int.from_bytes(digest[:8], "big") % num_lanes
+
+
+class ShardedChainFabric:
+    """N block-producing lanes with deterministic placement and routing."""
+
+    def __init__(
+        self,
+        num_lanes: int = 4,
+        schedule: GasSchedule | None = None,
+        block_time: float = 15.0,
+        block_gas_limit: int = 10_000_000,
+        base_block_bytes: int = 600,
+        require_signatures: bool = False,
+        persist_dir=None,
+    ):
+        if num_lanes < 1:
+            raise ValueError("a fabric needs at least one lane")
+        self.persist_dir = persist_dir
+
+        def _store(index: int) -> StateStore:
+            if persist_dir is None:
+                return MemoryStateStore()
+            from pathlib import Path
+
+            return WalStateStore(Path(persist_dir) / f"lane-{index:03d}")
+
+        self.lanes: list[Blockchain] = [
+            Blockchain(
+                schedule=schedule,
+                block_time=block_time,
+                block_gas_limit=block_gas_limit,
+                base_block_bytes=base_block_bytes,
+                require_signatures=require_signatures,
+                store=_store(index),
+                chain_id=index,
+            )
+            for index in range(num_lanes)
+        ]
+        # Lazy routing caches: deploys may go straight at a lane (e.g.
+        # through deploy_audit_contract's home-lane resolution), so the
+        # fabric discovers placements by scanning and memoizing.
+        self._contract_lane: dict[str, int] = {}
+        self._account_lane: dict[str, int] = {}
+
+    # -- lanes ----------------------------------------------------------------
+
+    @property
+    def num_lanes(self) -> int:
+        return len(self.lanes)
+
+    def lane(self, index: int) -> Blockchain:
+        return self.lanes[index]
+
+    def __iter__(self) -> Iterator[Blockchain]:
+        return iter(self.lanes)
+
+    def lane_index_for(self, key: int | str | bytes) -> int:
+        return lane_index_for_key(key, self.num_lanes)
+
+    def home_lane(self, key: int | str | bytes) -> Blockchain:
+        """The lane that owns everything placed under ``key``."""
+        return self.lanes[self.lane_index_for(key)]
+
+    def lane_index_of_contract(self, address: str) -> int:
+        index = self._contract_lane.get(address)
+        if index is None:
+            for candidate, lane in enumerate(self.lanes):
+                if address in lane.store.contracts:
+                    index = candidate
+                    break
+            if index is None:
+                raise KeyError(f"no lane holds contract {address[:12]}")
+            self._contract_lane[address] = index
+        return index
+
+    def lane_index_of_account(self, address: str) -> int:
+        index = self._account_lane.get(address)
+        if index is None:
+            for candidate, lane in enumerate(self.lanes):
+                if address in lane.store.balances:
+                    index = candidate
+                    break
+            if index is None:
+                raise KeyError(f"no lane holds account {address[:12]}")
+            self._account_lane[address] = index
+        return index
+
+    # -- chain facade ---------------------------------------------------------
+
+    @property
+    def time(self) -> float:
+        return self.lanes[0].time
+
+    @property
+    def block_time(self) -> float:
+        return self.lanes[0].block_time
+
+    @property
+    def events(self) -> list[Event]:
+        merged: list[Event] = []
+        for lane in self.lanes:
+            merged.extend(lane.events)
+        return merged
+
+    def events_named(self, name: str) -> list[Event]:
+        return [event for event in self.events if event.name == name]
+
+    def create_account(
+        self, balance_eth: float = 0.0, label: str = "", key=None
+    ) -> str:
+        """Create an account on the lane derived from ``key`` (or label)."""
+        lane_index = self.lane_index_for(key if key is not None else label)
+        address = self.lanes[lane_index].create_account(balance_eth, label)
+        self._account_lane[address] = lane_index
+        return address
+
+    def deploy(
+        self, contract: Contract, deployer: str, deposit_bytes: int = 0, key=None
+    ) -> str:
+        """Deploy next to the deployer (or onto ``key``'s home lane)."""
+        if key is not None:
+            lane_index = self.lane_index_for(key)
+        else:
+            try:
+                lane_index = self.lane_index_of_account(deployer)
+            except KeyError:
+                lane_index = self.lane_index_for(deployer)
+        address = self.lanes[lane_index].deploy(contract, deployer, deposit_bytes)
+        self._contract_lane[address] = lane_index
+        return address
+
+    def contract_at(self, address: str) -> Contract:
+        return self.lanes[self.lane_index_of_contract(address)].contract_at(address)
+
+    def transact(self, tx: Transaction, payload_bytes: int = 0) -> Receipt:
+        """Route a transaction to the lane owning its recipient."""
+        if tx.to is not None:
+            try:
+                lane_index = self.lane_index_of_contract(tx.to)
+            except KeyError:
+                try:
+                    lane_index = self.lane_index_of_account(tx.to)
+                except KeyError:
+                    lane_index = self.lane_index_for(tx.to)
+        else:
+            lane_index = self.lane_index_of_account(tx.sender)
+        return self.lanes[lane_index].transact(tx, payload_bytes)
+
+    def call(self, address: str, method: str, *args):
+        return self.lanes[self.lane_index_of_contract(address)].call(
+            address, method, *args
+        )
+
+    def balance_of(self, address: str) -> int:
+        return sum(lane.balance_of(address) for lane in self.lanes)
+
+    def mine_block(self) -> list[Block]:
+        """Mine every lane once: the lockstep clock tick.
+
+        Returns the sealed block of each lane (duck-type compatible with
+        drivers that only need *a* mined-block signal).
+        """
+        return [lane.mine_block() for lane in self.lanes]
+
+    def advance_time(self, seconds: float) -> None:
+        target = self.time + seconds
+        while self.time < target:
+            self.mine_block()
+
+    # -- persistence / fingerprint -------------------------------------------
+
+    def state_hash(self) -> str:
+        """Order-sensitive combination of every lane's canonical hash."""
+        hasher = hashlib.sha256(b"fabric-state-v1")
+        hasher.update(len(self.lanes).to_bytes(4, "big"))
+        for lane in self.lanes:
+            hasher.update(bytes.fromhex(lane.state_hash()))
+        return hasher.hexdigest()
+
+    def snapshot(self) -> None:
+        for lane in self.lanes:
+            lane.snapshot()
+
+    def close(self) -> None:
+        for lane in self.lanes:
+            lane.close()
+
+    # -- metrics --------------------------------------------------------------
+
+    def chain_bytes(self) -> int:
+        return sum(lane.chain_bytes() for lane in self.lanes)
+
+    def total_gas_used(self) -> int:
+        return sum(
+            block.gas_used for lane in self.lanes for block in lane.blocks
+        )
+
+    def lane_gas_totals(self) -> list[int]:
+        return [
+            sum(block.gas_used for block in lane.blocks) for lane in self.lanes
+        ]
+
+    def settlement_chain_seconds(self) -> float:
+        """Chain time to absorb the recorded traffic: max over lanes.
+
+        Lanes mine concurrently, so the fabric's settlement latency is the
+        slowest lane's :meth:`~repro.chain.blockchain.Blockchain.congestion_seconds`
+        — the honest denominator for "audits settled per chain-second".
+        """
+        return max(lane.congestion_seconds() for lane in self.lanes)

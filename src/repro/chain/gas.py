@@ -38,6 +38,11 @@ CHALLENGE_BYTES = 48
 #: plain constant here so gas accounting does not import the rollup layer.
 CHECKPOINT_COMMITMENT_BYTES = 85
 
+#: Wire size of one cross-shard fabric super-commitment (version + epoch +
+#: lane count + fabric root + counts + lanes digest; see
+#: ``repro.rollup.fabric`` and docs/PROTOCOL.md section 10).
+FABRIC_COMMITMENT_BYTES = 87
+
 
 @dataclass(frozen=True)
 class GasSchedule:

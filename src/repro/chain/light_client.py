@@ -190,9 +190,14 @@ class CheckpointLightClient:
         instance_registry: dict[int, tuple[bytes, int]],
         params: ProtocolParams,
         beacon,
+        fabric_lanes: int | None = None,
     ):
         self.params = params
         self.beacon = beacon
+        # Total lane count of the fabric under audit (when known): lets
+        # fabric inclusion proofs additionally enforce the deterministic
+        # placement rule lane_id == lane(name) of PROTOCOL.md section 10.
+        self.fabric_lanes = fabric_lanes
         self._registry = dict(instance_registry)
         self._verifiers: dict[int, Verifier] = {}
 
@@ -242,6 +247,56 @@ class CheckpointLightClient:
         except ValueError:
             return InclusionOutcome(ok=False, reason="malformed-record")
         return self.check_record(commitment, record)
+
+    def verify_fabric_inclusion(
+        self, commitment, proof
+    ) -> InclusionOutcome:
+        """Check a two-stage leaf → lane-root → fabric-root opening.
+
+        ``commitment`` is an 87-byte
+        :class:`~repro.rollup.fabric.FabricCheckpoint` (the cross-shard
+        super-commitment), ``proof`` a
+        :class:`~repro.rollup.fabric.FabricInclusionProof`.  Stage one
+        opens the lane's 85-byte commitment into the fabric root; stage
+        two opens the round record into that lane commitment's verdict
+        root; then the leaf faces the same epoch ground truth as a
+        single-chain inclusion — so every fraud ground of the per-lane
+        checkpoint contract is preserved under sharding.
+
+        The opened record must be *for the file the proof claims*
+        (``name-mismatch`` otherwise — a DA server cannot answer a query
+        about file X with some other accepted leaf), and when the client
+        knows the fabric's lane count the placement rule
+        ``lane_id == lane(name)`` is enforced too (``lane-misplaced``).
+        """
+        from ..rollup.checkpoint import Checkpoint as LaneCheckpoint
+
+        if not verify_merkle_proof(commitment.fabric_root, proof.lane_proof):
+            return InclusionOutcome(ok=False, reason="lane-not-included")
+        try:
+            lane_commitment = LaneCheckpoint.from_bytes(proof.lane_proof.leaf_data)
+        except ValueError:
+            return InclusionOutcome(ok=False, reason="malformed-lane-commitment")
+        if lane_commitment.epoch != commitment.epoch:
+            return InclusionOutcome(ok=False, reason="lane-epoch-mismatch")
+        if not verify_merkle_proof(lane_commitment.root, proof.leaf_proof):
+            return InclusionOutcome(ok=False, reason="not-included")
+        try:
+            record = RoundRecord.from_bytes(proof.leaf_proof.leaf_data)
+        except ValueError:
+            return InclusionOutcome(ok=False, reason="malformed-record")
+        if record.name != proof.name:
+            return InclusionOutcome(
+                ok=False, reason="name-mismatch", record=record
+            )
+        if self.fabric_lanes is not None:
+            from .fabric import lane_index_for_key
+
+            if lane_index_for_key(proof.name, self.fabric_lanes) != proof.lane_id:
+                return InclusionOutcome(
+                    ok=False, reason="lane-misplaced", record=record
+                )
+        return self.check_record(lane_commitment, record)
 
     def replay_checkpoint(
         self,
@@ -309,4 +364,25 @@ def audit_the_auditor_checkpoints(
             if hasattr(records, "records"):  # a CheckpointBundle
                 records = records.records
         client.replay_checkpoint(entry.commitment, tuple(records), report)
+    return report
+
+
+def audit_the_auditor_fabric(aggregator) -> CheckpointReplayReport:
+    """Replay every lane's settled checkpoints of a sharded fabric.
+
+    ``aggregator`` is a
+    :class:`~repro.rollup.fabric.CrossShardAggregator`; each lane's
+    bonded contract is replayed against that lane's published leaf sets
+    (the per-lane data-availability obligation) into one merged report.
+    """
+    report = CheckpointReplayReport()
+    for lane_id, pipeline in sorted(aggregator.pipelines.items()):
+        lane_report = audit_the_auditor_checkpoints(
+            pipeline.contract, pipeline, params=aggregator.params
+        )
+        report.checkpoints_checked += lane_report.checkpoints_checked
+        report.rounds_checked += lane_report.rounds_checked
+        report.agreements += lane_report.agreements
+        report.disagreements.extend(lane_report.disagreements)
+        report.root_mismatches.extend(lane_report.root_mismatches)
     return report

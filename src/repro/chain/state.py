@@ -1,0 +1,474 @@
+"""Pluggable chain state persistence: where a lane's world lives.
+
+Extracted from :class:`~repro.chain.blockchain.Blockchain` so that chain
+*behaviour* (transaction execution, gas, scheduling) is separated from
+chain *state* (accounts, nonces, contract storage, receipts, scheduled
+calls, the clock).  Two backends:
+
+* :class:`MemoryStateStore` — the original in-process dict store; state
+  dies with the process.  Zero overhead, used by tests and benchmarks.
+* :class:`WalStateStore` — a file-backed append-only write-ahead log plus
+  snapshots.  Every committed mutation (account creation, contract
+  deployment, transaction, block seal) appends one self-contained record;
+  reopening the directory replays ``snapshot + WAL tail`` and reproduces
+  the chain **bit-identically** (verified by :meth:`StateStore.state_hash`),
+  including a crash between ``transact`` and ``mine_block``.
+
+The canonical ``state_hash()`` is computed over a deterministic recursive
+encoding of the whole logical state (balances, nonces, signer keys,
+scheduled calls, blocks, receipts, events, and every contract's attribute
+dict) — *not* over pickles — so live and replayed stores can be compared
+across processes.
+
+Contract objects are Python instances; the store persists them as
+``(class, attribute dict)`` with the ``chain`` back-reference stripped,
+and the owning :class:`~repro.chain.blockchain.Blockchain` rebinds it on
+restore.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+import io
+import os
+import pickle
+import struct
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Iterator
+
+__all__ = [
+    "MemoryStateStore",
+    "StateStore",
+    "WalStateStore",
+    "canonical_state_digest",
+]
+
+#: Attributes never persisted or hashed on a contract: the chain
+#: back-reference would drag the whole world into every record.
+_CONTRACT_SKIP_ATTRS = frozenset({"chain"})
+
+
+# --------------------------------------------------------------------------- #
+# Canonical state encoding                                                    #
+# --------------------------------------------------------------------------- #
+
+
+def _encode_canonical(value: Any, hasher, depth: int = 0) -> None:
+    """Feed a deterministic, type-tagged encoding of ``value`` into ``hasher``.
+
+    Dicts are encoded sorted by their keys' encodings, objects as
+    ``module.qualname`` plus their sorted attribute dict, floats via
+    ``repr`` (exact round-trip), so the digest is a pure function of the
+    logical state — independent of dict insertion order, pickle protocol
+    or process identity.
+    """
+    if depth > 64:
+        raise ValueError("state encoding recursion too deep (cycle?)")
+    if value is None:
+        hasher.update(b"N")
+    elif isinstance(value, bool):
+        hasher.update(b"b1" if value else b"b0")
+    elif isinstance(value, int):
+        encoded = str(value).encode()
+        hasher.update(b"i" + struct.pack(">I", len(encoded)) + encoded)
+    elif isinstance(value, float):
+        encoded = repr(value).encode()
+        hasher.update(b"f" + struct.pack(">I", len(encoded)) + encoded)
+    elif isinstance(value, str):
+        encoded = value.encode("utf-8")
+        hasher.update(b"s" + struct.pack(">I", len(encoded)) + encoded)
+    elif isinstance(value, (bytes, bytearray)):
+        hasher.update(b"y" + struct.pack(">I", len(value)) + bytes(value))
+    elif isinstance(value, enum.Enum):
+        _encode_canonical(
+            f"{type(value).__module__}.{type(value).__qualname__}", hasher, depth + 1
+        )
+        _encode_canonical(value.value, hasher, depth + 1)
+    elif isinstance(value, (list, tuple)):
+        hasher.update(b"l" + struct.pack(">I", len(value)))
+        for item in value:
+            _encode_canonical(item, hasher, depth + 1)
+    elif isinstance(value, (set, frozenset)):
+        digests = sorted(canonical_state_digest(item) for item in value)
+        hasher.update(b"e" + struct.pack(">I", len(digests)))
+        for digest in digests:
+            hasher.update(digest)
+    elif isinstance(value, dict):
+        entries = sorted(
+            (canonical_state_digest(key), key, val) for key, val in value.items()
+        )
+        hasher.update(b"d" + struct.pack(">I", len(entries)))
+        for key_digest, _, val in entries:
+            hasher.update(key_digest)
+            _encode_canonical(val, hasher, depth + 1)
+    else:
+        attrs = _object_attrs(value)
+        if attrs is None:
+            raise TypeError(f"cannot canonically encode {type(value)!r}")
+        hasher.update(b"o")
+        _encode_canonical(
+            f"{type(value).__module__}.{type(value).__qualname__}", hasher, depth + 1
+        )
+        _encode_canonical(attrs, hasher, depth + 1)
+
+
+def _object_attrs(value: Any) -> dict | None:
+    """An object's state dict (``__dict__`` and/or ``__slots__`` members)."""
+    attrs: dict[str, Any] = {}
+    found = False
+    if hasattr(value, "__dict__"):
+        found = True
+        attrs.update(
+            (name, attr)
+            for name, attr in vars(value).items()
+            if name not in _CONTRACT_SKIP_ATTRS
+        )
+    for klass in type(value).__mro__:
+        for slot in getattr(klass, "__slots__", ()):
+            found = True
+            if hasattr(value, slot):
+                attrs[slot] = getattr(value, slot)
+    return attrs if found else None
+
+
+def canonical_state_digest(value: Any) -> bytes:
+    """SHA-256 over the canonical encoding of one value."""
+    hasher = hashlib.sha256()
+    _encode_canonical(value, hasher)
+    return hasher.digest()
+
+
+# --------------------------------------------------------------------------- #
+# The store interface (and its in-memory reference backend)                   #
+# --------------------------------------------------------------------------- #
+
+
+class StateStore:
+    """All mutable chain state, behind commit hooks the backends can log.
+
+    The base class *is* the in-memory representation; subclasses override
+    the ``begin_*`` / ``commit_*`` hooks to add durability.  The owning
+    :class:`~repro.chain.blockchain.Blockchain` brackets every mutating
+    entry point (account creation, deploy, transact, block seal) with one
+    ``begin()`` / ``commit(kind, ...)`` pair; reads go straight at the
+    attributes.
+    """
+
+    def __init__(self) -> None:
+        self.time: float = 0.0
+        self.blocks: list = []
+        self.balances: dict[str, int] = {}
+        self.contracts: dict[str, Any] = {}
+        self.scheduled: list = []
+        self.schedule_seq: int = 0
+        self.events: list = []
+        self.fee_sink: int = 0
+        self.account_seq: int = 0
+        self.signer_keys: dict[str, bytes] = {}
+        self.nonces: dict[str, int] = {}
+        # Commit bookkeeping (used by logging backends).
+        self._tx_depth = 0
+        self._touched: set[str] = set()
+
+    # -- commit protocol ----------------------------------------------------
+
+    def begin(self) -> None:
+        """Open a mutation scope (nestable; only the outermost commits)."""
+        self._tx_depth += 1
+        if self._tx_depth == 1:
+            self._touched = set()
+            self._begin_hook()
+
+    def touch_contract(self, address: str) -> None:
+        """Mark a contract as possibly mutated inside the open scope."""
+        if self._tx_depth:
+            self._touched.add(address)
+
+    def commit(self, kind: str, **payload: Any) -> None:
+        """Close the innermost scope; the outermost one logs a record."""
+        assert self._tx_depth > 0, "commit without begin"
+        self._tx_depth -= 1
+        if self._tx_depth == 0:
+            self._commit_hook(kind, payload, frozenset(self._touched))
+            self._touched = set()
+
+    def _begin_hook(self) -> None:  # pragma: no cover - trivial
+        pass
+
+    def _commit_hook(
+        self, kind: str, payload: dict, touched: frozenset
+    ) -> None:  # pragma: no cover - trivial
+        pass
+
+    # -- durability ----------------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Persist a full-state snapshot (no-op for memory stores)."""
+
+    def close(self) -> None:
+        """Release any backing resources."""
+
+    # -- the canonical fingerprint -------------------------------------------
+
+    def state_hash(self) -> str:
+        """Hex digest of the entire logical chain state.
+
+        Two stores (live and WAL-replayed, or two fabric lanes fed the
+        same traffic) agree on this iff they agree on every balance,
+        nonce, signer key, scheduled call, block, receipt, event and
+        contract attribute.
+        """
+        hasher = hashlib.sha256(b"chain-state-v1")
+        _encode_canonical(
+            {
+                "time": self.time,
+                "fee_sink": self.fee_sink,
+                "account_seq": self.account_seq,
+                "schedule_seq": self.schedule_seq,
+                "balances": self.balances,
+                "nonces": self.nonces,
+                "signer_keys": self.signer_keys,
+                "scheduled": list(self.scheduled),
+                "blocks": list(self.blocks),
+                "events": list(self.events),
+            },
+            hasher,
+        )
+        for address in sorted(self.contracts):
+            hasher.update(address.encode())
+            _encode_canonical(self.contracts[address], hasher)
+        return hasher.hexdigest()
+
+
+class MemoryStateStore(StateStore):
+    """The original behaviour: everything in process memory, nothing on disk."""
+
+
+# --------------------------------------------------------------------------- #
+# WAL backend                                                                 #
+# --------------------------------------------------------------------------- #
+
+
+def _contract_state(contract: Any) -> tuple[type, dict]:
+    """(class, attribute dict) with the chain back-reference stripped."""
+    state = {
+        name: attr
+        for name, attr in vars(contract).items()
+        if name not in _CONTRACT_SKIP_ATTRS
+    }
+    return type(contract), state
+
+
+def _restore_contract(cls: type, state: dict, existing: Any = None) -> Any:
+    contract = existing if existing is not None else cls.__new__(cls)
+    for stale in [k for k in vars(contract) if k not in _CONTRACT_SKIP_ATTRS]:
+        delattr(contract, stale)
+    contract.__dict__.update(state)
+    contract.chain = None
+    return contract
+
+
+@dataclass
+class _WalRecord:
+    """One committed mutation: a self-contained, idempotent state patch."""
+
+    kind: str                     # "account" | "deploy" | "tx" | "block"
+    balances: dict[str, int]      # changed balances (absolute values)
+    nonces: dict[str, int]
+    signer_keys: dict[str, bytes]
+    fee_sink: int
+    account_seq: int
+    schedule_seq: int
+    scheduled: list               # full pending schedule (small)
+    events_tail: list             # events appended in this scope
+    contracts: dict[str, tuple[type, dict]] = field(default_factory=dict)
+    payload: dict = field(default_factory=dict)
+
+
+class WalStateStore(StateStore):
+    """Append-only write-ahead log + snapshots under one directory.
+
+    Layout::
+
+        <dir>/snapshot.pkl   full-state snapshot (optional)
+        <dir>/wal.log        length-prefixed pickled _WalRecord frames
+
+    ``WalStateStore(path)`` recovers whatever the directory holds: the
+    snapshot (if any) is loaded, then every complete WAL frame is applied
+    in order.  A torn final frame (crash mid-append) is ignored, exactly
+    like a database would.  ``snapshot()`` folds the log into a fresh
+    snapshot and truncates it.
+    """
+
+    _FRAME_HEADER = struct.Struct(">I")
+    _SNAPSHOT_NAME = "snapshot.pkl"
+    _WAL_NAME = "wal.log"
+
+    def __init__(self, directory: str | os.PathLike, fsync: bool = False):
+        super().__init__()
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.fsync = fsync
+        self._pre: dict[str, Any] = {}
+        self.replayed_records = 0
+        self._valid_wal_bytes = 0
+        self._recover()
+        wal_path = self.directory / self._WAL_NAME
+        if wal_path.exists() and wal_path.stat().st_size > self._valid_wal_bytes:
+            # Drop a torn tail frame (crash mid-append) before appending:
+            # otherwise new records would land *behind* the garbage and be
+            # unreachable to every future recovery.
+            with open(wal_path, "r+b") as handle:
+                handle.truncate(self._valid_wal_bytes)
+        self._wal = open(wal_path, "ab")
+
+    # -- commit hooks ---------------------------------------------------------
+
+    def _begin_hook(self) -> None:
+        self._pre = {
+            "balances": dict(self.balances),
+            "nonces": dict(self.nonces),
+            "signer_keys": dict(self.signer_keys),
+            "events_len": len(self.events),
+        }
+
+    def _commit_hook(self, kind: str, payload: dict, touched: frozenset) -> None:
+        pre = self._pre
+        record = _WalRecord(
+            kind=kind,
+            balances={
+                addr: wei
+                for addr, wei in self.balances.items()
+                if pre["balances"].get(addr) != wei
+            },
+            nonces={
+                addr: nonce
+                for addr, nonce in self.nonces.items()
+                if pre["nonces"].get(addr) != nonce
+            },
+            signer_keys={
+                addr: key
+                for addr, key in self.signer_keys.items()
+                if pre["signer_keys"].get(addr) != key
+            },
+            fee_sink=self.fee_sink,
+            account_seq=self.account_seq,
+            schedule_seq=self.schedule_seq,
+            scheduled=list(self.scheduled),
+            events_tail=list(self.events[pre["events_len"] :]),
+            contracts={
+                address: _contract_state(self.contracts[address])
+                for address in sorted(touched)
+                if address in self.contracts
+            },
+            payload=payload,
+        )
+        frame = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+        self._wal.write(self._FRAME_HEADER.pack(len(frame)) + frame)
+        self._wal.flush()
+        if self.fsync:
+            os.fsync(self._wal.fileno())
+
+    # -- recovery -------------------------------------------------------------
+
+    def _recover(self) -> None:
+        snapshot_path = self.directory / self._SNAPSHOT_NAME
+        if snapshot_path.exists():
+            with open(snapshot_path, "rb") as handle:
+                state = pickle.load(handle)
+            for name, value in state["scalars"].items():
+                setattr(self, name, value)
+            self.contracts = {
+                address: _restore_contract(cls, attrs)
+                for address, (cls, attrs) in state["contracts"].items()
+            }
+        for record in self._read_wal():
+            self._apply(record)
+            self.replayed_records += 1
+
+    def _read_wal(self) -> Iterator[_WalRecord]:
+        wal_path = self.directory / self._WAL_NAME
+        if not wal_path.exists():
+            return
+        data = wal_path.read_bytes()
+        stream = io.BytesIO(data)
+        while True:
+            header = stream.read(self._FRAME_HEADER.size)
+            if len(header) < self._FRAME_HEADER.size:
+                return  # clean end (or torn length prefix)
+            (length,) = self._FRAME_HEADER.unpack(header)
+            frame = stream.read(length)
+            if len(frame) < length:
+                return  # torn frame: the crash interrupted this append
+            record = pickle.loads(frame)
+            self._valid_wal_bytes = stream.tell()
+            yield record
+
+    def _apply(self, record: _WalRecord) -> None:
+        self.balances.update(record.balances)
+        self.nonces.update(record.nonces)
+        self.signer_keys.update(record.signer_keys)
+        self.fee_sink = record.fee_sink
+        self.account_seq = record.account_seq
+        self.schedule_seq = record.schedule_seq
+        self.scheduled = list(record.scheduled)
+        self.events.extend(record.events_tail)
+        for address, (cls, attrs) in record.contracts.items():
+            self.contracts[address] = _restore_contract(
+                cls, attrs, existing=self.contracts.get(address)
+            )
+        payload = record.payload
+        if record.kind == "tx":
+            pending = self.blocks[-1]
+            pending.receipts.append(payload["receipt"])
+            pending.gas_used = payload["pending_gas"]
+            pending.byte_size = payload["pending_bytes"]
+        elif record.kind == "block":
+            sealed = self.blocks[-1]
+            sealed.timestamp = payload["sealed_timestamp"]
+            sealed.byte_size = payload["sealed_bytes"]
+            self.time = payload["time"]
+            self.blocks.append(payload["new_block"])
+        elif record.kind == "genesis":
+            self.blocks = [payload["block"]]
+
+    # -- snapshot / lifecycle --------------------------------------------------
+
+    def snapshot(self) -> None:
+        """Fold the log into a fresh snapshot and truncate the WAL."""
+        scalars = {
+            name: getattr(self, name)
+            for name in (
+                "time",
+                "blocks",
+                "balances",
+                "scheduled",
+                "schedule_seq",
+                "events",
+                "fee_sink",
+                "account_seq",
+                "signer_keys",
+                "nonces",
+            )
+        }
+        state = {
+            "scalars": scalars,
+            "contracts": {
+                address: _contract_state(contract)
+                for address, contract in self.contracts.items()
+            },
+        }
+        tmp_path = self.directory / (self._SNAPSHOT_NAME + ".tmp")
+        with open(tmp_path, "wb") as handle:
+            pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            handle.flush()
+            os.fsync(handle.fileno())
+        tmp_path.replace(self.directory / self._SNAPSHOT_NAME)
+        self._wal.close()
+        self._wal = open(self.directory / self._WAL_NAME, "wb")
+
+    def close(self) -> None:
+        if not self._wal.closed:
+            self._wal.close()

@@ -4,8 +4,12 @@
     python -m repro prepare  --file archive.bin --s 10 --k 8
     python -m repro audit    --size 20000 --rounds 3
     python -m repro engine   --owners 4 --files 4 --epochs 2
+    python -m repro engine --lanes 2                          # per-lane epochs
     python -m repro checkpoint --owners 4 --files 4 --epochs 2  # epoch rollup
     python -m repro checkpoint --fraud                        # + fraud proof
+    python -m repro checkpoint --lanes 2                      # sharded rollup
+    python -m repro shard --lanes 4 --fleet 16 --epochs 2     # chain fabric
+    python -m repro shard --lanes 2 --persist ./chainstate    # + WAL stores
     python -m repro attack   --s 6 --k 4                      # privacy attack
     python -m repro attack --strategy selective --rho 0.25    # byzantine provider
     python -m repro attack --strategy replay --onchain        # dispute + slashing
@@ -117,9 +121,37 @@ def _cmd_engine(args: argparse.Namespace) -> int:
             )
     print(f"fleet prepared in {time.perf_counter() - t0:.1f} s")
     with AuditExecutor(instances, workers=args.workers) as executor:
-        scheduler = EpochScheduler(
-            executor, params, HashChainBeacon(b"cli-engine"), rng=rng
-        )
+        beacon = HashChainBeacon(b"cli-engine")
+        if args.lanes > 1:
+            # One scheduler per fabric lane over the shared process pool:
+            # each drives its deterministic slice of the fleet.
+            from .chain.fabric import lane_index_for_key
+
+            slices: dict[int, set[int]] = {}
+            for instance in instances:
+                lane = lane_index_for_key(instance.name, args.lanes)
+                slices.setdefault(lane, set()).add(instance.name)
+            schedulers = {
+                lane: EpochScheduler(
+                    executor, params, beacon, rng=rng, names=names
+                )
+                for lane, names in sorted(slices.items())
+            }
+            print(f"workers: {executor.workers}, lanes: {args.lanes} "
+                  f"({', '.join(str(len(s)) for s in slices.values())} audits)")
+            ok = True
+            for epoch in range(args.epochs):
+                for lane, scheduler in schedulers.items():
+                    result = scheduler.run_epoch(epoch)
+                    ok = ok and bool(result.batch_ok)
+                    print(
+                        f"epoch {epoch} lane {lane}: {result.num_audits} audits, "
+                        f"prove {result.prove_seconds:.2f} s + "
+                        f"batch-verify {result.verify_seconds:.2f} s, "
+                        f"batch {'OK' if result.batch_ok else 'FAILED'}"
+                    )
+            return 0 if ok else 1
+        scheduler = EpochScheduler(executor, params, beacon, rng=rng)
         print(f"workers: {executor.workers}")
         for result in scheduler.run(args.epochs):
             print(
@@ -138,12 +170,11 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         ChainExplorer,
         CheckpointContract,
         CheckpointLightClient,
-        Transaction,
         audit_the_auditor_checkpoints,
         checkpoint_amortization,
     )
     from .engine import AuditExecutor, AuditInstance, EpochScheduler
-    from .rollup import CheckpointPipeline, build_checkpoint
+    from .rollup import CheckpointPipeline
     from .sim.workloads import archive_file
 
     if args.epochs < 1 or args.owners < 1 or args.files < 1:
@@ -164,6 +195,19 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
                 AuditInstance.from_package(package, owner_id=f"owner-{owner_index}")
             )
     fleet = len(instances)
+    if args.lanes > 1:
+        # Sharded rollup: settle the same fleet across fabric lanes with
+        # per-lane commitments plus the cross-shard super-commitment.
+        return _run_sharded_settlement(
+            instances,
+            params,
+            lanes=args.lanes,
+            epochs=args.epochs,
+            workers=args.workers,
+            rng=rng,
+            persist=None,
+            fraud=args.fraud,
+        )
     print(f"fleet: {args.owners} owners x {args.files} files "
           f"({fleet} audit instances), s={args.s}, k={args.k}")
 
@@ -216,43 +260,9 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         if args.fraud:
             # A lying aggregator flips one verdict; anyone holding the
             # leaves opens that leaf on chain and takes the bond.
-            result = scheduler.run_epoch(args.epochs)
-            records = list(result.checkpoint.records)
-            records[0] = records[0].flipped()
-            forged = build_checkpoint(args.epochs, tuple(records))
-            receipt = chain.transact(
-                Transaction(
-                    sender=aggregator,
-                    to=address,
-                    method="post_checkpoint",
-                    args=(forged.checkpoint.to_bytes(),),
-                    value=contract.posting_bond_wei,
-                ),
-                payload_bytes=forged.checkpoint.byte_size(),
+            fraud_caught, slashed = _slash_forged_checkpoint(
+                chain, address, aggregator, scheduler, args.epochs
             )
-            challenger = chain.create_account(1.0, label="challenger")
-            opening = forged.prove(records[0].name)
-            challenge_receipt = chain.transact(
-                Transaction(
-                    sender=challenger,
-                    to=address,
-                    method="challenge_leaf",
-                    args=(
-                        receipt.return_value,
-                        opening.leaf_data,
-                        opening.leaf_index,
-                        opening.siblings,
-                        opening.directions,
-                    ),
-                    value=contract.challenge_bond_wei,
-                ),
-                payload_bytes=len(opening.leaf_data) + 32 * len(opening.siblings),
-            )
-            slashed = [
-                e for e in challenge_receipt.events
-                if e.name == "checkpoint_slashed"
-            ]
-            fraud_caught = bool(challenge_receipt.success and slashed)
             print(f"fraud proof: forged checkpoint (flipped verdict) "
                   f"{'slashed' if fraud_caught else 'NOT slashed'}"
                   + (f", bounty {slashed[0].payload['slashed_wei']:,} wei"
@@ -266,6 +276,199 @@ def _cmd_checkpoint(args: argparse.Namespace) -> int:
         s.receipt.success for s in pipeline.settled
     )
     return 0 if ok else 1
+
+
+def _slash_forged_checkpoint(chain, contract_address, poster, scheduler, epoch):
+    """Fraud-proof demo shared by ``checkpoint --fraud`` and ``shard --fraud``.
+
+    Runs one extra engine epoch, flips a verdict in its record set, posts
+    the forged commitment under bond, and opens the flipped leaf on chain
+    as a challenger.  Returns ``(slashed_ok, slashed_events)``.
+    """
+    from .chain import Transaction
+    from .rollup import build_checkpoint
+
+    contract = chain.contract_at(contract_address)
+    result = scheduler.run_epoch(epoch)
+    records = list(result.checkpoint.records)
+    records[0] = records[0].flipped()
+    forged = build_checkpoint(epoch, tuple(records))
+    receipt = chain.transact(
+        Transaction(
+            sender=poster,
+            to=contract_address,
+            method="post_checkpoint",
+            args=(forged.checkpoint.to_bytes(),),
+            value=contract.posting_bond_wei,
+        ),
+        payload_bytes=forged.checkpoint.byte_size(),
+    )
+    challenger = chain.create_account(1.0, label="challenger")
+    opening = forged.prove(records[0].name)
+    challenge_receipt = chain.transact(
+        Transaction(
+            sender=challenger,
+            to=contract_address,
+            method="challenge_leaf",
+            args=(
+                receipt.return_value,
+                opening.leaf_data,
+                opening.leaf_index,
+                opening.siblings,
+                opening.directions,
+            ),
+            value=contract.challenge_bond_wei,
+        ),
+        payload_bytes=len(opening.leaf_data) + 32 * len(opening.siblings),
+    )
+    slashed = [
+        e for e in challenge_receipt.events if e.name == "checkpoint_slashed"
+    ]
+    return bool(challenge_receipt.success and slashed), slashed
+
+
+def _run_sharded_settlement(
+    instances,
+    params,
+    lanes: int,
+    epochs: int,
+    workers: int,
+    rng,
+    persist: str | None,
+    fraud: bool = False,
+) -> int:
+    """Settle a fleet's epochs across a sharded chain fabric.
+
+    Shared core of ``repro shard`` and ``repro checkpoint --lanes N``:
+    builds the fabric (WAL-persisted under ``persist`` when given), runs a
+    :class:`~repro.rollup.CrossShardAggregator` over one shared executor,
+    verifies a leaf → lane-root → fabric-root inclusion proof plus a full
+    fabric replay with the light client, and reports per-lane gas.
+    """
+    from .chain import (
+        ChainExplorer,
+        CheckpointLightClient,
+        ShardedChainFabric,
+        audit_the_auditor_fabric,
+    )
+    from .engine import AuditExecutor
+    from .randomness import HashChainBeacon
+    from .rollup import CrossShardAggregator
+
+    beacon = HashChainBeacon(b"cli-shard")
+    fabric = ShardedChainFabric(num_lanes=lanes, persist_dir=persist)
+    print(f"fabric: {lanes} lanes, fleet {len(instances)}"
+          + (f", persisted under {persist}" if persist else " (in-memory)"))
+    with AuditExecutor(instances, workers=workers) as executor:
+        aggregator = CrossShardAggregator(fabric, executor, params, beacon, rng=rng)
+        for settlement in aggregator.run(epochs):
+            fabric_ckpt = settlement.fabric.checkpoint
+            lane_parts = ", ".join(
+                f"lane {lane_id}: {settled.bundle.checkpoint.num_leaves} audits"
+                f"/{settled.receipt.gas_used:,} gas"
+                for lane_id, settled in sorted(settlement.lanes.items())
+            )
+            print(f"epoch {settlement.epoch}: {fabric_ckpt.num_leaves} audits -> "
+                  f"{len(settlement.lanes)} lane commitments ({lane_parts})")
+            print(f"  fabric super-commitment: {fabric_ckpt.byte_size()} B, "
+                  f"root {fabric_ckpt.fabric_root.hex()[:16]}…, "
+                  f"{fabric_ckpt.accepted} accepted / {fabric_ckpt.rejected} rejected")
+
+        # Any third party verifies one round from the 87-byte commitment.
+        client = CheckpointLightClient(
+            aggregator.export_instance_registry(), params, beacon
+        )
+        sample = instances[0].name
+        first = aggregator.settled[0]
+        outcome = client.verify_fabric_inclusion(
+            first.fabric.checkpoint, first.fabric.prove(sample)
+        )
+        print(f"light client: leaf->lane->fabric inclusion of file "
+              f"{sample:#x} -> {'OK' if outcome.ok else outcome.reason}")
+        replay = audit_the_auditor_fabric(aggregator)
+        print(f"light client: replayed {replay.checkpoints_checked} lane "
+              f"checkpoints ({replay.rounds_checked} rounds) -> "
+              f"{'consistent' if replay.consistent else 'INCONSISTENT'}")
+
+        fraud_caught = True
+        if fraud:
+            # A lying lane aggregator flips one verdict; the fraud proof on
+            # that lane's bonded contract slashes it (soundness per lane).
+            lane_id = min(aggregator.pipelines)
+            pipeline = aggregator.pipelines[lane_id]
+            fraud_caught, _ = _slash_forged_checkpoint(
+                fabric.lane(lane_id),
+                pipeline.contract_address,
+                pipeline.aggregator,
+                aggregator.schedulers[lane_id],
+                epochs,
+            )
+            print(f"fraud proof (lane {lane_id}): forged lane checkpoint "
+                  f"{'slashed' if fraud_caught else 'NOT slashed'}")
+
+    explorer = ChainExplorer(fabric)
+    print("per-lane gas totals:")
+    for summary in explorer.lane_summaries():
+        print(f"  lane {summary.lane}: {summary.gas_used:,} gas over "
+              f"{summary.transactions} txs, {summary.chain_bytes:,} chain B, "
+              f"congestion {summary.congestion_seconds:.0f} s")
+    print(f"fabric settlement chain-time (slowest lane): "
+          f"{fabric.settlement_chain_seconds():.0f} s")
+
+    persisted_ok = True
+    if persist:
+        expected = fabric.state_hash()
+        fabric.snapshot()
+        fabric.close()
+        reopened = ShardedChainFabric(num_lanes=lanes, persist_dir=persist)
+        persisted_ok = reopened.state_hash() == expected
+        reopened.close()
+        print(f"state store: snapshot + reopen state_hash "
+              f"{'MATCHES' if persisted_ok else 'DIVERGED'} "
+              f"({expected[:16]}…)")
+
+    ok = (
+        replay.consistent
+        and fraud_caught
+        and persisted_ok
+        and all(
+            settled.receipt.success
+            for settlement in aggregator.settled
+            for settled in settlement.lanes.values()
+        )
+    )
+    return 0 if ok else 1
+
+
+def _cmd_shard(args: argparse.Namespace) -> int:
+    """Sharded chain fabric: lane-partitioned settlement + super-commitment."""
+    from .engine import AuditInstance
+    from .sim.workloads import archive_file
+
+    if args.lanes < 1 or args.fleet < 1 or args.epochs < 1:
+        print("shard: --lanes, --fleet and --epochs must be >= 1",
+              file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    params = ProtocolParams(s=args.s, k=args.k)
+    owner = DataOwner(params, rng=rng)
+    instances = []
+    for index in range(args.fleet):
+        package = owner.prepare(
+            archive_file(args.size, tag=f"shard-{index}").data,
+            fresh_keypair=index == 0,
+        )
+        instances.append(AuditInstance.from_package(package, owner_id="fleet"))
+    return _run_sharded_settlement(
+        instances,
+        params,
+        lanes=args.lanes,
+        epochs=args.epochs,
+        workers=args.workers,
+        rng=rng,
+        persist=args.persist or None,
+        fraud=args.fraud,
+    )
 
 
 def _cmd_attack(args: argparse.Namespace) -> int:
@@ -431,6 +634,9 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--s", type=int, default=10)
     engine.add_argument("--k", type=int, default=8)
     engine.add_argument("--seed", type=int, default=0)
+    engine.add_argument("--lanes", type=int, default=1,
+                        help="run one scheduler per fabric lane over the "
+                        "shared process pool (1 = unsharded)")
     engine.set_defaults(func=_cmd_engine)
 
     checkpoint = sub.add_parser(
@@ -451,7 +657,35 @@ def build_parser() -> argparse.ArgumentParser:
     checkpoint.add_argument("--fraud", action="store_true",
                             help="also post a forged (verdict-flipped) "
                             "checkpoint and slash it via the fraud proof")
+    checkpoint.add_argument("--lanes", type=int, default=1,
+                            help="settle across a sharded chain fabric with "
+                            "per-lane commitments and one cross-shard "
+                            "super-commitment (1 = single chain)")
     checkpoint.set_defaults(func=_cmd_checkpoint)
+
+    shard = sub.add_parser(
+        "shard",
+        help="sharded chain fabric: lane-partitioned audit settlement, "
+        "cross-shard super-commitment, optional WAL-persisted lane state",
+    )
+    shard.add_argument("--lanes", type=int, default=4)
+    shard.add_argument("--fleet", type=int, default=16,
+                       help="total audit instances, placed on lanes by "
+                       "deterministic file-name hashing")
+    shard.add_argument("--persist", type=str, default="",
+                       help="directory for per-lane WAL + snapshot state "
+                       "stores (reopened runs recover bit-identically)")
+    shard.add_argument("--epochs", type=int, default=2)
+    shard.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (0 = one per CPU core)")
+    shard.add_argument("--size", type=int, default=1_500)
+    shard.add_argument("--s", type=int, default=6)
+    shard.add_argument("--k", type=int, default=4)
+    shard.add_argument("--seed", type=int, default=0)
+    shard.add_argument("--fraud", action="store_true",
+                       help="post a forged lane checkpoint and slash it via "
+                       "that lane's fraud proof")
+    shard.set_defaults(func=_cmd_shard)
 
     attack = sub.add_parser(
         "attack",

@@ -46,12 +46,21 @@ class AuditedFile:
 
 
 class AuditedDsn:
-    """A decentralized storage deployment with full on-chain auditing."""
+    """A decentralized storage deployment with full on-chain auditing.
+
+    ``chain`` may be a single :class:`~repro.chain.Blockchain` or a
+    :class:`~repro.chain.fabric.ShardedChainFabric`: each shard's audit
+    contract (and its owner/provider accounts) lands on the audited file
+    name's deterministic home lane, ``step()`` mines every lane in
+    lockstep, and the reputation registry lives on its own lane with
+    reports routed to it by address — so one DSN's audit traffic spreads
+    across the fabric instead of serializing through one block producer.
+    """
 
     def __init__(
         self,
         cluster: DsnCluster,
-        chain: Blockchain,
+        chain,
         beacon: RandomnessBeacon,
         params: ProtocolParams | None = None,
         terms: ContractTerms | None = None,

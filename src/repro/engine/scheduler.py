@@ -93,12 +93,25 @@ class EpochScheduler:
         keep_history: bool = True,
         overrides: "dict[int, ProofOverride] | None" = None,
         checkpoint_mode: bool = False,
+        names=None,
     ):
         self.executor = executor
         self.params = params
         self.beacon = beacon
         self.salt = salt
         self.deterministic = deterministic
+        # Instance filter: a scheduler can drive a *subset* of the
+        # executor's registered fleet (frozen at construction).  This is
+        # how the sharded fabric runs one scheduler per lane while every
+        # lane's proof generation fans out through the same process pool.
+        if names is not None:
+            names = frozenset(names)
+            unknown = names - set(executor.instances)
+            if unknown:
+                raise KeyError(
+                    f"names not registered with the executor: {sorted(unknown)[:4]}"
+                )
+        self.names: "frozenset[int] | None" = names
         # Long-running services auditing thousands of instances per epoch
         # should disable history retention: every EpochResult holds all of
         # its epoch's proofs and challenges.
@@ -123,11 +136,17 @@ class EpochScheduler:
         """Route one registered file's proofs through ``override``."""
         if name not in self.executor.instances:
             raise KeyError(f"file {name} not registered with the executor")
+        if self.names is not None and name not in self.names:
+            raise KeyError(f"file {name} outside this scheduler's instance subset")
         self.overrides[name] = override
 
     def run_epoch(self, epoch: int) -> EpochResult:
         """Challenge every instance, prove in parallel, batch-verify."""
-        instances = list(self.executor.instances.values())
+        instances = [
+            instance
+            for instance in self.executor.instances.values()
+            if self.names is None or instance.name in self.names
+        ]
         if not instances:
             raise ValueError("no audit instances registered with the executor")
         beacon_output = self.beacon.output(epoch)

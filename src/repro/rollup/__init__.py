@@ -4,9 +4,11 @@ The paper's chain layer records one on-chain round per (file, epoch); this
 package amortizes that to a single committed verdict tree per epoch —
 records (:mod:`~repro.rollup.records`), commitments and inclusion proofs
 (:mod:`~repro.rollup.checkpoint`), and chain settlement
-(:mod:`~repro.rollup.pipeline`).  The fraud-proof arbitration lives in
-:mod:`repro.chain.contracts.checkpoint_contract`; the independent
-re-verification surface in :mod:`repro.chain.light_client`.
+(:mod:`~repro.rollup.pipeline`).  Over a sharded chain fabric, per-lane
+commitments are additionally Merkle-rolled into one cross-shard
+super-commitment (:mod:`~repro.rollup.fabric`).  The fraud-proof
+arbitration lives in :mod:`repro.chain.contracts.checkpoint_contract`; the
+independent re-verification surface in :mod:`repro.chain.light_client`.
 """
 
 from .checkpoint import (
@@ -17,6 +19,16 @@ from .checkpoint import (
     build_checkpoint,
     build_epoch_checkpoint,
 )
+from .fabric import (
+    FABRIC_COMMITMENT_BYTES,
+    CrossShardAggregator,
+    FabricCheckpoint,
+    FabricCheckpointBundle,
+    FabricInclusionProof,
+    FabricSettlement,
+    build_fabric_checkpoint,
+    lanes_digest,
+)
 from .pipeline import CheckpointPipeline, SettledEpoch
 from .records import WITHHELD_CODE, RoundRecord, records_from_epoch
 from .verdict import LeafVerdict, leaf_ground_truth, recompute_round_verdict
@@ -26,6 +38,12 @@ __all__ = [
     "Checkpoint",
     "CheckpointBundle",
     "CheckpointPipeline",
+    "CrossShardAggregator",
+    "FABRIC_COMMITMENT_BYTES",
+    "FabricCheckpoint",
+    "FabricCheckpointBundle",
+    "FabricInclusionProof",
+    "FabricSettlement",
     "LeafVerdict",
     "RoundRecord",
     "SettledEpoch",
@@ -33,6 +51,8 @@ __all__ = [
     "aggregated_proof_digest",
     "build_checkpoint",
     "build_epoch_checkpoint",
+    "build_fabric_checkpoint",
+    "lanes_digest",
     "leaf_ground_truth",
     "recompute_round_verdict",
     "records_from_epoch",

@@ -1,0 +1,349 @@
+"""Cross-shard checkpoint aggregation: one super-commitment per fabric epoch.
+
+Closes the rollup loop over the sharded chain fabric
+(:class:`~repro.chain.fabric.ShardedChainFabric`).  Each lane settles its
+epoch exactly as in the single-chain rollup — an 85-byte
+:class:`~repro.rollup.checkpoint.Checkpoint` posted to that lane's bonded
+:class:`~repro.chain.contracts.checkpoint_contract.CheckpointContract`,
+fraud-proof window and all — and the :class:`CrossShardAggregator`
+Merkle-rolls the per-lane commitments into one fixed-size
+:class:`FabricCheckpoint`::
+
+    fabric_root = MerkleRoot( lane commitment encodings, ascending lane id )
+    lanes_digest = SHA256( commitment_0 || commitment_1 || ... )
+
+A light client holding only the 87-byte fabric commitment verifies any
+single round anywhere in the fleet through a two-stage inclusion proof —
+leaf → lane root → fabric root (:class:`FabricInclusionProof`, checked by
+:meth:`repro.chain.light_client.CheckpointLightClient.verify_fabric_inclusion`).
+Fraud-proof soundness is inherited per lane: the fabric commitment binds
+exactly the lane commitments that sit on chain under bonds, so a lying
+lane is slashed by the ordinary :meth:`challenge_leaf` path and the
+fabric commitment for that epoch is void with it (the byte layout and the
+proof format are specified in ``docs/PROTOCOL.md`` section 10).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from ..crypto.merkle import MerkleProof, MerkleTree, verify_merkle_proof
+from .checkpoint import Checkpoint, CheckpointBundle
+from .pipeline import CheckpointPipeline, SettledEpoch
+
+FABRIC_CHECKPOINT_VERSION = 0x01
+
+#: Fixed wire size of one fabric super-commitment:
+#: version(1) + epoch(8) + num_lanes(2) + fabric_root(32) + accepted(4) +
+#: rejected(4) + num_leaves(4) + lanes_digest(32).
+FABRIC_COMMITMENT_BYTES = 87
+
+
+@dataclass(frozen=True)
+class FabricCheckpoint:
+    """The fixed-size commitment to one epoch across every lane."""
+
+    epoch: int
+    num_lanes: int
+    fabric_root: bytes
+    accepted: int
+    rejected: int
+    num_leaves: int
+    lanes_digest: bytes
+
+    def __post_init__(self) -> None:
+        if len(self.fabric_root) != 32 or len(self.lanes_digest) != 32:
+            raise ValueError("fabric root and lanes digest must be 32 bytes")
+        if self.accepted + self.rejected != self.num_leaves:
+            raise ValueError("accepted + rejected must equal num_leaves")
+        if not 1 <= self.num_lanes <= 0xFFFF:
+            raise ValueError("num_lanes out of range")
+
+    def to_bytes(self) -> bytes:
+        return b"".join(
+            (
+                bytes([FABRIC_CHECKPOINT_VERSION]),
+                self.epoch.to_bytes(8, "big"),
+                self.num_lanes.to_bytes(2, "big"),
+                self.fabric_root,
+                self.accepted.to_bytes(4, "big"),
+                self.rejected.to_bytes(4, "big"),
+                self.num_leaves.to_bytes(4, "big"),
+                self.lanes_digest,
+            )
+        )
+
+    @staticmethod
+    def from_bytes(data: bytes) -> "FabricCheckpoint":
+        if len(data) != FABRIC_COMMITMENT_BYTES:
+            raise ValueError(
+                f"fabric commitment must be {FABRIC_COMMITMENT_BYTES} bytes"
+            )
+        if data[0] != FABRIC_CHECKPOINT_VERSION:
+            raise ValueError(f"unknown fabric checkpoint version {data[0]:#x}")
+        return FabricCheckpoint(
+            epoch=int.from_bytes(data[1:9], "big"),
+            num_lanes=int.from_bytes(data[9:11], "big"),
+            fabric_root=bytes(data[11:43]),
+            accepted=int.from_bytes(data[43:47], "big"),
+            rejected=int.from_bytes(data[47:51], "big"),
+            num_leaves=int.from_bytes(data[51:55], "big"),
+            lanes_digest=bytes(data[55:87]),
+        )
+
+    def byte_size(self) -> int:
+        return FABRIC_COMMITMENT_BYTES
+
+
+def lanes_digest(commitments: Sequence[Checkpoint]) -> bytes:
+    """SHA256 binding the ordered lane commitment set."""
+    hasher = hashlib.sha256(b"fabric-lanes-v1")
+    for commitment in commitments:
+        hasher.update(commitment.to_bytes())
+    return hasher.digest()
+
+
+@dataclass(frozen=True)
+class FabricInclusionProof:
+    """Two-stage opening of one round record against a fabric commitment.
+
+    ``lane_proof`` opens the lane's 85-byte commitment encoding into the
+    fabric root (leaf index = the lane's position in the participating
+    lane list); ``leaf_proof`` opens the round record into that lane
+    commitment's verdict-tree root.  ``lane_id`` is the fabric lane that
+    settled the round — the lane whose on-chain bonded checkpoint a
+    challenger would escalate to.
+    """
+
+    name: int
+    lane_id: int
+    lane_proof: MerkleProof
+    leaf_proof: MerkleProof
+
+
+@dataclass(frozen=True)
+class FabricCheckpointBundle:
+    """A fabric commitment plus every lane's full bundle (the DA half)."""
+
+    checkpoint: FabricCheckpoint
+    lanes: tuple[tuple[int, CheckpointBundle], ...]  # (lane_id, bundle), sorted
+    tree: MerkleTree
+
+    def lane_bundle(self, lane_id: int) -> CheckpointBundle:
+        for candidate, bundle in self.lanes:
+            if candidate == lane_id:
+                return bundle
+        raise KeyError(f"lane {lane_id} did not settle this epoch")
+
+    def prove_lane(self, lane_id: int) -> MerkleProof:
+        """Inclusion proof of one lane's commitment in the fabric root."""
+        for position, (candidate, _) in enumerate(self.lanes):
+            if candidate == lane_id:
+                return self.tree.prove(position)
+        raise KeyError(f"lane {lane_id} did not settle this epoch")
+
+    def lane_for_name(self, name: int) -> int:
+        for lane_id, bundle in self.lanes:
+            try:
+                bundle.leaf_index(name)
+            except KeyError:
+                continue
+            return lane_id
+        raise KeyError(f"file {name} not in fabric epoch {self.checkpoint.epoch}")
+
+    def prove(self, name: int) -> FabricInclusionProof:
+        """leaf → lane-root → fabric-root opening for one file's round."""
+        lane_id = self.lane_for_name(name)
+        bundle = self.lane_bundle(lane_id)
+        return FabricInclusionProof(
+            name=name,
+            lane_id=lane_id,
+            lane_proof=self.prove_lane(lane_id),
+            leaf_proof=bundle.prove(name),
+        )
+
+    def verify_inclusion(self, proof: FabricInclusionProof) -> bool:
+        """Structural check: both stages open against the committed roots."""
+        if not verify_merkle_proof(self.checkpoint.fabric_root, proof.lane_proof):
+            return False
+        try:
+            lane_commitment = Checkpoint.from_bytes(proof.lane_proof.leaf_data)
+        except ValueError:
+            return False
+        return verify_merkle_proof(lane_commitment.root, proof.leaf_proof)
+
+    def accepted_names(self) -> tuple[int, ...]:
+        return tuple(
+            name for _, bundle in self.lanes for name in bundle.accepted_names()
+        )
+
+    def rejected_names(self) -> tuple[int, ...]:
+        return tuple(
+            name for _, bundle in self.lanes for name in bundle.rejected_names()
+        )
+
+
+def build_fabric_checkpoint(
+    epoch: int, lane_bundles: Sequence[tuple[int, CheckpointBundle]]
+) -> FabricCheckpointBundle:
+    """Merkle-roll per-lane checkpoints into one fabric commitment."""
+    if not lane_bundles:
+        raise ValueError("cannot build a fabric checkpoint with no lanes")
+    ordered = tuple(sorted(lane_bundles, key=lambda pair: pair[0]))
+    lane_ids = [lane_id for lane_id, _ in ordered]
+    if len(lane_ids) != len(set(lane_ids)):
+        raise ValueError("duplicate lane id in fabric checkpoint")
+    commitments = [bundle.checkpoint for _, bundle in ordered]
+    if any(commitment.epoch != epoch for commitment in commitments):
+        raise ValueError("all lane checkpoints must belong to the fabric epoch")
+    tree = MerkleTree([commitment.to_bytes() for commitment in commitments])
+    checkpoint = FabricCheckpoint(
+        epoch=epoch,
+        num_lanes=len(commitments),
+        fabric_root=tree.root,
+        accepted=sum(c.accepted for c in commitments),
+        rejected=sum(c.rejected for c in commitments),
+        num_leaves=sum(c.num_leaves for c in commitments),
+        lanes_digest=lanes_digest(commitments),
+    )
+    return FabricCheckpointBundle(checkpoint=checkpoint, lanes=ordered, tree=tree)
+
+
+# --------------------------------------------------------------------------- #
+# The aggregator role across lanes                                            #
+# --------------------------------------------------------------------------- #
+
+
+@dataclass
+class FabricSettlement:
+    """One epoch settled on every lane, plus the fabric super-commitment."""
+
+    epoch: int
+    lanes: dict[int, SettledEpoch]
+    fabric: FabricCheckpointBundle
+
+    def accepted_names(self) -> tuple[int, ...]:
+        return self.fabric.accepted_names()
+
+    def rejected_names(self) -> tuple[int, ...]:
+        return self.fabric.rejected_names()
+
+    def total_commitment_gas(self) -> int:
+        return sum(settled.receipt.gas_used for settled in self.lanes.values())
+
+
+class CrossShardAggregator:
+    """Settles engine epochs across every fabric lane and rolls them up.
+
+    One :class:`~repro.engine.scheduler.EpochScheduler` +
+    :class:`~repro.rollup.pipeline.CheckpointPipeline` pair per lane, all
+    sharing a single :class:`~repro.engine.executor.AuditExecutor` — so
+    proof generation for the whole fleet fans out through one process
+    pool while settlement (commitment posting, bonds, fraud windows)
+    stays per-lane.  Instance→lane placement uses the fabric's
+    deterministic :meth:`~repro.chain.fabric.ShardedChainFabric.lane_index_for`,
+    the same function every light client and challenger applies.
+    """
+
+    def __init__(
+        self,
+        fabric,
+        executor,
+        params,
+        beacon,
+        rng=None,
+        deterministic: bool = False,
+        salt: bytes = b"engine-epoch",
+        fraud_window: float = 24 * 3600.0,
+        aggregator_funds_eth: float = 10.0,
+        contract_kwargs: dict | None = None,
+    ):
+        # Imported lazily to keep the rollup layer importable without the
+        # chain package on every path (mirrors pipeline.py's convention).
+        from ..chain.contracts.checkpoint_contract import CheckpointContract
+        from ..engine.scheduler import EpochScheduler
+
+        self.fabric = fabric
+        self.executor = executor
+        self.params = params
+        self.beacon = beacon
+        self.settled: list[FabricSettlement] = []
+        self.lane_names: dict[int, frozenset[int]] = {}
+        self.pipelines: dict[int, CheckpointPipeline] = {}
+        self.schedulers: dict[int, "EpochScheduler"] = {}
+        self.accounts: dict[int, str] = {}
+        self.contract_addresses: dict[int, str] = {}
+
+        placement: dict[int, set[int]] = {}
+        for name in executor.instances:
+            placement.setdefault(fabric.lane_index_for(name), set()).add(name)
+        if not placement:
+            raise ValueError("no audit instances registered with the executor")
+        for lane_id in sorted(placement):
+            names = frozenset(placement[lane_id])
+            lane = fabric.lane(lane_id)
+            account = lane.create_account(
+                aggregator_funds_eth, label=f"aggregator-{lane_id}"
+            )
+            contract = CheckpointContract(
+                beacon, params, fraud_window=fraud_window,
+                **(contract_kwargs or {}),
+            )
+            address = lane.deploy(contract, deployer=account)
+            scheduler = EpochScheduler(
+                executor,
+                params,
+                beacon,
+                salt=salt,
+                deterministic=deterministic,
+                rng=rng,
+                checkpoint_mode=True,
+                names=names,
+            )
+            pipeline = CheckpointPipeline(scheduler, lane, address, account)
+            pipeline.register_fleet()
+            self.lane_names[lane_id] = names
+            self.schedulers[lane_id] = scheduler
+            self.pipelines[lane_id] = pipeline
+            self.accounts[lane_id] = account
+            self.contract_addresses[lane_id] = address
+
+    def lane_of(self, name: int) -> int:
+        """The lane that settles (and would arbitrate) one file's audits."""
+        return self.fabric.lane_index_for(name)
+
+    def set_override(self, name: int, override) -> None:
+        """Route one file's proofs through an adversary-strategy callable."""
+        self.schedulers[self.lane_of(name)].set_override(name, override)
+
+    def settle_epoch(self, epoch: int) -> FabricSettlement:
+        """Run one epoch on every lane and roll the commitments up."""
+        lanes: dict[int, SettledEpoch] = {}
+        for lane_id in sorted(self.pipelines):
+            lanes[lane_id] = self.pipelines[lane_id].settle_epoch(epoch)
+        fabric_bundle = build_fabric_checkpoint(
+            epoch,
+            [(lane_id, settled.bundle) for lane_id, settled in lanes.items()],
+        )
+        settlement = FabricSettlement(epoch=epoch, lanes=lanes, fabric=fabric_bundle)
+        self.settled.append(settlement)
+        return settlement
+
+    def run(self, epochs: int, start_epoch: int = 0) -> list[FabricSettlement]:
+        return [self.settle_epoch(start_epoch + i) for i in range(epochs)]
+
+    def settlement_for_epoch(self, epoch: int) -> FabricSettlement:
+        """Serve the data-availability obligation for one fabric epoch."""
+        for settlement in self.settled:
+            if settlement.epoch == epoch:
+                return settlement
+        raise KeyError(f"epoch {epoch} not settled by this aggregator")
+
+    def export_instance_registry(self) -> dict[int, tuple[bytes, int]]:
+        """Union of every lane contract's on-chain instance registry."""
+        registry: dict[int, tuple[bytes, int]] = {}
+        for pipeline in self.pipelines.values():
+            registry.update(pipeline.contract.export_instance_registry())
+        return registry

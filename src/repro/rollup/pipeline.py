@@ -69,8 +69,15 @@ class CheckpointPipeline:
         return contract
 
     def register_fleet(self) -> None:
-        """Push every executor instance's metadata into the on-chain registry."""
+        """Push every scheduled instance's metadata into the on-chain registry.
+
+        Honors the scheduler's instance subset (``names``), so a per-lane
+        pipeline registers only the files its lane settles.
+        """
+        names = getattr(self.scheduler, "names", None)
         for instance in self.scheduler.executor.instances.values():
+            if names is not None and instance.name not in names:
+                continue
             if instance.name in self.contract.instances:
                 continue
             pk_bytes = instance.public.to_bytes()

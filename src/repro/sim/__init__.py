@@ -15,8 +15,10 @@ from .durability import DurabilityModel, compare_redundancy_levels
 from .marketplace import MarketplaceResult, MarketplaceSimulation, extrapolate_annual_growth
 from .throughput import (
     ChainCapacityModel,
+    CheckpointedChainCapacityModel,
     ParallelProviderModel,
     ProviderLoadModel,
+    ShardedChainCapacityModel,
     TX_ENVELOPE_BYTES,
 )
 from .workloads import (
@@ -30,6 +32,7 @@ from .workloads import (
 __all__ = [
     "AnnualCostReport",
     "ChainCapacityModel",
+    "CheckpointedChainCapacityModel",
     "DROPBOX_BUSINESS_USD_PER_YEAR",
     "DurabilityModel",
     "FeeSchedule",
@@ -38,6 +41,7 @@ __all__ = [
     "ParallelProviderModel",
     "ProviderLoadModel",
     "RANDOMNESS_COST_USD",
+    "ShardedChainCapacityModel",
     "TX_ENVELOPE_BYTES",
     "WorkloadFile",
     "archive_file",

@@ -17,6 +17,7 @@ from dataclasses import dataclass
 from ..chain.gas import (
     CHALLENGE_BYTES,
     CHECKPOINT_COMMITMENT_BYTES,
+    FABRIC_COMMITMENT_BYTES,
     PRIVATE_PROOF_BYTES,
 )
 
@@ -139,6 +140,70 @@ class CheckpointedChainCapacityModel(ChainCapacityModel):
             * 365
         )
         return int(users * per_user_year)
+
+
+@dataclass(frozen=True)
+class ShardedChainCapacityModel(CheckpointedChainCapacityModel):
+    """Block-space accounting for the sharded chain fabric.
+
+    ``lanes`` independent block producers run on a lockstep clock
+    (:class:`~repro.chain.fabric.ShardedChainFabric`), each settling its
+    deterministic slice of the fleet: per-lane block space is unchanged,
+    so sustained transaction throughput and the user ceiling scale
+    *linearly with the lane count* — the horizontal axis the single-chain
+    models cannot offer.  ``rounds_per_checkpoint`` keeps its
+    checkpointed meaning per lane (audits behind one lane commitment).
+
+    Chain growth stays amortized per audit exactly as in the checkpointed
+    model; sharding adds only the per-epoch fixed costs — one 85-byte
+    commitment per *lane* instead of one total, plus the 87-byte
+    cross-shard super-commitment binding them
+    (:mod:`repro.rollup.fabric`).
+    """
+
+    lanes: int = 4
+    fabric_commitment_bytes: int = FABRIC_COMMITMENT_BYTES
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+
+    def _unsharded(self) -> CheckpointedChainCapacityModel:
+        return CheckpointedChainCapacityModel(
+            avg_block_bytes=self.avg_block_bytes,
+            block_interval_s=self.block_interval_s,
+            challenge_bytes=self.challenge_bytes,
+            proof_bytes=self.proof_bytes,
+            rounds_per_checkpoint=self.rounds_per_checkpoint,
+            commitment_bytes=self.commitment_bytes,
+        )
+
+    @property
+    def tx_per_second(self) -> float:
+        """Fabric-wide sustained commitment throughput (sum over lanes)."""
+        return self.lanes * self._unsharded().tx_per_second
+
+    def max_concurrent_users(
+        self, audits_per_day: float = 1.0, redundancy_providers: int = 10
+    ) -> int:
+        """Users the fabric sustains: lanes x the per-lane ceiling."""
+        return self.lanes * self._unsharded().max_concurrent_users(
+            audits_per_day, redundancy_providers
+        )
+
+    def annual_chain_growth_bytes(
+        self, users: int, audits_per_day: float = 1.0
+    ) -> int:
+        """Amortized trail growth plus the fabric's fixed per-epoch bytes."""
+        amortized = self._unsharded().annual_chain_growth_bytes(
+            users, audits_per_day
+        )
+        epochs_per_year = audits_per_day * 365
+        fabric_overhead = epochs_per_year * (
+            (self.lanes - 1) * self.commitment_bytes + self.fabric_commitment_bytes
+        )
+        return int(amortized + fabric_overhead)
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,243 @@
+"""Sharded chain fabric: placement, routing, equivalence, gas honesty.
+
+Acceptance properties (ISSUE 4 tentpole, part 2):
+
+* contract→lane placement is a deterministic pure function every
+  participant can recompute,
+* the contract-driven audit path produces the *same* pass/fail outcome
+  per deployment whether it runs on one chain or on a 4-lane fabric,
+* per-lane explorer sections decompose the fabric's gas exactly (no
+  double counting, nothing dropped),
+* the DSN loop runs unmodified over a fabric, and WAL-persisted lanes
+  recover bit-identically.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.chain import (
+    Blockchain,
+    ChainExplorer,
+    ContractTerms,
+    ShardedChainFabric,
+    Transaction,
+    deploy_audit_contract,
+    lane_index_for_key,
+    run_contracts_to_completion,
+)
+from repro.core import DataOwner, ProtocolParams, StorageProvider
+from repro.randomness import HashChainBeacon
+
+TERMS = ContractTerms(num_audits=1, audit_interval=15.0, response_window=15.0)
+FLEET = 6
+
+
+def _deploy_fleet(chain, params, misbehave_last=True, seed=0xFAB):
+    """Identical fleet (packages, providers, agents) on any chain-like."""
+    rng = random.Random(seed)
+    owner = DataOwner(params, rng=rng)
+    beacon = HashChainBeacon(b"fabric-test")
+    deployments = []
+    for index in range(FLEET):
+        package = owner.prepare(
+            bytes(rng.randrange(256) for _ in range(700)),
+            fresh_keypair=index == 0,
+        )
+        provider = StorageProvider(rng=rng)
+        provider.accept(package)
+        deployment = deploy_audit_contract(
+            chain, package, provider, TERMS, beacon, params
+        )
+        if misbehave_last and index == FLEET - 1:
+            deployment.provider_agent.misbehave_after_round = 0
+        deployments.append(deployment)
+    return deployments
+
+
+class TestPlacement:
+    def test_placement_is_deterministic(self):
+        for key in (7, "file-x", b"\x01\x02"):
+            assert lane_index_for_key(key, 8) == lane_index_for_key(key, 8)
+
+    def test_placement_spreads_across_lanes(self):
+        lanes = {lane_index_for_key(name, 4) for name in range(64)}
+        assert lanes == {0, 1, 2, 3}
+
+    def test_placement_rejects_zero_lanes(self):
+        with pytest.raises(ValueError):
+            lane_index_for_key(1, 0)
+
+    def test_home_lane_matches_index(self):
+        fabric = ShardedChainFabric(num_lanes=4)
+        for key in (3, 9, "abc"):
+            index = fabric.lane_index_for(key)
+            assert fabric.home_lane(key) is fabric.lane(index)
+
+    def test_addresses_never_collide_across_lanes(self):
+        fabric = ShardedChainFabric(num_lanes=4)
+        accounts = [lane.create_account(1.0, label="x") for lane in fabric]
+        assert len(set(accounts)) == len(accounts)
+
+
+class TestContractPathEquivalence:
+    @pytest.fixture(scope="class")
+    def outcomes(self, params):
+        results = {}
+        for label, chain in (
+            ("single", Blockchain()),
+            ("fabric", ShardedChainFabric(num_lanes=4)),
+        ):
+            deployments = _deploy_fleet(chain, params)
+            contracts = run_contracts_to_completion(chain, deployments)
+            results[label] = {
+                "chain": chain,
+                "deployments": deployments,
+                "verdicts": [(c.passes, c.fails) for c in contracts],
+            }
+        return results
+
+    def test_accept_reject_sets_match_single_lane_run(self, outcomes):
+        assert outcomes["fabric"]["verdicts"] == outcomes["single"]["verdicts"]
+        # The mix exercises both verdict classes.
+        assert any(fails for _, fails in outcomes["single"]["verdicts"])
+        assert any(passes for passes, _ in outcomes["single"]["verdicts"])
+
+    def test_deployments_actually_spread_over_lanes(self, outcomes):
+        fabric = outcomes["fabric"]["chain"]
+        lanes_used = {
+            fabric.lane_index_of_contract(d.contract_address)
+            for d in outcomes["fabric"]["deployments"]
+        }
+        assert len(lanes_used) >= 2
+
+    def test_agents_are_bound_to_their_home_lane(self, outcomes):
+        fabric = outcomes["fabric"]["chain"]
+        for deployment in outcomes["fabric"]["deployments"]:
+            lane = fabric.lane(
+                fabric.lane_index_of_contract(deployment.contract_address)
+            )
+            assert deployment.provider_agent.chain is lane
+
+    def test_explorer_lane_sections_decompose_gas(self, outcomes):
+        fabric = outcomes["fabric"]["chain"]
+        explorer = ChainExplorer(fabric)
+        summaries = explorer.lane_summaries()
+        assert sum(s.gas_used for s in summaries) == fabric.total_gas_used()
+        assert [s.gas_used for s in summaries] == fabric.lane_gas_totals()
+        payload = json.loads(explorer.export_json())
+        assert len(payload["lanes"]) == fabric.num_lanes
+        assert len(payload["audit_contracts"]) == FLEET
+        lanes_in_export = {c["lane"] for c in payload["audit_contracts"]}
+        assert lanes_in_export == {
+            fabric.lane_index_of_contract(d.contract_address)
+            for d in outcomes["fabric"]["deployments"]
+        }
+
+    def test_single_chain_explorer_has_no_lane_section(self, outcomes):
+        payload = json.loads(
+            ChainExplorer(outcomes["single"]["chain"]).export_json()
+        )
+        assert "lanes" not in payload
+
+    def test_settlement_chain_seconds_is_max_over_lanes(self, outcomes):
+        fabric = outcomes["fabric"]["chain"]
+        per_lane = [lane.congestion_seconds() for lane in fabric]
+        assert fabric.settlement_chain_seconds() == max(per_lane)
+
+
+class TestRouting:
+    def test_transact_routes_to_recipient_lane(self):
+        fabric = ShardedChainFabric(num_lanes=3)
+        # Same placement key -> same lane: ordinary value transfer works.
+        alice = fabric.create_account(2.0, key="payers", label="alice")
+        bob = fabric.create_account(0.0, key="payers", label="bob")
+        receipt = fabric.transact(Transaction(sender=alice, to=bob, value=10**18))
+        assert receipt.success
+        assert fabric.balance_of(bob) == 10**18
+        bob_lane = fabric.lane(fabric.lane_index_of_account(bob))
+        assert bob_lane.balance_of(bob) == 10**18
+
+    def test_cross_lane_value_transfer_reverts_cleanly(self):
+        """Value cannot cross a shard boundary without a bridge: the tx
+        executes on the recipient's lane, where the sender holds nothing,
+        and reverts instead of minting."""
+        fabric = ShardedChainFabric(num_lanes=8)
+        alice = fabric.create_account(2.0, key="alice")
+        lane_of_alice = fabric.lane_index_of_account(alice)
+        other_key = next(
+            key for key in ("k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7", "k8")
+            if fabric.lane_index_for(key) != lane_of_alice
+        )
+        carol = fabric.create_account(0.0, key=other_key)
+        receipt = fabric.transact(Transaction(sender=alice, to=carol, value=10**18))
+        assert not receipt.success
+        assert "insufficient balance" in receipt.error
+        assert fabric.balance_of(alice) == 2 * 10**18  # nothing minted or lost
+
+    def test_contract_at_unknown_address_raises(self):
+        fabric = ShardedChainFabric(num_lanes=2)
+        with pytest.raises(KeyError):
+            fabric.contract_at("0xc" + "0" * 39)
+
+    def test_mine_block_advances_every_lane_in_lockstep(self):
+        fabric = ShardedChainFabric(num_lanes=3)
+        fabric.mine_block()
+        fabric.advance_time(30.0)
+        heights = {len(lane.blocks) for lane in fabric}
+        assert len(heights) == 1
+        times = {lane.time for lane in fabric}
+        assert times == {fabric.time}
+
+
+class TestPersistence:
+    def test_persisted_fabric_recovers_bit_identical(self, tmp_path, params):
+        fabric = ShardedChainFabric(num_lanes=2, persist_dir=tmp_path / "fab")
+        deployments = _deploy_fleet(fabric, params, misbehave_last=False)
+        run_contracts_to_completion(fabric, deployments)
+        expected = fabric.state_hash()
+        fabric.close()
+        reopened = ShardedChainFabric(num_lanes=2, persist_dir=tmp_path / "fab")
+        assert reopened.state_hash() == expected
+        # Per-lane stores are distinct directories.
+        assert (tmp_path / "fab" / "lane-000" / "wal.log").exists()
+        assert (tmp_path / "fab" / "lane-001" / "wal.log").exists()
+        reopened.close()
+
+
+class TestDsnOnFabric:
+    def test_audited_dsn_runs_over_a_fabric(self, params):
+        from repro.dsn import AuditedDsn
+        from repro.storage import DsnCluster, SimulatedNetwork
+
+        rng = random.Random(0xD5)
+        cluster = DsnCluster(network=SimulatedNetwork(rng=random.Random(3)))
+        for index in range(5):
+            cluster.add_node(f"node-{index}")
+        fabric = ShardedChainFabric(num_lanes=2)
+        dsn = AuditedDsn(
+            cluster,
+            fabric,
+            HashChainBeacon(b"dsn-fabric"),
+            params=params,
+            terms=ContractTerms(
+                num_audits=1, audit_interval=30.0, response_window=15.0
+            ),
+            rng=rng,
+        )
+        data = bytes(rng.randrange(256) for _ in range(900))
+        audited = dsn.store("owner", "file-1", data, n=4, k=2)
+        for _ in range(60):
+            dsn.step()
+            if dsn.all_contracts_closed():
+                break
+        assert dsn.all_contracts_closed()
+        assert dsn.retrieve("file-1") == data
+        lanes_used = {
+            fabric.lane_index_of_contract(sa.deployment.contract_address)
+            for sa in audited.shard_audits
+        }
+        assert lanes_used  # contracts resolved on the fabric

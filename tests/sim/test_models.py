@@ -155,6 +155,61 @@ class TestCheckpointedThroughput:
         assert one.bytes_per_round == one.bytes_per_checkpoint_tx
 
 
+class TestShardedThroughput:
+    def test_user_ceiling_scales_linearly_with_lanes(self):
+        from repro.sim.throughput import (
+            CheckpointedChainCapacityModel,
+            ShardedChainCapacityModel,
+        )
+
+        base = CheckpointedChainCapacityModel().max_concurrent_users()
+        for lanes in (1, 2, 4, 8):
+            sharded = ShardedChainCapacityModel(lanes=lanes)
+            assert sharded.max_concurrent_users() == lanes * base
+            assert sharded.tx_per_second == pytest.approx(
+                lanes * CheckpointedChainCapacityModel().tx_per_second
+            )
+
+    def test_growth_adds_only_fixed_per_epoch_fabric_bytes(self):
+        from repro.sim.throughput import (
+            CheckpointedChainCapacityModel,
+            ShardedChainCapacityModel,
+        )
+
+        users = 100_000
+        unsharded = CheckpointedChainCapacityModel().annual_chain_growth_bytes(
+            users
+        )
+        sharded = ShardedChainCapacityModel(lanes=8).annual_chain_growth_bytes(
+            users
+        )
+        # 7 extra lane commitments + 1 fabric commitment per daily epoch.
+        expected_overhead = 365 * (7 * 85 + 87)
+        assert sharded == unsharded + expected_overhead
+        # Sharding 8x the user ceiling costs ~2% extra bytes at this scale.
+        assert sharded < unsharded * 1.03
+
+    def test_single_lane_degenerates_to_fabric_commitment_only(self):
+        from repro.sim.throughput import (
+            CheckpointedChainCapacityModel,
+            ShardedChainCapacityModel,
+        )
+
+        users = 10_000
+        unsharded = CheckpointedChainCapacityModel()
+        one_lane = ShardedChainCapacityModel(lanes=1)
+        assert one_lane.max_concurrent_users() == unsharded.max_concurrent_users()
+        assert one_lane.annual_chain_growth_bytes(
+            users
+        ) == unsharded.annual_chain_growth_bytes(users) + 365 * 87
+
+    def test_rejects_zero_lanes(self):
+        from repro.sim.throughput import ShardedChainCapacityModel
+
+        with pytest.raises(ValueError):
+            ShardedChainCapacityModel(lanes=0)
+
+
 class TestWorkloads:
     def test_archive_deterministic(self):
         a = archive_file(1000)

@@ -1,0 +1,111 @@
+"""Long-horizon lifecycle engine — epochs/second and end-state durability.
+
+How fast can the reproduction time-compress a deployment's life?  One
+lifecycle epoch is a *composite* unit of work: a churn draw, one parallel
+audit epoch over every live shard, per-lane checkpoint settlement plus the
+fabric super-commitment, reputation reports, erasure-coded repair for
+every failed shard, and the eviction sweep.  This bench runs a churny
+multi-year configuration and reports:
+
+* **epochs/second** (wall-clock) and audits/second within them,
+* **end-state durability**: weakest file's healthy-shard floor, files
+  retrievable, repairs and evictions performed,
+* the **determinism check**: a second run from the same seed must land on
+  the identical trail digest and fabric state hash (the property every
+  lifecycle test leans on, asserted here at bench scale too),
+* the closed-form :class:`~repro.sim.throughput.LifecycleCapacityModel`
+  projection next to the simulated outcome.
+
+BENCH_QUICK=1 (the CI smoke job) shrinks the horizon to one simulated
+year so the bench stays exercisable in minutes.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.lifecycle import LifecycleConfig, LifecycleEngine
+from repro.sim.throughput import LifecycleCapacityModel
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+
+CONFIG = LifecycleConfig(
+    years=1.0 if QUICK else 4.0,
+    epochs_per_year=4 if QUICK else 12,
+    files=1 if QUICK else 2,
+    file_bytes=500,
+    erasure_n=3 if QUICK else 4,
+    erasure_k=2,
+    providers=6 if QUICK else 9,
+    churn=0.4,
+    flake_rate=0.3,
+    lanes=2,
+    seed=0xBEEF,
+    s=4,
+    k=3,
+)
+
+
+def _run(config: LifecycleConfig):
+    engine = LifecycleEngine(config)
+    t0 = time.perf_counter()
+    outcome = engine.run()
+    wall = time.perf_counter() - t0
+    engine.close()
+    return outcome, wall
+
+
+def test_lifecycle_epochs_per_second(report):
+    outcome, wall = _run(CONFIG)
+    repeat, _ = _run(CONFIG)
+
+    total_audits = sum(s.audits for s in outcome.summaries)
+    floor = min(s.min_healthy_shards for s in outcome.summaries)
+    model = LifecycleCapacityModel(
+        lanes=CONFIG.lanes,
+        epochs_per_year=CONFIG.epochs_per_year,
+        churn=CONFIG.churn,
+        erasure_n=CONFIG.erasure_n,
+        erasure_k=CONFIG.erasure_k,
+    )
+    deterministic = (
+        repeat.trail_digest == outcome.trail_digest
+        and repeat.state_hash == outcome.state_hash
+    )
+
+    lines = [
+        "Long-horizon lifecycle engine",
+        f"  config: {CONFIG.files} files x RS({CONFIG.erasure_n},"
+        f"{CONFIG.erasure_k}), {CONFIG.providers} providers, "
+        f"{CONFIG.total_epochs} epochs (~{CONFIG.years:g} years), "
+        f"churn {CONFIG.churn:.0%}/yr, {CONFIG.lanes} lanes",
+        f"  wall clock: {wall:.1f} s -> "
+        f"{outcome.epochs_run / wall:.2f} epochs/s, "
+        f"{total_audits / wall:.1f} audits/s (composite epochs)",
+        f"  lifecycle: {outcome.total_repairs} repairs, "
+        f"{outcome.total_evictions} evictions, "
+        f"{len(outcome.trail.of_kind('slashed'))} on-chain slashes, "
+        f"{len(outcome.trail)} trail events",
+        f"  settlement: {outcome.total_commitment_gas:,} gas over "
+        f"{outcome.epochs_run} epochs "
+        f"({outcome.total_commitment_gas // max(1, outcome.epochs_run):,}"
+        f"/epoch)",
+        f"  durability: healthy-shard floor {floor} (k={CONFIG.erasure_k}), "
+        f"files intact: {outcome.files_intact}",
+        f"  model projection over {CONFIG.years:g} years: "
+        f"P[survive] = {model.projected_durability(CONFIG.years):.6f}",
+        f"  determinism: same seed => same trail+state hash: {deterministic}",
+        f"  trail digest {outcome.trail_digest[:16]}…, "
+        f"state hash {outcome.state_hash[:16]}…",
+    ]
+    report("lifecycle", "\n".join(lines))
+
+    # Acceptance: deterministic, durable, and every eviction slashed.
+    assert deterministic
+    assert outcome.files_intact
+    assert floor >= CONFIG.erasure_k
+    evicted = {e.subject for e in outcome.trail.of_kind("evicted")}
+    slashed = {e.subject for e in outcome.trail.of_kind("slashed")}
+    assert evicted <= slashed
+    assert outcome.epochs_run == CONFIG.total_epochs

@@ -104,6 +104,7 @@ def deploy_audit_contract(
     provider_funds_eth: float = 10.0,
     native_verify_ms: float | None = None,
     registry_address: str | None = None,
+    validate: bool = True,
 ) -> AuditDeployment:
     """Run the full Initialize phase of Fig. 2 and return the live system.
 
@@ -150,7 +151,7 @@ def deploy_audit_contract(
     if not receipt.success:
         raise RuntimeError(f"negotiate failed: {receipt.error}")
 
-    if not provider.accept(package):
+    if not provider.accept(package, validate=validate):
         chain.transact(
             Transaction(sender=provider_account, to=address, method="reject")
         )

@@ -375,7 +375,23 @@ class Blockchain:
         )
         return receipt
 
+    def _tx_hash(self, tx: Transaction) -> str:
+        """Chain-sequenced transaction hash.
+
+        Derived from this chain's own transaction counter (not a process
+        global), so receipts — and therefore ``state_hash()`` — are a pure
+        function of the chain's history: two same-seed simulations in one
+        process produce identical fingerprints.
+        """
+        material = (
+            f"tx:{self.chain_id}:{self.store.tx_seq}:{tx.sender}:{tx.to}:"
+            f"{tx.method}:{tx.value}"
+        ).encode()
+        return hashlib.sha256(material).hexdigest()
+
     def _execute(self, tx: Transaction, payload_bytes: int) -> Receipt:
+        self.store.tx_seq += 1
+        tx_hash = self._tx_hash(tx)
         meter = GasMeter(tx.gas_limit)
         meter.consume(self.schedule.tx_intrinsic)
         meter.consume(payload_bytes * self.schedule.calldata_nonzero_byte)
@@ -383,7 +399,7 @@ class Blockchain:
             auth_error = self._authenticate(tx)
             if auth_error is not None:
                 receipt = Receipt(
-                    tx_hash=tx.tx_hash,
+                    tx_hash=tx_hash,
                     success=False,
                     gas_used=meter.used,
                     error=f"authentication: {auth_error}",
@@ -434,7 +450,7 @@ class Blockchain:
             self.store.balances[tx.sender] = 0
         self.store.fee_sink += fee
         receipt = Receipt(
-            tx_hash=tx.tx_hash,
+            tx_hash=tx_hash,
             success=success,
             gas_used=meter.used,
             error=error,

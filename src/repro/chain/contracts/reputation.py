@@ -41,6 +41,7 @@ class ProviderRecord:
     score: float = NEUTRAL_SCORE
     last_update: float = 0.0
     banned: bool = False
+    staker: str = ""  # account that locked the stake (refund target guard)
 
 
 class ReputationRegistry(Contract):
@@ -70,25 +71,44 @@ class ReputationRegistry(Contract):
 
     # -- registration ------------------------------------------------------
 
-    def register(self, ctx: CallContext):
-        """Join the marketplace by locking at least the minimum stake."""
-        self.require(ctx.sender not in self.providers, "already registered")
+    def register(self, ctx: CallContext, provider: str | None = None):
+        """Join the marketplace by locking at least the minimum stake.
+
+        ``provider`` optionally names the record (a storage-cluster node
+        name); it defaults to the staking account's address.  Either way
+        the stake is locked by the sender.
+        """
+        key = provider or ctx.sender
+        self.require(key not in self.providers, "already registered")
         self.require(
             ctx.value >= self.min_stake_wei,
             f"stake below minimum ({self.min_stake_wei} wei)",
         )
-        self.providers[ctx.sender] = ProviderRecord(
+        self.providers[key] = ProviderRecord(
             stake_wei=ctx.value,
             registered_at=ctx.timestamp,
             last_update=ctx.timestamp,
+            staker=ctx.sender,
         )
-        self.emit("registered", provider=ctx.sender, stake=ctx.value)
+        self.emit("registered", provider=key, stake=ctx.value)
 
-    def deregister(self, ctx: CallContext):
-        """Leave and reclaim the stake — only in good standing."""
-        record = self.providers.get(ctx.sender)
+    def deregister(self, ctx: CallContext, provider: str | None = None):
+        """Leave and reclaim the stake — only in good standing.
+
+        With a named record the refund still goes to the calling account
+        (the one that locked the stake at :meth:`register` time).
+        """
+        key = provider or ctx.sender
+        record = self.providers.get(key)
         self.require(record is not None, "not registered")
         assert record is not None
+        # Named records can only be released by the exact account that
+        # locked the stake (the refund goes to the caller).  The unnamed
+        # path is safe by construction: its key *is* ctx.sender.
+        self.require(
+            provider is None or record.staker == ctx.sender,
+            "only the staking account may deregister this record",
+        )
         self._decay(record, ctx.timestamp)
         self.require(not record.banned, "banned providers forfeit their stake")
         self.require(
@@ -96,10 +116,10 @@ class ReputationRegistry(Contract):
             "below-neutral reputation forfeits the stake",
         )
         stake = record.stake_wei
-        del self.providers[ctx.sender]
+        del self.providers[key]
         assert self.chain is not None
         self.chain.transfer(self.address, ctx.sender, stake)
-        self.emit("deregistered", provider=ctx.sender, refunded=stake)
+        self.emit("deregistered", provider=key, refunded=stake)
 
     # -- reporting ---------------------------------------------------------
 
@@ -180,11 +200,17 @@ class ReputationRegistry(Contract):
     # -- queries -----------------------------------------------------------
 
     def score_of(self, ctx: CallContext, provider: str) -> float:
+        """Pure view: the decayed score *without* mutating the record.
+
+        Exponential decay composes multiplicatively, so deferring the
+        ``last_update`` write to the next real mutation (report / slash /
+        rejection) yields the same trajectory — and keeps read-only calls
+        from mutating state behind the WAL's back.
+        """
         record = self.providers.get(provider)
         if record is None:
             return 0.0
-        self._decay(record, ctx.timestamp)
-        return 0.0 if record.banned else record.score
+        return 0.0 if record.banned else self._decayed_score(record, ctx.timestamp)
 
     def eligible(self, ctx: CallContext, provider: str, minimum: float = 0.3) -> bool:
         return self.score_of(ctx, provider) >= minimum
@@ -198,11 +224,15 @@ class ReputationRegistry(Contract):
 
     # -- internals -----------------------------------------------------------
 
-    def _decay(self, record: ProviderRecord, now: float) -> None:
+    def _decayed_score(self, record: ProviderRecord, now: float) -> float:
         elapsed = max(0.0, now - record.last_update)
         if elapsed > 0 and self.decay_half_life > 0:
             weight = math.pow(0.5, elapsed / self.decay_half_life)
-            record.score = NEUTRAL_SCORE + (record.score - NEUTRAL_SCORE) * weight
+            return NEUTRAL_SCORE + (record.score - NEUTRAL_SCORE) * weight
+        return record.score
+
+    def _decay(self, record: ProviderRecord, now: float) -> None:
+        record.score = self._decayed_score(record, now)
         record.last_update = now
 
     def _maybe_ban(self, record: ProviderRecord, provider: str) -> None:

@@ -166,6 +166,7 @@ class StateStore:
         self.events: list = []
         self.fee_sink: int = 0
         self.account_seq: int = 0
+        self.tx_seq: int = 0
         self.signer_keys: dict[str, bytes] = {}
         self.nonces: dict[str, int] = {}
         # Commit bookkeeping (used by logging backends).
@@ -226,6 +227,7 @@ class StateStore:
                 "time": self.time,
                 "fee_sink": self.fee_sink,
                 "account_seq": self.account_seq,
+                "tx_seq": self.tx_seq,
                 "schedule_seq": self.schedule_seq,
                 "balances": self.balances,
                 "nonces": self.nonces,
@@ -285,6 +287,7 @@ class _WalRecord:
     events_tail: list             # events appended in this scope
     contracts: dict[str, tuple[type, dict]] = field(default_factory=dict)
     payload: dict = field(default_factory=dict)
+    tx_seq: int = 0
 
 
 class WalStateStore(StateStore):
@@ -356,6 +359,7 @@ class WalStateStore(StateStore):
             fee_sink=self.fee_sink,
             account_seq=self.account_seq,
             schedule_seq=self.schedule_seq,
+            tx_seq=self.tx_seq,
             scheduled=list(self.scheduled),
             events_tail=list(self.events[pre["events_len"] :]),
             contracts={
@@ -413,6 +417,7 @@ class WalStateStore(StateStore):
         self.fee_sink = record.fee_sink
         self.account_seq = record.account_seq
         self.schedule_seq = record.schedule_seq
+        self.tx_seq = record.tx_seq
         self.scheduled = list(record.scheduled)
         self.events.extend(record.events_tail)
         for address, (cls, attrs) in record.contracts.items():
@@ -449,6 +454,7 @@ class WalStateStore(StateStore):
                 "events",
                 "fee_sink",
                 "account_seq",
+                "tx_seq",
                 "signer_keys",
                 "nonces",
             )
@@ -472,3 +478,33 @@ class WalStateStore(StateStore):
     def close(self) -> None:
         if not self._wal.closed:
             self._wal.close()
+
+    # -- log introspection (lifecycle checkpointing) -------------------------
+
+    @property
+    def wal_path(self) -> Path:
+        return self.directory / self._WAL_NAME
+
+    def wal_size(self) -> int:
+        """Durable size of the log: a safe cut point for this store.
+
+        The lifecycle engine records this at each epoch boundary; on a
+        crash-reopen it truncates the log back to the recorded size, which
+        rewinds the chain exactly to that boundary (every commit is one
+        whole frame, so a recorded size always falls on a frame boundary).
+        The log is fsynced first — a recorded cut point must never exceed
+        what actually survives an OS crash, or the truncate-and-replay
+        recovery would come up short and refuse to resume.
+        """
+        if not self._wal.closed:
+            self._wal.flush()
+            os.fsync(self._wal.fileno())
+        return self.wal_path.stat().st_size if self.wal_path.exists() else 0
+
+    @staticmethod
+    def truncate_wal(directory: str | os.PathLike, size: int) -> None:
+        """Cut a (closed) store's log back to ``size`` bytes before reopening."""
+        path = Path(directory) / WalStateStore._WAL_NAME
+        if path.exists() and path.stat().st_size > size:
+            with open(path, "r+b") as handle:
+                handle.truncate(size)

@@ -13,6 +13,8 @@
     python -m repro attack   --s 6 --k 4                      # privacy attack
     python -m repro attack --strategy selective --rho 0.25    # byzantine provider
     python -m repro attack --strategy replay --onchain        # dispute + slashing
+    python -m repro lifecycle --years 2 --churn 0.2 --lanes 2 # years of churn
+    python -m repro lifecycle --persist ./lifecycle --resume  # crash + reopen
     python -m repro models   --users 5000
 
 Everything runs locally against the simulated substrates; the tool exists
@@ -577,6 +579,96 @@ def _cmd_attack_byzantine(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_lifecycle(args: argparse.Namespace) -> int:
+    """Long-horizon lifecycle simulation: years of churn, repair, eviction."""
+    from .lifecycle import LifecycleConfig, LifecycleEngine
+    from .sim.throughput import LifecycleCapacityModel
+
+    if args.years <= 0 or args.epochs_per_year < 1:
+        print("lifecycle: --years and --epochs-per-year must be positive",
+              file=sys.stderr)
+        return 2
+    persist = args.persist or None
+    if args.resume:
+        if not persist:
+            print("lifecycle: --resume requires --persist DIR", file=sys.stderr)
+            return 2
+        engine = LifecycleEngine.open(persist, workers=args.workers)
+        print(f"resumed from {persist} at epoch {engine.next_epoch}/"
+              f"{engine.config.total_epochs}")
+    else:
+        try:
+            config = LifecycleConfig(
+                years=args.years,
+                epochs_per_year=args.epochs_per_year,
+                files=args.files,
+                file_bytes=args.size,
+                erasure_n=args.shards,
+                erasure_k=args.needed,
+                providers=args.providers,
+                churn=args.churn,
+                flake_rate=args.flake,
+                hazard=args.hazard,
+                lanes=args.lanes,
+                seed=args.seed,
+                s=args.s,
+                k=args.k,
+                workers=args.workers,
+                persist_dir=persist,
+            )
+            engine = LifecycleEngine(config)
+        except ValueError as exc:
+            print(f"lifecycle: {exc}", file=sys.stderr)
+            return 2
+        print(f"lifecycle: {config.files} files x RS({config.erasure_n},"
+              f"{config.erasure_k}) over {config.providers} providers, "
+              f"{config.total_epochs} epochs (~{config.years:g} years at "
+              f"{config.epochs_per_year}/yr), churn {config.churn:.0%}/yr, "
+              f"{config.lanes} lanes"
+              + (f", persisted under {persist}" if persist else ""))
+    while engine.next_epoch <= engine.config.total_epochs:
+        summary = engine.run_epoch()
+        line = (f"epoch {summary.epoch:3d}: {summary.audits} audits "
+                f"({summary.accepted} ok/{summary.rejected} fail), "
+                f"+{summary.joined}/-{summary.departed} providers, "
+                f"{summary.repaired} repaired, {summary.evicted} evicted, "
+                f"gas {summary.commitment_gas:,}")
+        if summary.deferred:
+            line += f", {summary.deferred} deferred"
+        print(line)
+    outcome = engine.outcome()
+    print(f"\n{outcome.epochs_run} epochs in {outcome.wall_seconds:.1f} s "
+          f"({outcome.epochs_per_second:.2f} epochs/s)")
+    print(f"event trail: {len(outcome.trail)} events, "
+          f"digest {outcome.trail_digest[:16]}…")
+    print(f"fabric state_hash: {outcome.state_hash[:16]}…")
+    print(f"repairs {outcome.total_repairs}, evictions "
+          f"{outcome.total_evictions}, settlement gas "
+          f"{outcome.total_commitment_gas:,}")
+    slashes = len(outcome.trail.of_kind('slashed'))
+    print(f"on-chain slashing records: {slashes} "
+          f"(every eviction carries one: "
+          f"{slashes >= outcome.total_evictions})")
+    floor = min((s.min_healthy_shards for s in outcome.summaries),
+                default=engine.config.erasure_n)
+    print(f"durability: weakest file never below {floor} healthy shards "
+          f"(k = {engine.config.erasure_k}); all files retrievable: "
+          f"{outcome.files_intact}")
+    model = LifecycleCapacityModel(
+        lanes=engine.config.lanes,
+        epochs_per_year=engine.config.epochs_per_year,
+        churn=engine.config.churn,
+        erasure_n=engine.config.erasure_n,
+        erasure_k=engine.config.erasure_k,
+    )
+    projected = model.projected_durability(engine.config.years)
+    print(f"model projection over {engine.config.years:g} years: "
+          f"P[survive] = {projected:.6f}, chain growth "
+          f"{model.cumulative_chain_bytes(engine.config.years, engine.config.files):,} B")
+    engine.close()
+    return 0 if outcome.files_intact else 1
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     capacity = ChainCapacityModel()
     load = ProviderLoadModel()
@@ -718,6 +810,48 @@ def build_parser() -> argparse.ArgumentParser:
                         "and dispute the failures (slashes collateral and "
                         "reputation stake)")
     attack.set_defaults(func=_cmd_attack)
+
+    lifecycle = sub.add_parser(
+        "lifecycle",
+        help="simulate years of DSN operation: churn, erasure repair, "
+        "reputation-weighted re-placement, audit-driven eviction, per-epoch "
+        "checkpoint settlement on a sharded fabric",
+    )
+    lifecycle.add_argument("--years", type=float, default=2.0)
+    lifecycle.add_argument("--churn", type=float, default=0.2,
+                           help="annual provider turnover probability")
+    lifecycle.add_argument("--lanes", type=int, default=2,
+                           help="chain fabric lanes for settlement")
+    lifecycle.add_argument("--epochs-per-year", type=int, default=12,
+                           help="time compression: audit epochs per "
+                           "simulated year")
+    lifecycle.add_argument("--files", type=int, default=2)
+    lifecycle.add_argument("--size", type=int, default=900,
+                           help="bytes per stored file")
+    lifecycle.add_argument("--shards", type=int, default=4,
+                           help="erasure shards per file (RS n)")
+    lifecycle.add_argument("--needed", type=int, default=2,
+                           help="shards needed to reconstruct (RS k)")
+    lifecycle.add_argument("--providers", type=int, default=8,
+                           help="initial storage providers")
+    lifecycle.add_argument("--flake", type=float, default=0.1,
+                           help="annual P[a provider turns silently flaky]")
+    lifecycle.add_argument("--hazard", choices=("exponential", "weibull"),
+                           default="exponential",
+                           help="departure hazard shape")
+    lifecycle.add_argument("--persist", type=str, default="",
+                           help="directory for WAL-persisted lanes + the "
+                           "per-epoch engine snapshot (crash/reopen "
+                           "continues bit-identically)")
+    lifecycle.add_argument("--resume", action="store_true",
+                           help="reopen the run persisted under --persist "
+                           "at its last epoch boundary")
+    lifecycle.add_argument("--seed", type=int, default=0)
+    lifecycle.add_argument("--s", type=int, default=4)
+    lifecycle.add_argument("--k", type=int, default=3)
+    lifecycle.add_argument("--workers", type=int, default=1,
+                           help="process-pool size (0 = one per CPU core)")
+    lifecycle.set_defaults(func=_cmd_lifecycle)
 
     models = sub.add_parser("models", help="print the Section VII-D models")
     models.add_argument("--users", type=int, default=5_000)

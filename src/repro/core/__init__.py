@@ -75,7 +75,12 @@ from .soundness import (
     knowledge_error_bound,
     verify_extraction,
 )
-from .streaming import StreamSummary, stream_authenticators, stream_summary
+from .streaming import (
+    StreamingProver,
+    StreamSummary,
+    stream_authenticators,
+    stream_summary,
+)
 from .verifier import RejectionReason, Verifier, VerifyOutcome, VerifyReport
 
 __all__ = [
@@ -131,6 +136,7 @@ __all__ = [
     "knowledge_error_bound",
     "random_challenge",
     "required_challenges",
+    "StreamingProver",
     "stream_authenticators",
     "stream_summary",
     "transcript_from_plain",

@@ -31,6 +31,10 @@ class ShardAudit:
     deployment: AuditDeployment
     file_name: int
     replaced: bool = False
+    #: The outsourcing package backing this shard's audit contract.  Kept so
+    #: downstream drivers (the lifecycle engine) can register the shard with
+    #: the parallel-audit executor and the checkpoint rollup.
+    package: object | None = field(default=None, repr=False)
 
 
 @dataclass
@@ -66,6 +70,9 @@ class AuditedDsn:
         terms: ContractTerms | None = None,
         reputation: ReputationRegistry | None = None,
         rng=None,
+        placement=None,
+        validate_packages: bool = True,
+        key_mode: str = "random",
     ):
         self.cluster = cluster
         self.chain = chain
@@ -77,6 +84,18 @@ class AuditedDsn:
         self.reputation = reputation
         self._reputation_address: str | None = None
         self._rng = rng
+        # Optional PlacementStrategy: routes both initial placement and
+        # repair re-placement (e.g. ReputationWeightedPlacement backed by
+        # the on-chain registry).  None keeps pure Chord semantics.
+        self.placement = placement
+        # Package validation at contract acknowledge time is a pairing-heavy
+        # check already covered by the core tests; long-horizon simulations
+        # switch it off to keep thousands of (re-)deployments affordable.
+        self.validate_packages = validate_packages
+        # "convergent" makes stored ciphertexts a pure function of the
+        # plaintext — what seed-deterministic simulations need ("random"
+        # draws key and nonce from the OS CSPRNG).
+        self.key_mode = key_mode
         self.files: dict[str, AuditedFile] = {}
         self._clients: dict[str, DsnClient] = {}
         if reputation is not None:
@@ -90,7 +109,15 @@ class AuditedDsn:
     ) -> AuditedFile:
         """Place a file and put every shard under an audit contract."""
         client = DsnClient(owner_name, self.cluster)
-        manifest = client.store(file_id, data, n=n, k=k)
+        if self.placement is not None:
+            from .storage.placement import place_with_strategy
+
+            manifest = place_with_strategy(
+                client, self.placement, file_id, data, n=n, k=k,
+                key_mode=self.key_mode,
+            )
+        else:
+            manifest = client.store(file_id, data, n=n, k=k, key_mode=self.key_mode)
         audited = AuditedFile(manifest=manifest)
         self.files[file_id] = audited
         self._clients[file_id] = client
@@ -110,7 +137,13 @@ class AuditedDsn:
         package = owner.prepare(shard_data)
         provider_role = StorageProvider(rng=self._rng)
         deployment = deploy_audit_contract(
-            self.chain, package, provider_role, self.terms, self.beacon, self.params
+            self.chain,
+            package,
+            provider_role,
+            self.terms,
+            self.beacon,
+            self.params,
+            validate=self.validate_packages,
         )
         audited.manifest.audit_names[f"{provider_name}:{shard_index}"] = package.name
         shard_audit = ShardAudit(
@@ -118,6 +151,7 @@ class AuditedDsn:
             shard_index=shard_index,
             deployment=deployment,
             file_name=package.name,
+            package=package,
         )
         audited.shard_audits.append(shard_audit)
         return shard_audit
@@ -168,7 +202,9 @@ class AuditedDsn:
     ) -> None:
         """Regenerate the failed provider's shard onto a fresh node."""
         client = self._clients[file_id]
-        manifest = client.repair(audited.manifest, failed.provider)
+        manifest = client.repair(
+            audited.manifest, failed.provider, strategy=self.placement
+        )
         audited.manifest = manifest
         failed.replaced = True
         # Find the replacement location and put it under audit too.

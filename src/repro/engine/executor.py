@@ -128,6 +128,46 @@ class AuditExecutor:
         self.close()
 
     def close(self) -> None:
+        self._invalidate_pool()
+
+    # -- dynamic fleets (lifecycle engine: repair swaps instances) -----------
+
+    def register(self, instance: AuditInstance) -> None:
+        """Add one audit instance to a live executor.
+
+        The inline runtime gains its prover/verifier immediately; a warm
+        process pool is torn down so the next fan-out call re-primes the
+        workers with the updated fleet.
+        """
+        if instance.name in self.instances:
+            raise ValueError(f"duplicate audit instance {instance.name}")
+        self.instances[instance.name] = instance
+        if self._inline is not None:
+            self._inline.provers[instance.name] = Prover(
+                instance.chunked,
+                instance.public,
+                list(instance.authenticators),
+                precompute=self._inline.cache,
+            )
+            self._inline.verifiers[instance.name] = Verifier(
+                instance.public,
+                instance.name,
+                instance.num_chunks,
+                precompute=self._inline.cache,
+            )
+        self._invalidate_pool()
+
+    def unregister(self, name: int) -> None:
+        """Drop one audit instance (e.g. its shard migrated to a new key)."""
+        if name not in self.instances:
+            raise KeyError(f"no audit instance registered for file {name}")
+        del self.instances[name]
+        if self._inline is not None:
+            self._inline.provers.pop(name, None)
+            self._inline.verifiers.pop(name, None)
+        self._invalidate_pool()
+
+    def _invalidate_pool(self) -> None:
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None

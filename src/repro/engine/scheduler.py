@@ -94,6 +94,7 @@ class EpochScheduler:
         overrides: "dict[int, ProofOverride] | None" = None,
         checkpoint_mode: bool = False,
         names=None,
+        cache: PrecomputeCache | None = None,
     ):
         self.executor = executor
         self.params = params
@@ -122,8 +123,9 @@ class EpochScheduler:
         self.checkpoint_mode = checkpoint_mode
         self._rng = rng  # blinds the batch-verification exponents
         # Parent-side cache: per-file digest points reused by the grouped
-        # verifier across epochs.
-        self.cache = PrecomputeCache()
+        # verifier across epochs.  Callers that rebuild schedulers per epoch
+        # (the lifecycle engine's changing fleet) pass a shared cache in.
+        self.cache = cache or PrecomputeCache()
         self.history: list[EpochResult] = []
         # Adversary harness hook: files whose proofs come from a strategy
         # callable instead of the engine's honest prover (the batch verifier

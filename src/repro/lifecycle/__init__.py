@@ -1,0 +1,37 @@
+"""Long-horizon lifecycle simulation: years of churn, repair and eviction.
+
+The first subsystem that composes every prior layer — parallel audit
+engine, adversarial withholding, checkpoint rollup and sharded chain
+fabric — into one closed, deterministic loop.  See
+:mod:`repro.lifecycle.engine` for the epoch pipeline and
+``docs/SCENARIOS.md`` for the narrated scenario.
+"""
+
+from .engine import (
+    EpochSummary,
+    LifecycleConfig,
+    LifecycleEngine,
+    LifecycleOutcome,
+    ProviderState,
+)
+from .events import EVENT_KINDS, EventTrail, LifecycleEvent
+from .hazard import ChurnDraw, ChurnModel, HazardConfig, per_epoch_probability
+from .persist import LifecycleResumeError, load_engine, save_engine
+
+__all__ = [
+    "ChurnDraw",
+    "ChurnModel",
+    "EVENT_KINDS",
+    "EpochSummary",
+    "EventTrail",
+    "HazardConfig",
+    "LifecycleConfig",
+    "LifecycleEngine",
+    "LifecycleEvent",
+    "LifecycleOutcome",
+    "LifecycleResumeError",
+    "ProviderState",
+    "load_engine",
+    "per_epoch_probability",
+    "save_engine",
+]

@@ -1,0 +1,802 @@
+"""The long-horizon lifecycle engine: years of DSN operation in one run.
+
+Every prior subsystem of this reproduction observes a deployment for a
+handful of epochs.  This engine closes the loop the paper's lifetime
+claims actually rest on: it time-compresses years of decentralized-storage
+operation — provider churn, erasure-coded repair, reputation-weighted
+re-placement, audit-driven eviction and per-epoch checkpoint settlement —
+into one deterministic, seed-driven simulation that composes all four
+earlier layers:
+
+* the **parallel audit engine** proves every live shard's epoch challenge
+  through one :class:`~repro.engine.executor.AuditExecutor`
+  (:class:`~repro.engine.scheduler.EpochScheduler`, deterministic mode),
+* the **adversary hooks** model churn: a crashed or flaky provider's
+  proofs are withheld via scheduler overrides, exactly like the
+  byzantine strategies of :mod:`repro.adversary`,
+* the **checkpoint rollup** settles each epoch as per-lane commitments
+  plus one cross-shard super-commitment on a
+  :class:`~repro.chain.fabric.ShardedChainFabric`
+  (:mod:`repro.rollup`), with optional per-lane WAL persistence,
+* the **DSN substrate** stores, audits and *repairs*: every failed shard
+  is regenerated through :meth:`repro.dsn.AuditedDsn._repair` onto a
+  provider chosen by
+  :class:`~repro.storage.placement.ReputationWeightedPlacement` over the
+  live on-chain registry, re-keyed and put under a fresh audit contract.
+
+Determinism contract: a run is a pure function of its
+:class:`LifecycleConfig` — same seed ⇒ byte-identical event trail
+(:class:`~repro.lifecycle.events.EventTrail`) and identical final fabric
+``state_hash``.  With ``persist_dir`` set, the engine checkpoints itself
+at every epoch boundary; killing the process anywhere and calling
+:meth:`LifecycleEngine.open` truncates the lane WALs back to the last
+boundary and continues to the *same* final hashes.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+import time
+from dataclasses import dataclass
+
+from ..chain import ContractTerms, Transaction
+from ..chain.contracts.checkpoint_contract import CheckpointContract, CheckpointStatus
+from ..chain.contracts.reputation import ReputationRegistry
+from ..chain.fabric import ShardedChainFabric
+from ..core import ProtocolParams
+from ..core.prover import ResponseWithheld
+from ..crypto.bn254 import PrecomputeCache
+from ..dsn import AuditedDsn, ShardAudit
+from ..engine import AuditExecutor, AuditInstance, EpochScheduler
+from ..randomness import HashChainBeacon
+from ..rollup.checkpoint import build_checkpoint
+from ..rollup.fabric import build_fabric_checkpoint
+from ..rollup.records import records_from_epoch
+from ..sim.workloads import archive_file
+from ..storage import DsnCluster, ReputationWeightedPlacement, SimulatedNetwork
+from .events import EventTrail
+from .hazard import ChurnModel, HazardConfig
+
+#: Per-shard audit contracts deployed by the DSN are *dormant* during a
+#: lifecycle run: their scheduled challenges sit beyond the simulated
+#: horizon, because round auditing flows through the epoch rollup instead.
+DORMANT_INTERVAL = 10**9
+
+
+@dataclass(frozen=True)
+class LifecycleConfig:
+    """Everything a lifecycle run depends on (the determinism domain)."""
+
+    years: float = 2.0
+    epochs_per_year: int = 12
+    files: int = 2
+    file_bytes: int = 900
+    erasure_n: int = 4
+    erasure_k: int = 2
+    providers: int = 8
+    churn: float = 0.2
+    crash_fraction: float = 0.5
+    flake_rate: float = 0.1
+    flake_rho: float = 0.6
+    join_rate: float = 1.0
+    hazard: str = "exponential"
+    weibull_shape: float = 2.0
+    lanes: int = 2
+    seed: int = 0
+    s: int = 4
+    k: int = 3
+    workers: int = 1
+    eviction_threshold: float = 0.42
+    min_placement_score: float = 0.3
+    stake_eth: float = 1.0
+    slash_fraction: float = 0.5
+    fraud_window: float = 10.0
+    persist_dir: str | None = None
+    validate_packages: bool = False
+
+    def __post_init__(self) -> None:
+        if self.years <= 0 or self.epochs_per_year < 1:
+            raise ValueError("years and epochs_per_year must be positive")
+        if not 1 <= self.erasure_k <= self.erasure_n:
+            raise ValueError("need 1 <= erasure_k <= erasure_n")
+        if self.providers < self.erasure_n + 1:
+            raise ValueError("need at least erasure_n + 1 providers for repair")
+        if self.lanes < 1 or self.files < 1:
+            raise ValueError("lanes and files must be >= 1")
+
+    @property
+    def total_epochs(self) -> int:
+        return max(1, round(self.years * self.epochs_per_year))
+
+    @property
+    def repair_tolerance(self) -> int:
+        """Providers the fleet can lose per epoch without losing any file."""
+        return self.erasure_n - self.erasure_k
+
+    def hazard_config(self) -> HazardConfig:
+        return HazardConfig(
+            churn=self.churn,
+            crash_fraction=self.crash_fraction,
+            flake_rate=self.flake_rate,
+            join_rate=self.join_rate,
+            epochs_per_year=self.epochs_per_year,
+            hazard=self.hazard,
+            weibull_shape=self.weibull_shape,
+        )
+
+
+@dataclass
+class ProviderState:
+    """The engine's ledger entry for one storage provider."""
+
+    name: str
+    account: str               # stake account on the registry's lane
+    joined_epoch: int
+    alive: bool = True         # present in the cluster ring
+    flaky: bool = False        # silently withholding proofs
+    dead: bool = False         # crashed; shards must migrate off
+    evicted: bool = False
+    deregistered: bool = False
+
+
+@dataclass
+class EpochSummary:
+    """One epoch's ledger line (mirrors the trail, numerically)."""
+
+    epoch: int
+    audits: int
+    accepted: int
+    rejected: int
+    repaired: int
+    deferred: int
+    evicted: int
+    joined: int
+    departed: int
+    commitment_gas: int
+    wall_seconds: float
+    min_healthy_shards: int
+
+
+@dataclass
+class LifecycleOutcome:
+    """What a completed run hands back to callers and tests."""
+
+    epochs_run: int
+    trail: EventTrail
+    state_hash: str
+    trail_digest: str
+    files_intact: bool
+    summaries: list[EpochSummary]
+    total_commitment_gas: int
+    total_repairs: int
+    total_evictions: int
+    wall_seconds: float
+
+    @property
+    def epochs_per_second(self) -> float:
+        return self.epochs_run / self.wall_seconds if self.wall_seconds else 0.0
+
+
+def _sub_seed(seed: int, label: str) -> int:
+    digest = hashlib.sha256(f"lifecycle:{label}:{seed}".encode()).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+class LifecycleEngine:
+    """Drives a DSN deployment through simulated years of churn and audit."""
+
+    def __init__(self, config: LifecycleConfig):
+        self.config = config
+        self.trail = EventTrail()
+        self.summaries: list[EpochSummary] = []
+        self.next_epoch = 1
+        self.node_seq = 0
+        self.total_commitment_gas = 0
+        self.total_repairs = 0
+        self.total_evictions = 0
+        self.wall_seconds = 0.0
+        self.params = ProtocolParams(s=config.s, k=config.k)
+        self.beacon = HashChainBeacon(f"lifecycle-{config.seed}".encode())
+        self._cache = PrecomputeCache()
+        self._churn = ChurnModel(
+            config.hazard_config(),
+            rng=random.Random(_sub_seed(config.seed, "churn")),
+        )
+        self._batch_rng = random.Random(_sub_seed(config.seed, "batch"))
+        self._owner_rng = random.Random(_sub_seed(config.seed, "owner"))
+        self.providers: dict[str, ProviderState] = {}
+        self.payloads: dict[str, bytes] = {}
+        #: file name (Zp id) -> (file_id, live ShardAudit)
+        self._shards: dict[int, tuple[str, ShardAudit]] = {}
+        #: lane id -> (aggregator account, checkpoint contract address)
+        self.lane_settlement: dict[int, tuple[str, str]] = {}
+        #: names already registered on their lane's checkpoint contract
+        self._registered: set[int] = set()
+        self._build_world()
+
+    # ------------------------------------------------------------------ #
+    # World construction                                                  #
+    # ------------------------------------------------------------------ #
+
+    def _lanes_dir(self):
+        from pathlib import Path
+
+        assert self.config.persist_dir is not None
+        return Path(self.config.persist_dir) / "lanes"
+
+    def _build_world(self) -> None:
+        config = self.config
+        if config.persist_dir:
+            # A fresh run must never build on top of a previous run's WALs:
+            # WalStateStore replays whatever the directory holds, which
+            # would silently break the same-seed determinism contract.
+            from pathlib import Path
+
+            existing = Path(config.persist_dir) / "engine.pkl"
+            if existing.exists():
+                raise ValueError(
+                    f"{config.persist_dir} already holds a persisted "
+                    "lifecycle run; reopen it with LifecycleEngine.open / "
+                    "--resume, or point --persist at a fresh directory"
+                )
+        persist = str(self._lanes_dir()) if config.persist_dir else None
+        self.fabric = ShardedChainFabric(
+            num_lanes=config.lanes, persist_dir=persist
+        )
+        cluster = DsnCluster(
+            network=SimulatedNetwork(
+                rng=random.Random(_sub_seed(config.seed, "network"))
+            )
+        )
+        registry = ReputationRegistry(
+            min_stake_wei=int(config.stake_eth * 10**18)
+        )
+        placement = ReputationWeightedPlacement(
+            score_of=self._score_of, minimum_score=config.min_placement_score
+        )
+        self.dsn = AuditedDsn(
+            cluster,
+            self.fabric,
+            self.beacon,
+            params=self.params,
+            terms=ContractTerms(
+                num_audits=1,
+                audit_interval=DORMANT_INTERVAL,
+                response_window=DORMANT_INTERVAL / 10,
+            ),
+            reputation=registry,
+            rng=self._owner_rng,
+            placement=placement,
+            validate_packages=config.validate_packages,
+            key_mode="convergent",
+        )
+        assert self.dsn._reputation_address is not None
+        self.registry_address = self.dsn._reputation_address
+        registry_lane = self.fabric.lane_index_of_contract(self.registry_address)
+        self._registry_lane = self.fabric.lane(registry_lane)
+        self.oracle = self._registry_lane.create_account(
+            20.0, label="lifecycle-oracle"
+        )
+        self._transact(self.oracle, self.registry_address, "authorize_reporter",
+                       (self.oracle,))
+        for lane_id, lane in enumerate(self.fabric.lanes):
+            account = lane.create_account(50.0, label=f"lifecycle-agg-{lane_id}")
+            contract = CheckpointContract(
+                self.beacon, self.params, fraud_window=config.fraud_window
+            )
+            address = lane.deploy(contract, deployer=account)
+            self.lane_settlement[lane_id] = (account, address)
+        for _ in range(config.providers):
+            self._add_provider(epoch=0)
+        for index in range(config.files):
+            file_id = f"archive-{index:02d}"
+            payload = archive_file(
+                config.file_bytes, tag=f"lifecycle-{config.seed}-{index}"
+            ).data
+            self.payloads[file_id] = payload
+            audited = self.dsn.store(
+                f"owner-{index}", file_id, payload,
+                n=config.erasure_n, k=config.erasure_k,
+            )
+            for shard_audit in audited.shard_audits:
+                self._track_shard(file_id, shard_audit)
+            self.trail.emit(
+                0, "stored", file_id,
+                shards=config.erasure_n, needed=config.erasure_k,
+                bytes=len(payload),
+            )
+        self.executor = AuditExecutor(
+            [
+                AuditInstance.from_package(audit.package, owner_id=file_id)
+                for file_id, audit in self._shards.values()
+            ],
+            workers=config.workers,
+        )
+        if config.persist_dir:
+            self.checkpoint_state()
+
+    def _add_provider(self, epoch: int) -> ProviderState:
+        name = f"node-{self.node_seq:03d}"
+        self.node_seq += 1
+        self.dsn.cluster.add_node(name)
+        account = self._registry_lane.create_account(
+            self.config.stake_eth + 1.0, label=f"stake-{name}"
+        )
+        receipt = self._transact(
+            account,
+            self.registry_address,
+            "register",
+            (name,),
+            value=int(self.config.stake_eth * 10**18),
+        )
+        if not receipt.success:
+            raise RuntimeError(f"stake registration failed: {receipt.error}")
+        state = ProviderState(name=name, account=account, joined_epoch=epoch)
+        self.providers[name] = state
+        self.trail.emit(epoch, "joined", name, stake_eth=self.config.stake_eth)
+        return state
+
+    def _track_shard(self, file_id: str, shard_audit: ShardAudit) -> None:
+        assert shard_audit.package is not None
+        self._shards[shard_audit.file_name] = (file_id, shard_audit)
+
+    # ------------------------------------------------------------------ #
+    # Chain helpers                                                       #
+    # ------------------------------------------------------------------ #
+
+    def _transact(self, sender, to, method, args=(), value=0, payload_bytes=0):
+        return self.fabric.transact(
+            Transaction(
+                sender=sender, to=to, method=method, args=tuple(args),
+                value=value,
+            ),
+            payload_bytes=payload_bytes,
+        )
+
+    def _score_of(self, provider: str) -> float:
+        return float(
+            self.fabric.call(self.registry_address, "score_of", provider)
+        )
+
+    @property
+    def registry(self) -> ReputationRegistry:
+        contract = self.fabric.contract_at(self.registry_address)
+        assert isinstance(contract, ReputationRegistry)
+        return contract
+
+    # ------------------------------------------------------------------ #
+    # The epoch loop                                                      #
+    # ------------------------------------------------------------------ #
+
+    def run(self) -> LifecycleOutcome:
+        """Run every remaining epoch and return the final outcome."""
+        while self.next_epoch <= self.config.total_epochs:
+            self.run_epoch()
+        return self.outcome()
+
+    def run_epoch(self) -> EpochSummary:
+        """One epoch: churn → audit → settle → report → repair → evict."""
+        epoch = self.next_epoch
+        t0 = time.perf_counter()
+        joined, departed = self._churn_step(epoch)
+        result, records = self._audit_step(epoch)
+        commitment_gas = self._settle_step(epoch, records)
+        self._report_step(records)
+        self._repair_step(epoch, records)
+        evicted = self._evict_step(epoch)
+        self._finalize_step()
+        self.fabric.mine_block()
+        wall = time.perf_counter() - t0
+        epoch_events = self.trail.for_epoch(epoch)
+        repaired = sum(1 for e in epoch_events if e.kind == "repaired")
+        deferred = sum(1 for e in epoch_events if e.kind == "deferred")
+        summary = EpochSummary(
+            epoch=epoch,
+            audits=result.num_audits,
+            accepted=sum(1 for r in records if r.verdict),
+            rejected=sum(1 for r in records if not r.verdict),
+            repaired=repaired,
+            deferred=deferred,
+            evicted=evicted,
+            joined=joined,
+            departed=departed,
+            commitment_gas=commitment_gas,
+            wall_seconds=wall,
+            min_healthy_shards=self.min_healthy_shards(),
+        )
+        self.summaries.append(summary)
+        self.total_commitment_gas += commitment_gas
+        self.total_repairs += repaired
+        self.total_evictions += evicted
+        self.wall_seconds += wall
+        self.next_epoch = epoch + 1
+        if self.config.persist_dir:
+            self.checkpoint_state()
+        return summary
+
+    # -- phase 1: churn -------------------------------------------------- #
+
+    def _active_providers(self) -> list[ProviderState]:
+        return [
+            state
+            for _, state in sorted(self.providers.items())
+            if state.alive and not state.dead and not state.evicted
+        ]
+
+    def _churn_step(self, epoch: int) -> tuple[int, int]:
+        draw = self._churn.draw(
+            [
+                (state.name, epoch - state.joined_epoch)
+                for state in self._active_providers()
+            ],
+            flaky={s.name for s in self.providers.values() if s.flaky},
+            max_departures=self.config.repair_tolerance,
+        )
+        for _ in range(draw.joins):
+            self._add_provider(epoch)
+        for name in draw.leaves:
+            self._graceful_leave(epoch, name)
+        for name in draw.crashes:
+            state = self.providers[name]
+            state.dead = True
+            state.alive = False
+            state.flaky = False
+            self.dsn.cluster.remove_node(name)
+            self.trail.emit(
+                epoch, "crashed", name, shards=len(self._names_held_by(name))
+            )
+        for name in draw.flakes:
+            self.providers[name].flaky = True
+            self.trail.emit(epoch, "flaky", name, rho=self.config.flake_rho)
+        return draw.joins, len(draw.leaves) + len(draw.crashes)
+
+    def _names_held_by(self, provider: str) -> list[int]:
+        return sorted(
+            name
+            for name, (_, audit) in self._shards.items()
+            if audit.provider == provider and not audit.replaced
+        )
+
+    def _graceful_leave(self, epoch: int, provider: str) -> None:
+        """Migrate everything off a politely departing provider, then part."""
+        state = self.providers[provider]
+        migrated = True
+        for name in self._names_held_by(provider):
+            if not self._repair_shard(epoch, name, reason="leave"):
+                migrated = False
+        if not migrated:
+            # Not enough eligible replacements this epoch: the departure is
+            # postponed (the provider keeps serving; churn may redraw it).
+            self.trail.emit(epoch, "deferred", provider, what="departure")
+            return
+        state.alive = False
+        self.dsn.cluster.remove_node(provider)
+        receipt = self._transact(
+            state.account, self.registry_address, "deregister", (provider,)
+        )
+        state.deregistered = receipt.success
+        refunded = 0
+        if receipt.success:
+            refund_events = [
+                e for e in receipt.events if e.name == "deregistered"
+            ]
+            if refund_events:
+                refunded = refund_events[0].payload.get("refunded", 0)
+        self.trail.emit(
+            epoch, "left", provider,
+            refunded_wei=refunded, good_standing=receipt.success,
+        )
+
+    # -- phase 2: audits -------------------------------------------------- #
+
+    def _withheld_override(self, challenge, epoch):
+        raise ResponseWithheld("provider unavailable for this epoch")
+
+    def _audit_step(self, epoch: int):
+        overrides = {}
+        flaky_names: list[int] = []
+        for name, (_, audit) in sorted(self._shards.items()):
+            if audit.replaced:
+                continue
+            state = self.providers.get(audit.provider)
+            if state is None or state.dead or not state.alive:
+                overrides[name] = self._withheld_override
+            elif state.flaky:
+                flaky_names.append(name)
+        for name in self._churn.withholds(flaky_names, self.config.flake_rho):
+            overrides[name] = self._withheld_override
+        scheduler = EpochScheduler(
+            self.executor,
+            self.params,
+            self.beacon,
+            deterministic=True,
+            rng=self._batch_rng,
+            keep_history=False,
+            overrides=overrides,
+            cache=self._cache,
+        )
+        result = scheduler.run_epoch(epoch)
+        records = records_from_epoch(result, precompute=self._cache)
+        return result, records
+
+    # -- phase 3: settlement ---------------------------------------------- #
+
+    def _settle_step(self, epoch: int, records) -> int:
+        by_lane: dict[int, list] = {}
+        for record in records:
+            by_lane.setdefault(
+                self.fabric.lane_index_for(record.name), []
+            ).append(record)
+        lane_bundles = []
+        gas = 0
+        for lane_id in sorted(by_lane):
+            account, address = self.lane_settlement[lane_id]
+            for record in by_lane[lane_id]:
+                gas += self._register_instance(lane_id, record.name)
+            bundle = build_checkpoint(epoch, tuple(by_lane[lane_id]))
+            commitment_bytes = bundle.checkpoint.to_bytes()
+            contract = self.fabric.lane(lane_id).contract_at(address)
+            assert isinstance(contract, CheckpointContract)
+            receipt = self._transact(
+                account,
+                address,
+                "post_checkpoint",
+                (commitment_bytes,),
+                value=contract.posting_bond_wei,
+                payload_bytes=len(commitment_bytes),
+            )
+            if not receipt.success:
+                raise RuntimeError(
+                    f"lane {lane_id} checkpoint failed: {receipt.error}"
+                )
+            gas += receipt.gas_used
+            lane_bundles.append((lane_id, bundle))
+        fabric_bundle = build_fabric_checkpoint(epoch, lane_bundles)
+        self.last_fabric_bundle = fabric_bundle
+        self.trail.emit(
+            epoch, "settled", f"epoch-{epoch}",
+            lanes=len(lane_bundles),
+            audits=fabric_bundle.checkpoint.num_leaves,
+            accepted=fabric_bundle.checkpoint.accepted,
+            rejected=fabric_bundle.checkpoint.rejected,
+            root=fabric_bundle.checkpoint.fabric_root.hex()[:16],
+            gas=gas,
+        )
+        return gas
+
+    def _register_instance(self, lane_id: int, name: int) -> int:
+        if name in self._registered:
+            return 0
+        _, audit = self._shards[name]
+        assert audit.package is not None
+        account, address = self.lane_settlement[lane_id]
+        pk_bytes = audit.package.public.to_bytes()
+        receipt = self._transact(
+            account,
+            address,
+            "register_instance",
+            (name, pk_bytes, audit.package.num_chunks),
+            payload_bytes=len(pk_bytes) + 36,
+        )
+        if not receipt.success:
+            raise RuntimeError(f"instance registration failed: {receipt.error}")
+        self._registered.add(name)
+        return receipt.gas_used
+
+    # -- phase 4: reputation reports --------------------------------------- #
+
+    def _report_step(self, records) -> None:
+        registry = self.registry
+        for record in records:
+            _, audit = self._shards[record.name]
+            provider = audit.provider
+            if provider not in registry.providers:
+                continue
+            self._transact(
+                self.oracle,
+                self.registry_address,
+                "report_audit",
+                (provider, record.verdict),
+            )
+
+    # -- phase 5: repair --------------------------------------------------- #
+
+    def _repair_step(self, epoch: int, records) -> None:
+        for record in sorted(records, key=lambda r: r.name):
+            if record.verdict:
+                continue
+            _, audit = self._shards[record.name]
+            if audit.replaced:
+                continue  # already migrated earlier this epoch
+            self._repair_shard(epoch, record.name, reason=record.reject_code)
+
+    def _repair_shard(self, epoch: int, name: int, reason: str) -> bool:
+        """Regenerate one shard onto a fresh provider; False = deferred."""
+        file_id, audit = self._shards[name]
+        audited = self.dsn.files[file_id]
+        try:
+            self.dsn._repair(file_id, audited, audit)
+        except RuntimeError as exc:
+            self.trail.emit(
+                epoch, "deferred", file_id,
+                shard=audit.shard_index, why=str(exc)[:60],
+            )
+            return False
+        replacement = audited.shard_audits[-1]
+        assert replacement.package is not None
+        self.executor.unregister(name)
+        self.executor.register(
+            AuditInstance.from_package(replacement.package, owner_id=file_id)
+        )
+        del self._shards[name]
+        self._track_shard(file_id, replacement)
+        self.trail.emit(
+            epoch, "repaired", file_id,
+            shard=audit.shard_index,
+            source=audit.provider,
+            target=replacement.provider,
+            reason=reason,
+        )
+        self.trail.emit(
+            epoch, "rekeyed", file_id,
+            old=f"{name:#x}"[:14],
+            new=f"{replacement.file_name:#x}"[:14],
+            contract=replacement.deployment.contract_address[:14],
+        )
+        return True
+
+    # -- phase 6: eviction -------------------------------------------------- #
+
+    def _evict_step(self, epoch: int) -> int:
+        evicted = 0
+        registry = self.registry
+        for _, state in sorted(self.providers.items()):
+            if state.evicted:
+                # An earlier eviction may have deferred part of its
+                # migration (no eligible replacements that epoch); keep
+                # draining the leftovers until the provider holds nothing.
+                self._drain_evicted(epoch, state)
+                continue
+            if state.deregistered:
+                continue
+            record = registry.providers.get(state.name)
+            if record is None:
+                continue
+            below = self._score_of(state.name) < self.config.eviction_threshold
+            if not (state.dead or record.banned or below):
+                continue
+            self._evict(epoch, state)
+            evicted += 1
+        return evicted
+
+    def _evict(self, epoch: int, state: ProviderState) -> None:
+        """Audit-driven removal: slash the stake, migrate, drop from ring."""
+        receipt = self._transact(
+            self.oracle,
+            self.registry_address,
+            "slash_stake",
+            (state.name, self.config.slash_fraction, self.oracle),
+        )
+        slashed_wei = 0
+        if receipt.success:
+            for event in receipt.events:
+                if event.name == "stake_slashed":
+                    slashed_wei = event.payload.get("slashed_wei", 0)
+            self.trail.emit(
+                epoch, "slashed", state.name, slashed_wei=slashed_wei
+            )
+        leftovers = self._names_held_by(state.name)
+        fully_migrated = True
+        for name in leftovers:
+            if not self._repair_shard(epoch, name, reason="eviction"):
+                fully_migrated = False
+        state.evicted = True
+        self.trail.emit(
+            epoch, "evicted", state.name,
+            cause="crash" if state.dead else "reputation",
+            slashed_wei=slashed_wei,
+            migrated=len(leftovers) if fully_migrated else "partial",
+        )
+        if state.alive and fully_migrated:
+            state.alive = False
+            self.dsn.cluster.remove_node(state.name)
+
+    def _drain_evicted(self, epoch: int, state: ProviderState) -> None:
+        """Finish a partially-deferred eviction: migrate, then drop the node."""
+        if not state.alive:
+            return
+        leftovers = self._names_held_by(state.name)
+        fully_migrated = True
+        for name in leftovers:
+            if not self._repair_shard(epoch, name, reason="eviction"):
+                fully_migrated = False
+        if fully_migrated:
+            state.alive = False
+            self.dsn.cluster.remove_node(state.name)
+
+    # -- phase 7: finalize + bookkeeping ------------------------------------ #
+
+    def _finalize_step(self) -> None:
+        for lane_id, (account, address) in sorted(self.lane_settlement.items()):
+            lane = self.fabric.lane(lane_id)
+            contract = lane.contract_at(address)
+            assert isinstance(contract, CheckpointContract)
+            for entry in contract.checkpoints:
+                if (
+                    entry.status is CheckpointStatus.OPEN
+                    and lane.time > entry.posted_at + contract.fraud_window
+                ):
+                    self._transact(
+                        account, address, "finalize_checkpoint",
+                        (entry.checkpoint_id,),
+                    )
+
+    def min_healthy_shards(self) -> int:
+        """The weakest file's live shard count (durability floor)."""
+        from ..storage.node import _checksum
+
+        worst = None
+        for file_id, audited in self.dsn.files.items():
+            healthy = 0
+            for location in audited.manifest.shards:
+                node = self.dsn.cluster.nodes.get(location.provider)
+                data = (
+                    node.get(file_id, location.shard_index)
+                    if node is not None
+                    else None
+                )
+                if data is not None and _checksum(data) == location.checksum:
+                    healthy += 1
+            worst = healthy if worst is None else min(worst, healthy)
+        return worst or 0
+
+    def files_intact(self) -> bool:
+        """End-to-end retrievability of every stored file."""
+        for file_id, payload in self.payloads.items():
+            try:
+                if self.dsn.retrieve(file_id) != payload:
+                    return False
+            except RuntimeError:
+                return False
+        return True
+
+    def outcome(self) -> LifecycleOutcome:
+        return LifecycleOutcome(
+            epochs_run=self.next_epoch - 1,
+            trail=self.trail,
+            state_hash=self.fabric.state_hash(),
+            trail_digest=self.trail.digest(),
+            files_intact=self.files_intact(),
+            summaries=list(self.summaries),
+            total_commitment_gas=self.total_commitment_gas,
+            total_repairs=self.total_repairs,
+            total_evictions=self.total_evictions,
+            wall_seconds=self.wall_seconds,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Durability (crash + reopen)                                          #
+    # ------------------------------------------------------------------ #
+
+    def checkpoint_state(self) -> None:
+        from .persist import save_engine
+
+        save_engine(self)
+
+    @classmethod
+    def open(cls, persist_dir: str, **overrides) -> "LifecycleEngine":
+        """Reopen a persisted run at its last epoch boundary.
+
+        Truncates every lane's WAL back to the boundary the engine snapshot
+        recorded (discarding any torn partial-epoch tail), restores the
+        engine's own state, and verifies the reopened fabric's
+        ``state_hash`` matches the snapshot before handing the engine back.
+        """
+        from .persist import load_engine
+
+        return load_engine(persist_dir, **overrides)
+
+    def close(self) -> None:
+        self.executor.close()
+        self.fabric.close()

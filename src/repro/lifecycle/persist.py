@@ -1,0 +1,265 @@
+"""Engine-level durability: checkpoint the lifecycle engine every epoch.
+
+The chain side of a lifecycle run is already durable (each fabric lane
+writes a :class:`~repro.chain.state.WalStateStore`); this module makes the
+*engine* side — cluster contents, manifests, audit packages, RNG streams,
+the event trail — equally durable, and knits the two together so a crash
+at **any** point resumes bit-identically:
+
+* After every epoch the engine writes one atomic snapshot
+  (``<dir>/engine.pkl``, tmp + rename) that records, along with its own
+  state, each lane's WAL size at that boundary and the fabric's canonical
+  ``state_hash``.
+* :func:`load_engine` truncates every lane WAL back to the recorded size —
+  every commit is one whole frame, so the cut lands on a frame boundary
+  and discards exactly the partial epoch a crash may have written — then
+  reopens the fabric and refuses to continue unless its ``state_hash``
+  matches the snapshot.
+
+Because the engine is deterministic given its restored RNG streams, the
+re-run of the interrupted epoch reproduces the same transactions the lost
+process would have committed, so the final trail digest and fabric hash
+are identical to an uninterrupted run (asserted by
+``tests/lifecycle/test_lifecycle_resume.py``).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import pickle
+import random
+from pathlib import Path
+
+ENGINE_SNAPSHOT = "engine.pkl"
+SNAPSHOT_VERSION = 1
+
+
+def _shard_audit_state(shard_audit) -> dict:
+    deployment = shard_audit.deployment
+    return {
+        "provider": shard_audit.provider,
+        "shard_index": shard_audit.shard_index,
+        "file_name": shard_audit.file_name,
+        "replaced": shard_audit.replaced,
+        "package": shard_audit.package,
+        "contract_address": deployment.contract_address,
+        "owner_account": deployment.owner_account,
+        "provider_account": deployment.provider_account,
+    }
+
+
+def save_engine(engine) -> Path:
+    """Atomically persist the engine at the current epoch boundary."""
+    config = engine.config
+    assert config.persist_dir, "save_engine requires a persist_dir"
+    directory = Path(config.persist_dir)
+    directory.mkdir(parents=True, exist_ok=True)
+    wal_sizes = [lane.store.wal_size() for lane in engine.fabric.lanes]
+    files_state = {}
+    for file_id, audited in engine.dsn.files.items():
+        files_state[file_id] = {
+            "manifest": audited.manifest,
+            "shard_audits": [
+                _shard_audit_state(audit) for audit in audited.shard_audits
+            ],
+        }
+    state = {
+        "version": SNAPSHOT_VERSION,
+        "config": config,
+        "next_epoch": engine.next_epoch,
+        "node_seq": engine.node_seq,
+        "trail_lines": engine.trail.to_lines(),
+        "summaries": engine.summaries,
+        "totals": (
+            engine.total_commitment_gas,
+            engine.total_repairs,
+            engine.total_evictions,
+            engine.wall_seconds,
+        ),
+        "churn_rng": engine._churn.rng.getstate(),
+        "batch_rng": engine._batch_rng.getstate(),
+        "owner_rng": engine._owner_rng.getstate(),
+        "cluster": engine.dsn.cluster,
+        "payloads": engine.payloads,
+        "client_keys": {
+            file_id: (client.owner_name, dict(client.keys))
+            for file_id, client in engine.dsn._clients.items()
+        },
+        "files": files_state,
+        "providers": engine.providers,
+        "registry_address": engine.registry_address,
+        "oracle": engine.oracle,
+        "lane_settlement": engine.lane_settlement,
+        "registered": set(engine._registered),
+        "wal_sizes": wal_sizes,
+        "fabric_state_hash": engine.fabric.state_hash(),
+    }
+    tmp_path = directory / (ENGINE_SNAPSHOT + ".tmp")
+    with open(tmp_path, "wb") as handle:
+        pickle.dump(state, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        handle.flush()
+        os.fsync(handle.fileno())
+    final_path = directory / ENGINE_SNAPSHOT
+    tmp_path.replace(final_path)
+    return final_path
+
+
+class LifecycleResumeError(RuntimeError):
+    """The persisted chain state does not match the engine snapshot."""
+
+
+def load_engine(persist_dir: str, **overrides):
+    """Reopen a persisted lifecycle run at its last epoch boundary.
+
+    ``overrides`` may adjust pure *execution* knobs (currently only
+    ``workers``); anything that feeds the determinism domain is refused.
+    """
+    from ..chain.fabric import ShardedChainFabric
+    from ..chain.state import WalStateStore
+    from ..chain import ContractTerms
+    from ..chain.agents import AuditDeployment, ProviderAgent
+    from ..core import ProtocolParams, StorageProvider
+    from ..crypto.bn254 import PrecomputeCache
+    from ..dsn import AuditedDsn, AuditedFile, ShardAudit
+    from ..engine import AuditExecutor, AuditInstance
+    from ..randomness import HashChainBeacon
+    from ..storage import DsnClient, ReputationWeightedPlacement
+    from .engine import DORMANT_INTERVAL, LifecycleEngine
+    from .events import EventTrail
+    from .hazard import ChurnModel
+
+    allowed = {"workers"}
+    refused = set(overrides) - allowed
+    if refused:
+        raise ValueError(
+            f"cannot override determinism-relevant fields on resume: {refused}"
+        )
+    directory = Path(persist_dir)
+    snapshot_path = directory / ENGINE_SNAPSHOT
+    with open(snapshot_path, "rb") as handle:
+        state = pickle.load(handle)
+    if state["version"] != SNAPSHOT_VERSION:
+        raise LifecycleResumeError(
+            f"unsupported engine snapshot version {state['version']}"
+        )
+    config = dataclasses.replace(
+        state["config"], persist_dir=str(directory), **overrides
+    )
+
+    # Rewind each lane's WAL to the recorded boundary, then reopen.
+    lanes_dir = directory / "lanes"
+    for index, size in enumerate(state["wal_sizes"]):
+        WalStateStore.truncate_wal(lanes_dir / f"lane-{index:03d}", size)
+    fabric = ShardedChainFabric(
+        num_lanes=config.lanes, persist_dir=str(lanes_dir)
+    )
+    if fabric.state_hash() != state["fabric_state_hash"]:
+        fabric.close()
+        raise LifecycleResumeError(
+            "reopened fabric state does not match the engine snapshot"
+        )
+
+    engine = LifecycleEngine.__new__(LifecycleEngine)
+    engine.config = config
+    engine.fabric = fabric
+    engine.params = ProtocolParams(s=config.s, k=config.k)
+    engine.beacon = HashChainBeacon(f"lifecycle-{config.seed}".encode())
+    engine._cache = PrecomputeCache()
+    engine.trail = EventTrail.from_lines(state["trail_lines"])
+    engine.summaries = state["summaries"]
+    (
+        engine.total_commitment_gas,
+        engine.total_repairs,
+        engine.total_evictions,
+        engine.wall_seconds,
+    ) = state["totals"]
+    engine.next_epoch = state["next_epoch"]
+    engine.node_seq = state["node_seq"]
+    engine.providers = state["providers"]
+    engine.payloads = state["payloads"]
+    engine.registry_address = state["registry_address"]
+    engine.oracle = state["oracle"]
+    engine.lane_settlement = state["lane_settlement"]
+    engine._registered = set(state["registered"])
+
+    engine._churn = ChurnModel(config.hazard_config(), rng=random.Random())
+    engine._churn.rng.setstate(state["churn_rng"])
+    engine._batch_rng = random.Random()
+    engine._batch_rng.setstate(state["batch_rng"])
+    engine._owner_rng = random.Random()
+    engine._owner_rng.setstate(state["owner_rng"])
+
+    cluster = state["cluster"]
+    placement = ReputationWeightedPlacement(
+        score_of=engine._score_of, minimum_score=config.min_placement_score
+    )
+    dsn = AuditedDsn(
+        cluster,
+        fabric,
+        engine.beacon,
+        params=engine.params,
+        terms=ContractTerms(
+            num_audits=1,
+            audit_interval=DORMANT_INTERVAL,
+            response_window=DORMANT_INTERVAL / 10,
+        ),
+        reputation=None,
+        rng=engine._owner_rng,
+        placement=placement,
+        validate_packages=config.validate_packages,
+        key_mode="convergent",
+    )
+    dsn.reputation = engine.registry  # type: ignore[assignment]
+    dsn._reputation_address = engine.registry_address
+    engine.dsn = dsn
+    engine._registry_lane = fabric.lane(
+        fabric.lane_index_of_contract(engine.registry_address)
+    )
+
+    engine._shards = {}
+    for file_id, file_state in state["files"].items():
+        audited = AuditedFile(manifest=file_state["manifest"])
+        for audit_state in file_state["shard_audits"]:
+            lane = fabric.home_lane(audit_state["file_name"])
+            provider_role = StorageProvider()
+            if audit_state["package"] is not None:
+                provider_role.accept(audit_state["package"], validate=False)
+            agent = ProviderAgent(
+                chain=lane,
+                account=audit_state["provider_account"],
+                provider=provider_role,
+                contract_address=audit_state["contract_address"],
+                file_name=audit_state["file_name"],
+            )
+            deployment = AuditDeployment(
+                contract_address=audit_state["contract_address"],
+                owner_account=audit_state["owner_account"],
+                provider_account=audit_state["provider_account"],
+                provider_agent=agent,
+            )
+            shard_audit = ShardAudit(
+                provider=audit_state["provider"],
+                shard_index=audit_state["shard_index"],
+                deployment=deployment,
+                file_name=audit_state["file_name"],
+                replaced=audit_state["replaced"],
+                package=audit_state["package"],
+            )
+            audited.shard_audits.append(shard_audit)
+            if not shard_audit.replaced:
+                engine._shards[shard_audit.file_name] = (file_id, shard_audit)
+        dsn.files[file_id] = audited
+        owner_name, keys = state["client_keys"][file_id]
+        client = DsnClient(owner_name, cluster)
+        client.keys = dict(keys)
+        dsn._clients[file_id] = client
+
+    engine.executor = AuditExecutor(
+        [
+            AuditInstance.from_package(audit.package, owner_id=file_id)
+            for file_id, audit in engine._shards.values()
+        ],
+        workers=config.workers,
+    )
+    return engine

@@ -207,6 +207,90 @@ class ShardedChainCapacityModel(CheckpointedChainCapacityModel):
 
 
 @dataclass(frozen=True)
+class LifecycleCapacityModel(ShardedChainCapacityModel):
+    """Lifetime projection: durability and chain growth over N years.
+
+    Extends the sharded capacity model with the *lifecycle* quantities the
+    long-horizon engine (:mod:`repro.lifecycle`) measures empirically:
+    provider churn drives shard loss, audits detect it, erasure-coded
+    repair restores redundancy, and every migrated shard pays a one-time
+    re-registration on chain.  The closed-form side lets the reproduction
+    sanity-check a simulated decade against the Markov durability model
+    (:class:`repro.sim.durability.DurabilityModel`) and project cumulative
+    on-chain cost without running it.
+    """
+
+    epochs_per_year: int = 12
+    churn: float = 0.2                  # annual provider turnover
+    erasure_n: int = 4
+    erasure_k: int = 2
+    detection: float = 1.0              # per-epoch audit detection probability
+    #: One-time on-chain bytes when a repaired shard re-registers (fresh
+    #: public key + instance metadata on its lane's checkpoint contract).
+    repair_registration_bytes: int = 300
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 <= self.churn < 1.0:
+            raise ValueError("churn must be in [0, 1)")
+        if not 1 <= self.erasure_k <= self.erasure_n:
+            raise ValueError("need 1 <= erasure_k <= erasure_n")
+        if self.epochs_per_year < 1:
+            raise ValueError("epochs_per_year must be >= 1")
+
+    @property
+    def shard_loss_rate_per_epoch(self) -> float:
+        """Per-epoch P[one shard's provider departs] from the annual churn."""
+        return 1.0 - (1.0 - self.churn) ** (1.0 / self.epochs_per_year)
+
+    def projected_durability(self, years: float) -> float:
+        """P[a file survives ``years``] under churn + audit-driven repair."""
+        from .durability import DurabilityModel
+
+        model = DurabilityModel(
+            n=self.erasure_n,
+            k=self.erasure_k,
+            shard_loss_rate=self.shard_loss_rate_per_epoch,
+            detection=self.detection,
+        )
+        return model.survival_probability(int(years * self.epochs_per_year))
+
+    def expected_repairs_per_year(self, files: int) -> float:
+        """Expected shard migrations per year across ``files`` archives."""
+        return (
+            files
+            * self.erasure_n
+            * self.shard_loss_rate_per_epoch
+            * self.epochs_per_year
+        )
+
+    def settlement_bytes_per_year(self) -> int:
+        """Fixed per-epoch commitment footprint: lanes + super-commitment."""
+        per_epoch = (
+            self.lanes * self.commitment_bytes + self.fabric_commitment_bytes
+        )
+        return per_epoch * self.epochs_per_year
+
+    def repair_bytes_per_year(self, files: int) -> int:
+        """Re-registration bytes caused by churn-driven shard migration."""
+        return int(
+            self.expected_repairs_per_year(files)
+            * self.repair_registration_bytes
+        )
+
+    def cumulative_chain_bytes(self, years: float, files: int) -> int:
+        """Total settlement + repair bytes over the deployment lifetime.
+
+        Decomposes exactly as ``years * (settlement + repair)`` — asserted
+        by the sim tests so the lifecycle CLI's projection stays honest.
+        """
+        per_year = self.settlement_bytes_per_year() + self.repair_bytes_per_year(
+            files
+        )
+        return int(years * per_year)
+
+
+@dataclass(frozen=True)
 class ProviderLoadModel:
     """Fig. 10 (right): per-provider proving time as the user base grows."""
 

@@ -193,8 +193,18 @@ class DsnClient:
         )
         return decrypt_file(encrypted, self.keys[manifest.file_id])
 
-    def repair(self, manifest: FileManifest, provider: str) -> FileManifest:
-        """Re-generate the shards a failed provider held and re-place them."""
+    def repair(
+        self, manifest: FileManifest, provider: str, strategy=None
+    ) -> FileManifest:
+        """Re-generate the shards a failed provider held and re-place them.
+
+        ``strategy`` is an optional
+        :class:`~repro.storage.placement.PlacementStrategy`; when given,
+        the replacement providers are taken from its ordering (e.g.
+        best-reputation-first) instead of raw ring successors.  Providers
+        already holding a shard of this file — and the failed provider —
+        are always excluded.
+        """
         code = ReedSolomonCode(manifest.erasure_n, manifest.erasure_k)
         survivors: list[Shard] = []
         for location in manifest.shards:
@@ -208,25 +218,48 @@ class DsnClient:
         healthy = [loc for loc in manifest.shards if loc.provider != provider]
         ciphertext = code.decode(survivors, manifest.ciphertext_length)
         fresh = code.encode(ciphertext)
-        # Place the regenerated shards on ring successors not already used.
+        # Place the regenerated shards on providers not already used.
         used = {loc.provider for loc in healthy}
+        if strategy is None:
+            ordered = [
+                node.name
+                for node in self.cluster.ring.successors(
+                    manifest.file_id, len(self.cluster.nodes)
+                )
+            ]
+        else:
+            ordered = list(
+                strategy.select(self.cluster, manifest.file_id, len(lost))
+            )
         candidates = [
-            node
-            for node in self.cluster.ring.successors(
-                manifest.file_id, len(self.cluster.nodes)
-            )
-            if node.name not in used and node.name != provider
+            name
+            for name in ordered
+            if name not in used and name != provider and name in self.cluster.nodes
         ]
-        for lost_loc, target in zip(lost, candidates):
-            shard = fresh[lost_loc.shard_index]
-            self.cluster.network.send(self.owner_name, target.name, len(shard.data))
-            self.cluster.node(target.name).put(
-                manifest.file_id, shard.index, shard.data
+        if len(candidates) < len(lost):
+            raise RuntimeError(
+                f"only {len(candidates)} replacement providers available for "
+                f"{len(lost)} lost shards of {manifest.file_id}"
             )
+        candidate_iter = iter(candidates)
+        for lost_loc in lost:
+            shard = fresh[lost_loc.shard_index]
+            while True:
+                target = next(candidate_iter, None)
+                if target is None:
+                    raise RuntimeError(
+                        f"replacement providers ran out of capacity while "
+                        f"repairing {manifest.file_id}"
+                    )
+                self.cluster.network.send(self.owner_name, target, len(shard.data))
+                if self.cluster.node(target).put(
+                    manifest.file_id, shard.index, shard.data
+                ):
+                    break
             healthy.append(
                 ShardLocation(
                     shard_index=shard.index,
-                    provider=target.name,
+                    provider=target,
                     checksum=_checksum(shard.data),
                 )
             )

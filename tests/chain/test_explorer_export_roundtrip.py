@@ -1,0 +1,109 @@
+"""Explorer JSON export round-trip over a sharded fabric run.
+
+``export_json`` is the explorer's machine-readable surface; these tests
+parse it back and require the per-lane gas sections to decompose *exactly*
+to the fabric totals — the accounting invariant the lane summaries promise
+— plus stable, JSON-clean structure (sorted keys, serializable types).
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.chain import ChainExplorer, ShardedChainFabric
+from repro.core import DataOwner, ProtocolParams
+from repro.engine import AuditExecutor, AuditInstance
+from repro.randomness import HashChainBeacon
+from repro.rollup import CrossShardAggregator
+from repro.sim.workloads import archive_file
+
+LANES = 2
+FLEET = 4
+
+
+@pytest.fixture(scope="module")
+def fabric_world():
+    params = ProtocolParams(s=4, k=3)
+    rng = random.Random(21)
+    owner = DataOwner(params, rng=rng)
+    instances = []
+    for index in range(FLEET):
+        package = owner.prepare(
+            archive_file(500, tag=f"exp-{index}").data,
+            fresh_keypair=index == 0,
+        )
+        instances.append(AuditInstance.from_package(package, owner_id="exp"))
+    fabric = ShardedChainFabric(num_lanes=LANES)
+    with AuditExecutor(instances, workers=1) as executor:
+        aggregator = CrossShardAggregator(
+            fabric, executor, params, HashChainBeacon(b"export"), rng=rng
+        )
+        aggregator.run(2)
+    explorer = ChainExplorer(fabric)
+    payload = json.loads(explorer.export_json())
+    return fabric, explorer, payload
+
+
+def test_export_parses_and_has_lane_section(fabric_world):
+    _, _, payload = fabric_world
+    assert payload["height"] >= 0
+    assert len(payload["lanes"]) == LANES
+    assert [lane["lane"] for lane in payload["lanes"]] == list(range(LANES))
+
+
+def test_lane_gas_decomposes_exactly_to_fabric_total(fabric_world):
+    fabric, _, payload = fabric_world
+    lane_gas = [lane["gas_used"] for lane in payload["lanes"]]
+    assert sum(lane_gas) == fabric.total_gas_used()
+    assert lane_gas == fabric.lane_gas_totals()
+
+
+def test_lane_bytes_and_fees_decompose_exactly(fabric_world):
+    fabric, _, payload = fabric_world
+    assert sum(l["chain_bytes"] for l in payload["lanes"]) == payload[
+        "chain_bytes"
+    ]
+    assert payload["chain_bytes"] == fabric.chain_bytes()
+    assert sum(l["fee_sink_wei"] for l in payload["lanes"]) == payload[
+        "fee_sink_wei"
+    ]
+
+
+def test_lane_transactions_decompose_to_explorer_count(fabric_world):
+    _, explorer, payload = fabric_world
+    assert (
+        sum(lane["transactions"] for lane in payload["lanes"])
+        == payload["transactions"]
+        == explorer.transaction_count()
+    )
+
+
+def test_checkpoint_rows_cover_every_settled_epoch(fabric_world):
+    _, _, payload = fabric_world
+    checkpoints = payload["checkpoints"]
+    assert len(checkpoints) == 2 * LANES  # 2 epochs x one commitment per lane
+    for row in checkpoints:
+        assert row["accepted"] + row["rejected"] == row["leaves"]
+        assert row["lane"] in range(LANES)
+    # checkpoint gas rows sit inside their lane's gas meter
+    by_lane: dict[int, int] = {}
+    for row in checkpoints:
+        by_lane[row["lane"]] = by_lane.get(row["lane"], 0) + row["gas_used"]
+    for lane_row in payload["lanes"]:
+        assert by_lane.get(lane_row["lane"], 0) <= lane_row["gas_used"]
+
+
+def test_export_is_stable_and_sorted(fabric_world):
+    _, explorer, payload = fabric_world
+    again = explorer.export_json()
+    assert json.loads(again) == payload
+    assert again == json.dumps(payload, indent=2, sort_keys=True)
+
+
+def test_event_counts_match_lane_event_streams(fabric_world):
+    fabric, _, payload = fabric_world
+    total_events = sum(len(lane.events) for lane in fabric.lanes)
+    assert sum(payload["events"].values()) == total_events

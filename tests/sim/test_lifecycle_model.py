@@ -1,0 +1,86 @@
+"""LifecycleCapacityModel: durability + chain-growth projection invariants."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.durability import DurabilityModel
+from repro.sim.throughput import LifecycleCapacityModel
+
+
+def test_loss_rate_compounds_to_annual_churn():
+    model = LifecycleCapacityModel(churn=0.2, epochs_per_year=12)
+    p = model.shard_loss_rate_per_epoch
+    assert (1 - p) ** 12 == pytest.approx(0.8)
+
+
+def test_projected_durability_matches_markov_model():
+    model = LifecycleCapacityModel(
+        churn=0.3, epochs_per_year=6, erasure_n=4, erasure_k=2
+    )
+    direct = DurabilityModel(
+        n=4, k=2, shard_loss_rate=model.shard_loss_rate_per_epoch
+    ).survival_probability(12)
+    assert model.projected_durability(2) == pytest.approx(direct)
+
+
+def test_durability_improves_with_redundancy():
+    low = LifecycleCapacityModel(erasure_n=3, erasure_k=2, churn=0.4)
+    high = LifecycleCapacityModel(erasure_n=6, erasure_k=2, churn=0.4)
+    assert high.projected_durability(5) > low.projected_durability(5)
+
+
+def test_durability_decreases_with_horizon():
+    model = LifecycleCapacityModel(erasure_n=4, erasure_k=2, churn=0.4)
+    values = [model.projected_durability(years) for years in (1, 3, 10)]
+    assert values == sorted(values, reverse=True)
+
+
+def test_faster_audits_improve_durability():
+    """More epochs per year = faster detection + repair = fewer deaths."""
+    slow = LifecycleCapacityModel(churn=0.5, epochs_per_year=2)
+    fast = LifecycleCapacityModel(churn=0.5, epochs_per_year=24)
+    assert fast.projected_durability(3) > slow.projected_durability(3)
+
+
+def test_cumulative_bytes_decompose_exactly():
+    model = LifecycleCapacityModel(
+        lanes=3, epochs_per_year=12, churn=0.2, erasure_n=4, erasure_k=2
+    )
+    files = 40
+    years = 7
+    assert model.cumulative_chain_bytes(years, files) == int(
+        years
+        * (model.settlement_bytes_per_year() + model.repair_bytes_per_year(files))
+    )
+
+
+def test_settlement_bytes_scale_with_lanes_and_cadence():
+    base = LifecycleCapacityModel(lanes=1, epochs_per_year=12)
+    wide = LifecycleCapacityModel(lanes=4, epochs_per_year=12)
+    fast = LifecycleCapacityModel(lanes=1, epochs_per_year=24)
+    assert wide.settlement_bytes_per_year() > base.settlement_bytes_per_year()
+    assert fast.settlement_bytes_per_year() == 2 * base.settlement_bytes_per_year()
+
+
+def test_expected_repairs_scale_linearly_with_files():
+    model = LifecycleCapacityModel(churn=0.25, erasure_n=5, erasure_k=3)
+    assert model.expected_repairs_per_year(20) == pytest.approx(
+        2 * model.expected_repairs_per_year(10)
+    )
+
+
+def test_validation():
+    with pytest.raises(ValueError):
+        LifecycleCapacityModel(churn=1.5)
+    with pytest.raises(ValueError):
+        LifecycleCapacityModel(erasure_n=2, erasure_k=3)
+    with pytest.raises(ValueError):
+        LifecycleCapacityModel(epochs_per_year=0)
+
+
+def test_zero_churn_means_perfect_projection_and_no_repairs():
+    model = LifecycleCapacityModel(churn=0.0)
+    assert model.projected_durability(10) == pytest.approx(1.0)
+    assert model.expected_repairs_per_year(100) == 0.0
+    assert model.repair_bytes_per_year(100) == 0

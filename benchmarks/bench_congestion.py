@@ -1,0 +1,173 @@
+"""Fee-market congestion sweep: inclusion latency and audit throughput.
+
+Offered load is audit-shaped storm traffic (``StormTraffic``, one
+``PAPER_AUDIT_GAS`` transaction per pseudo-provider) expressed as a
+multiple of the fee market's per-block gas target, swept across lane
+counts.  Per (lanes, load) cell the bench measures:
+
+* **inclusion latency** — mean blocks a transaction waits in the pool
+  before draining (Little's law: time-averaged pending depth divided by
+  drain rate),
+* **audits/s** — drained audit-equivalents per chain-second (drained
+  storm transactions over ``blocks x 15 s``, summed across lanes),
+* **peak base fee** and **peak pool depth** — the backpressure story.
+
+Acceptance (ISSUE 6): at every load >= 2x the gas target the pool stays
+within its watermarks (admission control holds, no unbounded backlog)
+and the drain records **zero priority inversions**.  Throughput at the
+target and above must scale with lanes — block space, not CPU, is the
+bottleneck being bought.
+
+BENCH_QUICK=1 (the CI smoke job) shrinks the sweep.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.chain import PAPER_AUDIT_GAS, ShardedChainFabric
+from repro.chain.mempool import (
+    GasSinkContract,
+    MempoolConfig,
+    MempoolRejection,
+    StormTraffic,
+)
+from repro.sim import CongestionPricingModel
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+
+LANES = (1, 4) if QUICK else (1, 4, 8)
+LOADS = (0.5, 3.0) if QUICK else (0.5, 1.0, 2.0, 3.0)
+BLOCKS = 8 if QUICK else 20
+SENDERS_PER_LANE = 8
+BLOCK_INTERVAL_S = 15.0
+
+
+def _lane_worlds(fabric, load_tag: str):
+    """Per lane: a gas sink, funded senders and a deterministic storm."""
+    worlds = []
+    for lane_id, lane in enumerate(fabric.lanes):
+        deployer = lane.create_account(10.0, label=f"deploy-{load_tag}")
+        sink = lane.deploy(GasSinkContract(), deployer=deployer)
+        senders = [
+            lane.create_account(500.0, label=f"{load_tag}-{lane_id}-{i}")
+            for i in range(SENDERS_PER_LANE)
+        ]
+        worlds.append((lane, StormTraffic(sink, senders, seed=lane_id)))
+    return worlds
+
+
+def _run_cell(lanes: int, load: float) -> dict:
+    fabric = ShardedChainFabric(num_lanes=lanes, mempool=MempoolConfig())
+    worlds = _lane_worlds(fabric, f"L{lanes}x{load}")
+    pending_integral = 0
+    pool_peak = 0
+    rejections = 0
+    for _ in range(BLOCKS):
+        for lane, storm in worlds:
+            market = lane.pool.config.fee_market
+            offered = int(load * market.gas_target(lane.block_gas_limit))
+            max_fee_gwei, tip_gwei = lane.pool.suggest_fees(1.0)
+            for tx in storm.txs_for_block(
+                offered, max_fee_gwei=max_fee_gwei,
+                priority_fee_gwei=tip_gwei, jitter_gwei=0.5,
+            ):
+                try:
+                    lane.submit(tx)
+                except MempoolRejection:
+                    rejections += 1
+            pool_peak = max(pool_peak, len(lane.pool))
+        # Depth sampled pre-mine so the in-block wait counts: an uncongested
+        # pool reads ~1 block of latency, a backlogged one reads more.
+        pending_integral += fabric.pending_total()
+        fabric.mine_block()
+    drained = sum(lane.pool.stats["drained"] for lane in fabric.lanes)
+    inversions = sum(lane.pool.priority_inversions for lane in fabric.lanes)
+    # Little's law: mean queue depth / per-block drain rate, in blocks.
+    latency_blocks = (
+        (pending_integral / BLOCKS) / (drained / BLOCKS) if drained else 0.0
+    )
+    return {
+        "drained": drained,
+        "latency_blocks": latency_blocks,
+        "audits_per_s": drained / (BLOCKS * BLOCK_INTERVAL_S),
+        "peak_base_fee": max(lane.base_fee_wei for lane in fabric.lanes),
+        "pool_peak": pool_peak,
+        "inversions": inversions,
+        "rejections": rejections,
+        "high_watermark": fabric.lanes[0].pool.config.high_watermark,
+    }
+
+
+def test_congestion_latency_and_throughput_sweep(benchmark, report):
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)  # report-only entry
+    lines = [
+        f"Fee-market congestion sweep: audit-shaped storms "
+        f"({PAPER_AUDIT_GAS:,}-gas transactions, {SENDERS_PER_LANE} "
+        f"senders/lane) offered for {BLOCKS} blocks at each load multiple "
+        f"of the per-lane gas target; 10M-gas blocks at 15 s.",
+        "Latency = time-averaged pool depth / drain rate (Little's law).",
+        "",
+        f"{'lanes':>5} {'load':>5} {'drained':>8} {'latency blk':>12} "
+        f"{'audits/s':>9} {'peak fee gwei':>14} {'pool peak':>10} "
+        f"{'rejected':>9}",
+    ]
+    cells = {}
+    for lanes in LANES:
+        for load in LOADS:
+            cell = cells[(lanes, load)] = _run_cell(lanes, load)
+            lines.append(
+                f"{lanes:>5} {load:>5.1f} {cell['drained']:>8,} "
+                f"{cell['latency_blocks']:>12.2f} "
+                f"{cell['audits_per_s']:>9.2f} "
+                f"{cell['peak_base_fee'] / 10**9:>14.2f} "
+                f"{cell['pool_peak']:>10} {cell['rejections']:>9,}"
+            )
+
+    # Acceptance: overload never breaches the watermarks and the drain
+    # never pops a cheaper transaction over an available richer one.
+    for (lanes, load), cell in cells.items():
+        assert cell["inversions"] == 0, (
+            f"{lanes} lanes @ {load}x: {cell['inversions']} priority inversions"
+        )
+        if load >= 2.0:
+            assert cell["pool_peak"] <= cell["high_watermark"], (
+                f"{lanes} lanes @ {load}x: pool peak {cell['pool_peak']} "
+                f"breached the high watermark {cell['high_watermark']}"
+            )
+            # Overload must show up as congestion pricing, not a free lunch.
+            assert cell["peak_base_fee"] > 10**9
+
+    # Latency grows with load; throughput at the target scales with lanes.
+    for lanes in LANES:
+        assert (
+            cells[(lanes, LOADS[-1])]["latency_blocks"]
+            > cells[(lanes, LOADS[0])]["latency_blocks"]
+        )
+    heavy = LOADS[-1]
+    assert (
+        cells[(LANES[-1], heavy)]["audits_per_s"]
+        > 1.5 * cells[(1, heavy)]["audits_per_s"]
+    )
+
+    model = CongestionPricingModel.for_market(
+        ShardedChainFabric(num_lanes=1, mempool=MempoolConfig())
+        .lanes[0].pool.config.fee_market,
+        10_000_000,
+    )
+    lines += [
+        "",
+        "Closed-form controller envelope (CongestionPricingModel):",
+        f"  growth at 2x target: "
+        f"{model.base_fee_growth_per_block(2 * model.gas_target):.4f}"
+        f"x/block; blocks to 10x price: "
+        f"{model.blocks_to_price_multiplier(2 * model.gas_target, 10.0):.1f}; "
+        f"decay back from 10x: "
+        f"{model.decay_blocks_from_multiplier(10.0):.1f} blocks",
+        f"  modeled audits/s at saturation (1 lane): "
+        f"{model.audits_per_second(PAPER_AUDIT_GAS, model.block_gas_limit):.2f}",
+        "",
+        "Acceptance: pool within watermarks at every load >= 2x target; "
+        "0 priority inversions in every cell.",
+    ]
+    report("congestion", "\n".join(lines))

@@ -21,6 +21,7 @@ See ``docs/SCENARIOS.md`` for the strategy catalogue with expected
 detection probabilities and the CLI commands reproducing each run.
 """
 
+from .feegrief import FeeGriefer, FeeGriefReport, detect_fee_griefers
 from .node import ByzantineStorageNode
 from .scenario import (
     DisputeDemoResult,
@@ -48,6 +49,8 @@ __all__ = [
     "ByzantineStorageNode",
     "ChurnProver",
     "DisputeDemoResult",
+    "FeeGriefReport",
+    "FeeGriefer",
     "ReplayingProver",
     "ScenarioReport",
     "ScenarioRunner",
@@ -55,6 +58,7 @@ __all__ = [
     "StrategySpec",
     "StrategyStats",
     "TagForgeryProver",
+    "detect_fee_griefers",
     "expected_detection_rate",
     "make_prover",
     "measured_detection_rate",

@@ -30,6 +30,16 @@ class ProviderAgent:
     file_name: int
     prove_reports: list[ProveReport] = field(default_factory=list)
     misbehave_after_round: int | None = None  # drop data mid-contract
+    #: submit proofs through the chain's mempool instead of transact();
+    #: requires the chain to carry a pool.  Proofs then compete for block
+    #: space at ``tip_gwei`` under the fee market (audit-storm realism).
+    use_pool: bool = False
+    tip_gwei: float = 1.0
+    pool_gas_limit: int = 1_000_000
+    #: keep the legacy gas_price as fee cap + tip instead of the wallet
+    #: suggestion — what the differential congestion test uses to prove
+    #: the pool path charges bit-identical fees to transact().
+    pool_legacy_fees: bool = False
 
     def pending_challenge(self) -> Challenge | None:
         """The challenge awaiting this agent's proof, if any.
@@ -61,6 +71,26 @@ class ProviderAgent:
         if report is not None:
             self.prove_reports.append(report)
         payload = proof.to_bytes()
+        if self.use_pool:
+            pool = self.chain.pool
+            assert pool is not None, "use_pool requires a mempool-enabled chain"
+            if self.pool_legacy_fees:
+                max_fee_gwei = tip_gwei = None
+            else:
+                max_fee_gwei, tip_gwei = pool.suggest_fees(self.tip_gwei)
+            self.chain.submit(
+                Transaction(
+                    sender=self.account,
+                    to=self.contract_address,
+                    method="submit_proof",
+                    args=(payload,),
+                    gas_limit=self.pool_gas_limit,
+                    max_fee_gwei=max_fee_gwei,
+                    priority_fee_gwei=tip_gwei,
+                ),
+                payload_bytes=len(payload),
+            )
+            return
         self.chain.transact(
             Transaction(
                 sender=self.account,

@@ -48,6 +48,9 @@ class Block:
     receipts: list[Receipt] = field(default_factory=list)
     gas_used: int = 0
     byte_size: int = 0
+    # wei/gas every transaction in this block paid as base fee; stays 0
+    # on chains without a mempool (legacy direct-transact path).
+    base_fee_wei: int = 0
 
     @property
     def block_hash(self) -> str:
@@ -135,6 +138,7 @@ class Blockchain:
         require_signatures: bool = False,
         store: StateStore | None = None,
         chain_id: int = 0,
+        mempool=None,
     ):
         self.schedule = schedule or GasSchedule.istanbul()
         self.block_time = block_time
@@ -152,6 +156,17 @@ class Blockchain:
             self.store.commit("genesis", block=genesis)
         for contract in self.store.contracts.values():
             contract.chain = self  # rebind after a restore
+        # Optional admission path: pass a MempoolConfig to give the chain
+        # a fee market and a pending pool (submit() + priority drain in
+        # mine_block()); transact() stays the direct legacy path.
+        self.pool = None
+        if mempool is not None:
+            from .mempool import Mempool, MempoolConfig
+
+            if not isinstance(mempool, (Mempool, MempoolConfig)):
+                raise TypeError("mempool must be a MempoolConfig")
+            config = mempool if isinstance(mempool, MempoolConfig) else mempool.config
+            self.pool = Mempool(self, config)
 
     @classmethod
     def open(cls, directory, **kwargs) -> "Blockchain":
@@ -212,6 +227,14 @@ class Blockchain:
     @property
     def _signer_keys(self) -> dict[str, bytes]:
         return self.store.signer_keys
+
+    @property
+    def base_fee_wei(self) -> int:
+        return self.store.base_fee_wei
+
+    @property
+    def burned(self) -> int:
+        return self.store.burned
 
     def state_hash(self) -> str:
         """Canonical fingerprint of the entire chain state (hex digest)."""
@@ -308,8 +331,14 @@ class Blockchain:
         self._credit(to, amount_wei)
 
     def total_supply(self) -> int:
-        """Conservation check helper: account balances + collected fees."""
-        return sum(self.store.balances.values()) + self.store.fee_sink
+        """Conservation check helper: balances + collected + burned fees.
+
+        ``burned`` stays 0 on chains without a fee market, so the legacy
+        invariant ``balances + fee_sink == const`` is unchanged; with a
+        mempool the burn leg joins the equation and escrowed fee budgets
+        (held by the ``0xmempool`` account) remain inside ``balances``.
+        """
+        return sum(self.store.balances.values()) + self.store.fee_sink + self.store.burned
 
     # -- contracts --------------------------------------------------------------
 
@@ -375,6 +404,21 @@ class Blockchain:
         )
         return receipt
 
+    def submit(self, tx: Transaction, payload_bytes: int = 0, *, replace: bool = False):
+        """Queue a transaction through the mempool admission path.
+
+        Returns the admitted :class:`~repro.chain.mempool.PendingEntry`;
+        raises a :class:`~repro.chain.mempool.MempoolRejection` subclass
+        (``PoolFull``, ``Underpriced``, ...) when admission fails.  The
+        transaction executes when a later :meth:`mine_block` drains it.
+        """
+        if self.pool is None:
+            raise RuntimeError(
+                "this chain has no mempool; construct it with "
+                "Blockchain(mempool=MempoolConfig()) or use transact()"
+            )
+        return self.pool.submit(tx, payload_bytes, replace=replace)
+
     def _tx_hash(self, tx: Transaction) -> str:
         """Chain-sequenced transaction hash.
 
@@ -389,7 +433,14 @@ class Blockchain:
         ).encode()
         return hashlib.sha256(material).hexdigest()
 
-    def _execute(self, tx: Transaction, payload_bytes: int) -> Receipt:
+    def _execute(
+        self,
+        tx: Transaction,
+        payload_bytes: int,
+        base_fee_wei: int | None = None,
+        tip_wei: int = 0,
+        burn_base: bool = True,
+    ) -> Receipt:
         self.store.tx_seq += 1
         tx_hash = self._tx_hash(tx)
         meter = GasMeter(tx.gas_limit)
@@ -442,13 +493,32 @@ class Blockchain:
             if contract is not None:
                 contract._pending_events.clear()
             success, error, return_value = False, str(exc), None
-        fee = int(meter.used * tx.gas_price_gwei * WEI_PER_GWEI)
-        try:
-            self._debit(tx.sender, fee)
-        except RevertError:
-            fee = self.store.balances.get(tx.sender, 0)
-            self.store.balances[tx.sender] = 0
-        self.store.fee_sink += fee
+        if base_fee_wei is None:
+            # Legacy direct path: the whole gas price goes to the sink.
+            fee = int(meter.used * tx.gas_price_gwei * WEI_PER_GWEI)
+            try:
+                self._debit(tx.sender, fee)
+            except RevertError:
+                fee = self.store.balances.get(tx.sender, 0)
+                self.store.balances[tx.sender] = 0
+            self.store.fee_sink += fee
+        else:
+            # Fee-market path: base fee is burned (or sunk when the
+            # market runs with burn disabled), the tip pays the miner.
+            burn = meter.used * base_fee_wei
+            tip = meter.used * tip_wei
+            try:
+                self._debit(tx.sender, burn + tip)
+            except RevertError:
+                available = self.store.balances.get(tx.sender, 0)
+                self.store.balances[tx.sender] = 0
+                burn = min(burn, available)
+                tip = available - burn
+            if burn_base:
+                self.store.burned += burn
+                self.store.fee_sink += tip
+            else:
+                self.store.fee_sink += burn + tip
         receipt = Receipt(
             tx_hash=tx_hash,
             success=success,
@@ -505,12 +575,24 @@ class Blockchain:
     # -- block production ------------------------------------------------------------
 
     def mine_block(self) -> Block:
-        """Seal the pending block, advance time, fire due scheduled calls."""
+        """Seal the pending block, advance time, fire due scheduled calls.
+
+        On a mempool chain the pool first expires stale entries and then
+        drains its best-priced transactions into the pending block (each
+        drained execution commits its own WAL record), and the sealing
+        commit stamps the block's base fee and rolls the fee market one
+        step — so a crash anywhere in between recovers mid-drain exactly.
+        """
+        if self.pool is not None:
+            self.pool.expire()
+            self.pool.drain_into_block()
         self.store.begin()
         try:
             sealed = self.blocks[-1]
             sealed.timestamp = self.time
             sealed.byte_size += self.base_block_bytes
+            if self.pool is not None:
+                self.pool.on_block_sealed(sealed)
             self.store.time += self.block_time
             new_block = Block(
                 number=len(self.blocks),
@@ -523,6 +605,7 @@ class Blockchain:
                 "block",
                 sealed_timestamp=sealed.timestamp,
                 sealed_bytes=sealed.byte_size,
+                sealed_base_fee=sealed.base_fee_wei,
                 time=self.time,
                 new_block=new_block,
             )

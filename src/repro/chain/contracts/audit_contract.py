@@ -311,7 +311,11 @@ class AuditContract(Contract):
 
         current.passed = passed
         current.gas_used = gas
-        current.verify_ms = verify_ms
+        # Round state feeds state_hash: record the cost model's pinned
+        # verification time (zero when no verification ran), never the
+        # live wall-clock measurement — two chains fed the same workload
+        # must hash identically.
+        current.verify_ms = self.native_verify_ms if verify_ms else 0.0
         current.resolved_at = ctx.timestamp
         if passed:
             self.passes += 1

@@ -73,6 +73,24 @@ class CheckpointSummary:
 
 
 @dataclass(frozen=True)
+class FeeMarketSummary:
+    """One lane's fee-market telemetry (zeroes when no mempool attached)."""
+
+    lane: int
+    base_fee_wei: int
+    peak_base_fee_wei: int
+    burned_wei: int
+    pending: int
+    submitted: int
+    drained: int
+    replaced: int
+    evicted: int
+    expired: int
+    rejections: dict[str, int]
+    priority_inversions: int
+
+
+@dataclass(frozen=True)
 class LaneSummary:
     """One lane's ledger totals (the per-lane gas-meter section)."""
 
@@ -126,6 +144,7 @@ class ChainExplorer:
                     "tx_count": len(block.receipts),
                     "gas_used": block.gas_used,
                     "byte_size": block.byte_size,
+                    "base_fee_wei": getattr(block, "base_fee_wei", 0),
                 }
                 if self.sharded:
                     summary["lane"] = lane_index
@@ -279,6 +298,71 @@ class ChainExplorer:
             )
         return out
 
+    # -- fee market / mempool --------------------------------------------------
+
+    @property
+    def has_fee_market(self) -> bool:
+        return any(lane.pool is not None for lane in self._lanes)
+
+    def base_fee_series(self, lane: int = 0) -> list[int]:
+        """Per-sealed-block base fee (wei/gas) of one lane, oldest first."""
+        blocks = self._lanes[lane].blocks
+        return [getattr(block, "base_fee_wei", 0) for block in blocks[:-1]]
+
+    def tip_series(self, lane: int = 0) -> list[float]:
+        """Mean effective tip (wei/gas) of drained txs per sealed block.
+
+        Blocks that included no pool traffic report 0.  Receipts store a
+        block number of ``len(blocks)`` at execution time (one past the
+        pending block's index), hence the ``+ 1`` when joining the pool's
+        per-block tip log back onto sealed blocks.
+        """
+        chain = self._lanes[lane]
+        if chain.pool is None:
+            return [0.0 for _ in chain.blocks[:-1]]
+        out = []
+        for block in chain.blocks[:-1]:
+            tips = chain.pool.block_tips.get(block.number + 1, [])
+            out.append(sum(tips) / len(tips) if tips else 0.0)
+        return out
+
+    def eviction_series(self) -> list[dict]:
+        """Every pool eviction/expiry burst across lanes, time-ordered."""
+        out = []
+        for lane_index, lane in enumerate(self._lanes):
+            if lane.pool is None:
+                continue
+            for when, reason, count in lane.pool.eviction_series:
+                out.append(
+                    {"time": when, "lane": lane_index, "reason": reason, "count": count}
+                )
+        return sorted(out, key=lambda row: (row["time"], row["lane"]))
+
+    def fee_market_summaries(self) -> list[FeeMarketSummary]:
+        out = []
+        for lane_index, lane in enumerate(self._lanes):
+            pool = lane.pool
+            if pool is None:
+                continue
+            series = self.base_fee_series(lane_index)
+            out.append(
+                FeeMarketSummary(
+                    lane=lane_index,
+                    base_fee_wei=lane.base_fee_wei,
+                    peak_base_fee_wei=max(series, default=lane.base_fee_wei),
+                    burned_wei=lane.burned,
+                    pending=len(pool),
+                    submitted=pool.stats["submitted"],
+                    drained=pool.stats["drained"],
+                    replaced=pool.stats["replaced"],
+                    evicted=pool.stats["evicted"],
+                    expired=pool.stats["expired"],
+                    rejections=dict(pool.rejections),
+                    priority_inversions=pool.priority_inversions,
+                )
+            )
+        return out
+
     # -- disputes / reputation -------------------------------------------------
 
     def dispute_log(self) -> list[dict]:
@@ -352,6 +436,29 @@ class ChainExplorer:
                 for s in self.checkpoint_contracts()
             ],
         }
+        if self.has_fee_market:
+            payload["fee_market"] = {
+                "lanes": [
+                    {
+                        "lane": s.lane,
+                        "base_fee_wei": s.base_fee_wei,
+                        "peak_base_fee_wei": s.peak_base_fee_wei,
+                        "burned_wei": s.burned_wei,
+                        "pending": s.pending,
+                        "submitted": s.submitted,
+                        "drained": s.drained,
+                        "replaced": s.replaced,
+                        "evicted": s.evicted,
+                        "expired": s.expired,
+                        "rejections": s.rejections,
+                        "priority_inversions": s.priority_inversions,
+                    }
+                    for s in self.fee_market_summaries()
+                ],
+                "base_fee_series": self.base_fee_series(0),
+                "tip_series": self.tip_series(0),
+                "evictions": self.eviction_series(),
+            }
         if self.sharded:
             payload["lanes"] = [
                 {

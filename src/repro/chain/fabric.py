@@ -62,10 +62,12 @@ class ShardedChainFabric:
         base_block_bytes: int = 600,
         require_signatures: bool = False,
         persist_dir=None,
+        mempool=None,
     ):
         if num_lanes < 1:
             raise ValueError("a fabric needs at least one lane")
         self.persist_dir = persist_dir
+        self.mempool_config = mempool
 
         def _store(index: int) -> StateStore:
             if persist_dir is None:
@@ -83,6 +85,7 @@ class ShardedChainFabric:
                 require_signatures=require_signatures,
                 store=_store(index),
                 chain_id=index,
+                mempool=mempool,
             )
             for index in range(num_lanes)
         ]
@@ -184,17 +187,25 @@ class ShardedChainFabric:
 
     def transact(self, tx: Transaction, payload_bytes: int = 0) -> Receipt:
         """Route a transaction to the lane owning its recipient."""
+        return self.lanes[self.lane_index_for_tx(tx)].transact(tx, payload_bytes)
+
+    def lane_index_for_tx(self, tx: Transaction) -> int:
+        """The lane a transaction settles on (recipient-owned, like transact)."""
         if tx.to is not None:
             try:
-                lane_index = self.lane_index_of_contract(tx.to)
+                return self.lane_index_of_contract(tx.to)
             except KeyError:
                 try:
-                    lane_index = self.lane_index_of_account(tx.to)
+                    return self.lane_index_of_account(tx.to)
                 except KeyError:
-                    lane_index = self.lane_index_for(tx.to)
-        else:
-            lane_index = self.lane_index_of_account(tx.sender)
-        return self.lanes[lane_index].transact(tx, payload_bytes)
+                    return self.lane_index_for(tx.to)
+        return self.lane_index_of_account(tx.sender)
+
+    def submit(self, tx: Transaction, payload_bytes: int = 0, *, replace: bool = False):
+        """Queue a transaction on its settlement lane's mempool."""
+        return self.lanes[self.lane_index_for_tx(tx)].submit(
+            tx, payload_bytes, replace=replace
+        )
 
     def call(self, address: str, method: str, *args):
         return self.lanes[self.lane_index_of_contract(address)].call(
@@ -249,6 +260,36 @@ class ShardedChainFabric:
         return [
             sum(block.gas_used for block in lane.blocks) for lane in self.lanes
         ]
+
+    def pending_total(self) -> int:
+        """Transactions queued across every lane's mempool."""
+        return sum(len(lane.pool) for lane in self.lanes if lane.pool is not None)
+
+    def mine_until_pools_drain(self, max_blocks: int = 10_000) -> int:
+        """Lockstep-mine until no lane holds pending transactions."""
+        mined = 0
+        while self.pending_total() and mined < max_blocks:
+            self.mine_block()
+            mined += 1
+        if self.pending_total():
+            raise RuntimeError(f"pools not drained after {max_blocks} blocks")
+        return mined
+
+    def lane_base_fees(self) -> list[int]:
+        """Per-lane base fee in wei/gas: the fabric's congestion price map.
+
+        Lanes are independent fee markets, so a hot lane (one holding a
+        popular contract) prices above its siblings; the spread is what
+        :class:`~repro.sim.throughput.CongestionPricingModel` consumes to
+        turn lane counts into steady-state inclusion economics.
+        """
+        return [lane.base_fee_wei for lane in self.lanes]
+
+    def congestion_premium(self) -> float:
+        """Hottest lane's base fee over the fleet minimum (1.0 = uniform)."""
+        fees = self.lane_base_fees()
+        floor = min(fees)
+        return (max(fees) / floor) if floor else 1.0
 
     def settlement_chain_seconds(self) -> float:
         """Chain time to absorb the recorded traffic: max over lanes.

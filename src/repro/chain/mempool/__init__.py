@@ -1,0 +1,48 @@
+"""Mempool package: fee market, pending pool, and congestion workloads."""
+
+from .fee_market import (
+    FeeMarketConfig,
+    effective_tip_wei,
+    gwei_to_wei,
+    suggest_fees,
+    update_base_fee,
+)
+from .pool import (
+    ESCROW_ACCOUNT,
+    InsufficientFunds,
+    Mempool,
+    MempoolConfig,
+    MempoolRejection,
+    NonceGap,
+    NonceOccupied,
+    NonceTooLow,
+    PendingEntry,
+    PoolFull,
+    ReplacementUnderpriced,
+    SenderLimitExceeded,
+    Underpriced,
+)
+from .workload import GasSinkContract, StormTraffic
+
+__all__ = [
+    "ESCROW_ACCOUNT",
+    "FeeMarketConfig",
+    "GasSinkContract",
+    "InsufficientFunds",
+    "Mempool",
+    "MempoolConfig",
+    "MempoolRejection",
+    "NonceGap",
+    "NonceOccupied",
+    "NonceTooLow",
+    "PendingEntry",
+    "PoolFull",
+    "ReplacementUnderpriced",
+    "SenderLimitExceeded",
+    "StormTraffic",
+    "Underpriced",
+    "effective_tip_wei",
+    "gwei_to_wei",
+    "suggest_fees",
+    "update_base_fee",
+]

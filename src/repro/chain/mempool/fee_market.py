@@ -1,0 +1,101 @@
+"""EIP-1559-style fee market for the simulated chain.
+
+The protocol the pool implements is the one Ethereum shipped in London:
+
+* every block carries a **base fee** (wei per gas) that every included
+  transaction must pay; the base fee is burned (removed from supply) by
+  default, or redirected to the fee sink when ``burn_base_fee`` is off,
+* after each block the base fee moves toward a **gas target** (a fraction
+  of the block gas limit, default half): a full block raises it by up to
+  1/``max_change_denominator`` (12.5%), an empty block lowers it by the
+  same factor, never below the floor,
+* senders bid a **fee cap** (``max_fee``) and a **tip cap**
+  (``priority_fee``); the miner receives
+  ``min(tip_cap, max_fee - base_fee)`` per gas — the *effective tip* the
+  pool orders on — and the sender is never charged above the cap.
+
+All arithmetic is integer wei-per-gas, matching the spec's divisions, so
+the base-fee trajectory is bit-reproducible across runs and replays.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+WEI_PER_GWEI = 10**9
+
+
+def gwei_to_wei(gwei: float) -> int:
+    return int(gwei * WEI_PER_GWEI)
+
+
+@dataclass(frozen=True)
+class FeeMarketConfig:
+    """Parameters of the per-block base-fee controller."""
+
+    initial_base_fee_gwei: float = 1.0
+    base_fee_floor_gwei: float = 1.0
+    #: target gas per block as a fraction of the block gas limit; the
+    #: spec's elasticity multiplier of 2 corresponds to 0.5.
+    gas_target_fraction: float = 0.5
+    #: bounds the per-block move to 1/denominator (8 -> +/-12.5%).
+    max_change_denominator: int = 8
+    #: burn the base fee (EIP-1559) or redirect it to the fee sink.
+    burn_base_fee: bool = True
+
+    @property
+    def initial_base_fee_wei(self) -> int:
+        return gwei_to_wei(self.initial_base_fee_gwei)
+
+    @property
+    def base_fee_floor_wei(self) -> int:
+        return gwei_to_wei(self.base_fee_floor_gwei)
+
+    def gas_target(self, block_gas_limit: int) -> int:
+        return max(1, int(block_gas_limit * self.gas_target_fraction))
+
+    def next_base_fee(self, base_fee_wei: int, gas_used: int, block_gas_limit: int) -> int:
+        """The base fee of the next block given this block's gas usage."""
+        return update_base_fee(
+            base_fee_wei,
+            gas_used,
+            self.gas_target(block_gas_limit),
+            self.max_change_denominator,
+            self.base_fee_floor_wei,
+        )
+
+
+def update_base_fee(
+    base_fee_wei: int,
+    gas_used: int,
+    gas_target: int,
+    max_change_denominator: int,
+    floor_wei: int,
+) -> int:
+    """One step of the EIP-1559 integer update rule (clamped at the floor)."""
+    if gas_used == gas_target:
+        return max(floor_wei, base_fee_wei)
+    if gas_used > gas_target:
+        delta = max(
+            1,
+            base_fee_wei * (gas_used - gas_target) // gas_target // max_change_denominator,
+        )
+        return max(floor_wei, base_fee_wei + delta)
+    delta = base_fee_wei * (gas_target - gas_used) // gas_target // max_change_denominator
+    return max(floor_wei, base_fee_wei - delta)
+
+
+def effective_tip_wei(max_fee_wei: int, tip_cap_wei: int, base_fee_wei: int) -> int:
+    """Per-gas amount the miner earns from this transaction (may be 0)."""
+    return max(0, min(tip_cap_wei, max_fee_wei - base_fee_wei))
+
+
+def suggest_fees(base_fee_wei: int, tip_gwei: float = 1.0) -> tuple[int, int]:
+    """The default wallet tip policy: (max_fee_wei, tip_cap_wei).
+
+    Cap at twice the current base fee plus the tip — enough headroom to
+    survive several consecutive full blocks (each raises the base fee by
+    at most 12.5%) without the transaction becoming inadmissible.
+    """
+    tip_wei = gwei_to_wei(tip_gwei)
+    return 2 * base_fee_wei + tip_wei, tip_wei

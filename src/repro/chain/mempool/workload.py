@@ -1,0 +1,80 @@
+"""Synthetic congestion traffic: a gas sink plus storm/griefing generators.
+
+Benchmarks, scenario tests and ``repro congest`` all need the *shape* of
+audit-settlement traffic (many ~589k-gas verification transactions from
+many senders) without paying for real pairing cryptography per
+transaction.  :class:`GasSinkContract` burns a caller-chosen amount of
+gas — the knob that turns one cheap Python call into a block-space
+citizen the fee market must price — and :class:`StormTraffic` emits
+deterministic submission schedules against it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..blockchain import Contract
+from ..gas import PAPER_AUDIT_GAS
+from ..transaction import Transaction
+
+
+class GasSinkContract(Contract):
+    """Burns exactly the gas its caller names (a stand-in verifier)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.calls = 0
+
+    def consume(self, ctx, gas_cost: int, tag: str = "") -> int:
+        ctx.gas.consume(int(gas_cost))
+        self.calls += 1
+        return self.calls
+
+
+@dataclass
+class StormTraffic:
+    """Deterministic generator of audit-shaped congestion transactions.
+
+    ``offered_load`` is expressed relative to the fee market's gas target
+    (1.0 = exactly the target per block; 2.0 = twice it), the regime the
+    acceptance bench sweeps.  Each sender submits at most one transaction
+    per block, mirroring providers that post one proof per epoch.
+    """
+
+    sink_address: str
+    senders: list[str]
+    gas_per_tx: int = PAPER_AUDIT_GAS
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        self._rng = random.Random(f"storm:{self.seed}")
+
+    def txs_for_block(
+        self,
+        gas_budget: int,
+        *,
+        max_fee_gwei: float,
+        priority_fee_gwei: float,
+        jitter_gwei: float = 0.0,
+    ) -> list[Transaction]:
+        """Transactions whose gas reservations sum to ``gas_budget``."""
+        count = max(0, int(gas_budget // self.gas_per_tx))
+        txs = []
+        for index in range(count):
+            sender = self.senders[index % len(self.senders)]
+            tip = priority_fee_gwei
+            if jitter_gwei:
+                tip += self._rng.random() * jitter_gwei
+            txs.append(
+                Transaction(
+                    sender=sender,
+                    to=self.sink_address,
+                    method="consume",
+                    args=(self.gas_per_tx - 25_000, f"storm-{index}"),
+                    gas_limit=self.gas_per_tx,
+                    max_fee_gwei=max_fee_gwei,
+                    priority_fee_gwei=tip,
+                )
+            )
+        return txs

@@ -169,6 +169,16 @@ class StateStore:
         self.tx_seq: int = 0
         self.signer_keys: dict[str, bytes] = {}
         self.nonces: dict[str, int] = {}
+        # Fee-market / mempool state (zero until a Mempool is attached).
+        # ``base_fee_wei`` and ``burned`` are ledger state (hashed); the
+        # pending pool itself is admission-queue state, fingerprinted
+        # separately by :meth:`pool_hash` so a drained pool-fed chain can
+        # be compared hash-for-hash against a direct-transact chain.
+        self.base_fee_wei: int = 0
+        self.burned: int = 0
+        self.pool: dict = {}              # (sender, nonce) -> PendingEntry
+        self.pool_seq: int = 0
+        self.mined_nonces: dict[str, int] = {}
         # Commit bookkeeping (used by logging backends).
         self._tx_depth = 0
         self._touched: set[str] = set()
@@ -226,6 +236,8 @@ class StateStore:
             {
                 "time": self.time,
                 "fee_sink": self.fee_sink,
+                "base_fee_wei": self.base_fee_wei,
+                "burned": self.burned,
                 "account_seq": self.account_seq,
                 "tx_seq": self.tx_seq,
                 "schedule_seq": self.schedule_seq,
@@ -241,6 +253,28 @@ class StateStore:
         for address in sorted(self.contracts):
             hasher.update(address.encode())
             _encode_canonical(self.contracts[address], hasher)
+        return hasher.hexdigest()
+
+    def pool_hash(self) -> str:
+        """Canonical fingerprint of the pending mempool (hex digest).
+
+        Kept separate from :meth:`state_hash` on purpose: the pool is
+        admission-queue state, not ledger state, so a chain fed through
+        the mempool and one fed through direct ``transact`` can agree on
+        ``state_hash`` once the pool drains.  Crash-recovery tests compare
+        this digest to prove the pool itself replays bit-identically.
+        """
+        hasher = hashlib.sha256(b"chain-pool-v1")
+        _encode_canonical(
+            {
+                "pool": {f"{s}:{n}": entry for (s, n), entry in self.pool.items()},
+                "pool_seq": self.pool_seq,
+                "mined_nonces": self.mined_nonces,
+                "base_fee_wei": self.base_fee_wei,
+                "burned": self.burned,
+            },
+            hasher,
+        )
         return hasher.hexdigest()
 
 
@@ -288,6 +322,13 @@ class _WalRecord:
     contracts: dict[str, tuple[type, dict]] = field(default_factory=dict)
     payload: dict = field(default_factory=dict)
     tx_seq: int = 0
+    # Fee-market / mempool patch (all deltas vs. the pre-scope state).
+    base_fee_wei: int = 0
+    burned: int = 0
+    pool_seq: int = 0
+    mined_nonces: dict = field(default_factory=dict)
+    pool_add: dict = field(default_factory=dict)    # key -> PendingEntry
+    pool_remove: list = field(default_factory=list)  # keys dropped
 
 
 class WalStateStore(StateStore):
@@ -335,6 +376,8 @@ class WalStateStore(StateStore):
             "nonces": dict(self.nonces),
             "signer_keys": dict(self.signer_keys),
             "events_len": len(self.events),
+            "mined_nonces": dict(self.mined_nonces),
+            "pool": dict(self.pool),
         }
 
     def _commit_hook(self, kind: str, payload: dict, touched: frozenset) -> None:
@@ -360,6 +403,22 @@ class WalStateStore(StateStore):
             account_seq=self.account_seq,
             schedule_seq=self.schedule_seq,
             tx_seq=self.tx_seq,
+            base_fee_wei=self.base_fee_wei,
+            burned=self.burned,
+            pool_seq=self.pool_seq,
+            mined_nonces={
+                addr: nonce
+                for addr, nonce in self.mined_nonces.items()
+                if pre["mined_nonces"].get(addr) != nonce
+            },
+            # PendingEntry objects are frozen, so identity comparison is
+            # an exact change detector (covers replace-by-fee rewrites).
+            pool_add={
+                key: entry
+                for key, entry in self.pool.items()
+                if pre["pool"].get(key) is not entry
+            },
+            pool_remove=[key for key in pre["pool"] if key not in self.pool],
             scheduled=list(self.scheduled),
             events_tail=list(self.events[pre["events_len"] :]),
             contracts={
@@ -418,6 +477,13 @@ class WalStateStore(StateStore):
         self.account_seq = record.account_seq
         self.schedule_seq = record.schedule_seq
         self.tx_seq = record.tx_seq
+        self.base_fee_wei = record.base_fee_wei
+        self.burned = record.burned
+        self.pool_seq = record.pool_seq
+        self.mined_nonces.update(record.mined_nonces)
+        for key in record.pool_remove:
+            self.pool.pop(key, None)
+        self.pool.update(record.pool_add)
         self.scheduled = list(record.scheduled)
         self.events.extend(record.events_tail)
         for address, (cls, attrs) in record.contracts.items():
@@ -434,6 +500,7 @@ class WalStateStore(StateStore):
             sealed = self.blocks[-1]
             sealed.timestamp = payload["sealed_timestamp"]
             sealed.byte_size = payload["sealed_bytes"]
+            sealed.base_fee_wei = payload.get("sealed_base_fee", 0)
             self.time = payload["time"]
             self.blocks.append(payload["new_block"])
         elif record.kind == "genesis":
@@ -457,6 +524,11 @@ class WalStateStore(StateStore):
                 "tx_seq",
                 "signer_keys",
                 "nonces",
+                "base_fee_wei",
+                "burned",
+                "pool",
+                "pool_seq",
+                "mined_nonces",
             )
         }
         state = {

@@ -42,6 +42,12 @@ class Transaction:
     nonce: int = 0
     signature: bytes | None = None
     public_key: bytes | None = None
+    # EIP-1559-style fee fields, consumed by the mempool admission path.
+    # When both are None the legacy ``gas_price_gwei`` doubles as fee cap
+    # and tip cap (pre-1559 semantics): the sender pays up to gas_price,
+    # base fee first, the remainder as tip.
+    max_fee_gwei: float | None = None
+    priority_fee_gwei: float | None = None
     tx_id: int = field(default_factory=lambda: next(_TX_COUNTER))
 
     @property

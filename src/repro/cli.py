@@ -15,6 +15,8 @@
     python -m repro attack --strategy replay --onchain        # dispute + slashing
     python -m repro lifecycle --years 2 --churn 0.2 --lanes 2 # years of churn
     python -m repro lifecycle --persist ./lifecycle --resume  # crash + reopen
+    python -m repro congest --storm --lanes 4 --blocks 12     # fee-market storm
+    python -m repro congest --storm --griefer --lanes 2       # + fee griefing
     python -m repro models   --users 5000
 
 Everything runs locally against the simulated substrates; the tool exists
@@ -669,6 +671,141 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
     return 0 if outcome.files_intact else 1
 
 
+def _cmd_congest(args: argparse.Namespace) -> int:
+    """Fee-market congestion run: storm pooled lanes, report the market."""
+    from .adversary import FeeGriefer, detect_fee_griefers
+    from .chain.fabric import ShardedChainFabric
+    from .chain.mempool import (
+        GasSinkContract,
+        MempoolConfig,
+        MempoolRejection,
+        StormTraffic,
+    )
+    from .sim import CongestionPricingModel
+
+    if args.lanes < 1 or args.blocks < 1 or args.senders < 1:
+        print("congest: --lanes, --blocks and --senders must be positive",
+              file=sys.stderr)
+        return 2
+    load = args.load
+    if args.storm:
+        load = max(load, 2.0)  # the acceptance regime: >= 2x gas target
+    config = MempoolConfig()
+    market = config.fee_market
+    fabric = ShardedChainFabric(num_lanes=args.lanes, mempool=config)
+    sinks, storms = [], []
+    for lane_id, lane in enumerate(fabric.lanes):
+        deployer = lane.create_account(10.0, label=f"congest-deploy-{lane_id}")
+        sink = lane.deploy(GasSinkContract(), deployer=deployer)
+        senders = [
+            lane.create_account(100.0, label=f"congest-sender-{lane_id}-{i}")
+            for i in range(args.senders)
+        ]
+        sinks.append(sink)
+        storms.append(
+            StormTraffic(sink, senders, seed=args.seed * 1000 + lane_id)
+        )
+    griefer = None
+    if args.griefer:
+        lane = fabric.lanes[0]
+        account = lane.create_account(50_000.0, label="congest-griefer")
+        griefer = FeeGriefer(
+            lane, account, sinks[0], gas_share=0.5, aggression=4.0
+        )
+    gas_target = market.gas_target(fabric.lanes[0].block_gas_limit)
+    offered = int(load * gas_target)
+    print(f"congestion: {args.lanes} lane(s), offered load {load:g}x gas "
+          f"target ({offered:,} gas/block/lane), {args.blocks} storm blocks"
+          + (", fee griefer on lane 0" if griefer else ""))
+
+    peaks = [0] * args.lanes
+    pool_peak = 0
+    pending_integral = 0
+    for _ in range(args.blocks):
+        if griefer is not None:
+            griefer.on_block()
+        for lane, storm in zip(fabric.lanes, storms):
+            max_fee_gwei, tip_gwei = lane.pool.suggest_fees(args.tip)
+            for tx in storm.txs_for_block(
+                offered,
+                max_fee_gwei=max_fee_gwei,
+                priority_fee_gwei=tip_gwei,
+                jitter_gwei=args.tip / 2,
+            ):
+                try:
+                    lane.submit(tx)
+                except MempoolRejection:
+                    pass  # counted in the pool's rejection telemetry
+        pool_peak = max(pool_peak, max(len(l.pool) for l in fabric.lanes))
+        pending_integral += fabric.pending_total()
+        fabric.mine_block()
+        peaks = [
+            max(peak, lane.base_fee_wei)
+            for peak, lane in zip(peaks, fabric.lanes)
+        ]
+
+    drain_blocks = fabric.mine_until_pools_drain()
+    floor = market.base_fee_floor_wei
+    decay_blocks = drain_blocks
+    while (
+        any(lane.base_fee_wei > floor for lane in fabric.lanes)
+        and decay_blocks < 1000
+    ):
+        fabric.mine_block()
+        decay_blocks += 1
+
+    gwei = 10**9
+    total_drained = 0
+    for lane_id, lane in enumerate(fabric.lanes):
+        pool = lane.pool
+        total_drained += pool.stats["drained"]
+        print(f"lane {lane_id}: peak base fee {peaks[lane_id] / gwei:.3f} "
+              f"gwei, burned {lane.burned:,} wei, drained "
+              f"{pool.stats['drained']}, evicted {pool.stats['evicted']}, "
+              f"rejections {pool.rejection_total()} "
+              f"{dict(sorted(pool.rejections.items()))}")
+    inversions = sum(lane.pool.priority_inversions for lane in fabric.lanes)
+    held = pool_peak <= config.high_watermark
+    print(f"priority inversions: {inversions}")
+    print(f"pool peak {pool_peak} (high watermark {config.high_watermark}); "
+          f"watermark held: {held}")
+    print(f"base fee decayed to floor after {decay_blocks} post-storm "
+          f"blocks: {all(l.base_fee_wei <= floor for l in fabric.lanes)}")
+    if total_drained:
+        # Little's law over the storm window: mean pending / drain rate.
+        latency = pending_integral / total_drained + 1.0
+        print(f"inclusion latency (Little's law estimate): "
+              f"{latency:.2f} blocks")
+    if args.lanes > 1:
+        fees = ", ".join(f"{fee / gwei:.3f}" for fee in fabric.lane_base_fees())
+        print(f"lane base fees (gwei): [{fees}]; congestion premium "
+              f"{fabric.congestion_premium():.3f} gwei")
+
+    model = CongestionPricingModel.for_market(
+        market, fabric.lanes[0].block_gas_limit, lanes=args.lanes,
+    )
+    growth = model.base_fee_growth_per_block(offered * args.lanes)
+    print(f"model: base-fee growth {growth:.4f}x/block at this load, "
+          f"decay from peak in "
+          f"{model.decay_blocks_from_multiplier(max(peaks) / floor):.1f} "
+          f"empty blocks")
+
+    ok = held and inversions == 0
+    if griefer is not None:
+        reports = detect_fee_griefers(fabric.lanes[0])
+        flagged = [r for r in reports if r.flagged]
+        caught = any(r.sender == griefer.account for r in flagged)
+        for report in flagged:
+            print(f"fee-griefer detection: {report.sender[:10]} flagged "
+                  f"(gas share {report.gas_share:.0%}, mean tip "
+                  f"{report.mean_tip_wei / gwei:.2f} gwei)")
+        print(f"griefer caught: {caught} "
+              f"({len(flagged)} sender(s) flagged, griefer submitted "
+              f"{griefer.submitted}, rejected {griefer.rejected})")
+        ok = ok and caught
+    return 0 if ok else 1
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     capacity = ChainCapacityModel()
     load = ProviderLoadModel()
@@ -852,6 +989,33 @@ def build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument("--workers", type=int, default=1,
                            help="process-pool size (0 = one per CPU core)")
     lifecycle.set_defaults(func=_cmd_lifecycle)
+
+    congest = sub.add_parser(
+        "congest",
+        help="fee-market congestion run: storm pooled lanes with audit-"
+        "shaped traffic, report base-fee dynamics, watermarks, priority "
+        "inversions and (optionally) fee-griefer detection",
+    )
+    congest.add_argument("--lanes", type=int, default=1,
+                         help="fabric lanes, each with its own pool and "
+                         "fee market")
+    congest.add_argument("--blocks", type=int, default=12,
+                         help="storm duration in blocks")
+    congest.add_argument("--load", type=float, default=1.5,
+                         help="offered gas per block per lane, in multiples "
+                         "of the fee market's gas target")
+    congest.add_argument("--storm", action="store_true",
+                         help="epoch-boundary audit storm: force the "
+                         "offered load to at least 2x the gas target")
+    congest.add_argument("--griefer", action="store_true",
+                         help="add a fee-griefing adversary on lane 0 and "
+                         "report the telemetry-based detection verdict")
+    congest.add_argument("--senders", type=int, default=8,
+                         help="honest audit submitters per lane")
+    congest.add_argument("--tip", type=float, default=1.0,
+                         help="honest priority fee in gwei")
+    congest.add_argument("--seed", type=int, default=0)
+    congest.set_defaults(func=_cmd_congest)
 
     models = sub.add_parser("models", help="print the Section VII-D models")
     models.add_argument("--users", type=int, default=5_000)

@@ -35,6 +35,7 @@ boundary and continues to the *same* final hashes.
 
 from __future__ import annotations
 
+import dataclasses
 import hashlib
 import random
 import time
@@ -94,6 +95,11 @@ class LifecycleConfig:
     fraud_window: float = 10.0
     persist_dir: str | None = None
     validate_packages: bool = False
+    #: route the engine's settlement/report/stake transactions through each
+    #: lane's fee-market mempool (submit at the wallet-suggested tip, mine,
+    #: read the receipt back from the drain) instead of direct transact().
+    mempool: bool = False
+    mempool_tip_gwei: float = 1.0
 
     def __post_init__(self) -> None:
         if self.years <= 0 or self.epochs_per_year < 1:
@@ -241,8 +247,13 @@ class LifecycleEngine:
                     "--resume, or point --persist at a fresh directory"
                 )
         persist = str(self._lanes_dir()) if config.persist_dir else None
+        mempool = None
+        if config.mempool:
+            from ..chain.mempool import MempoolConfig
+
+            mempool = MempoolConfig()
         self.fabric = ShardedChainFabric(
-            num_lanes=config.lanes, persist_dir=persist
+            num_lanes=config.lanes, persist_dir=persist, mempool=mempool
         )
         cluster = DsnCluster(
             network=SimulatedNetwork(
@@ -346,12 +357,35 @@ class LifecycleEngine:
     # ------------------------------------------------------------------ #
 
     def _transact(self, sender, to, method, args=(), value=0, payload_bytes=0):
-        return self.fabric.transact(
-            Transaction(
-                sender=sender, to=to, method=method, args=tuple(args),
-                value=value,
+        tx = Transaction(
+            sender=sender, to=to, method=method, args=tuple(args), value=value
+        )
+        if not self.config.mempool:
+            return self.fabric.transact(tx, payload_bytes=payload_bytes)
+        # Mempool mode: the engine behaves like any other fee-paying user —
+        # escrow at the wallet-suggested fees, wait for the drain, and read
+        # the execution receipt back out of the pool telemetry.
+        lane = self.fabric.lanes[self.fabric.lane_index_for_tx(tx)]
+        pool = lane.pool
+        assert pool is not None, "mempool mode requires pooled lanes"
+        max_fee_gwei, tip_gwei = pool.suggest_fees(self.config.mempool_tip_gwei)
+        entry = lane.submit(
+            dataclasses.replace(
+                tx, max_fee_gwei=max_fee_gwei, priority_fee_gwei=tip_gwei
             ),
             payload_bytes=payload_bytes,
+        )
+        # The current pending block may be partly filled by direct
+        # transact() traffic (the DSN store/repair path); if the fee
+        # budget's gas reservation does not fit, the drain defers the
+        # transaction to the next — empty — block.
+        for _ in range(3):
+            lane.mine_block()
+            receipt = pool.last_drained.get((sender, entry.tx.nonce))
+            if receipt is not None:
+                return receipt
+        raise RuntimeError(
+            f"pooled transaction {method} was not drained into a block"
         )
 
     def _score_of(self, provider: str) -> float:

@@ -151,8 +151,13 @@ def load_engine(persist_dir: str, **overrides):
     lanes_dir = directory / "lanes"
     for index, size in enumerate(state["wal_sizes"]):
         WalStateStore.truncate_wal(lanes_dir / f"lane-{index:03d}", size)
+    mempool = None
+    if getattr(config, "mempool", False):
+        from ..chain.mempool import MempoolConfig
+
+        mempool = MempoolConfig()
     fabric = ShardedChainFabric(
-        num_lanes=config.lanes, persist_dir=str(lanes_dir)
+        num_lanes=config.lanes, persist_dir=str(lanes_dir), mempool=mempool
     )
     if fabric.state_hash() != state["fabric_state_hash"]:
         fabric.close()

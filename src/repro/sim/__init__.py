@@ -16,6 +16,7 @@ from .marketplace import MarketplaceResult, MarketplaceSimulation, extrapolate_a
 from .throughput import (
     ChainCapacityModel,
     CheckpointedChainCapacityModel,
+    CongestionPricingModel,
     ParallelProviderModel,
     ProviderLoadModel,
     ShardedChainCapacityModel,
@@ -33,6 +34,7 @@ __all__ = [
     "AnnualCostReport",
     "ChainCapacityModel",
     "CheckpointedChainCapacityModel",
+    "CongestionPricingModel",
     "DROPBOX_BUSINESS_USD_PER_YEAR",
     "DurabilityModel",
     "FeeSchedule",

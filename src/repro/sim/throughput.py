@@ -291,6 +291,114 @@ class LifecycleCapacityModel(ShardedChainCapacityModel):
 
 
 @dataclass(frozen=True)
+class CongestionPricingModel:
+    """Closed-form EIP-1559 lane dynamics under sustained audit load.
+
+    The chain-side counterpart of :mod:`repro.chain.mempool`: given an
+    offered load (gas per block across the fleet) and a lane count, this
+    answers the planning questions the empirical congestion bench
+    measures — how fast the base fee escalates during an epoch-boundary
+    storm, how long it takes to decay back to the floor afterwards, and
+    how deep the backlog grows while demand exceeds capacity.  Spreading
+    the same demand over more lanes divides the per-lane offered gas,
+    which is exactly why the fabric's congestion premium falls with lane
+    count (``ShardedChainFabric.lane_base_fees``).
+    """
+
+    block_gas_limit: int = 10_000_000
+    block_interval_s: float = 15.0
+    gas_target_fraction: float = 0.5
+    max_change_denominator: int = 8
+    base_fee_floor_gwei: float = 1.0
+    lanes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.lanes < 1:
+            raise ValueError("lanes must be >= 1")
+        if not 0.0 < self.gas_target_fraction <= 1.0:
+            raise ValueError("gas_target_fraction must be in (0, 1]")
+
+    @classmethod
+    def for_market(cls, fee_market, block_gas_limit: int, lanes: int = 1,
+                   block_interval_s: float = 15.0) -> "CongestionPricingModel":
+        """Mirror a live :class:`~repro.chain.mempool.FeeMarketConfig`."""
+        return cls(
+            block_gas_limit=block_gas_limit,
+            block_interval_s=block_interval_s,
+            gas_target_fraction=fee_market.gas_target_fraction,
+            max_change_denominator=fee_market.max_change_denominator,
+            base_fee_floor_gwei=fee_market.base_fee_floor_gwei,
+            lanes=lanes,
+        )
+
+    @property
+    def gas_target(self) -> int:
+        """Per-lane gas target per block (the fee market's set point)."""
+        return max(1, int(self.block_gas_limit * self.gas_target_fraction))
+
+    def per_lane_offered(self, total_gas_per_block: float) -> float:
+        return total_gas_per_block / self.lanes
+
+    def utilization(self, total_gas_per_block: float) -> float:
+        """Included gas over the target (demand beyond the limit is queued)."""
+        included = min(self.per_lane_offered(total_gas_per_block), self.block_gas_limit)
+        return included / self.gas_target
+
+    def base_fee_growth_per_block(self, total_gas_per_block: float) -> float:
+        """Multiplicative base-fee factor while the load is sustained.
+
+        > 1 above the target (up to 1.125 at full blocks), < 1 below it —
+        the controller's exponential envelope.
+        """
+        included = min(self.per_lane_offered(total_gas_per_block), self.block_gas_limit)
+        return 1.0 + (included - self.gas_target) / self.gas_target / self.max_change_denominator
+
+    def blocks_to_price_multiplier(
+        self, total_gas_per_block: float, multiplier: float
+    ) -> float:
+        """Blocks of sustained load until the base fee multiplies by ``multiplier``."""
+        import math
+
+        growth = self.base_fee_growth_per_block(total_gas_per_block)
+        if growth <= 1.0:
+            return math.inf if multiplier > 1.0 else 0.0
+        return math.log(multiplier) / math.log(growth)
+
+    def decay_blocks_from_multiplier(self, multiplier: float) -> float:
+        """Empty blocks needed for the base fee to fall back to the floor."""
+        import math
+
+        if multiplier <= 1.0:
+            return 0.0
+        per_block = 1.0 - 1.0 / self.max_change_denominator
+        return math.log(1.0 / multiplier) / math.log(per_block)
+
+    def backlog_gas_after(self, total_gas_per_block: float, blocks: int) -> float:
+        """Queued gas per lane after ``blocks`` of sustained offered load."""
+        overflow = max(0.0, self.per_lane_offered(total_gas_per_block) - self.block_gas_limit)
+        return overflow * blocks
+
+    def inclusion_delay_blocks(self, total_gas_per_block: float, duration_blocks: int) -> float:
+        """Mean queueing delay (in blocks) for a storm of finite duration.
+
+        While offered <= capacity the pool drains within the next block
+        (delay 1).  Above capacity the backlog grows linearly, so the
+        last transaction of an N-block storm waits ``N * (offered/limit - 1)``
+        extra blocks and the storm-average is half that.
+        """
+        per_lane = self.per_lane_offered(total_gas_per_block)
+        if per_lane <= self.block_gas_limit:
+            return 1.0
+        overload = per_lane / self.block_gas_limit - 1.0
+        return 1.0 + overload * duration_blocks / 2.0
+
+    def audits_per_second(self, gas_per_audit: int, total_gas_per_block: float) -> float:
+        """Settled audit throughput across lanes under the offered load."""
+        per_lane = min(self.per_lane_offered(total_gas_per_block), self.block_gas_limit)
+        return self.lanes * per_lane / gas_per_audit / self.block_interval_s
+
+
+@dataclass(frozen=True)
 class ProviderLoadModel:
     """Fig. 10 (right): per-provider proving time as the user base grows."""
 

@@ -1,0 +1,270 @@
+"""Property sweep over the mempool: randomized ops, machine-checked laws.
+
+A seeded driver throws submissions, replacements, value transfers, block
+mining and aging at a pooled chain with deliberately tight watermarks and
+block space, and re-checks the pool's structural invariants after every
+operation:
+
+* **bounded**: the pool never exceeds its high watermark,
+* **gapless**: each sender's pending nonces are a contiguous run starting
+  at its mined-nonce frontier (whole-tail eviction preserves this),
+* **escrowed**: the escrow account holds exactly the sum of every pending
+  entry's fee budget,
+* **conservation**: ``total_supply()`` (balances + fee sink + burned) is
+  constant through submit/evict/replace/drain/expire,
+* **priority**: within each drained block the effective-tip sequence is
+  non-increasing except for the inversions the pool itself counts (which
+  only nonce-chain promotion can cause — with one pending transaction per
+  sender the count is structurally zero).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain import Blockchain, Transaction
+from repro.chain.mempool import (
+    ESCROW_ACCOUNT,
+    GasSinkContract,
+    MempoolConfig,
+    MempoolRejection,
+    PoolFull,
+    Underpriced,
+)
+
+SENDERS = 6
+
+
+def _pooled_chain(block_gas_limit=600_000, **overrides):
+    """A tight chain: small blocks force backlogs, small pool forces churn."""
+    defaults = dict(
+        high_watermark=24, low_watermark=16, max_per_sender=6,
+        max_age_seconds=120.0,
+    )
+    defaults.update(overrides)
+    chain = Blockchain(
+        block_gas_limit=block_gas_limit, mempool=MempoolConfig(**defaults)
+    )
+    deployer = chain.create_account(10.0, label="deployer")
+    sink = chain.deploy(GasSinkContract(), deployer=deployer)
+    senders = [
+        chain.create_account(50.0, label=f"prop-{i}") for i in range(SENDERS)
+    ]
+    return chain, sink, senders
+
+
+def _check_invariants(chain, supply0):
+    pool = chain.pool
+    store = chain.store
+    assert len(store.pool) <= pool.config.high_watermark
+    by_sender: dict[str, list[int]] = {}
+    for sender, nonce in store.pool:
+        by_sender.setdefault(sender, []).append(nonce)
+    for sender, nonces in by_sender.items():
+        mined = store.mined_nonces.get(sender, 0)
+        assert sorted(nonces) == list(range(mined, mined + len(nonces))), (
+            f"{sender} pending nonces are not gapless from {mined}"
+        )
+        assert len(nonces) <= pool.config.max_per_sender
+    escrowed = sum(entry.escrow_wei for entry in store.pool.values())
+    assert store.balances[ESCROW_ACCOUNT] == escrowed
+    assert chain.total_supply() == supply0
+
+
+def _random_tx(rng, sink, sender, base_fee_gwei):
+    gas = rng.choice((60_000, 120_000, 300_000, 500_000))
+    if rng.random() < 0.15:  # legacy pricing: gas_price doubles as both caps
+        max_fee = tip = None
+    else:
+        tip = round(rng.uniform(0.0, 5.0), 3)
+        max_fee = round(base_fee_gwei * rng.uniform(0.8, 3.0) + tip, 3)
+    return Transaction(
+        sender=sender,
+        to=sink,
+        method="consume",
+        args=(gas - 25_000, "prop"),
+        gas_limit=gas,
+        max_fee_gwei=max_fee,
+        priority_fee_gwei=tip,
+    )
+
+
+@pytest.mark.parametrize("seed", range(5))
+def test_randomized_ops_preserve_invariants(seed):
+    rng = random.Random(f"mempool-prop:{seed}")
+    chain, sink, senders = _pooled_chain()
+    pool = chain.pool
+    supply0 = chain.total_supply()
+    rejected = 0
+    for _ in range(150):
+        op = rng.random()
+        if op < 0.62:
+            tx = _random_tx(rng, sink, rng.choice(senders),
+                            chain.base_fee_wei / 10**9)
+            try:
+                chain.submit(tx)
+            except MempoolRejection:
+                rejected += 1
+        elif op < 0.72 and chain.store.pool:
+            # Replace-by-fee on a random pending slot with a generous bump.
+            sender, nonce = rng.choice(sorted(chain.store.pool))
+            old = chain.store.pool[(sender, nonce)]
+            try:
+                chain.submit(
+                    Transaction(
+                        sender=sender,
+                        to=sink,
+                        method="consume",
+                        args=(old.tx.gas_limit - 25_000, "rbf"),
+                        gas_limit=old.tx.gas_limit,
+                        nonce=nonce,
+                        max_fee_gwei=old.max_fee_wei * 1.5 / 10**9,
+                        priority_fee_gwei=old.tip_cap_wei * 1.5 / 10**9 + 0.1,
+                    ),
+                    replace=True,
+                )
+            except MempoolRejection:
+                rejected += 1
+        elif op < 0.82:
+            # A pooled value transfer between senders.
+            src, dst = rng.sample(senders, 2)
+            try:
+                chain.submit(
+                    Transaction(sender=src, to=dst, value=10**15,
+                                gas_limit=30_000, max_fee_gwei=2.0,
+                                priority_fee_gwei=0.5)
+                )
+            except MempoolRejection:
+                rejected += 1
+        else:
+            chain.mine_block()
+            # Tip increases caused by nonce-chain promotion are benign (the
+            # higher-tip transaction only became *available* mid-drain); a
+            # true inversion — an already-available higher-tip transaction
+            # drained after a cheaper one — must never happen.
+            assert pool.priority_inversions == 0
+        _check_invariants(chain, supply0)
+    # Drain everything left and re-check conservation end to end.
+    for _ in range(200):
+        if not chain.store.pool:
+            break
+        chain.mine_block()
+        _check_invariants(chain, supply0)
+    assert rejected == pool.rejection_total()
+    assert pool.stats["drained"] > 20  # the sweep exercised the drain path
+
+
+def test_drain_order_monotone_with_single_nonce_senders():
+    """One pending tx per sender: tips drain non-increasing, 0 inversions."""
+    rng = random.Random("monotone")
+    chain, sink, senders = _pooled_chain(block_gas_limit=10_000_000)
+    supply0 = chain.total_supply()
+    for round_index in range(6):
+        for sender in senders:
+            tip = round(rng.uniform(0.1, 8.0), 3)
+            chain.submit(
+                Transaction(
+                    sender=sender, to=sink, method="consume",
+                    args=(100_000 - 25_000, f"r{round_index}"),
+                    gas_limit=100_000,
+                    max_fee_gwei=10.0 + tip, priority_fee_gwei=tip,
+                )
+            )
+        chain.mine_block()
+        # Receipts are numbered one past the pending block they land in,
+        # hence the ``+ 1`` join (same convention as the explorer).
+        tips = chain.pool.block_tips[chain.blocks[-2].number + 1]
+        assert len(tips) == len(senders)
+        assert all(a >= b for a, b in zip(tips, tips[1:])), tips
+        _check_invariants(chain, supply0)
+    assert chain.pool.priority_inversions == 0
+
+
+def test_watermark_eviction_prefers_cheap_tails():
+    """Flooding past the high watermark evicts lowest-tip senders first."""
+    chain, sink, senders = _pooled_chain(
+        high_watermark=8, low_watermark=4, max_per_sender=8,
+        block_gas_limit=400_000,
+    )
+    supply0 = chain.total_supply()
+    cheap, rich = senders[0], senders[1]
+    for _ in range(8):
+        chain.submit(
+            Transaction(sender=cheap, to=sink, method="consume",
+                        args=(75_000, "cheap"), gas_limit=100_000,
+                        max_fee_gwei=3.0, priority_fee_gwei=0.1)
+        )
+    assert len(chain.pool) == 8
+    # The 9th submission beats the floor: pool evicts down to low watermark.
+    chain.submit(
+        Transaction(sender=rich, to=sink, method="consume",
+                    args=(75_000, "rich"), gas_limit=100_000,
+                    max_fee_gwei=9.0, priority_fee_gwei=5.0)
+    )
+    assert len(chain.pool) == 5  # low watermark + the newcomer
+    assert chain.pool.stats["evicted"] == 4
+    _check_invariants(chain, supply0)
+    # A bid at (or below) the floor is rejected outright once full again.
+    for _ in range(3):
+        chain.submit(
+            Transaction(sender=cheap, to=sink, method="consume",
+                        args=(75_000, "refill"), gas_limit=100_000,
+                        max_fee_gwei=3.0, priority_fee_gwei=0.1)
+        )
+    with pytest.raises(PoolFull) as excinfo:
+        chain.submit(
+            Transaction(sender=senders[2], to=sink, method="consume",
+                        args=(75_000, "floor"), gas_limit=100_000,
+                        max_fee_gwei=3.0, priority_fee_gwei=0.05)
+        )
+    assert excinfo.value.code == "pool-full"
+    _check_invariants(chain, supply0)
+
+
+def test_underpriced_rejection_below_base_fee():
+    chain, sink, senders = _pooled_chain(block_gas_limit=10_000_000)
+    # Inflate the base fee with a run of full blocks.
+    for _ in range(6):
+        for sender in senders:
+            chain.submit(
+                Transaction(sender=sender, to=sink, method="consume",
+                            args=(1_800_000 - 25_000, "fill"),
+                            gas_limit=1_800_000,
+                            max_fee_gwei=50.0, priority_fee_gwei=2.0)
+            )
+        chain.mine_block()
+    assert chain.base_fee_wei > 10**9
+    with pytest.raises(Underpriced) as excinfo:
+        chain.submit(
+            Transaction(sender=senders[0], to=sink, method="consume",
+                        args=(50_000, "late"), gas_limit=100_000,
+                        max_fee_gwei=chain.base_fee_wei / 10**9 * 0.5,
+                        priority_fee_gwei=0.1)
+        )
+    assert excinfo.value.code == "underpriced"
+
+
+def test_expiry_evicts_aged_entries_and_their_tails():
+    chain, sink, senders = _pooled_chain(
+        max_age_seconds=30.0, block_gas_limit=200_000,
+    )
+    supply0 = chain.total_supply()
+    sender = senders[0]
+    for index in range(4):
+        chain.submit(
+            Transaction(sender=sender, to=sink, method="consume",
+                        args=(150_000, f"age-{index}"), gas_limit=180_000,
+                        max_fee_gwei=2.0, priority_fee_gwei=0.2)
+        )
+    # Each block advances chain time by 15s; only one 180k-gas tx fits per
+    # 200k block, so the tail outlives the 30s age budget and expires.
+    drained_before_expiry = 0
+    for _ in range(6):
+        chain.mine_block()
+        _check_invariants(chain, supply0)
+    assert chain.pool.stats["expired"] > 0
+    assert len(chain.pool) == 0
+    drained_before_expiry = chain.pool.stats["drained"]
+    assert drained_before_expiry + chain.pool.stats["expired"] == 4

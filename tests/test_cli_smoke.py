@@ -84,6 +84,13 @@ CASES = [
          "all files retrievable: True", "model projection"],
     ),
     (
+        "congest",
+        ["congest", "--storm", "--griefer", "--lanes", "2", "--blocks", "4",
+         "--senders", "4", "--seed", "1"],
+        ["congestion:", "priority inversions: 0", "watermark held: True",
+         "decayed to floor", "griefer caught: True"],
+    ),
+    (
         "models",
         ["models", "--users", "1000"],
         ["chain throughput", "users/provider"],
@@ -153,6 +160,7 @@ def test_bad_arguments_exit_nonzero():
     assert main(["checkpoint", "--epochs", "0"]) == 2
     assert main(["shard", "--lanes", "0"]) == 2
     assert main(["lifecycle", "--years", "-1"]) == 2
+    assert main(["congest", "--blocks", "0"]) == 2
 
 
 def test_lifecycle_resume_without_persist_is_rejected(capsys):

@@ -17,7 +17,11 @@ real Ethereum clients enforce:
   tip cap and the fee cap by ``rbf_bump_percent``,
 * **watermark backpressure** — at the high watermark the pool evicts the
   cheapest tails down to the low watermark; an arrival priced at or below
-  every resident transaction is rejected with :class:`PoolFull`,
+  every resident transaction is rejected with :class:`PoolFull`.  The
+  submitting sender's own entries are never selected as victims: the
+  arrival's nonce extends that sender's pending run, and evicting the
+  run's tail would re-open a gap under the nonce just assigned, stranding
+  the new entry (it could never drain or expire),
 * **fee escrow** — admission debits ``max_fee * gas_limit`` from the
   sender into the ``0xmempool`` escrow account and refunds it on drain,
   eviction or expiry, so pending transactions cannot double-spend their
@@ -305,6 +309,19 @@ class Mempool:
                             f"tip {new_tip} wei/gas does not beat the floor"
                         )
                     )
+                if pending >= self.config.high_watermark:
+                    # The sender's own pending run fills the pool, and that
+                    # run is exempt from victim selection (evicting it would
+                    # gap the nonce this arrival extends), so no eviction
+                    # can make room.  Only reachable when max_per_sender
+                    # exceeds the high watermark.
+                    self._reject(
+                        PoolFull(
+                            f"{sender[:10]}'s own {pending} pending "
+                            f"transactions fill the pool and cannot be "
+                            f"evicted to admit their successor"
+                        )
+                    )
         escrow_wei = max_fee_wei * tx.gas_limit
         refund = old.escrow_wei if old is not None else 0
         if self.chain.balance_of(sender) + refund < escrow_wei:
@@ -328,7 +345,15 @@ class Mempool:
                 self._remove_entry(sender, nonce)
                 self.stats["replaced"] += 1
             elif len(store.pool) >= self.config.high_watermark:
-                self._evict_down_to(self.config.low_watermark, "evicted")
+                # ``nonce`` (= mined + pending) is already fixed, so the
+                # submitting sender's tail must survive this eviction —
+                # shortening it would strand the new entry at a gapped
+                # nonce that neither drain nor expiry could ever reclaim.
+                self._evict_down_to(
+                    min(self.config.low_watermark, self.config.high_watermark - 1),
+                    "evicted",
+                    protect=sender,
+                )
             store.pool_seq += 1
             store.balances[sender] = store.balances.get(sender, 0) - entry.escrow_wei
             store.balances[ESCROW_ACCOUNT] += entry.escrow_wei
@@ -369,13 +394,23 @@ class Mempool:
                 removed += 1
         return removed
 
-    def _evict_down_to(self, target: int, stat: str) -> int:
+    def _evict_down_to(self, target: int, stat: str, *, protect: str | None = None) -> int:
+        """Evict cheapest tails until ``len(pool) <= target``.
+
+        ``protect`` exempts one sender from victim selection (the
+        submitter during watermark backpressure, whose next nonce is
+        already committed); if only protected entries remain the loop
+        stops short of ``target`` rather than gap that sender's run.
+        """
         store = self.store
         base = store.base_fee_wei
         evicted = 0
         while len(store.pool) > target:
+            candidates = [key for key in store.pool if key[0] != protect]
+            if not candidates:
+                break
             victim_key = min(
-                store.pool,
+                candidates,
                 key=lambda key: (store.pool[key].effective_tip(base), -store.pool[key].seq),
             )
             evicted += self._evict_tail(*victim_key)

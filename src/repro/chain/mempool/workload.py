@@ -38,8 +38,10 @@ class StormTraffic:
 
     ``offered_load`` is expressed relative to the fee market's gas target
     (1.0 = exactly the target per block; 2.0 = twice it), the regime the
-    acceptance bench sweeps.  Each sender submits at most one transaction
-    per block, mirroring providers that post one proof per epoch.
+    acceptance bench sweeps.  Senders are assigned round-robin, so load
+    spreads evenly across the fleet; once the per-block count exceeds the
+    sender set, senders queue several nonce-sequenced transactions per
+    block — providers with more than one proof due in the epoch.
     """
 
     sink_address: str

@@ -477,13 +477,19 @@ class WalStateStore(StateStore):
         self.account_seq = record.account_seq
         self.schedule_seq = record.schedule_seq
         self.tx_seq = record.tx_seq
-        self.base_fee_wei = record.base_fee_wei
-        self.burned = record.burned
-        self.pool_seq = record.pool_seq
-        self.mined_nonces.update(record.mined_nonces)
-        for key in record.pool_remove:
+        # Fee-market fields arrived after the WAL format shipped; frames
+        # pickled by older code lack them entirely (dataclass defaults are
+        # not stored in the instance), so read via the pickled __dict__
+        # and leave the current value untouched when a frame predates the
+        # field — an old frame cannot have changed what it never knew.
+        patch = vars(record)
+        self.base_fee_wei = patch.get("base_fee_wei", self.base_fee_wei)
+        self.burned = patch.get("burned", self.burned)
+        self.pool_seq = patch.get("pool_seq", self.pool_seq)
+        self.mined_nonces.update(patch.get("mined_nonces", {}))
+        for key in patch.get("pool_remove", ()):
             self.pool.pop(key, None)
-        self.pool.update(record.pool_add)
+        self.pool.update(patch.get("pool_add", {}))
         self.scheduled = list(record.scheduled)
         self.events.extend(record.events_tail)
         for address, (cls, attrs) in record.contracts.items():

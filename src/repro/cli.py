@@ -779,7 +779,7 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     if args.lanes > 1:
         fees = ", ".join(f"{fee / gwei:.3f}" for fee in fabric.lane_base_fees())
         print(f"lane base fees (gwei): [{fees}]; congestion premium "
-              f"{fabric.congestion_premium():.3f} gwei")
+              f"{fabric.congestion_premium():.3f}x (hottest/coolest lane)")
 
     model = CongestionPricingModel.for_market(
         market, fabric.lanes[0].block_gas_limit, lanes=args.lanes,

@@ -223,6 +223,54 @@ def test_watermark_eviction_prefers_cheap_tails():
     _check_invariants(chain, supply0)
 
 
+def test_watermark_eviction_never_gaps_the_submitting_sender():
+    """Regression: a sender whose own entries are the pool's cheapest
+    submits a high-tip transaction into a full pool.  Eviction must not
+    shorten that sender's tail — the arrival's nonce (mined + pending)
+    was fixed before eviction ran, so evicting the tail would strand the
+    new entry at a gapped nonce that neither drains nor expires."""
+    chain, sink, senders = _pooled_chain(
+        high_watermark=8, low_watermark=4, max_per_sender=8,
+    )
+    supply0 = chain.total_supply()
+    victim = senders[0]
+    for index in range(3):  # the three cheapest entries in the pool
+        chain.submit(
+            Transaction(sender=victim, to=sink, method="consume",
+                        args=(75_000, f"own-{index}"), gas_limit=100_000,
+                        max_fee_gwei=3.0, priority_fee_gwei=0.1)
+        )
+    for other in senders[1:]:  # fill to the high watermark
+        chain.submit(
+            Transaction(sender=other, to=sink, method="consume",
+                        args=(75_000, "filler"), gas_limit=100_000,
+                        max_fee_gwei=4.0, priority_fee_gwei=1.0)
+        )
+    assert len(chain.pool) == 8
+    entry = chain.submit(
+        Transaction(sender=victim, to=sink, method="consume",
+                    args=(75_000, "successor"), gas_limit=100_000,
+                    max_fee_gwei=9.0, priority_fee_gwei=5.0)
+    )
+    # The arrival extends the sender's run (others' tails were evicted).
+    assert entry.tx.nonce == 3
+    own = sorted(n for s, n in chain.store.pool if s == victim)
+    assert own == [0, 1, 2, 3]
+    assert chain.pool.stats["evicted"] == 4
+    _check_invariants(chain, supply0)
+    # Nothing is stranded: the pool drains completely.
+    for _ in range(10):
+        if not chain.store.pool:
+            break
+        chain.mine_block()
+        _check_invariants(chain, supply0)
+    assert len(chain.pool) == 0
+    # 9 admitted, 4 evicted: the 5 survivors (victim's full 0..3 run plus
+    # one filler) all reach a block.
+    assert chain.pool.stats["drained"] == 5
+    assert chain.pool.stats["drained"] + chain.pool.stats["evicted"] == 9
+
+
 def test_underpriced_rejection_below_base_fee():
     chain, sink, senders = _pooled_chain(block_gas_limit=10_000_000)
     # Inflate the base fee with a run of full blocks.

@@ -13,7 +13,9 @@ Acceptance properties (ISSUE 4 tentpole, part 1):
 
 from __future__ import annotations
 
+import pickle
 import random
+import struct
 
 import pytest
 
@@ -170,6 +172,40 @@ class TestWalRoundTrip:
         # A crash mid-append leaves a partial frame at the tail.
         with open(tmp_path / "chain" / "wal.log", "ab") as handle:
             handle.write(b"\x00\x00\x10\x00partial-frame")
+        recovered = Blockchain.open(tmp_path / "chain")
+        assert recovered.state_hash() == committed_hash
+
+    def test_recovers_wal_frames_from_pre_fee_market_builds(self, tmp_path):
+        """Frames pickled before the mempool landed lack the fee-market
+        fields entirely (dataclass defaults live on the class, not in the
+        pickled ``__dict__``); replaying such a directory must not crash
+        and must reproduce the same ledger state."""
+        chain = Blockchain.open(tmp_path / "chain")
+        alice = chain.create_account(2.0, label="alice")
+        bob = chain.create_account(1.0, label="bob")
+        chain.transact(
+            Transaction(sender=alice, to=bob, value=10**15, gas_limit=30_000)
+        )
+        chain.mine_block()
+        committed_hash = chain.state_hash()
+        chain.close()
+        # Rewrite every frame as the previous build would have pickled it.
+        header = struct.Struct(">I")
+        wal_path = tmp_path / "chain" / "wal.log"
+        data = wal_path.read_bytes()
+        frames = []
+        offset = 0
+        while offset < len(data):
+            (length,) = header.unpack_from(data, offset)
+            offset += header.size
+            record = pickle.loads(data[offset : offset + length])
+            offset += length
+            for name in ("base_fee_wei", "burned", "pool_seq",
+                         "mined_nonces", "pool_add", "pool_remove"):
+                record.__dict__.pop(name, None)
+            frame = pickle.dumps(record, protocol=pickle.HIGHEST_PROTOCOL)
+            frames.append(header.pack(len(frame)) + frame)
+        wal_path.write_bytes(b"".join(frames))
         recovered = Blockchain.open(tmp_path / "chain")
         assert recovered.state_hash() == committed_hash
 

@@ -29,6 +29,7 @@ crashed chain bit-identically (checked via :meth:`Blockchain.state_hash`).
 from __future__ import annotations
 
 import hashlib
+import threading
 from dataclasses import dataclass, field
 from typing import Any, Callable
 
@@ -148,6 +149,12 @@ class Blockchain:
         # Salt for address derivation: fabric lanes get distinct ids so a
         # contract (or account) address never collides across lanes.
         self.chain_id = chain_id
+        # One chain is one unit of serialization: every mutating entry
+        # point holds this lock, so concurrent callers (RPC handler
+        # threads, fabric lane workers) interleave at transaction
+        # granularity and never observe a half-applied mutation.
+        # Reentrant because mine_block -> _fire_due_calls -> transact.
+        self.lock = threading.RLock()
         self.store = store or MemoryStateStore()
         if not self.store.blocks:
             genesis = Block(number=0, timestamp=0.0, parent_hash="0" * 64)
@@ -238,11 +245,13 @@ class Blockchain:
 
     def state_hash(self) -> str:
         """Canonical fingerprint of the entire chain state (hex digest)."""
-        return self.store.state_hash()
+        with self.lock:
+            return self.store.state_hash()
 
     def snapshot(self) -> None:
         """Checkpoint the backing store (folds a WAL into its snapshot)."""
-        self.store.snapshot()
+        with self.lock:
+            self.store.snapshot()
 
     def close(self) -> None:
         self.store.close()
@@ -253,16 +262,17 @@ class Blockchain:
         # Every mutating entry point commits in a finally block: whatever
         # mutated before an exception is still logged, so a durable store
         # never silently desynchronizes from the live state.
-        self.store.begin()
-        try:
-            self.store.account_seq += 1
-            tag = f":{self.chain_id}" if self.chain_id else ""
-            material = f"account{tag}:{self.store.account_seq}:{label}".encode()
-            address = "0x" + hashlib.sha256(material).hexdigest()[:40]
-            self.store.balances[address] = int(balance_eth * WEI_PER_ETH)
-        finally:
-            self.store.commit("account")
-        return address
+        with self.lock:
+            self.store.begin()
+            try:
+                self.store.account_seq += 1
+                tag = f":{self.chain_id}" if self.chain_id else ""
+                material = f"account{tag}:{self.store.account_seq}:{label}".encode()
+                address = "0x" + hashlib.sha256(material).hexdigest()[:40]
+                self.store.balances[address] = int(balance_eth * WEI_PER_ETH)
+            finally:
+                self.store.commit("account")
+            return address
 
     def register_signer(self, verifying_key_bytes: bytes, balance_eth: float = 0.0) -> str:
         """Create an account whose transactions must be Schnorr-signed.
@@ -274,15 +284,16 @@ class Blockchain:
         from ..crypto.schnorr import VerifyingKey
 
         address = VerifyingKey.from_bytes(verifying_key_bytes).address()
-        self.store.begin()
-        try:
-            self.store.balances.setdefault(address, 0)
-            self.store.balances[address] += int(balance_eth * WEI_PER_ETH)
-            self.store.signer_keys[address] = bytes(verifying_key_bytes)
-            self.store.nonces.setdefault(address, 0)
-        finally:
-            self.store.commit("account")
-        return address
+        with self.lock:
+            self.store.begin()
+            try:
+                self.store.balances.setdefault(address, 0)
+                self.store.balances[address] += int(balance_eth * WEI_PER_ETH)
+                self.store.signer_keys[address] = bytes(verifying_key_bytes)
+                self.store.nonces.setdefault(address, 0)
+            finally:
+                self.store.commit("account")
+            return address
 
     def nonce_of(self, address: str) -> int:
         return self.store.nonces.get(address, 0)
@@ -338,35 +349,41 @@ class Blockchain:
         mempool the burn leg joins the equation and escrowed fee budgets
         (held by the ``0xmempool`` account) remain inside ``balances``.
         """
-        return sum(self.store.balances.values()) + self.store.fee_sink + self.store.burned
+        with self.lock:
+            return (
+                sum(self.store.balances.values())
+                + self.store.fee_sink
+                + self.store.burned
+            )
 
     # -- contracts --------------------------------------------------------------
 
     def deploy(self, contract: Contract, deployer: str, deposit_bytes: int = 0) -> str:
         """Install a contract; charges the deployer for its on-chain size."""
-        self.store.begin()
-        try:
-            self.store.account_seq += 1
-            tag = f":{self.chain_id}" if self.chain_id else ""
-            address = (
-                "0xc"
-                + hashlib.sha256(
-                    f"contract{tag}:{self.store.account_seq}".encode()
-                ).hexdigest()[:39]
-            )
-            contract.address = address
-            contract.chain = self
-            self.store.contracts[address] = contract
-            self.store.touch_contract(address)
-            self.store.balances.setdefault(address, 0)
-            if deposit_bytes:
-                gas = self.schedule.storage_gas(deposit_bytes)
-                fee = int(gas * 5 * WEI_PER_GWEI)
-                self._debit(deployer, fee)
-                self.store.fee_sink += fee
-        finally:
-            self.store.commit("deploy")
-        return address
+        with self.lock:
+            self.store.begin()
+            try:
+                self.store.account_seq += 1
+                tag = f":{self.chain_id}" if self.chain_id else ""
+                address = (
+                    "0xc"
+                    + hashlib.sha256(
+                        f"contract{tag}:{self.store.account_seq}".encode()
+                    ).hexdigest()[:39]
+                )
+                contract.address = address
+                contract.chain = self
+                self.store.contracts[address] = contract
+                self.store.touch_contract(address)
+                self.store.balances.setdefault(address, 0)
+                if deposit_bytes:
+                    gas = self.schedule.storage_gas(deposit_bytes)
+                    fee = int(gas * 5 * WEI_PER_GWEI)
+                    self._debit(deployer, fee)
+                    self.store.fee_sink += fee
+            finally:
+                self.store.commit("deploy")
+            return address
 
     def contract_at(self, address: str) -> Contract:
         contract = self.store.contracts[address]
@@ -382,27 +399,28 @@ class Blockchain:
         accounting when the args are Python objects rather than real ABI
         bytes.
         """
-        self.store.begin()
-        try:
-            receipt = self._execute(tx, payload_bytes)
-        except BaseException:
-            # An unexpected fault (not a modelled revert): log whatever
-            # state mutated so a durable store never silently diverges.
+        with self.lock:
+            self.store.begin()
+            try:
+                receipt = self._execute(tx, payload_bytes)
+            except BaseException:
+                # An unexpected fault (not a modelled revert): log whatever
+                # state mutated so a durable store never silently diverges.
+                pending = self.blocks[-1]
+                self.store.commit(
+                    "tx-abort",
+                    pending_gas=pending.gas_used,
+                    pending_bytes=pending.byte_size,
+                )
+                raise
             pending = self.blocks[-1]
             self.store.commit(
-                "tx-abort",
+                "tx",
+                receipt=receipt,
                 pending_gas=pending.gas_used,
                 pending_bytes=pending.byte_size,
             )
-            raise
-        pending = self.blocks[-1]
-        self.store.commit(
-            "tx",
-            receipt=receipt,
-            pending_gas=pending.gas_used,
-            pending_bytes=pending.byte_size,
-        )
-        return receipt
+            return receipt
 
     def submit(self, tx: Transaction, payload_bytes: int = 0, *, replace: bool = False):
         """Queue a transaction through the mempool admission path.
@@ -417,7 +435,8 @@ class Blockchain:
                 "this chain has no mempool; construct it with "
                 "Blockchain(mempool=MempoolConfig()) or use transact()"
             )
-        return self.pool.submit(tx, payload_bytes, replace=replace)
+        with self.lock:
+            return self.pool.submit(tx, payload_bytes, replace=replace)
 
     def _tx_hash(self, tx: Transaction) -> str:
         """Chain-sequenced transaction hash.
@@ -540,37 +559,39 @@ class Blockchain:
 
     def call(self, address: str, method: str, *args: Any) -> Any:
         """Read-only contract call (no gas, no state mutation expected)."""
-        contract = self.store.contracts[address]
-        ctx = CallContext(
-            sender="0xview",
-            value=0,
-            timestamp=self.time,
-            block_number=len(self.blocks),
-            gas=GasMeter(10**12),
-            chain=self,
-        )
-        return getattr(contract, method)(ctx, *args)
+        with self.lock:
+            contract = self.store.contracts[address]
+            ctx = CallContext(
+                sender="0xview",
+                value=0,
+                timestamp=self.time,
+                block_number=len(self.blocks),
+                gas=GasMeter(10**12),
+                chain=self,
+            )
+            return getattr(contract, method)(ctx, *args)
 
     # -- scheduling (Ethereum-Alarm-Clock style) -----------------------------------
 
     def schedule_call(
         self, contract: str, method: str, delay: float, args: tuple = ()
     ) -> None:
-        self.store.begin()
-        try:
-            self.store.schedule_seq += 1
-            self.store.scheduled.append(
-                ScheduledCall(
-                    due_time=self.time + delay,
-                    sequence=self.store.schedule_seq,
-                    contract=contract,
-                    method=method,
-                    args=args,
+        with self.lock:
+            self.store.begin()
+            try:
+                self.store.schedule_seq += 1
+                self.store.scheduled.append(
+                    ScheduledCall(
+                        due_time=self.time + delay,
+                        sequence=self.store.schedule_seq,
+                        contract=contract,
+                        method=method,
+                        args=args,
+                    )
                 )
-            )
-            self.store.scheduled.sort()
-        finally:
-            self.store.commit("schedule")
+                self.store.scheduled.sort()
+            finally:
+                self.store.commit("schedule")
 
     # -- block production ------------------------------------------------------------
 
@@ -583,34 +604,35 @@ class Blockchain:
         commit stamps the block's base fee and rolls the fee market one
         step — so a crash anywhere in between recovers mid-drain exactly.
         """
-        if self.pool is not None:
-            self.pool.expire()
-            self.pool.drain_into_block()
-        self.store.begin()
-        try:
-            sealed = self.blocks[-1]
-            sealed.timestamp = self.time
-            sealed.byte_size += self.base_block_bytes
+        with self.lock:
             if self.pool is not None:
-                self.pool.on_block_sealed(sealed)
-            self.store.time += self.block_time
-            new_block = Block(
-                number=len(self.blocks),
-                timestamp=self.time,
-                parent_hash=sealed.block_hash,
-            )
-            self.blocks.append(new_block)
-        finally:
-            self.store.commit(
-                "block",
-                sealed_timestamp=sealed.timestamp,
-                sealed_bytes=sealed.byte_size,
-                sealed_base_fee=sealed.base_fee_wei,
-                time=self.time,
-                new_block=new_block,
-            )
-        self._fire_due_calls()
-        return sealed
+                self.pool.expire()
+                self.pool.drain_into_block()
+            self.store.begin()
+            try:
+                sealed = self.blocks[-1]
+                sealed.timestamp = self.time
+                sealed.byte_size += self.base_block_bytes
+                if self.pool is not None:
+                    self.pool.on_block_sealed(sealed)
+                self.store.time += self.block_time
+                new_block = Block(
+                    number=len(self.blocks),
+                    timestamp=self.time,
+                    parent_hash=sealed.block_hash,
+                )
+                self.blocks.append(new_block)
+            finally:
+                self.store.commit(
+                    "block",
+                    sealed_timestamp=sealed.timestamp,
+                    sealed_bytes=sealed.byte_size,
+                    sealed_base_fee=sealed.base_fee_wei,
+                    time=self.time,
+                    new_block=new_block,
+                )
+            self._fire_due_calls()
+            return sealed
 
     def advance_time(self, seconds: float) -> None:
         """Mine blocks until ``seconds`` of chain time have passed."""

@@ -28,6 +28,8 @@ unmodified on a fabric.
 from __future__ import annotations
 
 import hashlib
+import threading
+from concurrent.futures import ThreadPoolExecutor
 from typing import Iterator
 
 from .blockchain import Block, Blockchain, Contract
@@ -63,11 +65,18 @@ class ShardedChainFabric:
         require_signatures: bool = False,
         persist_dir=None,
         mempool=None,
+        concurrent: bool = False,
     ):
         if num_lanes < 1:
             raise ValueError("a fabric needs at least one lane")
         self.persist_dir = persist_dir
         self.mempool_config = mempool
+        # Concurrent mode drives one worker thread per lane through
+        # mine_block(); each lane serializes on its own Blockchain.lock,
+        # so the per-lane op sequence — and therefore state_hash — is
+        # bit-identical to lockstep mode (differential-tested).
+        self.concurrent = bool(concurrent)
+        self._lane_workers: ThreadPoolExecutor | None = None
 
         def _store(index: int) -> StateStore:
             if persist_dir is None:
@@ -91,7 +100,10 @@ class ShardedChainFabric:
         ]
         # Lazy routing caches: deploys may go straight at a lane (e.g.
         # through deploy_audit_contract's home-lane resolution), so the
-        # fabric discovers placements by scanning and memoizing.
+        # fabric discovers placements by scanning and memoizing.  The
+        # lock keeps scan-then-memoize atomic under concurrent ingress
+        # (two RPC threads resolving the same fresh address).
+        self._route_lock = threading.Lock()
         self._contract_lane: dict[str, int] = {}
         self._account_lane: dict[str, int] = {}
 
@@ -115,28 +127,30 @@ class ShardedChainFabric:
         return self.lanes[self.lane_index_for(key)]
 
     def lane_index_of_contract(self, address: str) -> int:
-        index = self._contract_lane.get(address)
-        if index is None:
-            for candidate, lane in enumerate(self.lanes):
-                if address in lane.store.contracts:
-                    index = candidate
-                    break
+        with self._route_lock:
+            index = self._contract_lane.get(address)
             if index is None:
-                raise KeyError(f"no lane holds contract {address[:12]}")
-            self._contract_lane[address] = index
-        return index
+                for candidate, lane in enumerate(self.lanes):
+                    if address in lane.store.contracts:
+                        index = candidate
+                        break
+                if index is None:
+                    raise KeyError(f"no lane holds contract {address[:12]}")
+                self._contract_lane[address] = index
+            return index
 
     def lane_index_of_account(self, address: str) -> int:
-        index = self._account_lane.get(address)
-        if index is None:
-            for candidate, lane in enumerate(self.lanes):
-                if address in lane.store.balances:
-                    index = candidate
-                    break
+        with self._route_lock:
+            index = self._account_lane.get(address)
             if index is None:
-                raise KeyError(f"no lane holds account {address[:12]}")
-            self._account_lane[address] = index
-        return index
+                for candidate, lane in enumerate(self.lanes):
+                    if address in lane.store.balances:
+                        index = candidate
+                        break
+                if index is None:
+                    raise KeyError(f"no lane holds account {address[:12]}")
+                self._account_lane[address] = index
+            return index
 
     # -- chain facade ---------------------------------------------------------
 
@@ -164,7 +178,8 @@ class ShardedChainFabric:
         """Create an account on the lane derived from ``key`` (or label)."""
         lane_index = self.lane_index_for(key if key is not None else label)
         address = self.lanes[lane_index].create_account(balance_eth, label)
-        self._account_lane[address] = lane_index
+        with self._route_lock:
+            self._account_lane[address] = lane_index
         return address
 
     def deploy(
@@ -179,7 +194,8 @@ class ShardedChainFabric:
             except KeyError:
                 lane_index = self.lane_index_for(deployer)
         address = self.lanes[lane_index].deploy(contract, deployer, deposit_bytes)
-        self._contract_lane[address] = lane_index
+        with self._route_lock:
+            self._contract_lane[address] = lane_index
         return address
 
     def contract_at(self, address: str) -> Contract:
@@ -215,12 +231,26 @@ class ShardedChainFabric:
     def balance_of(self, address: str) -> int:
         return sum(lane.balance_of(address) for lane in self.lanes)
 
+    def _workers(self) -> ThreadPoolExecutor:
+        if self._lane_workers is None:
+            self._lane_workers = ThreadPoolExecutor(
+                max_workers=self.num_lanes, thread_name_prefix="lane"
+            )
+        return self._lane_workers
+
     def mine_block(self) -> list[Block]:
         """Mine every lane once: the lockstep clock tick.
 
         Returns the sealed block of each lane (duck-type compatible with
-        drivers that only need *a* mined-block signal).
+        drivers that only need *a* mined-block signal).  In ``concurrent``
+        mode one worker thread drives each lane; lanes share no state, so
+        the result (and every lane's ``state_hash``) matches lockstep
+        mining exactly — only wall-clock differs.
         """
+        if self.concurrent and self.num_lanes > 1:
+            return list(
+                self._workers().map(lambda lane: lane.mine_block(), self.lanes)
+            )
         return [lane.mine_block() for lane in self.lanes]
 
     def advance_time(self, seconds: float) -> None:
@@ -243,6 +273,9 @@ class ShardedChainFabric:
             lane.snapshot()
 
     def close(self) -> None:
+        if self._lane_workers is not None:
+            self._lane_workers.shutdown(wait=True)
+            self._lane_workers = None
         for lane in self.lanes:
             lane.close()
 

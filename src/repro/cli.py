@@ -17,6 +17,8 @@
     python -m repro lifecycle --persist ./lifecycle --resume  # crash + reopen
     python -m repro congest --storm --lanes 4 --blocks 12     # fee-market storm
     python -m repro congest --storm --griefer --lanes 2       # + fee griefing
+    python -m repro serve --lanes 2 --port 8645               # JSON-RPC service
+    python -m repro serve --concurrent --probe                # CI smoke probe
     python -m repro models   --users 5000
 
 Everything runs locally against the simulated substrates; the tool exists
@@ -806,6 +808,91 @@ def _cmd_congest(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Host the long-lived JSON-RPC audit service over a sharded fabric."""
+    import time
+
+    from .chain.fabric import ShardedChainFabric
+    from .chain.mempool import MempoolConfig
+    from .engine import AuditExecutor, AuditInstance
+    from .randomness import HashChainBeacon
+    from .rollup import CrossShardAggregator
+    from .rpc import RpcClient, RpcDispatcher, RpcTcpServer, ServiceNode
+    from .sim.workloads import archive_file
+
+    if args.lanes < 1 or args.fleet < 1 or args.epochs < 0:
+        print("serve: --lanes and --fleet must be >= 1, --epochs >= 0",
+              file=sys.stderr)
+        return 2
+    rng = random.Random(args.seed)
+    params = ProtocolParams(s=args.s, k=args.k)
+    fabric = ShardedChainFabric(
+        num_lanes=args.lanes,
+        mempool=MempoolConfig(),
+        concurrent=args.concurrent,
+    )
+    owner = DataOwner(params, rng=rng)
+    instances = []
+    for index in range(args.fleet):
+        package = owner.prepare(
+            archive_file(args.size, tag=f"serve-{index}").data,
+            fresh_keypair=index == 0,
+        )
+        instances.append(AuditInstance.from_package(package, owner_id="serve"))
+    executor = AuditExecutor(instances, workers=args.workers)
+    aggregator = CrossShardAggregator(
+        fabric, executor, params, HashChainBeacon(b"cli-serve"), rng=rng,
+        concurrent_lanes=args.concurrent, pooled_verify=args.workers != 1,
+    )
+    node = ServiceNode(fabric, aggregator=aggregator)
+    dispatcher = RpcDispatcher()
+    node.register_on(dispatcher)
+    server = RpcTcpServer(dispatcher, host=args.host, port=args.port)
+    try:
+        settlements = aggregator.run(args.epochs)
+        host, port = server.serve_in_thread()
+        print(f"audit service on {host}:{port} — {args.lanes} lanes"
+              f"{' (concurrent)' if args.concurrent else ''}, "
+              f"{len(instances)} audit instances, "
+              f"{len(settlements)} epochs pre-settled, "
+              f"{len(dispatcher.methods())} methods")
+        if args.mine_interval > 0:
+            node.start_auto_mine(args.mine_interval)
+        if args.probe:
+            # CI smoke: exercise three methods through a real socket
+            # client, then shut down cleanly.
+            with RpcClient(host, port) as client:
+                status = client.call("node_status")
+                print(f"probe node_status: lanes={status['num_lanes']} "
+                      f"height={status['height']}")
+                suggestion = client.call("fee_suggest", {"tip_gwei": 1.0})
+                print(f"probe fee_suggest: max_fee="
+                      f"{suggestion['max_fee_gwei']:g} gwei")
+                checkpoint = client.call("checkpoint_get")
+                print(f"probe checkpoint_get: epoch {checkpoint['epoch']}, "
+                      f"root {checkpoint['fabric_root'][:16]}…")
+                ok = (
+                    status["num_lanes"] == args.lanes
+                    and suggestion["max_fee_gwei"] > 0
+                    and checkpoint["num_lanes"] == args.lanes
+                )
+            print(f"probe: {'OK' if ok else 'FAILED'}; shutting down")
+            return 0 if ok else 1
+        deadline = time.time() + args.duration if args.duration > 0 else None
+        try:
+            while deadline is None or time.time() < deadline:
+                time.sleep(0.2)
+        except KeyboardInterrupt:
+            print("interrupted; shutting down")
+        return 0
+    finally:
+        node.stop_auto_mine()
+        server.close()
+        aggregator.close()
+        executor.close()
+        fabric.close()
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     capacity = ChainCapacityModel()
     load = ProviderLoadModel()
@@ -1016,6 +1103,43 @@ def build_parser() -> argparse.ArgumentParser:
                          help="honest priority fee in gwei")
     congest.add_argument("--seed", type=int, default=0)
     congest.set_defaults(func=_cmd_congest)
+
+    serve = sub.add_parser(
+        "serve",
+        help="host the long-lived JSON-RPC audit service: per-lane "
+        "mempool ingress, audit/checkpoint/proof queries, explorer "
+        "endpoints, newline-framed JSON-RPC 2.0 over TCP",
+    )
+    serve.add_argument("--host", type=str, default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=0,
+                       help="listen port (0 = ephemeral, printed at start)")
+    serve.add_argument("--lanes", type=int, default=2,
+                       help="chain fabric lanes behind the service")
+    serve.add_argument("--concurrent", action="store_true",
+                       help="execute lanes on a worker-per-lane thread pool")
+    serve.add_argument("--fleet", type=int, default=2,
+                       help="audit instances preloaded into the aggregator")
+    serve.add_argument("--epochs", type=int, default=1,
+                       help="audit epochs settled before serving (gives "
+                       "checkpoint_get/fabric_proof_get real data)")
+    serve.add_argument("--size", type=int, default=500,
+                       help="bytes per preloaded file")
+    serve.add_argument("--mine-interval", type=float, default=0.5,
+                       help="auto-mine period in seconds (0 = only "
+                       "explicit 'mine' calls)")
+    serve.add_argument("--duration", type=float, default=0.0,
+                       help="serve for this many seconds then exit "
+                       "(0 = until interrupted)")
+    serve.add_argument("--probe", action="store_true",
+                       help="CI smoke: start, call three methods through "
+                       "a socket client, shut down cleanly")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--s", type=int, default=4)
+    serve.add_argument("--k", type=int, default=3)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="audit executor process-pool size "
+                       "(0 = one per CPU core)")
+    serve.set_defaults(func=_cmd_serve)
 
     models = sub.add_parser("models", help="print the Section VII-D models")
     models.add_argument("--users", type=int, default=5_000)

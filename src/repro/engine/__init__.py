@@ -17,11 +17,20 @@ sequential per-proof path.
 
 from .executor import AuditExecutor
 from .scheduler import EpochResult, EpochScheduler
-from .tasks import AuditInstance, ProveOutcome, ProveTask, VerifyTask
+from .tasks import (
+    AuditInstance,
+    BatchVerifyResult,
+    BatchVerifyTask,
+    ProveOutcome,
+    ProveTask,
+    VerifyTask,
+)
 
 __all__ = [
     "AuditExecutor",
     "AuditInstance",
+    "BatchVerifyResult",
+    "BatchVerifyTask",
     "EpochResult",
     "EpochScheduler",
     "ProveOutcome",

@@ -16,14 +16,23 @@ byte-for-byte the same, only the transport differs.
 from __future__ import annotations
 
 import os
+import threading
 import time
 from concurrent.futures import ProcessPoolExecutor
 from typing import Iterable, Sequence
 
+from ..core.batch import BatchItem, verify_batch_grouped
 from ..core.prover import Prover
 from ..core.verifier import Verifier, VerifyOutcome
 from ..crypto.bn254 import PrecomputeCache
-from .tasks import AuditInstance, ProveOutcome, ProveTask, VerifyTask
+from .tasks import (
+    AuditInstance,
+    BatchVerifyResult,
+    BatchVerifyTask,
+    ProveOutcome,
+    ProveTask,
+    VerifyTask,
+)
 
 
 class _AuditRuntime:
@@ -34,6 +43,9 @@ class _AuditRuntime:
 
     def __init__(self, instances: Sequence[AuditInstance], window: int = 4):
         self.cache = PrecomputeCache(window=window)
+        self.instances: dict[int, AuditInstance] = {
+            instance.name: instance for instance in instances
+        }
         self.provers: dict[int, Prover] = {}
         self.verifiers: dict[int, Verifier] = {}
         for instance in instances:
@@ -73,6 +85,34 @@ class _AuditRuntime:
             raise KeyError(f"no audit instance registered for file {task.name}")
         return verifier.verify_private(task.challenge(), task.proof())
 
+    def verify_batch(self, task: BatchVerifyTask) -> BatchVerifyResult:
+        """Run one whole-batch check; pinpoint in place when it fails."""
+        from ..core.proof import PrivateProof
+
+        items = []
+        for name, challenge_bytes, proof_bytes in task.entries:
+            instance = self.instances.get(name)
+            if instance is None:
+                raise KeyError(f"no audit instance registered for file {name}")
+            items.append(
+                BatchItem(
+                    public=instance.public,
+                    name=name,
+                    num_chunks=instance.num_chunks,
+                    challenge=task.challenge_for(challenge_bytes),
+                    proof=PrivateProof.from_bytes(proof_bytes),
+                )
+            )
+        outcome = verify_batch_grouped(
+            items, rng=task.rng(), precompute=self.cache
+        )
+        return BatchVerifyResult(
+            ok=outcome.ok,
+            checked=outcome.checked,
+            mode=outcome.mode,
+            failures=outcome.pinpoint(self.cache),
+        )
+
 
 # Worker-process globals (set by the pool initializer).
 _RUNTIME: _AuditRuntime | None = None
@@ -91,6 +131,11 @@ def _prove_in_worker(task: ProveTask) -> ProveOutcome:
 def _verify_in_worker(task: VerifyTask) -> VerifyOutcome:
     assert _RUNTIME is not None, "worker initializer did not run"
     return _RUNTIME.verify(task)
+
+
+def _verify_batch_in_worker(task: BatchVerifyTask) -> BatchVerifyResult:
+    assert _RUNTIME is not None, "worker initializer did not run"
+    return _RUNTIME.verify_batch(task)
 
 
 class AuditExecutor:
@@ -118,6 +163,10 @@ class AuditExecutor:
         self.window = window
         self._pool: ProcessPoolExecutor | None = None
         self._inline: _AuditRuntime | None = None
+        # Concurrent lane workers share one executor: pool creation and
+        # teardown must be atomic (ProcessPoolExecutor itself is
+        # thread-safe once built).
+        self._pool_lock = threading.Lock()
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -143,6 +192,7 @@ class AuditExecutor:
             raise ValueError(f"duplicate audit instance {instance.name}")
         self.instances[instance.name] = instance
         if self._inline is not None:
+            self._inline.instances[instance.name] = instance
             self._inline.provers[instance.name] = Prover(
                 instance.chunked,
                 instance.public,
@@ -163,14 +213,16 @@ class AuditExecutor:
             raise KeyError(f"no audit instance registered for file {name}")
         del self.instances[name]
         if self._inline is not None:
+            self._inline.instances.pop(name, None)
             self._inline.provers.pop(name, None)
             self._inline.verifiers.pop(name, None)
         self._invalidate_pool()
 
     def _invalidate_pool(self) -> None:
-        if self._pool is not None:
-            self._pool.shutdown(wait=True)
-            self._pool = None
+        with self._pool_lock:
+            if self._pool is not None:
+                self._pool.shutdown(wait=True)
+                self._pool = None
 
     @property
     def runtime(self) -> _AuditRuntime:
@@ -182,13 +234,14 @@ class AuditExecutor:
         return self._inline
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(
-                max_workers=self.workers,
-                initializer=_init_worker,
-                initargs=(list(self.instances.values()), self.window),
-            )
-        return self._pool
+        with self._pool_lock:
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.workers,
+                    initializer=_init_worker,
+                    initargs=(list(self.instances.values()), self.window),
+                )
+            return self._pool
 
     def _chunksize(self, count: int) -> int:
         return max(1, count // (4 * self.workers))
@@ -219,3 +272,16 @@ class AuditExecutor:
         return list(
             pool.map(_verify_in_worker, tasks, chunksize=self._chunksize(len(tasks)))
         )
+
+    def verify_batch(self, task: BatchVerifyTask) -> BatchVerifyResult:
+        """Run one whole-batch check, off-loaded to a worker process.
+
+        One :class:`~repro.engine.tasks.BatchVerifyTask` is one lane-epoch:
+        concurrent lane threads each submit theirs and the pool runs them
+        on separate cores — the step that was previously always inline in
+        the parent.  ``workers == 1`` verifies inline, bit-identically.
+        """
+        if self.workers == 1:
+            return self.runtime.verify_batch(task)
+        pool = self._ensure_pool()
+        return pool.submit(_verify_batch_in_worker, task).result()

@@ -126,6 +126,47 @@ class ProveOutcome:
 
 
 @dataclass(frozen=True)
+class BatchVerifyTask:
+    """One whole batch check (a lane-epoch's proofs) for a worker process.
+
+    Ships ``(name, challenge bytes, proof bytes)`` triples; the worker
+    already holds every instance's public key and chunk count from the
+    pool initializer, so the task stays a few hundred bytes per proof.
+    ``rng_seed`` pins the small-exponent blinding draw — the verdict is
+    rho-independent, so this only matters for reproducible transcripts.
+    """
+
+    entries: tuple[tuple[int, bytes, bytes], ...]
+    k: int
+    seed_bytes: int = 16
+    rng_seed: int | None = None
+
+    def rng(self):
+        return None if self.rng_seed is None else random.Random(self.rng_seed)
+
+    def challenge_for(self, challenge_bytes: bytes) -> Challenge:
+        return Challenge.from_bytes(
+            challenge_bytes, k=self.k, seed_bytes=self.seed_bytes
+        )
+
+
+@dataclass(frozen=True)
+class BatchVerifyResult:
+    """Slim wire form of a :class:`~repro.core.batch.BatchVerifyOutcome`.
+
+    Pinpointing runs *in the worker* on the failure path (the
+    :class:`~repro.core.batch.ItemRejection` reasons are plain picklable
+    dataclasses), so an accepted batch ships back a dozen bytes and a
+    rejected one ships only its failure list — never the decoded proofs.
+    """
+
+    ok: bool
+    checked: int
+    mode: str
+    failures: tuple = ()
+
+
+@dataclass(frozen=True)
 class VerifyTask:
     """One individual Eq.-(2) check (the fan-out alternative to batching)."""
 

@@ -810,6 +810,23 @@ class LifecycleEngine:
         )
 
     # ------------------------------------------------------------------ #
+    # Service hosting                                                      #
+    # ------------------------------------------------------------------ #
+
+    def service_node(self):
+        """Host this engine behind the JSON-RPC audit service.
+
+        Returns a :class:`~repro.rpc.node.ServiceNode` wrapping the
+        engine's own fabric with the engine mounted, so ``audit_status``
+        reports lifecycle progress and ``state_get`` resolves provider
+        reputation.  Callers drive epochs (:meth:`run_epoch`) while the
+        service answers reads; both serialize on the lanes' chain locks.
+        """
+        from ..rpc import ServiceNode
+
+        return ServiceNode(self.fabric, lifecycle=self)
+
+    # ------------------------------------------------------------------ #
     # Durability (crash + reopen)                                          #
     # ------------------------------------------------------------------ #
 

@@ -26,6 +26,8 @@ proof format are specified in ``docs/PROTOCOL.md`` section 10).
 from __future__ import annotations
 
 import hashlib
+import random
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Sequence
 
@@ -259,6 +261,8 @@ class CrossShardAggregator:
         fraud_window: float = 24 * 3600.0,
         aggregator_funds_eth: float = 10.0,
         contract_kwargs: dict | None = None,
+        concurrent_lanes: bool = False,
+        pooled_verify: bool = False,
     ):
         # Imported lazily to keep the rollup layer importable without the
         # chain package on every path (mirrors pipeline.py's convention).
@@ -269,6 +273,14 @@ class CrossShardAggregator:
         self.executor = executor
         self.params = params
         self.beacon = beacon
+        # Concurrent mode: one worker thread per lane drives the whole
+        # prove → verify → post pipeline, meeting at an epoch barrier only
+        # for the fabric checkpoint roll-up.  Lane settlement is entirely
+        # lane-local (scheduler, pipeline, chain, contract), so the
+        # per-lane op sequence — and the accept/reject sets — match the
+        # sequential walk exactly (differential-tested).
+        self.concurrent_lanes = bool(concurrent_lanes)
+        self._lane_workers: ThreadPoolExecutor | None = None
         self.settled: list[FabricSettlement] = []
         self.lane_names: dict[int, frozenset[int]] = {}
         self.pipelines: dict[int, CheckpointPipeline] = {}
@@ -292,15 +304,23 @@ class CrossShardAggregator:
                 **(contract_kwargs or {}),
             )
             address = lane.deploy(contract, deployer=account)
+            # Each lane's scheduler gets its own blinding rng, derived in
+            # sorted lane order: a shared Random instance would race under
+            # concurrent lane threads.  Verdicts are rho-independent, so
+            # the derivation only fixes the transcript, not the outcome.
+            lane_rng = (
+                None if rng is None else random.Random(rng.getrandbits(64))
+            )
             scheduler = EpochScheduler(
                 executor,
                 params,
                 beacon,
                 salt=salt,
                 deterministic=deterministic,
-                rng=rng,
+                rng=lane_rng,
                 checkpoint_mode=True,
                 names=names,
+                pooled_verify=pooled_verify,
             )
             pipeline = CheckpointPipeline(scheduler, lane, address, account)
             pipeline.register_fleet()
@@ -318,11 +338,39 @@ class CrossShardAggregator:
         """Route one file's proofs through an adversary-strategy callable."""
         self.schedulers[self.lane_of(name)].set_override(name, override)
 
+    def _workers(self) -> ThreadPoolExecutor:
+        if self._lane_workers is None:
+            self._lane_workers = ThreadPoolExecutor(
+                max_workers=len(self.pipelines), thread_name_prefix="settle"
+            )
+        return self._lane_workers
+
+    def close(self) -> None:
+        if self._lane_workers is not None:
+            self._lane_workers.shutdown(wait=True)
+            self._lane_workers = None
+
     def settle_epoch(self, epoch: int) -> FabricSettlement:
-        """Run one epoch on every lane and roll the commitments up."""
+        """Run one epoch on every lane and roll the commitments up.
+
+        In ``concurrent_lanes`` mode every lane settles on its own worker
+        thread; collecting the futures IS the epoch barrier — the fabric
+        checkpoint is built only after the slowest lane posts.
+        """
+        lane_ids = sorted(self.pipelines)
         lanes: dict[int, SettledEpoch] = {}
-        for lane_id in sorted(self.pipelines):
-            lanes[lane_id] = self.pipelines[lane_id].settle_epoch(epoch)
+        if self.concurrent_lanes and len(lane_ids) > 1:
+            futures = {
+                lane_id: self._workers().submit(
+                    self.pipelines[lane_id].settle_epoch, epoch
+                )
+                for lane_id in lane_ids
+            }
+            for lane_id in lane_ids:
+                lanes[lane_id] = futures[lane_id].result()
+        else:
+            for lane_id in lane_ids:
+                lanes[lane_id] = self.pipelines[lane_id].settle_epoch(epoch)
         fabric_bundle = build_fabric_checkpoint(
             epoch,
             [(lane_id, settled.bundle) for lane_id, settled in lanes.items()],

@@ -1,0 +1,120 @@
+"""Blocking JSON-RPC client over the newline-framed TCP transport.
+
+One :class:`RpcClient` wraps one persistent socket; calls serialize on an
+internal lock, so a client instance can be shared — but the soak and
+concurrency tests give every worker thread its own client, which is the
+intended production shape (one connection per session).
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+from typing import Any
+
+from .codec import JSONRPC_VERSION, MAX_FRAME_BYTES
+
+
+class RpcClientError(RuntimeError):
+    """The server answered with a JSON-RPC error object."""
+
+    def __init__(self, error: dict):
+        super().__init__(f"[{error.get('code')}] {error.get('message')}")
+        self.code = error.get("code")
+        self.data = error.get("data")
+
+
+class RpcTransportError(RuntimeError):
+    """The connection died or the server broke framing."""
+
+
+class RpcClient:
+    def __init__(self, host: str, port: int, timeout: float = 30.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+        self._lock = threading.Lock()
+        self._next_id = 0
+
+    def close(self) -> None:
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self) -> "RpcClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- request plumbing ----------------------------------------------------
+
+    def _roundtrip(self, payload: Any) -> Any:
+        frame = json.dumps(payload, separators=(",", ":")).encode() + b"\n"
+        with self._lock:
+            try:
+                self._file.write(frame)
+                self._file.flush()
+                line = self._file.readline(MAX_FRAME_BYTES + 2)
+            except (ConnectionError, OSError) as exc:
+                raise RpcTransportError(str(exc)) from exc
+        if not line:
+            raise RpcTransportError("server closed the connection")
+        try:
+            return json.loads(line)
+        except ValueError as exc:
+            raise RpcTransportError(f"unparseable response frame: {exc}") from exc
+
+    def _request(self, method: str, params: Any) -> dict:
+        self._next_id += 1
+        request: dict[str, Any] = {
+            "jsonrpc": JSONRPC_VERSION,
+            "id": self._next_id,
+            "method": method,
+        }
+        if params is not None:
+            request["params"] = params
+        return request
+
+    # -- public surface ------------------------------------------------------
+
+    def call_raw(self, method: str, params: Any = None) -> dict:
+        """One call, returning the full response object (result or error)."""
+        return self._roundtrip(self._request(method, params))
+
+    def call(self, method: str, params: Any = None) -> Any:
+        """One call, returning ``result`` (raises RpcClientError on error)."""
+        response = self.call_raw(method, params)
+        if "error" in response:
+            raise RpcClientError(response["error"])
+        return response.get("result")
+
+    def notify(self, method: str, params: Any = None) -> None:
+        """Fire-and-forget (no id, so the server sends no response)."""
+        request = self._request(method, params)
+        del request["id"]
+        frame = json.dumps(request, separators=(",", ":")).encode() + b"\n"
+        with self._lock:
+            try:
+                self._file.write(frame)
+                self._file.flush()
+            except (ConnectionError, OSError) as exc:
+                raise RpcTransportError(str(exc)) from exc
+
+    def batch(self, calls: "list[tuple[str, Any]]") -> list:
+        """One batch frame; returns the response list (order per server)."""
+        requests = [self._request(method, params) for method, params in calls]
+        return self._roundtrip(requests)
+
+    def send_raw_line(self, raw: bytes) -> bytes:
+        """Ship arbitrary bytes as one frame (the fuzz harness's entry)."""
+        if not raw.endswith(b"\n"):
+            raw += b"\n"
+        with self._lock:
+            try:
+                self._file.write(raw)
+                self._file.flush()
+                return self._file.readline(MAX_FRAME_BYTES + 2)
+            except (ConnectionError, OSError) as exc:
+                raise RpcTransportError(str(exc)) from exc

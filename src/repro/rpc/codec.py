@@ -1,0 +1,181 @@
+"""JSON-RPC 2.0 request/response codec for the audit service.
+
+Wire format: newline-delimited UTF-8 JSON frames over a stream transport
+(one request object — or one batch array — per line).  The codec is
+transport-agnostic: it turns raw frame bytes into validated
+``(method, params, id)`` triples and structured error objects, and the
+server/dispatcher layers never touch JSON themselves.
+
+Error space (see ``docs/PROTOCOL.md`` section 12):
+
+* the four JSON-RPC 2.0 standard codes (parse / invalid request / method
+  not found / invalid params) plus ``-32603`` internal error,
+* the application range ``-32000..-32099`` mirrors the mempool's
+  admission-rejection taxonomy one-to-one
+  (:data:`REJECTION_RPC_CODES`), so a client can tell "resubmit with a
+  higher tip" (``underpriced``) from "fill the nonce gap first"
+  (``nonce-gap``) without string-matching messages.
+
+Every malformed frame — truncated JSON, wrong-typed ``id``, oversized
+payload, batches nested in batches — maps to a structured error response,
+never to a dropped connection or a traceback (fuzz-tested with 500+
+seeded cases in ``tests/rpc/test_codec_fuzz.py``).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+JSONRPC_VERSION = "2.0"
+
+# -- standard JSON-RPC 2.0 codes --------------------------------------------
+PARSE_ERROR = -32700
+INVALID_REQUEST = -32600
+METHOD_NOT_FOUND = -32601
+INVALID_PARAMS = -32602
+INTERNAL_ERROR = -32603
+
+# -- application codes (-32000..-32099): the admission taxonomy -------------
+#: mempool rejection ``code`` string -> JSON-RPC application error code.
+REJECTION_RPC_CODES: dict[str, int] = {
+    "rejected": -32000,               # MempoolRejection base (catch-all)
+    "pool-full": -32001,
+    "underpriced": -32002,
+    "nonce-too-low": -32003,
+    "nonce-gap": -32004,
+    "nonce-occupied": -32005,
+    "replacement-underpriced": -32006,
+    "sender-limit": -32007,
+    "insufficient-funds": -32008,
+}
+#: Requested entity (epoch, settlement, account, proof) does not exist.
+NOT_FOUND = -32010
+#: The node is not configured for this method (no mempool, no aggregator).
+UNSUPPORTED = -32011
+
+#: Hard cap on one frame (request line) and on an encoded params payload.
+#: A line longer than this is rejected *before* json.loads ever runs, so
+#: a hostile client cannot make the service buffer unbounded input.
+MAX_FRAME_BYTES = 1_000_000
+#: Batches beyond this length are refused as one invalid-request error.
+MAX_BATCH_ITEMS = 256
+
+_ERROR_NAMES = {
+    PARSE_ERROR: "parse error",
+    INVALID_REQUEST: "invalid request",
+    METHOD_NOT_FOUND: "method not found",
+    INVALID_PARAMS: "invalid params",
+    INTERNAL_ERROR: "internal error",
+    NOT_FOUND: "not found",
+    UNSUPPORTED: "unsupported",
+}
+
+
+class RpcError(Exception):
+    """A structured JSON-RPC error: raised by handlers, encoded on the wire."""
+
+    def __init__(self, code: int, message: str = "", data: Any = None):
+        super().__init__(message or _ERROR_NAMES.get(code, "error"))
+        self.code = code
+        self.message = message or _ERROR_NAMES.get(code, "error")
+        self.data = data
+
+    def to_object(self) -> dict:
+        error: dict[str, Any] = {"code": self.code, "message": self.message}
+        if self.data is not None:
+            error["data"] = self.data
+        return error
+
+
+def rejection_error(rejection) -> RpcError:
+    """Map a :class:`~repro.chain.mempool.MempoolRejection` onto the wire.
+
+    The rejection's ``code`` string travels in ``error.data.reason`` so
+    clients can switch on the taxonomy without hard-coding numeric codes.
+    """
+    code = REJECTION_RPC_CODES.get(
+        getattr(rejection, "code", "rejected"), REJECTION_RPC_CODES["rejected"]
+    )
+    return RpcError(
+        code, str(rejection), data={"reason": getattr(rejection, "code", "rejected")}
+    )
+
+
+def _valid_id(request_id: Any) -> bool:
+    # The spec allows String, Number and Null.  bool is an int subclass in
+    # Python, so it must be excluded explicitly — `"id": true` is a
+    # wrong-typed id, not request id 1.
+    if request_id is None or isinstance(request_id, str):
+        return True
+    return isinstance(request_id, (int, float)) and not isinstance(request_id, bool)
+
+
+def decode_frame(raw: bytes | str) -> Any:
+    """One wire frame -> parsed JSON value (dict or batch list).
+
+    Raises :class:`RpcError` with ``PARSE_ERROR`` for oversized or
+    syntactically invalid frames.
+    """
+    if isinstance(raw, str):
+        raw = raw.encode("utf-8", errors="replace")
+    if len(raw) > MAX_FRAME_BYTES:
+        raise RpcError(
+            PARSE_ERROR,
+            f"frame exceeds {MAX_FRAME_BYTES} bytes",
+            data={"frame_bytes": len(raw)},
+        )
+    try:
+        return json.loads(raw)
+    except (ValueError, UnicodeDecodeError) as exc:
+        raise RpcError(PARSE_ERROR, f"invalid JSON: {exc}") from exc
+
+
+def validate_request(obj: Any) -> tuple[str, Any, Any, bool]:
+    """One request object -> ``(method, params, id, is_notification)``.
+
+    Raises :class:`RpcError` (``INVALID_REQUEST``) on structural
+    violations; method *existence* is the dispatcher's concern.
+    """
+    if not isinstance(obj, dict):
+        raise RpcError(
+            INVALID_REQUEST,
+            "request must be an object"
+            + (" (batch-in-batch is not allowed)" if isinstance(obj, list) else ""),
+        )
+    if obj.get("jsonrpc") != JSONRPC_VERSION:
+        raise RpcError(INVALID_REQUEST, 'missing or wrong "jsonrpc" (need "2.0")')
+    method = obj.get("method")
+    if not isinstance(method, str) or not method:
+        raise RpcError(INVALID_REQUEST, '"method" must be a non-empty string')
+    is_notification = "id" not in obj
+    request_id = obj.get("id")
+    if not is_notification and not _valid_id(request_id):
+        raise RpcError(INVALID_REQUEST, '"id" must be a string, number or null')
+    params = obj.get("params", {})
+    if not isinstance(params, (list, dict)):
+        raise RpcError(INVALID_REQUEST, '"params" must be an array or object')
+    extra = set(obj) - {"jsonrpc", "method", "params", "id"}
+    if extra:
+        raise RpcError(
+            INVALID_REQUEST, f"unexpected members: {sorted(extra)[:4]}"
+        )
+    if len(json.dumps(params)) > MAX_FRAME_BYTES // 2:
+        raise RpcError(INVALID_PARAMS, "params payload too large")
+    return method, params, request_id, is_notification
+
+
+def encode_result(request_id: Any, result: Any) -> dict:
+    return {"jsonrpc": JSONRPC_VERSION, "id": request_id, "result": result}
+
+
+def encode_error(request_id: Any, error: RpcError) -> dict:
+    # A request whose id could not even be parsed answers with id null.
+    if not _valid_id(request_id):
+        request_id = None
+    return {"jsonrpc": JSONRPC_VERSION, "id": request_id, "error": error.to_object()}
+
+
+def encode_frame(payload: Any) -> bytes:
+    """One response value -> one newline-terminated wire frame."""
+    return json.dumps(payload, separators=(",", ":"), default=str).encode() + b"\n"

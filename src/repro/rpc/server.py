@@ -1,0 +1,109 @@
+"""Threaded TCP transport for the JSON-RPC audit service.
+
+Stdlib only (:mod:`socketserver`): one daemon thread per connection, one
+newline-delimited JSON frame per request (or batch).  Connections are
+persistent — a client holds its socket open and pipelines requests — and
+the listener backlog is sized for the soak tests' 1000+ concurrent
+clients.
+
+The transport enforces exactly one policy of its own: a line longer than
+:data:`~repro.rpc.codec.MAX_FRAME_BYTES` is answered with a structured
+parse error and the connection is closed (the alternative — buffering an
+unbounded line — is a memory DoS).  Everything else, including every
+malformed frame, is the codec/dispatcher's problem and always produces a
+response frame.
+"""
+
+from __future__ import annotations
+
+import socket
+import socketserver
+import threading
+
+from .codec import MAX_FRAME_BYTES, PARSE_ERROR, RpcError, encode_error, encode_frame
+from .service import RpcDispatcher
+
+
+class _RpcConnectionHandler(socketserver.StreamRequestHandler):
+    # Bounded readline: +2 covers the newline so an exactly-MAX frame with
+    # its terminator is not misclassified as oversized.
+    rbufsize = -1
+
+    def handle(self) -> None:
+        dispatcher: RpcDispatcher = self.server.dispatcher  # type: ignore[attr-defined]
+        while True:
+            try:
+                line = self.rfile.readline(MAX_FRAME_BYTES + 2)
+            except (ConnectionError, OSError):
+                return
+            if not line:
+                return  # client closed
+            if len(line) > MAX_FRAME_BYTES and not line.endswith(b"\n"):
+                # The line never terminated inside the cap: answer with a
+                # structured error, then drop the connection — resyncing a
+                # frame stream mid-line is not possible.
+                error = RpcError(
+                    PARSE_ERROR, f"frame exceeds {MAX_FRAME_BYTES} bytes"
+                )
+                self._send(encode_frame(encode_error(None, error)))
+                return
+            if not line.strip():
+                continue  # bare newline keep-alive
+            response = dispatcher.handle_raw(line)
+            if response is not None and not self._send(response):
+                return
+
+    def _send(self, frame: bytes) -> bool:
+        try:
+            self.wfile.write(frame)
+            self.wfile.flush()
+            return True
+        except (ConnectionError, OSError):
+            return False
+
+
+class RpcTcpServer(socketserver.ThreadingTCPServer):
+    """``serve()`` in the foreground or ``serve_in_thread()`` for tests."""
+
+    daemon_threads = True
+    allow_reuse_address = True
+    # The soak test opens >=1000 sockets in a burst; the default backlog
+    # of 5 would refuse most of them before accept() ever runs.
+    request_queue_size = 2048
+
+    def __init__(self, dispatcher: RpcDispatcher, host: str = "127.0.0.1", port: int = 0):
+        super().__init__((host, port), _RpcConnectionHandler)
+        self.dispatcher = dispatcher
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> "tuple[str, int]":
+        host, port = self.socket.getsockname()[:2]
+        return host, port
+
+    def serve_in_thread(self) -> "tuple[str, int]":
+        """Start accepting on a daemon thread; returns (host, port)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever,
+            kwargs={"poll_interval": 0.05},
+            name="rpc-accept",
+            daemon=True,
+        )
+        self._thread.start()
+        return self.address
+
+    def close(self) -> None:
+        self.shutdown()
+        self.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None
+
+
+def probe(host: str, port: int, timeout: float = 2.0) -> bool:
+    """True when a TCP connect to the service succeeds inside ``timeout``."""
+    try:
+        with socket.create_connection((host, port), timeout=timeout):
+            return True
+    except OSError:
+        return False

@@ -1,0 +1,185 @@
+"""Method dispatcher: named handlers, error mapping, per-method metrics.
+
+The dispatcher is the transport-independent core of the RPC service: the
+TCP server (:mod:`repro.rpc.server`) hands it raw frame bytes, it returns
+encoded response bytes (or ``None`` for notifications).  Handlers are
+plain callables taking keyword arguments; positional (array) params are
+bound left-to-right against the handler's signature.
+
+Error contract — *every* failure becomes a structured JSON-RPC error:
+
+* :class:`~repro.rpc.codec.RpcError` raised by a handler passes through,
+* a :class:`~repro.chain.mempool.MempoolRejection` maps onto the
+  application code taxonomy (:func:`~repro.rpc.codec.rejection_error`),
+* ``TypeError`` from binding bad arguments maps to ``INVALID_PARAMS``,
+* anything else maps to ``INTERNAL_ERROR`` carrying only the exception
+  class name — tracebacks never cross the wire.
+
+Metrics: every method accumulates ``{calls, errors, seconds}`` under a
+lock, served by the built-in ``rpc_metrics`` method alongside the method
+list (``rpc_methods``).
+"""
+
+from __future__ import annotations
+
+import inspect
+import threading
+import time
+from typing import Any, Callable
+
+from .codec import (
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    MAX_BATCH_ITEMS,
+    METHOD_NOT_FOUND,
+    RpcError,
+    decode_frame,
+    encode_error,
+    encode_frame,
+    encode_result,
+    rejection_error,
+    validate_request,
+)
+
+
+class RpcDispatcher:
+    """Routes validated requests to registered handlers and meters them."""
+
+    def __init__(self):
+        self._methods: dict[str, Callable] = {}
+        self._metrics: dict[str, dict[str, float]] = {}
+        self._metrics_lock = threading.Lock()
+        self.register("rpc_methods", self._rpc_methods)
+        self.register("rpc_metrics", self._rpc_metrics)
+
+    # -- registry ------------------------------------------------------------
+
+    def register(self, name: str, handler: Callable) -> None:
+        if name in self._methods:
+            raise ValueError(f"method {name!r} already registered")
+        self._methods[name] = handler
+        self._metrics[name] = {"calls": 0, "errors": 0, "seconds": 0.0}
+
+    def register_namespace(self, obj: Any, names: "list[str]") -> None:
+        """Register ``obj.<name>`` for every name (the ServiceNode hookup)."""
+        for name in names:
+            self.register(name, getattr(obj, name))
+
+    def methods(self) -> list[str]:
+        return sorted(self._methods)
+
+    # -- built-ins -----------------------------------------------------------
+
+    def _rpc_methods(self) -> list[str]:
+        return self.methods()
+
+    def _rpc_metrics(self) -> dict:
+        with self._metrics_lock:
+            return {
+                name: dict(stats)
+                for name, stats in sorted(self._metrics.items())
+                if stats["calls"]
+            }
+
+    # -- dispatch ------------------------------------------------------------
+
+    def _record(self, method: str, seconds: float, failed: bool) -> None:
+        with self._metrics_lock:
+            stats = self._metrics.get(method)
+            if stats is None:
+                return
+            stats["calls"] += 1
+            stats["seconds"] += seconds
+            if failed:
+                stats["errors"] += 1
+
+    def _invoke(self, method: str, params: Any) -> Any:
+        handler = self._methods.get(method)
+        if handler is None:
+            raise RpcError(METHOD_NOT_FOUND, f"unknown method {method!r}")
+        try:
+            if isinstance(params, dict):
+                return handler(**params)
+            return handler(*params)
+        except RpcError:
+            raise
+        except TypeError as exc:
+            # Distinguish a bad binding (caller's fault) from a TypeError
+            # raised deeper in the handler body (the service's fault).
+            try:
+                if isinstance(params, dict):
+                    inspect.signature(handler).bind(**params)
+                else:
+                    inspect.signature(handler).bind(*params)
+            except TypeError:
+                raise RpcError(INVALID_PARAMS, str(exc)) from exc
+            raise
+
+    def handle_request(self, obj: Any) -> "dict | None":
+        """One request object -> one response object (None = notification)."""
+        method = "?"
+        request_id: Any = None
+        t0 = time.perf_counter()
+        try:
+            method, params, request_id, is_notification = validate_request(obj)
+            result = self._invoke(method, params)
+            response = (
+                None if is_notification else encode_result(request_id, result)
+            )
+            self._record(method, time.perf_counter() - t0, failed=False)
+            return response
+        except RpcError as exc:
+            self._record(method, time.perf_counter() - t0, failed=True)
+            return encode_error(request_id, exc)
+        except Exception as exc:  # noqa: BLE001 — the wire must never see a traceback
+            if _is_rejection(exc):
+                error = rejection_error(exc)
+            else:
+                error = RpcError(
+                    INTERNAL_ERROR,
+                    "internal error",
+                    data={"exception": type(exc).__name__},
+                )
+            self._record(method, time.perf_counter() - t0, failed=True)
+            return encode_error(request_id, error)
+
+    def handle_raw(self, raw: bytes) -> "bytes | None":
+        """One wire frame in, one wire frame out (None: all notifications)."""
+        try:
+            parsed = decode_frame(raw)
+        except RpcError as exc:
+            return encode_frame(encode_error(None, exc))
+        if isinstance(parsed, list):
+            if not parsed:
+                return encode_frame(
+                    encode_error(None, RpcError(-32600, "empty batch"))
+                )
+            if len(parsed) > MAX_BATCH_ITEMS:
+                return encode_frame(
+                    encode_error(
+                        None,
+                        RpcError(
+                            -32600,
+                            f"batch exceeds {MAX_BATCH_ITEMS} requests",
+                            data={"batch_items": len(parsed)},
+                        ),
+                    )
+                )
+            responses = [
+                response
+                for response in (self.handle_request(item) for item in parsed)
+                if response is not None
+            ]
+            return encode_frame(responses) if responses else None
+        response = self.handle_request(parsed)
+        return None if response is None else encode_frame(response)
+
+
+def _is_rejection(exc: Exception) -> bool:
+    # Imported lazily so the dispatcher stays usable without the chain
+    # package on the import path (e.g. codec-only fuzz harnesses).
+    try:
+        from ..chain.mempool import MempoolRejection
+    except ImportError:  # pragma: no cover
+        return False
+    return isinstance(exc, MempoolRejection)

@@ -21,6 +21,7 @@ operation:
 from __future__ import annotations
 
 import random
+import threading
 
 import pytest
 
@@ -292,6 +293,89 @@ def test_underpriced_rejection_below_base_fee():
                         priority_fee_gwei=0.1)
         )
     assert excinfo.value.code == "underpriced"
+
+
+@pytest.mark.parametrize("seed", range(3))
+def test_threaded_submissions_preserve_invariants(seed):
+    """Interleaved multi-threaded submissions against one pooled lane.
+
+    Many client threads race ``chain.submit`` (with replacements and value
+    transfers mixed in) against a concurrent miner; the chain lock must
+    serialize them so that every structural law — bounded pool, gapless
+    per-sender nonces, exact escrow, supply conservation — holds at every
+    quiesced observation point and after the final drain, and every
+    rejection raised to a caller is counted exactly once by the pool.
+    """
+    chain, sink, senders = _pooled_chain(
+        high_watermark=64, low_watermark=48, max_per_sender=16,
+        block_gas_limit=2_000_000,
+    )
+    supply0 = chain.total_supply()
+    rejections = [0] * len(senders)
+    errors: list[BaseException] = []
+    barrier = threading.Barrier(len(senders) + 2)
+
+    def submitter(index: int, sender: str) -> None:
+        rng = random.Random(f"threaded:{seed}:{index}")
+        barrier.wait()
+        for _ in range(40):
+            try:
+                if rng.random() < 0.85:
+                    chain.submit(
+                        _random_tx(rng, sink, sender, chain.base_fee_wei / 10**9)
+                    )
+                else:
+                    dst = senders[(index + 1) % len(senders)]
+                    chain.submit(
+                        Transaction(sender=sender, to=dst, value=10**15,
+                                    gas_limit=30_000, max_fee_gwei=4.0,
+                                    priority_fee_gwei=0.5)
+                    )
+            except MempoolRejection:
+                rejections[index] += 1
+            except BaseException as exc:  # noqa: BLE001 — surfaced below
+                errors.append(exc)
+                return
+
+    def miner() -> None:
+        barrier.wait()
+        for _ in range(10):
+            try:
+                chain.mine_block()
+            except BaseException as exc:  # noqa: BLE001
+                errors.append(exc)
+                return
+
+    def checker() -> None:
+        barrier.wait()
+        for _ in range(20):
+            # A quiesced read: the chain lock is the only thing needed to
+            # observe a consistent pool + balance snapshot mid-flight.
+            with chain.lock:
+                _check_invariants(chain, supply0)
+
+    threads = [
+        threading.Thread(target=submitter, args=(index, sender))
+        for index, sender in enumerate(senders)
+    ]
+    threads.append(threading.Thread(target=miner))
+    threads.append(threading.Thread(target=checker))
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60.0)
+        assert not thread.is_alive(), "worker thread hung"
+    assert not errors, errors[0]
+    _check_invariants(chain, supply0)
+    # Drain what survived the race and re-check conservation end to end.
+    for _ in range(200):
+        if not chain.store.pool:
+            break
+        chain.mine_block()
+        _check_invariants(chain, supply0)
+    assert len(chain.pool) == 0
+    assert sum(rejections) == chain.pool.rejection_total()
+    assert chain.pool.stats["drained"] > 0
 
 
 def test_expiry_evicts_aged_entries_and_their_tails():

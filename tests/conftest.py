@@ -21,6 +21,13 @@ from repro.core import (
 from repro.sim.workloads import archive_file
 
 
+def pytest_configure(config) -> None:
+    config.addinivalue_line(
+        "markers",
+        "slow: long-running soak/endurance tests (deselect with -m 'not slow')",
+    )
+
+
 @pytest.fixture(scope="session")
 def rng() -> random.Random:
     return random.Random(0xA0D17)

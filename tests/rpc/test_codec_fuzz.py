@@ -1,0 +1,246 @@
+"""Codec fuzz: every malformed frame becomes a structured JSON-RPC error.
+
+A seeded generator sweeps >= 500 hostile frames — truncated JSON, raw
+binary, wrong-typed ``id``, unknown methods, oversized params, batches
+inside batches, absurd nesting — through the dispatcher, and a sample of
+them through a real server socket.  The contract under test is absolute:
+the service never raises past the dispatch boundary, never leaks a
+traceback onto the wire, never hangs a connection, and every response
+decodes as a JSON-RPC 2.0 error object with a known code.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.rpc import (
+    INTERNAL_ERROR,
+    INVALID_PARAMS,
+    INVALID_REQUEST,
+    MAX_BATCH_ITEMS,
+    MAX_FRAME_BYTES,
+    METHOD_NOT_FOUND,
+    NOT_FOUND,
+    PARSE_ERROR,
+    REJECTION_RPC_CODES,
+    UNSUPPORTED,
+    RpcClient,
+    RpcDispatcher,
+    RpcTcpServer,
+)
+
+CASES = 600
+
+#: Every code the service is allowed to emit.
+KNOWN_CODES = frozenset(
+    {
+        PARSE_ERROR,
+        INVALID_REQUEST,
+        METHOD_NOT_FOUND,
+        INVALID_PARAMS,
+        INTERNAL_ERROR,
+        NOT_FOUND,
+        UNSUPPORTED,
+        *REJECTION_RPC_CODES.values(),
+    }
+)
+
+
+def _dispatcher() -> RpcDispatcher:
+    dispatcher = RpcDispatcher()
+    dispatcher.register("echo", lambda value=None: value)
+    dispatcher.register("boom", _boom)
+    return dispatcher
+
+
+def _boom() -> None:
+    raise RuntimeError("handler exploded (secret internals)")
+
+
+def _garbage_value(rng: random.Random, depth: int = 0):
+    roll = rng.random()
+    if depth > 3 or roll < 0.35:
+        return rng.choice(
+            [None, True, False, rng.randrange(-(2**70), 2**70),
+             rng.random() * 1e300, "x" * rng.randrange(0, 40),
+             "\x00\xff\ud800"[: rng.randrange(0, 3)]]
+        )
+    if roll < 0.7:
+        return [_garbage_value(rng, depth + 1) for _ in range(rng.randrange(0, 4))]
+    return {
+        f"k{index}": _garbage_value(rng, depth + 1)
+        for index in range(rng.randrange(0, 4))
+    }
+
+
+def _mutate_bytes(rng: random.Random, frame: bytes) -> bytes:
+    if not frame:
+        return b"\xff\xfe"
+    mode = rng.randrange(4)
+    if mode == 0:  # truncate mid-token
+        return frame[: rng.randrange(1, len(frame) + 1)]
+    if mode == 1:  # flip a byte
+        index = rng.randrange(len(frame))
+        return frame[:index] + bytes([frame[index] ^ 0x5A]) + frame[index + 1 :]
+    if mode == 2:  # duplicate a slice (unbalanced braces)
+        index = rng.randrange(len(frame))
+        return frame + frame[index:]
+    return bytes(rng.randrange(256) for _ in range(rng.randrange(1, 64)))
+
+
+def _hostile_frame(rng: random.Random) -> "tuple[bytes, bool]":
+    """One adversarial frame, plus whether an error response is mandatory.
+
+    Byte-level mutations of a valid frame occasionally survive as valid
+    JSON-RPC (a flip inside a string payload); those cases still assert
+    the no-crash/no-hang/well-formed-response contract, just not the
+    error code.  Every structurally-hostile kind must produce an error.
+    """
+    kind = rng.randrange(12)
+    if kind == 0:  # truncated / bit-flipped / raw-binary JSON
+        base = json.dumps(
+            {"jsonrpc": "2.0", "id": 1, "method": "echo", "params": {"value": 1}}
+        ).encode()
+        return _mutate_bytes(rng, base), False
+    if kind == 1:  # wrong-typed id (bool, object, array)
+        # (A fractional number id is discouraged but legal per the spec,
+        # so it is deliberately absent here.)
+        bad_id = rng.choice([True, False, [1], {"id": 1}])
+        return (
+            json.dumps({"jsonrpc": "2.0", "id": bad_id, "method": "echo"}).encode(),
+            True,
+        )
+    if kind == 2:  # unknown method (including non-string methods)
+        method = rng.choice(
+            ["nope", "", "rpc.reserved", 42, None, ["echo"], {"m": 1}]
+        )
+        return json.dumps({"jsonrpc": "2.0", "id": 1, "method": method}).encode(), True
+    if kind == 3:  # oversized params (but inside the frame cap)
+        request = {
+            "jsonrpc": "2.0",
+            "id": 1,
+            "method": "echo",
+            # Past the params cap (MAX_FRAME_BYTES // 2) but inside the
+            # frame cap: rejected by validation, not by framing.
+            "params": {"value": "y" * rng.randrange(520_000, 600_000)},
+        }
+        return json.dumps(request).encode(), True
+    if kind == 4:  # batch-in-batch: nested arrays are not request objects
+        inner = {"jsonrpc": "2.0", "id": 1, "method": "echo"}
+        return json.dumps([[inner], [inner, inner]]).encode(), True
+    if kind == 5:  # wrong version / missing members / extra members
+        request = {"jsonrpc": rng.choice(["1.0", "2.1", 2.0, None]), "id": 1}
+        if rng.random() < 0.5:
+            request["method"] = "echo"
+        if rng.random() < 0.5:
+            request["extra"] = _garbage_value(rng)
+        return json.dumps(request).encode(), True
+    if kind == 6:  # params of a wrong type
+        params = rng.choice(["string", 42, True, 3.14])
+        return (
+            json.dumps(
+                {"jsonrpc": "2.0", "id": 1, "method": "echo", "params": params}
+            ).encode(),
+            True,
+        )
+    if kind == 7:  # non-object, non-array top level
+        return json.dumps(rng.choice([42, "frame", True, None, 2.5])).encode(), True
+    if kind == 8:  # empty or oversized batch
+        if rng.random() < 0.5:
+            return b"[]", True
+        item = '{"jsonrpc":"2.0","id":1,"method":"echo"}'
+        return ("[" + ",".join([item] * (MAX_BATCH_ITEMS + 1)) + "]").encode(), True
+    if kind == 9:  # deep nesting (parser recursion pressure)
+        depth = rng.randrange(50, 300)
+        return ("[" * depth + "]" * depth).encode(), True
+    if kind == 10:  # handler explosion: internals must not leak
+        return json.dumps({"jsonrpc": "2.0", "id": 1, "method": "boom"}).encode(), True
+    # pure garbage object
+    return json.dumps(_garbage_value(rng)).encode(), True
+
+
+def _assert_response_frame(raw: bytes, case: bytes, must_error: bool) -> None:
+    decoded = json.loads(raw)
+    responses = decoded if isinstance(decoded, list) else [decoded]
+    assert responses, f"empty response for {case[:80]!r}"
+    for response in responses:
+        assert response["jsonrpc"] == "2.0", case[:80]
+        if must_error:
+            assert "error" in response, f"no error for {case[:80]!r}: {response}"
+        if "error" not in response:
+            continue
+        error = response["error"]
+        assert error["code"] in KNOWN_CODES, (case[:80], error)
+        assert isinstance(error["message"], str)
+        # No tracebacks, no internals: the secret string stays server-side.
+        assert "secret internals" not in json.dumps(error)
+        assert "Traceback" not in json.dumps(error)
+        assert response["id"] is None or isinstance(response["id"], (str, int))
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_dispatcher_survives_hostile_frames(seed):
+    """>= 500 hostile frames in-process: structured error out, every time."""
+    rng = random.Random(f"codec-fuzz:{seed}")
+    dispatcher = _dispatcher()
+    required = 0
+    for index in range(CASES):
+        case, must_error = _hostile_frame(rng)
+        required += must_error
+        raw = dispatcher.handle_raw(case)
+        assert raw is not None, f"case {index} swallowed: {case[:80]!r}"
+        _assert_response_frame(raw, case, must_error)
+    assert required > CASES * 2 // 3  # the sweep was mostly must-error kinds
+    # The sweep's failures were all metered.
+    metrics = dispatcher._rpc_metrics()
+    assert sum(row["errors"] for row in metrics.values()) > 0
+
+
+def test_socket_survives_hostile_frames():
+    """A sample of the sweep through a real socket: reply, never hang."""
+    rng = random.Random("codec-fuzz:socket")
+    server = RpcTcpServer(_dispatcher())
+    host, port = server.serve_in_thread()
+    try:
+        client = RpcClient(host, port, timeout=10.0)
+        for _ in range(60):
+            case, must_error = _hostile_frame(rng)
+            case = case.replace(b"\n", b" ")
+            raw = client.send_raw_line(case)
+            assert raw, f"connection dropped on {case[:80]!r}"
+            _assert_response_frame(raw, case, must_error)
+        # The connection survived the whole barrage.
+        assert client.call("echo", {"value": "still-alive"}) == "still-alive"
+        client.close()
+    finally:
+        server.close()
+
+
+def test_oversized_frame_answers_then_closes():
+    """A line past MAX_FRAME_BYTES gets a parse error, then a clean close."""
+    server = RpcTcpServer(_dispatcher())
+    host, port = server.serve_in_thread()
+    try:
+        client = RpcClient(host, port, timeout=10.0)
+        raw = client.send_raw_line(b"x" * (MAX_FRAME_BYTES + 10))
+        response = json.loads(raw)
+        assert response["error"]["code"] == PARSE_ERROR
+        assert response["id"] is None
+        client.close()
+    finally:
+        server.close()
+
+
+def test_notification_gets_no_response_but_connection_lives():
+    server = RpcTcpServer(_dispatcher())
+    host, port = server.serve_in_thread()
+    try:
+        client = RpcClient(host, port, timeout=10.0)
+        client.notify("echo", {"value": 1})
+        assert client.call("echo", {"value": 2}) == 2
+        client.close()
+    finally:
+        server.close()

@@ -1,0 +1,292 @@
+"""The JSON-RPC audit service end to end: methods, errors, audit layers.
+
+One server per fixture scope, real sockets throughout.  Covers the
+ingress path (``submit_tx`` success and every reachable rejection code),
+the read family (state, explorer, fee suggestions), the audit layer
+(``audit_status`` / ``checkpoint_get`` / ``fabric_proof_get`` against a
+settled aggregator), the service-hosted lifecycle mode, and the
+per-method metrics counters.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain import Blockchain
+from repro.chain.fabric import ShardedChainFabric
+from repro.chain.mempool import FeeMarketConfig, MempoolConfig
+from repro.core import DataOwner, ProtocolParams
+from repro.engine import AuditExecutor, AuditInstance
+from repro.randomness import HashChainBeacon
+from repro.rollup import CrossShardAggregator
+from repro.rpc import (
+    SERVICE_METHODS,
+    RpcClient,
+    RpcClientError,
+    RpcDispatcher,
+    RpcTcpServer,
+    ServiceNode,
+)
+from repro.sim.workloads import archive_file
+
+
+def _serve(node: ServiceNode) -> RpcTcpServer:
+    dispatcher = RpcDispatcher()
+    node.register_on(dispatcher)
+    server = RpcTcpServer(dispatcher)
+    server.serve_in_thread()
+    return server
+
+
+@pytest.fixture()
+def pooled_node():
+    """Single pooled chain behind a live server, with funded accounts."""
+    chain = Blockchain(
+        mempool=MempoolConfig(max_per_sender=3, fee_market=FeeMarketConfig())
+    )
+    accounts = {
+        "alice": chain.create_account(100.0, label="alice"),
+        "poor": chain.create_account(0.0, label="poor"),
+        "sink": chain.create_account(0.0, label="sink"),
+    }
+    node = ServiceNode(chain)
+    server = _serve(node)
+    client = RpcClient(*server.address)
+    yield client, accounts, chain
+    client.close()
+    server.close()
+
+
+class TestIngress:
+    def test_submit_mine_state_roundtrip(self, pooled_node):
+        client, accounts, chain = pooled_node
+        result = client.call(
+            "submit_tx",
+            {"sender": accounts["alice"], "to": accounts["sink"], "value": 7},
+        )
+        assert result["lane"] == 0 and result["escrow_wei"] > 0
+        assert client.call("pending_pool")["pending_total"] == 1
+        mined = client.call("mine", {"blocks": 1})
+        assert mined["pending_total"] == 0
+        state = client.call("state_get", {"address": accounts["sink"]})
+        assert state["balance_wei"] == 7
+        totals = client.call("state_get")
+        assert totals["total_supply_wei"] == chain.total_supply()
+
+    @pytest.mark.parametrize(
+        "mutation, code, reason",
+        [
+            ({"max_fee_gwei": 1e-6}, -32002, "underpriced"),
+            ({"sender": "poor"}, -32008, "insufficient-funds"),
+        ],
+    )
+    def test_rejections_map_to_taxonomy_codes(
+        self, pooled_node, mutation, code, reason
+    ):
+        client, accounts, _ = pooled_node
+        params = {"sender": accounts["alice"], "to": accounts["sink"], "value": 1}
+        params.update(mutation)
+        if params["sender"] == "poor":
+            params["sender"] = accounts["poor"]
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("submit_tx", params)
+        assert excinfo.value.code == code
+        assert excinfo.value.data["reason"] == reason
+
+    def test_sender_limit_and_replacement_taxonomy(self, pooled_node):
+        client, accounts, _ = pooled_node
+        base = {"sender": accounts["alice"], "to": accounts["sink"], "value": 1}
+        nonces = [client.call("submit_tx", base)["nonce"] for _ in range(3)]
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("submit_tx", base)
+        assert excinfo.value.code == -32007  # sender-limit
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("submit_tx", {**base, "nonce": 99, "replace": True})
+        assert excinfo.value.code == -32004  # nonce-gap (replace path)
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("submit_tx", {**base, "nonce": nonces[0], "replace": True})
+        assert excinfo.value.code == -32006  # replacement-underpriced
+        replaced = client.call(
+            "submit_tx",
+            {**base, "nonce": nonces[0], "replace": True,
+             "max_fee_gwei": 50.0, "priority_fee_gwei": 10.0},
+        )
+        assert replaced["nonce"] == nonces[0]
+
+    def test_invalid_params_rejected_before_the_pool(self, pooled_node):
+        client, accounts, _ = pooled_node
+        for params in (
+            {"to": accounts["sink"]},  # no sender
+            {"sender": accounts["alice"], "value": -1},
+            {"sender": accounts["alice"], "gas_limit": True},
+            {"sender": accounts["alice"], "surprise": 1},
+            {"sender": accounts["alice"], "max_fee_gwei": "cheap"},
+        ):
+            with pytest.raises(RpcClientError) as excinfo:
+                client.call("submit_tx", params)
+            assert excinfo.value.code == -32602, params
+
+    def test_fee_suggest_tracks_base_fee(self, pooled_node):
+        client, _, chain = pooled_node
+        suggestion = client.call("fee_suggest", {"tip_gwei": 2.0})
+        assert suggestion["base_fee_wei"] == chain.base_fee_wei
+        assert suggestion["priority_fee_gwei"] == pytest.approx(2.0)
+        assert suggestion["max_fee_gwei"] > 2.0
+
+
+class TestMetaAndMetrics:
+    def test_methods_lists_the_full_namespace(self, pooled_node):
+        client, _, _ = pooled_node
+        methods = client.call("rpc_methods")
+        assert set(SERVICE_METHODS) <= set(methods)
+
+    def test_metrics_count_calls_and_errors(self, pooled_node):
+        client, accounts, _ = pooled_node
+        client.call("node_status")
+        client.call("node_status")
+        with pytest.raises(RpcClientError):
+            client.call("submit_tx", {"sender": accounts["poor"], "value": 1})
+        metrics = client.call("rpc_metrics")
+        assert metrics["node_status"]["calls"] == 2
+        assert metrics["node_status"]["errors"] == 0
+        assert metrics["submit_tx"]["errors"] == 1
+        assert metrics["node_status"]["seconds"] >= 0.0
+
+    def test_batch_preserves_order_and_isolation(self, pooled_node):
+        client, accounts, _ = pooled_node
+        responses = client.batch(
+            [
+                ("node_status", None),
+                ("no_such_method", None),
+                ("state_get", {"address": accounts["alice"]}),
+            ]
+        )
+        assert len(responses) == 3
+        by_id = {response["id"]: response for response in responses}
+        ids = sorted(by_id)
+        assert "result" in by_id[ids[0]]
+        assert by_id[ids[1]]["error"]["code"] == -32601
+        assert by_id[ids[2]]["result"]["address"] == accounts["alice"]
+
+    def test_unsupported_audit_layer_is_structured(self, pooled_node):
+        client, _, _ = pooled_node
+        for method in ("audit_status", "checkpoint_get"):
+            with pytest.raises(RpcClientError) as excinfo:
+                client.call(method)
+            assert excinfo.value.code == -32011  # UNSUPPORTED
+
+
+@pytest.fixture(scope="module")
+def aggregator_stack(params):
+    """A 2-lane fabric with one settled epoch behind a live server."""
+    rng = random.Random(0x5E87)
+    owner = DataOwner(params, rng=rng)
+    instances = []
+    for index in range(3):
+        package = owner.prepare(
+            archive_file(700, tag=f"svc-{index}").data, fresh_keypair=index == 0
+        )
+        instances.append(AuditInstance.from_package(package, owner_id="svc"))
+    fabric = ShardedChainFabric(num_lanes=2, mempool=MempoolConfig())
+    with AuditExecutor(instances, workers=1) as executor:
+        aggregator = CrossShardAggregator(
+            fabric, executor, params, HashChainBeacon(b"svc"), rng=rng
+        )
+        aggregator.run(2)
+        node = ServiceNode(fabric, aggregator=aggregator)
+        server = _serve(node)
+        client = RpcClient(*server.address)
+        yield client, instances, aggregator
+        client.close()
+        server.close()
+        aggregator.close()
+    fabric.close()
+
+
+class TestAuditLayer:
+    def test_audit_status_reports_settled_epochs(self, aggregator_stack):
+        client, instances, _ = aggregator_stack
+        status = client.call("audit_status")
+        assert status["mode"] == "aggregator"
+        assert status["epochs_settled"] == 2
+        assert status["accepted"] == 2 * len(instances)
+        assert status["rejected"] == 0
+
+    def test_checkpoint_get_latest_and_by_epoch(self, aggregator_stack):
+        client, _, aggregator = aggregator_stack
+        latest = client.call("checkpoint_get")
+        assert latest["epoch"] == 1
+        first = client.call("checkpoint_get", {"epoch": 0})
+        assert first["epoch"] == 0
+        expected = aggregator.settled[0].fabric.checkpoint
+        assert first["fabric_root"] == expected.fabric_root.hex()
+        assert first["commitment"] == expected.to_bytes().hex()
+        assert len(first["lanes"]) == latest["num_lanes"]
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("checkpoint_get", {"epoch": 9})
+        assert excinfo.value.code == -32010  # NOT_FOUND
+
+    def test_fabric_proof_get_verifies_and_takes_string_names(
+        self, aggregator_stack
+    ):
+        client, instances, _ = aggregator_stack
+        name = instances[0].name
+        proof = client.call("fabric_proof_get", {"name": str(name)})
+        assert proof["verified"] is True
+        assert proof["name"] == str(name)  # Zp ids ship as decimal strings
+        assert proof["lane_proof"]["siblings"] is not None
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("fabric_proof_get", {"name": 12345})
+        assert excinfo.value.code == -32010  # unknown file
+
+    def test_unroutable_sender_is_not_found_not_internal(self, aggregator_stack):
+        client, _, _ = aggregator_stack
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("submit_tx", {"sender": "0xnobody", "value": 1})
+        assert excinfo.value.code == -32010  # unroutable, not -32603
+
+    def test_explorer_family_sees_the_settlement(self, aggregator_stack):
+        client, _, _ = aggregator_stack
+        client.call("mine", {"blocks": 1})  # seal the settlement txs
+        summary = client.call("explorer_summary")
+        assert summary["num_lanes"] == 2 and summary["height"] > 0
+        lanes = client.call("explorer_lanes")
+        assert len(lanes) == 2
+        checkpoints = client.call("explorer_checkpoints")
+        assert len(checkpoints) == 4  # one row per (lane, epoch): 2 x 2
+
+
+def test_lifecycle_hosted_mode_exposes_reputation():
+    from repro.lifecycle import LifecycleConfig, LifecycleEngine
+
+    engine = LifecycleEngine(
+        LifecycleConfig(
+            years=0.5, epochs_per_year=2, files=1, file_bytes=400,
+            erasure_n=3, erasure_k=2, providers=6, lanes=2, s=3, k=2,
+        )
+    )
+    try:
+        engine.run_epoch()
+        node = engine.service_node()
+        server = _serve(node)
+        try:
+            with RpcClient(*server.address) as client:
+                status = client.call("audit_status")
+                assert status["mode"] == "lifecycle"
+                assert status["epochs_run"] == 1
+                assert status["files_intact"] is True
+                assert status["accepted"] > 0
+                provider = next(iter(engine.providers))
+                state = client.call("state_get", {"address": provider})
+                assert state["reputation"] is not None
+                assert state["reputation"]["stake_wei"] > 0
+                civilian = client.call(
+                    "state_get", {"address": engine.oracle}
+                )
+                assert civilian["reputation"] is None
+        finally:
+            server.close()
+    finally:
+        engine.close()

@@ -91,6 +91,21 @@ CASES = [
          "decayed to floor", "griefer caught: True"],
     ),
     (
+        "serve-probe",
+        ["serve", "--lanes", "2", "--fleet", "2", "--epochs", "1",
+         "--size", "500", "--s", "4", "--k", "3", "--probe",
+         "--mine-interval", "0"],
+        ["audit service on", "probe node_status", "probe fee_suggest",
+         "probe checkpoint_get", "probe: OK"],
+    ),
+    (
+        "serve-probe-concurrent",
+        ["serve", "--lanes", "2", "--fleet", "2", "--epochs", "1",
+         "--size", "500", "--s", "4", "--k", "3", "--probe",
+         "--concurrent", "--mine-interval", "0"],
+        ["(concurrent)", "probe: OK"],
+    ),
+    (
         "models",
         ["models", "--users", "1000"],
         ["chain throughput", "users/provider"],

@@ -32,6 +32,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Iterator
 
+from ..obs.registry import MetricsRegistry, get_registry
 from .blockchain import Block, Blockchain, Contract
 from .gas import GasSchedule
 from .state import MemoryStateStore, StateStore, WalStateStore
@@ -106,6 +107,16 @@ class ShardedChainFabric:
         self._route_lock = threading.Lock()
         self._contract_lane: dict[str, int] = {}
         self._account_lane: dict[str, int] = {}
+        # Registry mirror: cumulative counters update on every mined
+        # round; live gauges (depth, base fees) attach via attach_gauges.
+        self._registry = get_registry()
+        self._m_blocks = self._registry.counter(
+            "fabric_blocks_mined_total", "blocks mined across all lanes"
+        )
+        self._m_txs = self._registry.counter(
+            "fabric_txs_settled_total", "transactions settled across all lanes"
+        )
+        self._gauge_hook = None
 
     # -- lanes ----------------------------------------------------------------
 
@@ -248,10 +259,16 @@ class ShardedChainFabric:
         mining exactly — only wall-clock differs.
         """
         if self.concurrent and self.num_lanes > 1:
-            return list(
+            blocks = list(
                 self._workers().map(lambda lane: lane.mine_block(), self.lanes)
             )
-        return [lane.mine_block() for lane in self.lanes]
+        else:
+            blocks = [lane.mine_block() for lane in self.lanes]
+        self._m_blocks.inc(len(blocks))
+        settled = sum(len(block.receipts) for block in blocks)
+        if settled:
+            self._m_txs.inc(settled)
+        return blocks
 
     def advance_time(self, seconds: float) -> None:
         target = self.time + seconds
@@ -276,6 +293,9 @@ class ShardedChainFabric:
         if self._lane_workers is not None:
             self._lane_workers.shutdown(wait=True)
             self._lane_workers = None
+        if self._gauge_hook is not None:
+            self._registry.remove_collect_hook(self._gauge_hook)
+            self._gauge_hook = None
         for lane in self.lanes:
             lane.close()
 
@@ -332,3 +352,41 @@ class ShardedChainFabric:
         — the honest denominator for "audits settled per chain-second".
         """
         return max(lane.congestion_seconds() for lane in self.lanes)
+
+    def attach_gauges(self, registry: MetricsRegistry | None = None) -> None:
+        """Bind this fabric's live values to pull-style registry gauges.
+
+        Registers a collect hook that refreshes ``mempool_depth``,
+        ``fabric_lane_base_fee_wei{lane}`` and
+        ``fabric_settlement_chain_seconds`` before every snapshot/export.
+        Detached automatically by :meth:`close` so a long test session
+        never samples a dead fabric.
+        """
+        if self._gauge_hook is not None:
+            return
+        registry = registry if registry is not None else self._registry
+        if registry is not self._registry:
+            self._registry = registry
+            self._m_blocks = registry.counter(
+                "fabric_blocks_mined_total", "blocks mined across all lanes"
+            )
+            self._m_txs = registry.counter(
+                "fabric_txs_settled_total", "transactions settled across all lanes"
+            )
+        depth = registry.gauge("mempool_depth", "pending transactions across all lanes")
+        base_fee = registry.gauge(
+            "fabric_lane_base_fee_wei", "current base fee per lane", ("lane",)
+        )
+        chain_seconds = registry.gauge(
+            "fabric_settlement_chain_seconds",
+            "slowest lane's occupied block slots x slot time",
+        )
+
+        def refresh() -> None:
+            depth.set(self.pending_total())
+            for index, fee in enumerate(self.lane_base_fees()):
+                base_fee.labels(str(index)).set(fee)
+            chain_seconds.set(self.settlement_chain_seconds())
+
+        self._gauge_hook = refresh
+        registry.add_collect_hook(refresh)

@@ -40,6 +40,7 @@ import dataclasses
 import heapq
 from dataclasses import dataclass, field
 
+from ...obs.registry import MetricsRegistry, get_registry
 from ..transaction import Receipt, Transaction
 from .fee_market import (
     FeeMarketConfig,
@@ -145,7 +146,12 @@ class PendingEntry:
 class Mempool:
     """Behaviour over the store-resident pool of one chain (lane)."""
 
-    def __init__(self, chain, config: MempoolConfig | None = None):
+    def __init__(
+        self,
+        chain,
+        config: MempoolConfig | None = None,
+        registry: MetricsRegistry | None = None,
+    ):
         self.chain = chain
         self.config = config or MempoolConfig()
         store = chain.store
@@ -179,6 +185,27 @@ class Mempool:
         self.eviction_series: list[tuple[float, str, int]] = []
         self.block_tips: dict[int, list[int]] = {}  # block number -> tips (wei/gas)
         self.drained_tips: dict[tuple[str, int], int] = {}  # (sender, nonce) -> tip
+        # Process-wide registry mirror (aggregated across lanes; the
+        # per-pool dicts above stay the per-lane source of truth).
+        registry = registry if registry is not None else get_registry()
+        self._m_stats = {
+            stat: registry.counter(
+                f"mempool_{stat}_total", f"transactions {stat} (all lanes)"
+            )
+            for stat in self.stats
+        }
+        self._m_rejections = registry.counter(
+            "mempool_rejections_total",
+            "admission rejections by taxonomy reason",
+            ("reason",),
+        )
+        self._m_inversions = registry.counter(
+            "mempool_priority_inversions_total",
+            "lower-tip tx mined before higher-tip",
+        )
+        self._m_tips = registry.counter(
+            "mempool_tips_paid_total", "priority fees paid to miners (wei)"
+        )
 
     # -- views ----------------------------------------------------------------
 
@@ -210,6 +237,27 @@ class Mempool:
             default=0,
         )
 
+    def telemetry_snapshot(self) -> dict:
+        """One read-only view of this pool's cumulative telemetry.
+
+        Every counter here is **cumulative over the pool's lifetime** and is
+        never reset by reads (PROTOCOL.md §11): ``stats``, ``rejections``
+        and ``priority_inversions`` only ever grow, and ``block_tips`` keys
+        every mined block number to the tips (wei/gas) its drained
+        transactions paid, in drain order.  Callers get copies, so mutating
+        the snapshot never perturbs the live telemetry.
+        """
+        return {
+            "depth": len(self.store.pool),
+            "base_fee_wei": self.store.base_fee_wei,
+            "stats": dict(self.stats),
+            "rejections": dict(self.rejections),
+            "priority_inversions": self.priority_inversions,
+            "block_tips": {
+                number: list(tips) for number, tips in self.block_tips.items()
+            },
+        }
+
     def suggest_fees(self, tip_gwei: float = 1.0) -> tuple[float, float]:
         """Default tip policy against the live base fee, in gwei."""
         max_fee_wei, tip_wei = suggest_fees(self.store.base_fee_wei, tip_gwei)
@@ -220,8 +268,14 @@ class Mempool:
 
     # -- admission ------------------------------------------------------------
 
+    def _bump(self, stat: str, amount: int = 1) -> None:
+        """One telemetry event: per-pool dict plus the registry mirror."""
+        self.stats[stat] += amount
+        self._m_stats[stat].inc(amount)
+
     def _reject(self, exc: MempoolRejection):
         self.rejections[exc.code] = self.rejections.get(exc.code, 0) + 1
+        self._m_rejections.labels(exc.code).inc()
         raise exc
 
     def _fees_of(self, tx: Transaction) -> tuple[int, int]:
@@ -343,7 +397,7 @@ class Mempool:
         try:
             if old is not None:
                 self._remove_entry(sender, nonce)
-                self.stats["replaced"] += 1
+                self._bump("replaced")
             elif len(store.pool) >= self.config.high_watermark:
                 # ``nonce`` (= mined + pending) is already fixed, so the
                 # submitting sender's tail must survive this eviction —
@@ -361,7 +415,7 @@ class Mempool:
             self._pending_count[sender] = self.pending_count(sender) + 1
         finally:
             store.commit("pool-submit")
-        self.stats["submitted"] += 1
+        self._bump("submitted")
         return entry
 
     # -- eviction -------------------------------------------------------------
@@ -415,7 +469,7 @@ class Mempool:
             )
             evicted += self._evict_tail(*victim_key)
         if evicted:
-            self.stats[stat] += evicted
+            self._bump(stat, evicted)
             self.eviction_series.append((self.chain.time, stat, evicted))
         return evicted
 
@@ -436,7 +490,7 @@ class Mempool:
                 expired += self._evict_tail(sender, stale[sender])
         finally:
             store.commit("pool-expire")
-        self.stats["expired"] += expired
+        self._bump("expired", expired)
         self.eviction_series.append((self.chain.time, "expired", expired))
         return expired
 
@@ -485,6 +539,7 @@ class Mempool:
             tip = -neg_tip
             if last_tip is not None and tip > last_tip and push_round[(sender, seq)] < pops:
                 self.priority_inversions += 1
+                self._m_inversions.inc()
             last_tip = tip
             pops += 1
             receipts.append(self._execute_entry(entry, sender, nonce, base, tip))
@@ -528,13 +583,15 @@ class Mempool:
             pending_gas=pending_block.gas_used,
             pending_bytes=pending_block.byte_size,
         )
-        self.stats["drained"] += 1
+        self._bump("drained")
         self.last_drained[(sender, nonce)] = receipt
         self.drained_gas_by_sender[sender] = (
             self.drained_gas_by_sender.get(sender, 0) + receipt.gas_used
         )
         self.block_tips.setdefault(receipt.block_number, []).append(tip)
         self.drained_tips[(sender, nonce)] = tip
+        if tip:
+            self._m_tips.inc(tip * receipt.gas_used)
         return receipt
 
     def on_block_sealed(self, sealed) -> None:

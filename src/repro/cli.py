@@ -815,6 +815,12 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     from .chain.fabric import ShardedChainFabric
     from .chain.mempool import MempoolConfig
     from .engine import AuditExecutor, AuditInstance
+    from .obs import (
+        MetricsHttpServer,
+        Tracer,
+        get_registry,
+        register_core_instruments,
+    )
     from .randomness import HashChainBeacon
     from .rollup import CrossShardAggregator
     from .rpc import RpcClient, RpcDispatcher, RpcTcpServer, ServiceNode
@@ -826,11 +832,19 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 2
     rng = random.Random(args.seed)
     params = ProtocolParams(s=args.s, k=args.k)
+    # Observability: the service hosts the process-wide registry (every
+    # layer below — mempool, fabric, engine — records into it by default)
+    # plus an epoch-pipeline tracer for trace_get.  Spans are only
+    # collected on the sequential settlement walk; see CrossShardAggregator.
+    registry = get_registry()
+    register_core_instruments(registry)
+    tracer = Tracer()
     fabric = ShardedChainFabric(
         num_lanes=args.lanes,
         mempool=MempoolConfig(),
         concurrent=args.concurrent,
     )
+    fabric.attach_gauges(registry)
     owner = DataOwner(params, rng=rng)
     instances = []
     for index in range(args.fleet):
@@ -843,11 +857,18 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     aggregator = CrossShardAggregator(
         fabric, executor, params, HashChainBeacon(b"cli-serve"), rng=rng,
         concurrent_lanes=args.concurrent, pooled_verify=args.workers != 1,
+        tracer=tracer,
     )
     node = ServiceNode(fabric, aggregator=aggregator)
-    dispatcher = RpcDispatcher()
+    dispatcher = RpcDispatcher(registry=registry, tracer=aggregator.tracer)
     node.register_on(dispatcher)
     server = RpcTcpServer(dispatcher, host=args.host, port=args.port)
+    metrics_server = None
+    if args.metrics_port >= 0:
+        metrics_server = MetricsHttpServer(
+            registry, host=args.host, port=args.metrics_port
+        )
+        metrics_server.start()
     try:
         settlements = aggregator.run(args.epochs)
         host, port = server.serve_in_thread()
@@ -856,11 +877,15 @@ def _cmd_serve(args: argparse.Namespace) -> int:
               f"{len(instances)} audit instances, "
               f"{len(settlements)} epochs pre-settled, "
               f"{len(dispatcher.methods())} methods")
+        if metrics_server is not None:
+            print(f"prometheus metrics on http://{metrics_server.host}:"
+                  f"{metrics_server.port}/metrics")
         if args.mine_interval > 0:
             node.start_auto_mine(args.mine_interval)
         if args.probe:
-            # CI smoke: exercise three methods through a real socket
-            # client, then shut down cleanly.
+            # CI smoke: exercise the service through a real socket
+            # client (and the Prometheus endpoint when enabled), then
+            # shut down cleanly.
             with RpcClient(host, port) as client:
                 status = client.call("node_status")
                 print(f"probe node_status: lanes={status['num_lanes']} "
@@ -871,11 +896,27 @@ def _cmd_serve(args: argparse.Namespace) -> int:
                 checkpoint = client.call("checkpoint_get")
                 print(f"probe checkpoint_get: epoch {checkpoint['epoch']}, "
                       f"root {checkpoint['fabric_root'][:16]}…")
+                snapshot = client.call("metrics_get")
+                layers = {name.split("_")[0] for name in snapshot}
+                print(f"probe metrics_get: {len(snapshot)} instruments, "
+                      f"layers {sorted(layers)}")
                 ok = (
                     status["num_lanes"] == args.lanes
                     and suggestion["max_fee_gwei"] > 0
                     and checkpoint["num_lanes"] == args.lanes
+                    and {"rpc", "mempool", "fabric", "engine",
+                         "lifecycle"} <= layers
                 )
+            if metrics_server is not None:
+                from urllib.request import urlopen
+
+                url = (f"http://{metrics_server.host}:"
+                       f"{metrics_server.port}/metrics")
+                with urlopen(url) as response:
+                    text = response.read().decode("utf-8")
+                exposed = ok and "engine_epochs_total" in text
+                print(f"probe /metrics: {len(text.splitlines())} lines")
+                ok = exposed
             print(f"probe: {'OK' if ok else 'FAILED'}; shutting down")
             return 0 if ok else 1
         deadline = time.time() + args.duration if args.duration > 0 else None
@@ -887,6 +928,140 @@ def _cmd_serve(args: argparse.Namespace) -> int:
         return 0
     finally:
         node.stop_auto_mine()
+        server.close()
+        if metrics_server is not None:
+            metrics_server.stop()
+        aggregator.close()
+        executor.close()
+        fabric.close()
+
+
+def _metric_total(snapshot: dict, name: str) -> float:
+    """Sum a counter/gauge family's series from a metrics_get snapshot."""
+    family = snapshot.get(name) or {}
+    return sum(point.get("value", 0) for point in family.get("series", ()))
+
+
+def _metric_histogram(snapshot: dict, name: str) -> dict:
+    """First (unlabelled) histogram series of a family, or an empty one."""
+    family = snapshot.get(name) or {}
+    for point in family.get("series", ()):
+        return point
+    return {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
+def _render_top(status: dict, snapshot: dict, lanes: list) -> str:
+    """One ``repro top`` frame from node_status + metrics_get + lanes."""
+    uptime = max(status.get("uptime_seconds", 0.0), 1e-9)
+    epochs = _metric_total(snapshot, "engine_epochs_total")
+    audits = _metric_total(snapshot, "engine_audits_total")
+    depth = _metric_total(snapshot, "mempool_depth")
+    verify = _metric_histogram(snapshot, "engine_verify_seconds")
+    fees = {
+        point["labels"].get("lane", "?"): point["value"]
+        for point in (snapshot.get("fabric_lane_base_fee_wei") or {}).get(
+            "series", ()
+        )
+    }
+    total_txs = sum(summary.get("transactions", 0) for summary in lanes)
+    lane_bits = []
+    for summary in lanes:
+        lane_id = summary.get("lane", "?")
+        txs = summary.get("transactions", 0)
+        share = 100.0 * txs / total_txs if total_txs else 0.0
+        fee_gwei = fees.get(str(lane_id), 0) / 1e9
+        lane_bits.append(
+            f"lane{lane_id} {share:3.0f}% ({txs} txs, {fee_gwei:g} gwei)"
+        )
+    lines = [
+        f"up {uptime:8.1f}s   height {status.get('height', 0):>6}   "
+        f"lanes {status.get('num_lanes', 0)}"
+        f"{' (concurrent)' if status.get('concurrent') else ''}   "
+        f"auto-mine {'on' if status.get('auto_mine') else 'off'}",
+        f"epochs  {epochs:10.0f} total  {epochs / uptime:8.2f}/s   "
+        f"audits {audits:10.0f} total  {audits / uptime:8.2f}/s",
+        f"mempool depth {depth:6.0f}   blocks mined "
+        f"{_metric_total(snapshot, 'fabric_blocks_mined_total'):6.0f}   "
+        f"txs settled "
+        f"{_metric_total(snapshot, 'fabric_txs_settled_total'):6.0f}",
+        "lanes   " + "   ".join(lane_bits),
+        f"verify  p50 {verify['p50'] * 1e3:8.2f} ms   "
+        f"p99 {verify['p99'] * 1e3:8.2f} ms   "
+        f"over {verify['count']} epochs",
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live service telemetry snapshots over the metrics_get RPC."""
+    import time
+
+    from .rpc import RpcClient
+
+    if args.iterations < 1 or args.interval < 0:
+        print("top: --iterations must be >= 1, --interval >= 0",
+              file=sys.stderr)
+        return 2
+
+    def frames(host: str, port: int) -> int:
+        with RpcClient(host, port) as client:
+            for frame in range(args.iterations):
+                if frame:
+                    time.sleep(args.interval)
+                status = client.call("node_status")
+                snapshot = client.call("metrics_get")
+                lanes = client.call("explorer_lanes")
+                print(f"-- repro top @ {host}:{port} "
+                      f"[{frame + 1}/{args.iterations}] --")
+                print(_render_top(status, snapshot, lanes))
+        return 0
+
+    if not args.demo:
+        return frames(args.host, args.port)
+
+    # Self-hosted demo: stand up a tiny two-lane service in-process (the
+    # same wiring as ``repro serve``), settle one epoch, then read it back
+    # through the real socket — used by the CLI smoke tests.
+    from .chain.fabric import ShardedChainFabric
+    from .chain.mempool import MempoolConfig
+    from .engine import AuditExecutor, AuditInstance
+    from .obs import Tracer, get_registry, register_core_instruments
+    from .randomness import HashChainBeacon
+    from .rollup import CrossShardAggregator
+    from .rpc import RpcDispatcher, RpcTcpServer, ServiceNode
+    from .sim.workloads import archive_file
+
+    registry = get_registry()
+    register_core_instruments(registry)
+    rng = random.Random(0)
+    params = ProtocolParams(s=3, k=2)
+    fabric = ShardedChainFabric(num_lanes=2, mempool=MempoolConfig())
+    fabric.attach_gauges(registry)
+    owner = DataOwner(params, rng=rng)
+    instances = [
+        AuditInstance.from_package(
+            owner.prepare(
+                archive_file(400, tag=f"top-{index}").data,
+                fresh_keypair=index == 0,
+            ),
+            owner_id="top",
+        )
+        for index in range(2)
+    ]
+    executor = AuditExecutor(instances, workers=1)
+    aggregator = CrossShardAggregator(
+        fabric, executor, params, HashChainBeacon(b"cli-top"), rng=rng,
+        tracer=Tracer(),
+    )
+    node = ServiceNode(fabric, aggregator=aggregator)
+    dispatcher = RpcDispatcher(registry=registry, tracer=aggregator.tracer)
+    node.register_on(dispatcher)
+    server = RpcTcpServer(dispatcher, host="127.0.0.1", port=0)
+    try:
+        aggregator.run(1)
+        host, port = server.serve_in_thread()
+        return frames(host, port)
+    finally:
         server.close()
         aggregator.close()
         executor.close()
@@ -1130,9 +1305,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--duration", type=float, default=0.0,
                        help="serve for this many seconds then exit "
                        "(0 = until interrupted)")
+    serve.add_argument("--metrics-port", type=int, default=-1,
+                       help="expose Prometheus text metrics over HTTP on "
+                       "this port (0 = ephemeral, -1 = disabled)")
     serve.add_argument("--probe", action="store_true",
-                       help="CI smoke: start, call three methods through "
-                       "a socket client, shut down cleanly")
+                       help="CI smoke: start, call the service through "
+                       "a socket client (and /metrics when enabled), "
+                       "shut down cleanly")
     serve.add_argument("--seed", type=int, default=0)
     serve.add_argument("--s", type=int, default=4)
     serve.add_argument("--k", type=int, default=3)
@@ -1140,6 +1319,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="audit executor process-pool size "
                        "(0 = one per CPU core)")
     serve.set_defaults(func=_cmd_serve)
+
+    top = sub.add_parser(
+        "top",
+        help="render live service telemetry snapshots (epochs/s, audits/s, "
+        "lane utilization, mempool depth, base fees, verify latency) "
+        "over the metrics_get RPC",
+    )
+    top.add_argument("--host", type=str, default="127.0.0.1")
+    top.add_argument("--port", type=int, default=0,
+                     help="port of a running 'repro serve' service")
+    top.add_argument("--interval", type=float, default=2.0,
+                     help="seconds between snapshot frames")
+    top.add_argument("--iterations", type=int, default=1,
+                     help="frames to render before exiting")
+    top.add_argument("--demo", action="store_true",
+                     help="self-host a tiny two-lane service in-process "
+                     "and read it back (no running serve needed)")
+    top.set_defaults(func=_cmd_top)
 
     models = sub.add_parser("models", help="print the Section VII-D models")
     models.add_argument("--users", type=int, default=5_000)

@@ -12,8 +12,10 @@ Works for both G1 and G2 (duck-typed on the point API).
 
 from __future__ import annotations
 
+from time import perf_counter
 from typing import Sequence, TypeVar
 
+from ...obs.hotpath import HOTPATH
 from .constants import CURVE_ORDER
 from .curve import G1Point, G2Point
 
@@ -47,6 +49,19 @@ def multi_scalar_mul(
     which is then returned.  The old behaviour of silently returning *G1*
     infinity was a footgun for G2 callers.
     """
+    if HOTPATH.enabled:
+        t0 = perf_counter()
+        result = _multi_scalar_mul(points, scalars, identity)
+        HOTPATH.add("bn254.msm", perf_counter() - t0)
+        return result
+    return _multi_scalar_mul(points, scalars, identity)
+
+
+def _multi_scalar_mul(
+    points: Sequence[PointT],
+    scalars: Sequence[int],
+    identity: PointT | None = None,
+) -> PointT:
     if len(points) != len(scalars):
         raise ValueError("points and scalars must have the same length")
     if not points:
@@ -113,6 +128,14 @@ class FixedBaseMul:
                 row_base = row_base.double()
 
     def mul(self, scalar: int) -> PointT:
+        if HOTPATH.enabled:
+            t0 = perf_counter()
+            result = self._mul(scalar)
+            HOTPATH.add("bn254.msm", perf_counter() - t0)
+            return result
+        return self._mul(scalar)
+
+    def _mul(self, scalar: int) -> PointT:
         scalar %= CURVE_ORDER
         result = type(self.base).infinity()
         mask = (1 << self.window) - 1

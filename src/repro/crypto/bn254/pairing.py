@@ -17,6 +17,9 @@ multi-pairing optimisation the verifier relies on (4 pairings per audit).
 
 from __future__ import annotations
 
+from time import perf_counter
+
+from ...obs.hotpath import HOTPATH
 from .constants import ATE_LOOP_COUNT, BN_T, FIELD_MODULUS as P
 from .curve import G1Point, G2Point
 from .fields import Fp2, Fp6, Fp12, _FROB1, _FROB2
@@ -63,6 +66,15 @@ def _line_add(
 
 def miller_loop(p: G1Point, q: G2Point) -> Fp12:
     """Miller loop f_{6t+2,Q}(P) * l_{T,Q1}(P) * l_{T+Q1,-Q2}(P)."""
+    if HOTPATH.enabled:
+        t0 = perf_counter()
+        result = _miller_loop(p, q)
+        HOTPATH.add("bn254.miller_loop", perf_counter() - t0)
+        return result
+    return _miller_loop(p, q)
+
+
+def _miller_loop(p: G1Point, q: G2Point) -> Fp12:
     if p.is_infinity() or q.is_infinity():
         return Fp12.one()
     xp, yp = p.to_affine()
@@ -88,6 +100,15 @@ def miller_loop(p: G1Point, q: G2Point) -> Fp12:
 
 def final_exponentiation(f: Fp12) -> Fp12:
     """f^((p^12 - 1) / r) via the standard BN decomposition."""
+    if HOTPATH.enabled:
+        t0 = perf_counter()
+        result = _final_exponentiation(f)
+        HOTPATH.add("bn254.final_exp", perf_counter() - t0)
+        return result
+    return _final_exponentiation(f)
+
+
+def _final_exponentiation(f: Fp12) -> Fp12:
     # Easy part: f^((p^6 - 1)(p^2 + 1)).
     f = f.conjugate() * f.inverse()
     f = f.frobenius(2) * f

@@ -36,6 +36,8 @@ from ..core.params import ProtocolParams
 from ..core.proof import PrivateProof
 from ..core.prover import ResponseWithheld
 from ..crypto.bn254 import PrecomputeCache
+from ..obs.registry import MetricsRegistry, get_registry
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..randomness.beacon import RandomnessBeacon
 from .executor import AuditExecutor
 from .tasks import BatchVerifyTask, ProveOutcome, ProveTask
@@ -96,8 +98,26 @@ class EpochScheduler:
         names=None,
         cache: PrecomputeCache | None = None,
         pooled_verify: bool = False,
+        tracer: Tracer | None = None,
+        registry: MetricsRegistry | None = None,
     ):
         self.executor = executor
+        # Observability: spans around the challenge/prove/verify phases
+        # (no-op through NULL_TRACER when untraced) and epoch-level
+        # registry instruments.  Neither touches challenges, nonces or
+        # verdicts, so deterministic runs are unaffected.
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        registry = registry if registry is not None else get_registry()
+        self._m_epochs = registry.counter("engine_epochs_total", "audit epochs executed")
+        self._m_audits = registry.counter(
+            "engine_audits_total", "audits judged, by verdict", ("verdict",)
+        )
+        self._m_prove = registry.histogram(
+            "engine_prove_seconds", "per-epoch prove phase latency"
+        )
+        self._m_verify = registry.histogram(
+            "engine_verify_seconds", "per-epoch verify phase latency"
+        )
         self.params = params
         self.beacon = beacon
         self.salt = salt
@@ -180,64 +200,67 @@ class EpochScheduler:
         ]
         if not instances:
             raise ValueError("no audit instances registered with the executor")
-        beacon_output = self.beacon.output(epoch)
-        challenges: dict[int, Challenge] = {}
-        tasks: list[ProveTask] = []
-        for instance in instances:
-            challenge = epoch_challenge(beacon_output, self.params, instance.name)
-            challenges[instance.name] = challenge
-            if instance.name in self.overrides:
-                continue
-            tasks.append(
-                ProveTask.for_round(
-                    instance,
-                    challenge,
-                    epoch=epoch if self.deterministic else None,
-                    salt=self.salt,
+        with self.tracer.span("challenge", epoch=epoch, audits=len(instances)):
+            beacon_output = self.beacon.output(epoch)
+            challenges: dict[int, Challenge] = {}
+            tasks: list[ProveTask] = []
+            for instance in instances:
+                challenge = epoch_challenge(beacon_output, self.params, instance.name)
+                challenges[instance.name] = challenge
+                if instance.name in self.overrides:
+                    continue
+                tasks.append(
+                    ProveTask.for_round(
+                        instance,
+                        challenge,
+                        epoch=epoch if self.deterministic else None,
+                        salt=self.salt,
+                    )
                 )
-            )
         t0 = time.perf_counter()
-        engine_outcomes = {
-            outcome.name: outcome for outcome in self.executor.prove(tasks)
-        }
-        # Overridden files prove inline through their strategy callable;
-        # a None / ResponseWithheld response never reaches the batch.
-        withheld: list[int] = []
-        outcomes: list[ProveOutcome] = []
-        for instance in instances:
-            override = self.overrides.get(instance.name)
-            if override is None:
-                outcomes.append(engine_outcomes[instance.name])
-                continue
-            try:
-                proof = override(challenges[instance.name], epoch)
-            except ResponseWithheld:
-                proof = None
-            if proof is None:
-                withheld.append(instance.name)
-                continue
-            outcomes.append(
-                ProveOutcome(
-                    name=instance.name,
-                    proof_bytes=proof.to_bytes(),
-                    zp_seconds=0.0,
-                    ecc_seconds=0.0,
-                    privacy_seconds=0.0,
+        with self.tracer.span("prove", epoch=epoch):
+            engine_outcomes = {
+                outcome.name: outcome for outcome in self.executor.prove(tasks)
+            }
+            # Overridden files prove inline through their strategy callable;
+            # a None / ResponseWithheld response never reaches the batch.
+            withheld: list[int] = []
+            outcomes: list[ProveOutcome] = []
+            for instance in instances:
+                override = self.overrides.get(instance.name)
+                if override is None:
+                    outcomes.append(engine_outcomes[instance.name])
+                    continue
+                try:
+                    proof = override(challenges[instance.name], epoch)
+                except ResponseWithheld:
+                    proof = None
+                if proof is None:
+                    withheld.append(instance.name)
+                    continue
+                outcomes.append(
+                    ProveOutcome(
+                        name=instance.name,
+                        proof_bytes=proof.to_bytes(),
+                        zp_seconds=0.0,
+                        ecc_seconds=0.0,
+                        privacy_seconds=0.0,
+                    )
                 )
-            )
         t1 = time.perf_counter()
-        by_name = {instance.name: instance for instance in instances}
-        items = [
-            BatchItem(
-                public=by_name[outcome.name].public,
-                name=outcome.name,
-                num_chunks=by_name[outcome.name].num_chunks,
-                challenge=challenges[outcome.name],
-                proof=outcome.proof(),
-            )
-            for outcome in outcomes
-        ]
-        batch_ok = self._verify_items(items)
+        with self.tracer.span("verify", epoch=epoch, proofs=len(outcomes)):
+            by_name = {instance.name: instance for instance in instances}
+            items = [
+                BatchItem(
+                    public=by_name[outcome.name].public,
+                    name=outcome.name,
+                    num_chunks=by_name[outcome.name].num_chunks,
+                    challenge=challenges[outcome.name],
+                    proof=outcome.proof(),
+                )
+                for outcome in outcomes
+            ]
+            batch_ok = self._verify_items(items)
         t2 = time.perf_counter()
         result = EpochResult(
             epoch=epoch,
@@ -254,9 +277,17 @@ class EpochScheduler:
             # the rollup package on the path of every caller.
             from ..rollup.checkpoint import build_epoch_checkpoint
 
-            result.checkpoint = build_epoch_checkpoint(
-                result, precompute=self.cache
-            )
+            with self.tracer.span("checkpoint_build", epoch=epoch):
+                result.checkpoint = build_epoch_checkpoint(
+                    result, precompute=self.cache
+                )
+        rejected = len(result.rejected_names())
+        self._m_epochs.inc()
+        self._m_audits.labels("accepted").inc(result.num_audits - rejected)
+        if rejected:
+            self._m_audits.labels("rejected").inc(rejected)
+        self._m_prove.observe(result.prove_seconds)
+        self._m_verify.observe(result.verify_seconds)
         if self.keep_history:
             self.history.append(result)
         return result

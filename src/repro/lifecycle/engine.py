@@ -50,6 +50,8 @@ from ..core.prover import ResponseWithheld
 from ..crypto.bn254 import PrecomputeCache
 from ..dsn import AuditedDsn, ShardAudit
 from ..engine import AuditExecutor, AuditInstance, EpochScheduler
+from ..obs.registry import get_registry
+from ..obs.tracing import NULL_TRACER, Tracer
 from ..randomness import HashChainBeacon
 from ..rollup.checkpoint import build_checkpoint
 from ..rollup.fabric import build_fabric_checkpoint
@@ -192,8 +194,9 @@ def _sub_seed(seed: int, label: str) -> int:
 class LifecycleEngine:
     """Drives a DSN deployment through simulated years of churn and audit."""
 
-    def __init__(self, config: LifecycleConfig):
+    def __init__(self, config: LifecycleConfig, tracer: Tracer | None = None):
         self.config = config
+        self._init_observability(tracer)
         self.trail = EventTrail()
         self.summaries: list[EpochSummary] = []
         self.next_epoch = 1
@@ -220,6 +223,26 @@ class LifecycleEngine:
         #: names already registered on their lane's checkpoint contract
         self._registered: set[int] = set()
         self._build_world()
+
+    def _init_observability(self, tracer: Tracer | None) -> None:
+        """Attach the tracer and registry instruments (also on reopen).
+
+        Tracing and metrics sit entirely outside the determinism domain:
+        spans never touch RNG streams, chain state or the trail, and the
+        tracer is excluded from the persisted snapshot (a reopened engine
+        starts with a fresh one).
+        """
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        registry = get_registry()
+        self._m_epochs = registry.counter(
+            "lifecycle_epochs_total", "lifecycle epochs completed"
+        )
+        self._m_events = registry.counter(
+            "lifecycle_events_total", "lifecycle trail events by kind", ("kind",)
+        )
+        self._m_epoch_seconds = registry.histogram(
+            "lifecycle_epoch_seconds", "wall-clock per lifecycle epoch"
+        )
 
     # ------------------------------------------------------------------ #
     # World construction                                                  #
@@ -413,14 +436,23 @@ class LifecycleEngine:
         """One epoch: churn → audit → settle → report → repair → evict."""
         epoch = self.next_epoch
         t0 = time.perf_counter()
-        joined, departed = self._churn_step(epoch)
-        result, records = self._audit_step(epoch)
-        commitment_gas = self._settle_step(epoch, records)
-        self._report_step(records)
-        self._repair_step(epoch, records)
-        evicted = self._evict_step(epoch)
-        self._finalize_step()
-        self.fabric.mine_block()
+        with self.tracer.span("epoch", epoch=epoch):
+            with self.tracer.span("churn", epoch=epoch):
+                joined, departed = self._churn_step(epoch)
+            with self.tracer.span("audit", epoch=epoch):
+                result, records = self._audit_step(epoch)
+            with self.tracer.span("settle", epoch=epoch):
+                commitment_gas = self._settle_step(epoch, records)
+            with self.tracer.span("report", epoch=epoch):
+                self._report_step(records)
+            with self.tracer.span("repair", epoch=epoch):
+                self._repair_step(epoch, records)
+            with self.tracer.span("evict", epoch=epoch):
+                evicted = self._evict_step(epoch)
+            with self.tracer.span("finalize", epoch=epoch):
+                self._finalize_step()
+            with self.tracer.span("mine", epoch=epoch):
+                self.fabric.mine_block()
         wall = time.perf_counter() - t0
         epoch_events = self.trail.for_epoch(epoch)
         repaired = sum(1 for e in epoch_events if e.kind == "repaired")
@@ -444,6 +476,10 @@ class LifecycleEngine:
         self.total_repairs += repaired
         self.total_evictions += evicted
         self.wall_seconds += wall
+        self._m_epochs.inc()
+        self._m_epoch_seconds.observe(wall)
+        for event in epoch_events:
+            self._m_events.labels(event.kind).inc()
         self.next_epoch = epoch + 1
         if self.config.persist_dir:
             self.checkpoint_state()
@@ -549,6 +585,7 @@ class LifecycleEngine:
             keep_history=False,
             overrides=overrides,
             cache=self._cache,
+            tracer=self.tracer,
         )
         result = scheduler.run_epoch(epoch)
         records = records_from_epoch(result, precompute=self._cache)
@@ -568,18 +605,20 @@ class LifecycleEngine:
             account, address = self.lane_settlement[lane_id]
             for record in by_lane[lane_id]:
                 gas += self._register_instance(lane_id, record.name)
-            bundle = build_checkpoint(epoch, tuple(by_lane[lane_id]))
+            with self.tracer.span("checkpoint_build", epoch=epoch, lane=lane_id):
+                bundle = build_checkpoint(epoch, tuple(by_lane[lane_id]))
             commitment_bytes = bundle.checkpoint.to_bytes()
             contract = self.fabric.lane(lane_id).contract_at(address)
             assert isinstance(contract, CheckpointContract)
-            receipt = self._transact(
-                account,
-                address,
-                "post_checkpoint",
-                (commitment_bytes,),
-                value=contract.posting_bond_wei,
-                payload_bytes=len(commitment_bytes),
-            )
+            with self.tracer.span("post", epoch=epoch, lane=lane_id):
+                receipt = self._transact(
+                    account,
+                    address,
+                    "post_checkpoint",
+                    (commitment_bytes,),
+                    value=contract.posting_bond_wei,
+                    payload_bytes=len(commitment_bytes),
+                )
             if not receipt.success:
                 raise RuntimeError(
                     f"lane {lane_id} checkpoint failed: {receipt.error}"

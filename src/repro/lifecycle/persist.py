@@ -167,6 +167,9 @@ def load_engine(persist_dir: str, **overrides):
 
     engine = LifecycleEngine.__new__(LifecycleEngine)
     engine.config = config
+    # The tracer and registry handles are never pickled (spans are run
+    # artifacts, not state); a reopened engine starts untraced.
+    engine._init_observability(None)
     engine.fabric = fabric
     engine.params = ProtocolParams(s=config.s, k=config.k)
     engine.beacon = HashChainBeacon(f"lifecycle-{config.seed}".encode())

@@ -1,0 +1,44 @@
+"""Unified observability layer: metrics registry, tracing, hot-path profiling.
+
+This package is a **leaf**: it imports only the standard library, so any
+layer of the system — including the BN254 crypto hot path — can import it
+without creating cycles.  Three pillars:
+
+- :mod:`repro.obs.registry` — a process-wide :class:`MetricsRegistry` of
+  typed ``Counter`` / ``Gauge`` / ``Histogram`` instruments with label
+  sets, snapshot-to-dict, Prometheus-text and JSON-lines exporters.
+- :mod:`repro.obs.tracing` — a :class:`Tracer` emitting hierarchical
+  spans over the epoch pipeline, with a deterministic mode
+  (monotonic-counter timestamps) so traced runs stay byte-identical.
+- :mod:`repro.obs.hotpath` — per-leg timers around the crypto hot path
+  (MSM, Miller loop, final exponentiation, GF(256) erasure coding)
+  behind a zero-overhead-when-disabled flag.
+
+See docs/OBSERVABILITY.md for the instrument catalog and span taxonomy.
+"""
+
+from .hotpath import HOTPATH, HotPathProfiler
+from .httpd import MetricsHttpServer
+from .registry import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    get_registry,
+    register_core_instruments,
+)
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "get_registry",
+    "register_core_instruments",
+    "Tracer",
+    "Span",
+    "HOTPATH",
+    "HotPathProfiler",
+    "MetricsHttpServer",
+]

@@ -1,0 +1,81 @@
+"""Minimal Prometheus scrape endpoint on the standard library.
+
+The JSON-RPC service speaks newline-delimited JSON over raw TCP, so the
+Prometheus exposition lives on its own small HTTP server (a scraper
+expects plain HTTP GET).  ``GET /metrics`` returns the registry in text
+exposition format 0.0.4; ``GET /metrics.jsonl`` returns the JSON-lines
+rendering; anything else is 404.  Runs on a daemon thread; ``port=0``
+binds an ephemeral port (read it back from ``server.port``).
+"""
+
+from __future__ import annotations
+
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from .registry import MetricsRegistry, get_registry
+
+PROMETHEUS_CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+class _MetricsHandler(BaseHTTPRequestHandler):
+    registry: MetricsRegistry  # set on the server class per instance
+
+    def do_GET(self):  # noqa: N802 - BaseHTTPRequestHandler API
+        registry = self.server.registry  # type: ignore[attr-defined]
+        if self.path in ("/metrics", "/"):
+            body = registry.to_prometheus().encode("utf-8")
+            content_type = PROMETHEUS_CONTENT_TYPE
+        elif self.path == "/metrics.jsonl":
+            body = registry.to_json_lines().encode("utf-8")
+            content_type = "application/jsonl; charset=utf-8"
+        else:
+            self.send_error(404, "unknown path; try /metrics")
+            return
+        self.send_response(200)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args):  # silence per-request stderr noise
+        pass
+
+
+class MetricsHttpServer:
+    """Threaded scrape endpoint bound to one registry."""
+
+    def __init__(self, registry: MetricsRegistry | None = None, host: str = "127.0.0.1", port: int = 0):
+        self.registry = registry or get_registry()
+        self._httpd = ThreadingHTTPServer((host, port), _MetricsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.registry = self.registry  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    def start(self) -> "MetricsHttpServer":
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, name="metrics-httpd", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+            self._thread = None
+
+    def __enter__(self) -> "MetricsHttpServer":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -263,6 +263,7 @@ class CrossShardAggregator:
         contract_kwargs: dict | None = None,
         concurrent_lanes: bool = False,
         pooled_verify: bool = False,
+        tracer=None,
     ):
         # Imported lazily to keep the rollup layer importable without the
         # chain package on every path (mirrors pipeline.py's convention).
@@ -280,6 +281,10 @@ class CrossShardAggregator:
         # per-lane op sequence — and the accept/reject sets — match the
         # sequential walk exactly (differential-tested).
         self.concurrent_lanes = bool(concurrent_lanes)
+        # A Tracer is single-threaded by design, so span collection is only
+        # honoured on the sequential walk; concurrent lane threads would
+        # interleave their enter/exit stacks into one garbled tree.
+        self.tracer = None if self.concurrent_lanes else tracer
         self._lane_workers: ThreadPoolExecutor | None = None
         self.settled: list[FabricSettlement] = []
         self.lane_names: dict[int, frozenset[int]] = {}
@@ -321,6 +326,7 @@ class CrossShardAggregator:
                 checkpoint_mode=True,
                 names=names,
                 pooled_verify=pooled_verify,
+                tracer=self.tracer,
             )
             pipeline = CheckpointPipeline(scheduler, lane, address, account)
             pipeline.register_fleet()

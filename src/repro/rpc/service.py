@@ -15,18 +15,30 @@ Error contract — *every* failure becomes a structured JSON-RPC error:
 * anything else maps to ``INTERNAL_ERROR`` carrying only the exception
   class name — tracebacks never cross the wire.
 
-Metrics: every method accumulates ``{calls, errors, seconds}`` under a
-lock, served by the built-in ``rpc_metrics`` method alongside the method
-list (``rpc_methods``).
+Metrics: every method is metered through :mod:`repro.obs` registry
+instruments — ``rpc_requests_total`` / ``rpc_errors_total`` counters and
+an ``rpc_request_seconds`` histogram, all labelled by method.  The
+built-in ``rpc_metrics`` method keeps its historical per-method
+``{calls, errors, seconds}`` keys (computed from those instruments) and
+now adds ``mean`` / ``p50`` / ``p95`` / ``p99`` estimated from the fixed
+histogram buckets.  ``metrics_get`` exposes the whole registry snapshot
+and ``trace_get`` the span trees of an attached tracer.
+
+By default each dispatcher meters into its own private
+:class:`~repro.obs.registry.MetricsRegistry` (so concurrent dispatchers
+and test fixtures stay isolated); ``repro serve`` passes the process-wide
+registry so RPC metrics land beside the mempool/fabric/engine/lifecycle
+instruments in one Prometheus exposition.
 """
 
 from __future__ import annotations
 
 import inspect
-import threading
 import time
 from typing import Any, Callable
 
+from ..obs.registry import MetricsRegistry
+from ..obs.tracing import Tracer
 from .codec import (
     INTERNAL_ERROR,
     INVALID_PARAMS,
@@ -45,12 +57,27 @@ from .codec import (
 class RpcDispatcher:
     """Routes validated requests to registered handlers and meters them."""
 
-    def __init__(self):
+    def __init__(
+        self,
+        registry: MetricsRegistry | None = None,
+        tracer: Tracer | None = None,
+    ):
         self._methods: dict[str, Callable] = {}
-        self._metrics: dict[str, dict[str, float]] = {}
-        self._metrics_lock = threading.Lock()
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self.tracer = tracer
+        self._requests = self.registry.counter(
+            "rpc_requests_total", "JSON-RPC requests handled", ("method",)
+        )
+        self._errors = self.registry.counter(
+            "rpc_errors_total", "JSON-RPC requests that returned an error", ("method",)
+        )
+        self._latency = self.registry.histogram(
+            "rpc_request_seconds", "JSON-RPC per-request handler latency", ("method",)
+        )
         self.register("rpc_methods", self._rpc_methods)
         self.register("rpc_metrics", self._rpc_metrics)
+        self.register("metrics_get", self._metrics_get)
+        self.register("trace_get", self._trace_get)
 
     # -- registry ------------------------------------------------------------
 
@@ -58,7 +85,6 @@ class RpcDispatcher:
         if name in self._methods:
             raise ValueError(f"method {name!r} already registered")
         self._methods[name] = handler
-        self._metrics[name] = {"calls": 0, "errors": 0, "seconds": 0.0}
 
     def register_namespace(self, obj: Any, names: "list[str]") -> None:
         """Register ``obj.<name>`` for every name (the ServiceNode hookup)."""
@@ -74,24 +100,52 @@ class RpcDispatcher:
         return self.methods()
 
     def _rpc_metrics(self) -> dict:
-        with self._metrics_lock:
-            return {
-                name: dict(stats)
-                for name, stats in sorted(self._metrics.items())
-                if stats["calls"]
+        """Per-method metrics: historical keys plus histogram quantiles.
+
+        ``calls``/``errors``/``seconds`` keep their pre-registry meaning;
+        ``mean``/``p50``/``p95``/``p99`` come from the latency histogram.
+        """
+        out: dict[str, dict[str, float]] = {}
+        for (key, child) in self._latency.children():
+            if not child.count:
+                continue
+            method = key[0]
+            out[method] = {
+                "calls": int(self._requests.labels(method).value),
+                "errors": int(self._errors.labels(method).value),
+                "seconds": child.sum,
+                "mean": child.sum / child.count,
+                "p50": child.quantile(0.50),
+                "p95": child.quantile(0.95),
+                "p99": child.quantile(0.99),
             }
+        return dict(sorted(out.items()))
+
+    def _metrics_get(self) -> dict:
+        """The full registry snapshot (all layers when serve shares one)."""
+        return self.registry.snapshot()
+
+    def _trace_get(self, last: int = 8) -> dict:
+        """Span trees from the attached tracer (empty when none attached)."""
+        if self.tracer is None:
+            return {"enabled": False, "spans": 0, "roots": []}
+        return {
+            "enabled": self.tracer.enabled,
+            "deterministic": self.tracer.deterministic,
+            "spans": self.tracer.span_count,
+            "digest": self.tracer.digest(),
+            "roots": self.tracer.tree_dicts(last=max(0, int(last))),
+        }
 
     # -- dispatch ------------------------------------------------------------
 
     def _record(self, method: str, seconds: float, failed: bool) -> None:
-        with self._metrics_lock:
-            stats = self._metrics.get(method)
-            if stats is None:
-                return
-            stats["calls"] += 1
-            stats["seconds"] += seconds
-            if failed:
-                stats["errors"] += 1
+        if method not in self._methods:
+            return
+        self._requests.labels(method).inc()
+        self._latency.labels(method).observe(seconds)
+        if failed:
+            self._errors.labels(method).inc()
 
     def _invoke(self, method: str, params: Any) -> Any:
         handler = self._methods.get(method)

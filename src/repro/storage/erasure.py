@@ -15,9 +15,11 @@ rows.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 
 import numpy as np
 
+from ..obs.hotpath import HOTPATH
 from .gf256 import gf_matmul, gf_matrix_invert, gf_mul, gf_pow
 
 
@@ -77,6 +79,14 @@ class ReedSolomonCode:
         return (data_length + self.k - 1) // self.k
 
     def encode(self, data: bytes) -> list[Shard]:
+        if HOTPATH.enabled:
+            t0 = perf_counter()
+            result = self._encode(data)
+            HOTPATH.add("gf256.encode", perf_counter() - t0)
+            return result
+        return self._encode(data)
+
+    def _encode(self, data: bytes) -> list[Shard]:
         if not data:
             raise ValueError("cannot encode empty data")
         length = self.shard_length(len(data))
@@ -87,6 +97,14 @@ class ReedSolomonCode:
 
     def decode(self, shards: list[Shard], data_length: int) -> bytes:
         """Reconstruct from any >= k distinct shards."""
+        if HOTPATH.enabled:
+            t0 = perf_counter()
+            result = self._decode(shards, data_length)
+            HOTPATH.add("gf256.decode", perf_counter() - t0)
+            return result
+        return self._decode(shards, data_length)
+
+    def _decode(self, shards: list[Shard], data_length: int) -> bytes:
         unique: dict[int, Shard] = {}
         for shard in shards:
             if not 0 <= shard.index < self.n:

@@ -1,0 +1,117 @@
+"""Crypto hot-path profiling: gated, per-leg, delta-published.
+
+The profiler must be invisible when disabled (the production default: one
+attribute check per call) and, when enabled, attribute wall time to the
+paper's fig. 8 legs — BN254 MSM, Miller loop, final exponentiation, and
+GF(256) erasure coding — from live traffic, without perturbing results.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.crypto.bn254 import G1Point, G2Point
+from repro.crypto.bn254.msm import multi_scalar_mul
+from repro.crypto.bn254.pairing import final_exponentiation, miller_loop
+from repro.obs import MetricsRegistry
+from repro.obs.hotpath import HOTPATH, LEGS, HotPathProfiler
+from repro.storage.erasure import ReedSolomonCode
+
+
+@pytest.fixture(autouse=True)
+def clean_profiler():
+    HOTPATH.disable()
+    HOTPATH.reset()
+    yield
+    HOTPATH.disable()
+    HOTPATH.reset()
+
+
+def test_disabled_records_nothing():
+    multi_scalar_mul([G1Point.generator(), G1Point.generator()], [3, 5])
+    assert HOTPATH.total_seconds() == 0.0
+    assert all(s["calls"] == 0 for s in HOTPATH.snapshot().values())
+
+
+def test_msm_leg_recorded():
+    HOTPATH.enable()
+    multi_scalar_mul([G1Point.generator(), G1Point.generator()], [3, 5])
+    snap = HOTPATH.snapshot()
+    assert snap["bn254.msm"]["calls"] == 1
+    assert snap["bn254.msm"]["seconds"] > 0.0
+
+
+def test_pairing_legs_recorded():
+    HOTPATH.enable()
+    f = miller_loop(G1Point.generator(), G2Point.generator())
+    final_exponentiation(f)
+    snap = HOTPATH.snapshot()
+    assert snap["bn254.miller_loop"]["calls"] == 1
+    assert snap["bn254.final_exp"]["calls"] == 1
+
+
+def test_erasure_legs_recorded():
+    HOTPATH.enable()
+    code = ReedSolomonCode(n=5, k=3)
+    payload = b"hot path profiling payload!"
+    shards = code.encode(payload)
+    code.decode([shards[i] for i in (0, 2, 4)], len(payload))
+    snap = HOTPATH.snapshot()
+    assert snap["gf256.encode"]["calls"] == 1
+    assert snap["gf256.decode"]["calls"] == 1
+
+
+def test_profiling_does_not_change_results():
+    code = ReedSolomonCode(n=5, k=3)
+    plain = code.encode(b"same bytes either way")
+    HOTPATH.enable()
+    profiled = code.encode(b"same bytes either way")
+    assert plain == profiled
+
+
+def test_breakdown_fractions_sum_to_one():
+    profiler = HotPathProfiler()
+    profiler.enable()
+    profiler.add("bn254.msm", 0.6)
+    profiler.add("bn254.final_exp", 0.3)
+    profiler.add("gf256.encode", 0.1)
+    breakdown = profiler.breakdown()
+    assert sum(breakdown.values()) == pytest.approx(1.0)
+    assert breakdown["bn254.msm"] == pytest.approx(0.6)
+
+
+def test_unknown_leg_refused():
+    profiler = HotPathProfiler()
+    profiler.enable()
+    with pytest.raises(KeyError):
+        profiler.add("sha3.absorb", 0.1)
+
+
+def test_publish_pushes_deltas_not_totals():
+    registry = MetricsRegistry()
+    profiler = HotPathProfiler()
+    profiler.enable()
+    profiler.add("bn254.msm", 0.5)
+    profiler.publish(registry)
+    profiler.publish(registry)  # second publish with no new work: no-op
+    seconds = registry.get("crypto_leg_seconds_total")
+    calls = registry.get("crypto_leg_calls_total")
+    by_leg = {key[0]: child.value for key, child in seconds.children()}
+    assert by_leg["bn254.msm"] == pytest.approx(0.5)
+    assert {key[0]: child.value for key, child in calls.children()} == {
+        "bn254.msm": 1
+    }
+    profiler.add("bn254.msm", 0.25)
+    profiler.publish(registry)
+    by_leg = {key[0]: child.value for key, child in seconds.children()}
+    assert by_leg["bn254.msm"] == pytest.approx(0.75)
+
+
+def test_legs_cover_the_fig8_decomposition():
+    assert set(LEGS) == {
+        "bn254.msm",
+        "bn254.miller_loop",
+        "bn254.final_exp",
+        "gf256.encode",
+        "gf256.decode",
+    }

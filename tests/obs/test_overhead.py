@@ -1,0 +1,123 @@
+"""The observability layer must be (nearly) free when idle.
+
+Two guards, both against the ≤3% budget the issue sets:
+
+* the crypto hot-path gate, disabled (the production default), must cost
+  no more than one attribute check per call — measured by timing the
+  gated public entry point against the ungated implementation it wraps;
+* a fully instrumented epoch pipeline (registry instruments live, tracer
+  attached) must stay within budget of the same pipeline run bare
+  (NULL tracer, profiler off).
+
+Timings interleave the two sides per call, park the GC, and compare the
+minimum total over repeats: the minimum is the noise-robust estimator
+for "how fast can this go", and per-call interleaving makes frequency
+and scheduler drift hit both sides equally.
+"""
+
+from __future__ import annotations
+
+import gc
+import random
+import time
+
+import pytest
+
+from repro.core import DataOwner, ProtocolParams
+from repro.crypto.bn254 import G1Point
+from repro.crypto.bn254.msm import _multi_scalar_mul, multi_scalar_mul
+from repro.engine import AuditExecutor, AuditInstance
+from repro.engine.scheduler import EpochScheduler
+from repro.obs import Tracer
+from repro.obs.hotpath import HOTPATH
+from repro.randomness import HashChainBeacon
+from repro.sim.workloads import archive_file
+
+OVERHEAD_BUDGET = 0.03
+REPEATS = 5
+
+
+def _paired_min(fn_a, fn_b, calls=1, repeats=REPEATS):
+    """Best-of-N totals, a/b interleaved per call with the GC parked."""
+    best_a = best_b = float("inf")
+    gc.disable()
+    try:
+        for _ in range(repeats):
+            total_a = total_b = 0.0
+            for _ in range(calls):
+                t0 = time.perf_counter()
+                fn_a()
+                total_a += time.perf_counter() - t0
+                t0 = time.perf_counter()
+                fn_b()
+                total_b += time.perf_counter() - t0
+            best_a, best_b = min(best_a, total_a), min(best_b, total_b)
+    finally:
+        gc.enable()
+    return best_a, best_b
+
+
+def test_disabled_hotpath_gate_is_within_budget():
+    HOTPATH.disable()
+    rng = random.Random(11)
+    points = [G1Point.generator() * rng.randrange(1, 2**64) for _ in range(8)]
+    scalars = [rng.randrange(1, 2**128) for _ in range(8)]
+
+    gated_s, bare_s = _paired_min(
+        lambda: multi_scalar_mul(points, scalars),
+        lambda: _multi_scalar_mul(points, scalars),
+        calls=10,
+    )
+    overhead = gated_s / bare_s - 1.0
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"disabled hot-path gate costs {overhead:.1%} "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )
+
+
+def test_instrumented_epoch_pipeline_is_within_budget():
+    params = ProtocolParams(s=3, k=2)
+    owner = DataOwner(params, rng=random.Random(5))
+    instances = [
+        AuditInstance.from_package(
+            owner.prepare(
+                archive_file(400, tag=f"ovh-{i}").data, fresh_keypair=i == 0
+            ),
+            owner_id="ovh",
+        )
+        for i in range(2)
+    ]
+    with AuditExecutor(instances, workers=1) as executor:
+        beacon = HashChainBeacon(b"overhead")
+
+        def run(tracer, profiled):
+            if profiled:
+                HOTPATH.enable()
+            try:
+                scheduler = EpochScheduler(
+                    executor,
+                    params,
+                    beacon,
+                    deterministic=True,
+                    keep_history=False,
+                    tracer=tracer,
+                )
+                scheduler.run(2)
+            finally:
+                HOTPATH.disable()
+
+        bare_s, instrumented_s = _paired_min(
+            lambda: run(None, profiled=False),
+            lambda: run(Tracer(deterministic=True), profiled=True),
+        )
+    overhead = instrumented_s / bare_s - 1.0
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"instrumented pipeline costs {overhead:.1%} over bare "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )
+
+
+def test_null_tracer_span_is_allocation_free():
+    tracer_span = Tracer(enabled=False).span
+    contexts = {id(tracer_span("a")), id(tracer_span("b", epoch=1))}
+    assert len(contexts) == 1

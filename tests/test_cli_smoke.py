@@ -106,6 +106,20 @@ CASES = [
         ["(concurrent)", "probe: OK"],
     ),
     (
+        "serve-probe-metrics",
+        ["serve", "--lanes", "2", "--fleet", "2", "--epochs", "1",
+         "--size", "500", "--s", "4", "--k", "3", "--probe",
+         "--metrics-port", "0", "--mine-interval", "0"],
+        ["prometheus metrics on", "probe metrics_get", "probe /metrics",
+         "probe: OK"],
+    ),
+    (
+        "top-demo",
+        ["top", "--demo", "--iterations", "1"],
+        ["repro top @", "epochs", "audits", "mempool depth", "lanes",
+         "verify  p50"],
+    ),
+    (
         "models",
         ["models", "--users", "1000"],
         ["chain throughput", "users/provider"],

@@ -1,0 +1,144 @@
+"""Raw-speed microbenchmarks for the BN254 / GF(256) crypto hot path.
+
+Three sweeps, one per rebuilt kernel family:
+
+* **MSM** — signed-window Pippenger with batch-affine bucket accumulation
+  (`multi_scalar_mul`) across input sizes, with the naive double-and-add
+  reference timed at the smallest size for a grounded speedup figure (and
+  checked for exact equality at every size).
+* **Batch verify** — `pairing_check` over growing pair counts with
+  prepared-G2 lines, against the same product computed as individual
+  pairings; the shared squaring chain plus cached lines is the win the
+  grouped batch verifier rides on.
+* **GF(256)** — table-driven `gf_matmul` over block sizes on a
+  Reed-Solomon-shaped (rows x k) coding matrix, against the per-element
+  scalar reference at the smallest size.
+
+``BENCH_QUICK=1`` (the CI bench-smoke job) shrinks every sweep so all
+code paths run under a tight timeout; full-scale numbers are committed
+under ``benchmarks/results/bench_crypto_speed.txt``.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+
+import numpy as np
+
+from repro.crypto.bn254 import (
+    CURVE_ORDER,
+    G1Point,
+    G2Point,
+    PrecomputeCache,
+    multi_scalar_mul,
+    multi_scalar_mul_naive,
+    pairing,
+    pairing_product,
+)
+from repro.crypto.bn254.fields import Fp12
+from repro.storage.gf256 import gf_matmul, gf_matmul_ref
+
+QUICK = os.environ.get("BENCH_QUICK", "") == "1"
+
+MSM_SIZES = (16, 64) if QUICK else (16, 64, 256, 1024)
+NAIVE_REFERENCE_SIZE = 16
+PAIR_COUNTS = (1, 2) if QUICK else (1, 2, 4, 8)
+GF_BLOCK_SIZES = (4_096, 65_536) if QUICK else (4_096, 65_536, 1_048_576)
+GF_REFERENCE_SIZE = 256
+
+G1 = G1Point.generator()
+G2 = G2Point.generator()
+
+
+def _best_of(fn, repeats=3):
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        result = fn()
+        best = min(best, time.perf_counter() - t0)
+    return best, result
+
+
+def test_crypto_speed_sweep(report):
+    rng = random.Random(0x5EED)
+    lines = []
+
+    # -- MSM sweep ---------------------------------------------------------
+    lines.append("MSM: signed-window + batch-affine buckets (G1)")
+    big_points = [G1 * rng.randrange(1, CURVE_ORDER) for _ in range(max(MSM_SIZES))]
+    big_scalars = [rng.randrange(CURVE_ORDER) for _ in range(max(MSM_SIZES))]
+    for size in MSM_SIZES:
+        points, scalars = big_points[:size], big_scalars[:size]
+        fast_s, fast = _best_of(lambda: multi_scalar_mul(points, scalars))
+        line = f"  n={size:5d}: {fast_s * 1e3:8.1f} ms"
+        if size <= NAIVE_REFERENCE_SIZE:
+            naive_s, naive = _best_of(
+                lambda: multi_scalar_mul_naive(points, scalars), repeats=1
+            )
+            assert fast == naive, f"MSM mismatch at n={size}"
+            line += f"   (naive {naive_s * 1e3:8.1f} ms -> {naive_s / fast_s:.1f}x)"
+        else:
+            assert fast == multi_scalar_mul_naive(points, scalars)
+        lines.append(line)
+
+    # -- batch pairing sweep -----------------------------------------------
+    lines.append("")
+    lines.append(
+        "Batch verify: shared-squaring-chain pairing product, prepared G2 lines"
+    )
+    cache = PrecomputeCache()
+    fixed_g2 = [G2 * (i + 2) for i in range(max(PAIR_COUNTS))]
+    for prepared_point in fixed_g2:
+        cache.prepared_g2(prepared_point)  # owner keys: prepared once
+    for count in PAIR_COUNTS:
+        pairs_g1 = [G1 * rng.randrange(1, CURVE_ORDER) for _ in range(count)]
+        prepared_pairs = [
+            (p, cache.prepared_g2(q)) for p, q in zip(pairs_g1, fixed_g2)
+        ]
+        shared_s, shared = _best_of(lambda: pairing_product(prepared_pairs))
+
+        def individual():
+            out = Fp12.one()
+            for p, q in zip(pairs_g1, fixed_g2):
+                out = out * pairing(p, q)
+            return out
+
+        individual_s, separate = _best_of(individual, repeats=1)
+        assert shared == separate, f"pairing product mismatch at {count} pairs"
+        lines.append(
+            f"  pairs={count}: shared {shared_s * 1e3:7.1f} ms vs "
+            f"individual {individual_s * 1e3:7.1f} ms "
+            f"-> {individual_s / shared_s:.2f}x"
+        )
+
+    # -- GF(256) sweep -----------------------------------------------------
+    lines.append("")
+    lines.append("GF(256): table-gather gf_matmul, 4x8 coding matrix")
+    np_rng = np.random.default_rng(7)
+    matrix = [[int(np_rng.integers(1, 256)) for _ in range(8)] for _ in range(4)]
+    for block in GF_BLOCK_SIZES:
+        shards = np_rng.integers(0, 256, size=(8, block), dtype=np.uint8)
+        fast_s, fast = _best_of(lambda: gf_matmul(matrix, shards))
+        throughput = 8 * block / fast_s / 1e6
+        lines.append(
+            f"  block={block:>9,d} B: {fast_s * 1e3:7.1f} ms "
+            f"({throughput:7.1f} MB/s in)"
+        )
+    reference_shards = np_rng.integers(
+        0, 256, size=(8, GF_REFERENCE_SIZE), dtype=np.uint8
+    )
+    ref_s, reference = _best_of(
+        lambda: gf_matmul_ref(matrix, reference_shards), repeats=1
+    )
+    fast_s, fast = _best_of(lambda: gf_matmul(matrix, reference_shards))
+    assert np.array_equal(fast, reference)
+    lines.append(
+        f"  scalar reference at block={GF_REFERENCE_SIZE} B: "
+        f"{ref_s * 1e3:.1f} ms vs {fast_s * 1e3:.3f} ms "
+        f"-> {ref_s / fast_s:.0f}x"
+    )
+
+    report("bench_crypto_speed", "\n".join(lines))

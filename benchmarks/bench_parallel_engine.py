@@ -21,8 +21,10 @@ Asserted acceptance criteria:
   deterministic per-task nonces), and the batch verdict agrees with the 64
   individual verdicts.
 
-A second epoch is timed to show the steady state once every fixed-base
-table is warm (the amortization argument of docs/BENCHMARKS.md).
+Two further epochs are timed: epoch 1 while per-point wNAF tables are
+still being built for newly challenged chunks, and epoch 2 as the warm
+steady state every later epoch matches (the amortization argument of
+docs/BENCHMARKS.md).
 """
 
 from __future__ import annotations
@@ -115,7 +117,11 @@ def test_parallel_engine_speedup(report):
             rng=random.Random(1),
         )
         cold = scheduler.run_epoch(0)
-        warm = scheduler.run_epoch(1)
+        # Epoch 1 still builds wNAF tables for authenticators/digests the
+        # epoch-0 challenge subset never touched; epoch 2 is the steady
+        # state every later epoch matches (the amortization argument).
+        warming = scheduler.run_epoch(1)
+        warm = scheduler.run_epoch(2)
 
     # -- acceptance: correctness ------------------------------------------
     assert cold.batch_ok == all(sequential_verdicts.values()) == True  # noqa: E712
@@ -135,6 +141,9 @@ def test_parallel_engine_speedup(report):
         f"({cold.audits_per_second:5.1f} audits/s)  -> {speedup:.2f}x",
         f"  prove {cold.prove_seconds:.2f} s + batch-verify "
         f"{cold.verify_seconds:.2f} s",
+        f"engine (cache warmup): {warming.total_seconds:7.2f} s "
+        f"({warming.audits_per_second:5.1f} audits/s)  -> "
+        f"{sequential_seconds / warming.total_seconds:.2f}x",
         f"engine (warm caches) : {warm.total_seconds:7.2f} s "
         f"({warm.audits_per_second:5.1f} audits/s)  -> {warm_speedup:.2f}x",
         f"  prove {warm.prove_seconds:.2f} s + batch-verify "
@@ -145,4 +154,74 @@ def test_parallel_engine_speedup(report):
     if not QUICK:
         assert speedup >= 2.0, (
             f"engine must be >= 2x the sequential seed path, got {speedup:.2f}x"
+        )
+
+
+def test_persisted_cache_cold_start(report, tmp_path):
+    """Acceptance: a process restart over a populated ``--crypto-cache``
+    directory starts within 1.5x of warm-path throughput.
+
+    The first run populates the store (wNAF tables, prepared G2 lines, GT
+    windows) while warming its in-memory caches; the second run simulates
+    a restarted auditor — fresh executor, fresh caches, same directory —
+    and its *first* epoch is timed against the steady-state warm epoch.
+    Proofs must match the storeless path bit-for-bit.
+    """
+    cache_dir = tmp_path / "crypto-cache"
+    instances = _build_fleet(random.Random(0xE17E))
+
+    with AuditExecutor(instances, cache_dir=str(cache_dir)) as executor:
+        scheduler = EpochScheduler(
+            executor,
+            PARAMS,
+            BEACON,
+            salt=SALT,
+            deterministic=True,
+            rng=random.Random(1),
+        )
+        first_cold = scheduler.run_epoch(0)
+        scheduler.run_epoch(1)
+        warm = scheduler.run_epoch(2)
+
+    # Restart: identical fleet, fresh process state, same store directory.
+    restarted = _build_fleet(random.Random(0xE17E))
+    with AuditExecutor(restarted, cache_dir=str(cache_dir)) as executor:
+        scheduler = EpochScheduler(
+            executor,
+            PARAMS,
+            BEACON,
+            salt=SALT,
+            deterministic=True,
+            rng=random.Random(1),
+        )
+        persisted_cold = scheduler.run_epoch(0)
+        persisted_warm = scheduler.run_epoch(2)
+
+    assert persisted_cold.proof_bytes() == first_cold.proof_bytes(), (
+        "persisted-store proofs must match the fresh-build path bit-for-bit"
+    )
+    assert persisted_cold.batch_ok and persisted_warm.batch_ok
+
+    # Warm reference: best steady-state epoch either process produced
+    # (single measurements on a shared host are noisy; the minimum is the
+    # noise-robust estimator).
+    warm_reference = min(warm.total_seconds, persisted_warm.total_seconds)
+    ratio = persisted_cold.total_seconds / warm_reference
+    store_files = len(list(cache_dir.glob("*.bin")))
+    lines = [
+        f"store: {store_files} table files under --crypto-cache",
+        f"fresh-build cold epoch : {first_cold.total_seconds:7.2f} s "
+        f"({first_cold.audits_per_second:5.1f} audits/s)",
+        f"warm steady state      : {warm_reference:7.2f} s "
+        f"({len(instances) / warm_reference:5.1f} audits/s)",
+        f"persisted cold start   : {persisted_cold.total_seconds:7.2f} s "
+        f"({persisted_cold.audits_per_second:5.1f} audits/s)  "
+        f"-> {ratio:.2f}x warm",
+        "persisted == fresh-build bit-for-bit: True",
+    ]
+    report("bench_persisted_cache", "\n".join(lines))
+    if not QUICK:
+        assert ratio <= 1.5, (
+            f"persisted-cache cold start must be within 1.5x of warm-path "
+            f"throughput, got {ratio:.2f}x"
         )

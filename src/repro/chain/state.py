@@ -115,7 +115,16 @@ def _encode_canonical(value: Any, hasher, depth: int = 0) -> None:
 
 
 def _object_attrs(value: Any) -> dict | None:
-    """An object's state dict (``__dict__`` and/or ``__slots__`` members)."""
+    """An object's state dict (``__dict__`` and/or ``__slots__`` members).
+
+    A class may publish ``_canonical_state_slots`` naming exactly the
+    attributes that define its logical state; anything else (memoized
+    derived values like a curve point's cached affine form) would make the
+    digest depend on *usage history* instead of state.
+    """
+    explicit = getattr(type(value), "_canonical_state_slots", None)
+    if explicit is not None:
+        return {name: getattr(value, name) for name in explicit}
     attrs: dict[str, Any] = {}
     found = False
     if hasattr(value, "__dict__"):

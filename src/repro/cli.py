@@ -126,7 +126,9 @@ def _cmd_engine(args: argparse.Namespace) -> int:
                 AuditInstance.from_package(package, owner_id=f"owner-{owner_index}")
             )
     print(f"fleet prepared in {time.perf_counter() - t0:.1f} s")
-    with AuditExecutor(instances, workers=args.workers) as executor:
+    with AuditExecutor(
+        instances, workers=args.workers, cache_dir=args.crypto_cache
+    ) as executor:
         beacon = HashChainBeacon(b"cli-engine")
         if args.lanes > 1:
             # One scheduler per fabric lane over the shared process pool:
@@ -597,7 +599,10 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
         if not persist:
             print("lifecycle: --resume requires --persist DIR", file=sys.stderr)
             return 2
-        engine = LifecycleEngine.open(persist, workers=args.workers)
+        overrides = {"workers": args.workers}
+        if args.crypto_cache:
+            overrides["crypto_cache_dir"] = args.crypto_cache
+        engine = LifecycleEngine.open(persist, **overrides)
         print(f"resumed from {persist} at epoch {engine.next_epoch}/"
               f"{engine.config.total_epochs}")
     else:
@@ -619,6 +624,7 @@ def _cmd_lifecycle(args: argparse.Namespace) -> int:
                 k=args.k,
                 workers=args.workers,
                 persist_dir=persist,
+                crypto_cache_dir=args.crypto_cache or None,
             )
             engine = LifecycleEngine(config)
         except ValueError as exc:
@@ -853,7 +859,9 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             fresh_keypair=index == 0,
         )
         instances.append(AuditInstance.from_package(package, owner_id="serve"))
-    executor = AuditExecutor(instances, workers=args.workers)
+    executor = AuditExecutor(
+        instances, workers=args.workers, cache_dir=args.crypto_cache
+    )
     aggregator = CrossShardAggregator(
         fabric, executor, params, HashChainBeacon(b"cli-serve"), rng=rng,
         concurrent_lanes=args.concurrent, pooled_verify=args.workers != 1,
@@ -1125,6 +1133,8 @@ def build_parser() -> argparse.ArgumentParser:
     engine.add_argument("--s", type=int, default=10)
     engine.add_argument("--k", type=int, default=8)
     engine.add_argument("--seed", type=int, default=0)
+    engine.add_argument("--crypto-cache", metavar="DIR", default=None,
+                        help="""persist BN254 precompute tables (wNAF/fixed-base/GT windows, prepared Miller lines) under DIR so restarts begin at warm-cache speed""")
     engine.add_argument("--lanes", type=int, default=1,
                         help="run one scheduler per fabric lane over the "
                         "shared process pool (1 = unsharded)")
@@ -1250,6 +1260,8 @@ def build_parser() -> argparse.ArgumentParser:
     lifecycle.add_argument("--k", type=int, default=3)
     lifecycle.add_argument("--workers", type=int, default=1,
                            help="process-pool size (0 = one per CPU core)")
+    lifecycle.add_argument("--crypto-cache", metavar="DIR", default=None,
+                           help="""persist BN254 precompute tables (wNAF/fixed-base/GT windows, prepared Miller lines) under DIR so restarts begin at warm-cache speed""")
     lifecycle.set_defaults(func=_cmd_lifecycle)
 
     congest = sub.add_parser(
@@ -1318,6 +1330,8 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=1,
                        help="audit executor process-pool size "
                        "(0 = one per CPU core)")
+    serve.add_argument("--crypto-cache", metavar="DIR", default=None,
+                       help="""persist BN254 precompute tables (wNAF/fixed-base/GT windows, prepared Miller lines) under DIR so restarts begin at warm-cache speed""")
     serve.set_defaults(func=_cmd_serve)
 
     top = sub.add_parser(

@@ -29,7 +29,7 @@ from ..crypto.bn254 import (
     G2Point,
     PrecomputeCache,
     final_exponentiation,
-    gt_pow,
+    gt_multi_pow,
     hash_gt_to_scalar,
     miller_loop_product,
     multi_scalar_mul,
@@ -147,7 +147,7 @@ def verify_batch(
     g1 = G1Point.generator()
     g2 = G2Point.generator()
     pairs: list[tuple[G1Point, G2Point]] = []
-    gt_accumulator = Fp12.one()
+    gt_items: list[tuple[Fp12, int]] = []
     for index, item in enumerate(items):
         rho = 1 if index == 0 else _small_exponent(rng)
         verifier = Verifier(item.public, item.name, item.num_chunks)
@@ -162,14 +162,14 @@ def verify_batch(
         )
         twisted = item.public.delta - item.public.epsilon * expanded.point
         pairs.append((-(item.proof.psi * scaled_zeta), twisted))
-        if rho == 1:
-            gt_accumulator = gt_accumulator * item.proof.commitment
-        else:
-            gt_accumulator = gt_accumulator * gt_pow(item.proof.commitment, rho)
+        gt_items.append((item.proof.commitment, rho))
         t1 = time.perf_counter()
         if report is not None:
             report.msm_seconds += t1 - t0
     t0 = time.perf_counter()
+    # One shared squaring chain for all rho-blinded commitments (exact
+    # arithmetic: same element as multiplying per-item gt_pow results).
+    gt_accumulator = gt_multi_pow(gt_items)
     product = final_exponentiation(miller_loop_product(pairs))
     ok = (product * gt_accumulator).is_one()
     t1 = time.perf_counter()
@@ -197,10 +197,12 @@ def verify_batch_grouped(
 
     * **G2 grouping** — all pairs sharing a G2 point collapse into one
       Miller loop via ``prod_u e(A_u, Q) == e(sum_u A_u, Q)``.  The sigma
-      pairs all share ``g2``; the chi/y' pairs share each owner's
-      ``epsilon``; when an epoch scheduler issues challenges with a shared
-      evaluation point, the psi pairs share each owner's ``delta -
-      r*epsilon``.  3U Miller loops become ``1 + 2*owners``.
+      pairs all share ``g2``; the chi/y'/r*psi pairs share each owner's
+      ``epsilon``; the psi pairs share each owner's ``delta`` (the
+      ``delta - r*epsilon`` leg is split over the two fixed points by
+      bilinearity, so grouping never depends on a shared evaluation
+      point).  3U Miller loops become ``1 + 2*owners``, all against
+      G2 points whose prepared lines persist across epochs.
     * **Deferred MSMs** — each group's G1 side is accumulated as (base,
       scalar) pairs — chi is never materialized per item; its digest points
       go straight into the owner's group — and reduced with one Pippenger
@@ -210,14 +212,22 @@ def verify_batch_grouped(
         return BatchVerifyOutcome(ok=True, checked=0, mode="grouped")
     g1 = G1Point.generator()
     g2 = G2Point.generator()
-    gt_accumulator = Fp12.one()
-    groups: dict[G2Point, tuple[list[G1Point], list[int]]] = {}
-    twisted_memo: dict[tuple[G2Point, G2Point, int], G2Point] = {}
+    gt_items: list[tuple[Fp12, int]] = []
+    groups: dict[G2Point, tuple[list[G1Point], list[int], list[bool]]] = {}
+    # Every file of an owner contributes g1^{-y' rho} to the same epsilon
+    # group; folding those into one scalar drops U-per-owner points from the
+    # group MSMs (the group element is unchanged — same linear combination).
+    g1_scalars: dict[G2Point, int] = {}
 
-    def contribute(base: G1Point, scalar: int, g2_point: G2Point) -> None:
-        bases, scalars = groups.setdefault(g2_point, ([], []))
+    def contribute(
+        base: G1Point, scalar: int, g2_point: G2Point, fixed: bool = False
+    ) -> None:
+        """``fixed`` marks epoch-recurring bases (digests, g1) whose wNAF
+        tables are worth keeping in the precompute cache."""
+        bases, scalars, cacheable = groups.setdefault(g2_point, ([], [], []))
         bases.append(base)
         scalars.append(scalar % CURVE_ORDER)
+        cacheable.append(fixed)
 
     for index, item in enumerate(items):
         rho = 1 if index == 0 else _small_exponent(rng)
@@ -233,31 +243,50 @@ def verify_batch_grouped(
             digests = [block_digest_point(item.name, i) for i in expanded.indices]
         t1 = time.perf_counter()
         # Eq. (2), rho-blinded:  R^rho * e(sigma^{zeta rho}, g2)
-        #   * e(g1^{-y' rho} * chi^{-zeta rho}, epsilon)
-        #   * e(psi^{-zeta rho}, delta - r*epsilon)  == 1
+        #   * e(g1^{-y' rho} * chi^{-zeta rho} * psi^{r zeta rho}, epsilon)
+        #   * e(psi^{-zeta rho}, delta)  == 1
         contribute(item.proof.sigma, scaled_zeta, g2)
-        contribute(g1, -(item.proof.y_masked * rho), item.public.epsilon)
+        g1_scalars[item.public.epsilon] = (
+            g1_scalars.get(item.public.epsilon, 0) - item.proof.y_masked * rho
+        ) % CURVE_ORDER
         for digest, coefficient in zip(digests, expanded.coefficients):
-            contribute(digest, -(coefficient * scaled_zeta), item.public.epsilon)
-        twisted_key = (item.public.epsilon, item.public.delta, expanded.point)
-        twisted = twisted_memo.get(twisted_key)
-        if twisted is None:
-            twisted = item.public.delta - item.public.epsilon * expanded.point
-            twisted_memo[twisted_key] = twisted
-        contribute(item.proof.psi, -scaled_zeta, twisted)
-        if rho == 1:
-            gt_accumulator = gt_accumulator * item.proof.commitment
-        else:
-            gt_accumulator = gt_accumulator * gt_pow(item.proof.commitment, rho)
+            contribute(
+                digest,
+                -(coefficient * scaled_zeta),
+                item.public.epsilon,
+                fixed=True,
+            )
+        # e(psi^{-zeta rho}, delta - r*epsilon) splits by bilinearity into
+        # e(psi^{-zeta rho}, delta) * e(psi^{r zeta rho}, epsilon), so the
+        # psi legs land on the *fixed* per-owner G2 points instead of a
+        # fresh delta - r*epsilon combination per challenge point — no
+        # per-epoch G2 arithmetic or Miller-line preparation at all.
+        contribute(item.proof.psi, -scaled_zeta, item.public.delta)
+        contribute(
+            item.proof.psi, expanded.point * scaled_zeta, item.public.epsilon
+        )
+        gt_items.append((item.proof.commitment, rho))
         t2 = time.perf_counter()
         if report is not None:
             report.hash_seconds += t1 - t0
             report.msm_seconds += t2 - t1
+    for g2_point, scalar in g1_scalars.items():
+        contribute(g1, scalar, g2_point, fixed=True)
     t0 = time.perf_counter()
-    pairs = [
-        (multi_scalar_mul(bases, scalars), g2_point)
-        for g2_point, (bases, scalars) in groups.items()
-    ]
+    # All rho-blinded commitments ride one shared cyclotomic squaring chain
+    # (bit-identical to the old per-item gt_pow product, ~U times fewer
+    # squarings); the G2 sides reuse cached Miller-loop lines when a
+    # precompute cache is attached.
+    gt_accumulator = gt_multi_pow(gt_items)
+    pairs = []
+    for g2_point, (bases, scalars, cacheable) in groups.items():
+        if precompute is not None:
+            merged = precompute.wnaf_msm(bases, scalars, cacheable)
+            g2_arg = precompute.prepared_g2(g2_point)
+        else:
+            merged = multi_scalar_mul(bases, scalars)
+            g2_arg = g2_point
+        pairs.append((merged, g2_arg))
     t1 = time.perf_counter()
     product = final_exponentiation(miller_loop_product(pairs))
     ok = (product * gt_accumulator).is_one()

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
+from functools import lru_cache
 
 from ..crypto.bn254.constants import CURVE_ORDER as R
 from ..crypto.field import hash_to_scalar
@@ -63,16 +64,26 @@ class Challenge:
         )
 
     def expand(self, num_chunks: int) -> "ExpandedChallenge":
-        """Derive the challenged set {(i, c_i)} and the evaluation point."""
-        k = min(self.k, num_chunks)
-        prp = FeistelPrp(self.c1, num_chunks)
-        indices = prp.sample_indices(k)
-        coefficients = Prf(self.c2).scalars(k)
-        return ExpandedChallenge(
-            indices=tuple(indices),
-            coefficients=tuple(coefficients),
-            point=self.point,
-        )
+        """Derive the challenged set {(i, c_i)} and the evaluation point.
+
+        Memoized: expansion is deterministic, and prover and verifier both
+        expand the *same* challenge every audit (the Feistel PRP sampling
+        is a measurable slice of a warm epoch).
+        """
+        return _expand_challenge(self, num_chunks)
+
+
+@lru_cache(maxsize=2048)
+def _expand_challenge(challenge: Challenge, num_chunks: int) -> "ExpandedChallenge":
+    k = min(challenge.k, num_chunks)
+    prp = FeistelPrp(challenge.c1, num_chunks)
+    indices = prp.sample_indices(k)
+    coefficients = Prf(challenge.c2).scalars(k)
+    return ExpandedChallenge(
+        indices=tuple(indices),
+        coefficients=tuple(coefficients),
+        point=challenge.point,
+    )
 
 
 @dataclass(frozen=True)

@@ -186,7 +186,11 @@ class StreamingProver:
             list(expanded.coefficients),
         )
         if self._precompute is not None:
-            psi = self._precompute.powers_msm(self.public.powers).msm(quotient)
+            psi = self._precompute.wnaf_msm(
+                list(self.public.powers[: len(quotient)]),
+                quotient,
+                identity=G1Point.infinity(),
+            )
         else:
             psi = multi_scalar_mul(
                 list(self.public.powers[: len(quotient)]),

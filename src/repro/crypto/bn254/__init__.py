@@ -28,17 +28,26 @@ from .constants import (
 )
 from .curve import G1Point, G2Point, TWIST_B
 from .fields import Fp2, Fp6, Fp12, fp_inv, fp_sqrt
-from .gt import GTFixedBase, gt_pow
+from .gt import GTFixedBase, gt_multi_pow, gt_pow
 from .hash_to_curve import hash_gt_to_scalar, hash_to_g1, hash_to_scalar
-from .msm import FixedBaseMul, multi_scalar_mul, multi_scalar_mul_naive
+from .msm import (
+    FixedBaseMul,
+    multi_scalar_mul,
+    multi_scalar_mul_naive,
+    multi_scalar_mul_tables,
+    wnaf_table_g1,
+)
 from .precompute import CacheStats, FixedBaseMSM, PrecomputeCache
+from .store import PrecomputeStore
 from .pairing import (
+    G2Prepared,
     final_exponentiation,
     miller_loop,
     miller_loop_product,
     pairing,
     pairing_check,
     pairing_product,
+    prepare_g2,
 )
 from .serialization import (
     DeserializationError,
@@ -74,8 +83,10 @@ __all__ = [
     "Fp12",
     "G1Point",
     "G2Point",
+    "G2Prepared",
     "GTFixedBase",
     "PrecomputeCache",
+    "PrecomputeStore",
     "TWIST_B",
     "final_exponentiation",
     "fp_inv",
@@ -89,6 +100,7 @@ __all__ = [
     "gt_from_bytes",
     "gt_to_bytes",
     "gt_to_bytes_uncompressed",
+    "gt_multi_pow",
     "gt_pow",
     "hash_gt_to_scalar",
     "hash_to_g1",
@@ -97,7 +109,10 @@ __all__ = [
     "miller_loop_product",
     "multi_scalar_mul",
     "multi_scalar_mul_naive",
+    "multi_scalar_mul_tables",
     "pairing",
     "pairing_check",
     "pairing_product",
+    "prepare_g2",
+    "wnaf_table_g1",
 ]

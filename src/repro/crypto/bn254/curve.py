@@ -34,12 +34,27 @@ def _wnaf(scalar: int, width: int = 4) -> list[int]:
 class G1Point:
     """Point on E(Fp): y^2 = x^3 + 3 (prime order, cofactor 1)."""
 
-    __slots__ = ("x", "y", "z")
+    __slots__ = ("x", "y", "z", "_affine")
+    #: Chain-state digests must ignore the memoized affine cache — whether
+    #: it is populated depends on what code *touched* the point, not on
+    #: which point it is.
+    _canonical_state_slots = ("x", "y", "z")
 
     def __init__(self, x: int, y: int, z: int = 1):
         self.x = x % P
         self.y = y % P
         self.z = z % P
+        self._affine = None
+
+    @classmethod
+    def _raw(cls, x: int, y: int, z: int) -> "G1Point":
+        """Internal constructor for coordinates already reduced mod p."""
+        point = object.__new__(cls)
+        point.x = x
+        point.y = y
+        point.z = z
+        point._affine = None
+        return point
 
     # -- constructors ------------------------------------------------------
 
@@ -88,33 +103,80 @@ class G1Point:
     # -- coordinate handling -------------------------------------------------
 
     def to_affine(self) -> tuple[int, int]:
-        if self.is_infinity():
+        """Affine (x, y); the normalization is memoized, so repeated calls
+        (and repeated hashing) pay the modular inversion exactly once."""
+        affine = self._affine
+        if affine is not None:
+            return affine
+        if self.z == 0:
             raise ValueError("the point at infinity has no affine coordinates")
-        zinv = pow(self.z, -1, P)
-        zinv2 = zinv * zinv % P
-        return self.x * zinv2 % P, self.y * zinv2 * zinv % P
+        if self.z == 1:
+            affine = (self.x, self.y)
+        else:
+            zinv = pow(self.z, -1, P)
+            zinv2 = zinv * zinv % P
+            affine = (self.x * zinv2 % P, self.y * zinv2 * zinv % P)
+        self._affine = affine
+        return affine
+
+    @staticmethod
+    def to_affine_batch(points: "list[G1Point]") -> list[tuple[int, int]]:
+        """Normalize many points with one shared inversion (Montgomery's
+        simultaneous-inversion trick) and memoize each result.
+
+        Raises on the point at infinity, like :meth:`to_affine`.
+        """
+        pending = []
+        for point in points:
+            if point._affine is None:
+                if point.z == 0:
+                    raise ValueError(
+                        "the point at infinity has no affine coordinates"
+                    )
+                if point.z == 1:
+                    point._affine = (point.x, point.y)
+                else:
+                    pending.append(point)
+        if pending:
+            # prefix[i] = z_0 * ... * z_{i-1}; one inversion of the total.
+            prefix = [1] * (len(pending) + 1)
+            acc = 1
+            for index, point in enumerate(pending):
+                prefix[index] = acc
+                acc = acc * point.z % P
+            acc_inv = pow(acc, -1, P)
+            for index in range(len(pending) - 1, -1, -1):
+                point = pending[index]
+                zinv = acc_inv * prefix[index] % P
+                acc_inv = acc_inv * point.z % P
+                zinv2 = zinv * zinv % P
+                point._affine = (
+                    point.x * zinv2 % P,
+                    point.y * zinv2 * zinv % P,
+                )
+        return [point._affine for point in points]
 
     # -- group law -----------------------------------------------------------
 
     def double(self) -> "G1Point":
-        if self.is_infinity() or self.y == 0:
+        if self.z == 0 or self.y == 0:
             return G1Point.infinity()
         x, y, z = self.x, self.y, self.z
         a = x * x % P
         b = y * y % P
         c = b * b % P
         d = 2 * ((x + b) * (x + b) - a - c) % P
-        e = 3 * a % P
-        f = e * e % P
+        e = 3 * a
+        f = e * e
         x3 = (f - 2 * d) % P
         y3 = (e * (d - x3) - 8 * c) % P
         z3 = 2 * y * z % P
-        return G1Point(x3, y3, z3)
+        return G1Point._raw(x3, y3, z3)
 
     def __add__(self, other: "G1Point") -> "G1Point":
-        if self.is_infinity():
+        if self.z == 0:
             return other
-        if other.is_infinity():
+        if other.z == 0:
             return self
         z1z1 = self.z * self.z % P
         z2z2 = other.z * other.z % P
@@ -134,7 +196,35 @@ class G1Point:
         x3 = (rr * rr - j - 2 * v) % P
         y3 = (rr * (v - x3) - 2 * s1 * j) % P
         z3 = ((self.z + other.z) * (self.z + other.z) - z1z1 - z2z2) * h % P
-        return G1Point(x3, y3, z3)
+        return G1Point._raw(x3, y3, z3)
+
+    def add_affine(self, ax: int, ay: int) -> "G1Point":
+        """Mixed addition with an affine point (z2 = 1): 7M + 4S.
+
+        The fixed-base and MSM fast paths keep their tables in affine form
+        (batch-normalized once), so every hot-loop addition takes this
+        cheaper formula instead of the full Jacobian one.
+        """
+        if self.z == 0:
+            return G1Point._raw(ax, ay, 1)
+        z1 = self.z
+        z1z1 = z1 * z1 % P
+        u2 = ax * z1z1 % P
+        s2 = ay * z1 % P * z1z1 % P
+        h = (u2 - self.x) % P
+        rr = 2 * (s2 - self.y) % P
+        if h == 0:
+            if rr == 0:
+                return self.double()
+            return G1Point.infinity()
+        hh = h * h % P
+        i = 4 * hh
+        j = h * i % P
+        v = self.x * i % P
+        x3 = (rr * rr - j - 2 * v) % P
+        y3 = (rr * (v - x3) - 2 * self.y * j) % P
+        z3 = ((z1 + h) * (z1 + h) - z1z1 - hh) % P
+        return G1Point._raw(x3, y3, z3)
 
     def __neg__(self) -> "G1Point":
         if self.is_infinity():
@@ -173,12 +263,17 @@ TWIST_B = Fp2(3, 0) * XI.inverse()
 class G2Point:
     """Point on the sextic twist E'(Fp2): y^2 = x^3 + 3/xi."""
 
-    __slots__ = ("x", "y", "z")
+    __slots__ = ("x", "y", "z", "_affine")
+    #: Chain-state digests must ignore the memoized affine cache — whether
+    #: it is populated depends on what code *touched* the point, not on
+    #: which point it is.
+    _canonical_state_slots = ("x", "y", "z")
 
     def __init__(self, x: Fp2, y: Fp2, z: Fp2 | None = None):
         self.x = x
         self.y = y
         self.z = z if z is not None else Fp2.one()
+        self._affine = None
 
     @staticmethod
     def infinity() -> "G2Point":
@@ -237,11 +332,42 @@ class G2Point:
         return f"G2Point({x!r}, {y!r})"
 
     def to_affine(self) -> tuple[Fp2, Fp2]:
+        affine = self._affine
+        if affine is not None:
+            return affine
         if self.is_infinity():
             raise ValueError("the point at infinity has no affine coordinates")
         zinv = self.z.inverse()
         zinv2 = zinv.square()
-        return self.x * zinv2, self.y * zinv2 * zinv
+        affine = (self.x * zinv2, self.y * zinv2 * zinv)
+        self._affine = affine
+        return affine
+
+    @staticmethod
+    def to_affine_batch(points: "list[G2Point]") -> list[tuple[Fp2, Fp2]]:
+        """Batch normalization over Fp2 with one shared inversion."""
+        pending = [
+            point
+            for point in points
+            if point._affine is None and not point.is_infinity()
+        ]
+        for point in points:
+            if point._affine is None and point.is_infinity():
+                raise ValueError("the point at infinity has no affine coordinates")
+        if pending:
+            prefix = [Fp2.one()] * (len(pending) + 1)
+            acc = Fp2.one()
+            for index, point in enumerate(pending):
+                prefix[index] = acc
+                acc = acc * point.z
+            acc_inv = acc.inverse()
+            for index in range(len(pending) - 1, -1, -1):
+                point = pending[index]
+                zinv = acc_inv * prefix[index]
+                acc_inv = acc_inv * point.z
+                zinv2 = zinv.square()
+                point._affine = (point.x * zinv2, point.y * zinv2 * zinv)
+        return [point._affine for point in points]
 
     def double(self) -> "G2Point":
         if self.is_infinity() or self.y.is_zero():
@@ -281,6 +407,29 @@ class G2Point:
         x3 = rr.square() - j - v.double()
         y3 = rr * (v - x3) - (s1 * j).double()
         z3 = ((self.z + other.z).square() - z1z1 - z2z2) * h
+        return G2Point(x3, y3, z3)
+
+    def add_affine(self, ax: Fp2, ay: Fp2) -> "G2Point":
+        """Mixed addition with an affine twist point (z2 = 1)."""
+        if self.is_infinity():
+            return G2Point(ax, ay)
+        z1 = self.z
+        z1z1 = z1.square()
+        u2 = ax * z1z1
+        s2 = ay * z1 * z1z1
+        h = u2 - self.x
+        rr = (s2 - self.y).double()
+        if h.is_zero():
+            if rr.is_zero():
+                return self.double()
+            return G2Point.infinity()
+        hh = h.square()
+        i = hh.double().double()
+        j = h * i
+        v = self.x * i
+        x3 = rr.square() - j - v.double()
+        y3 = rr * (v - x3) - (self.y * j).double()
+        z3 = (z1 + h).square() - z1z1 - hh
         return G2Point(x3, y3, z3)
 
     def __neg__(self) -> "G2Point":

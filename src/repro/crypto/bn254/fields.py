@@ -14,12 +14,172 @@ elements are small ``__slots__`` classes with operator overloading.
 Frobenius coefficients are derived numerically at import time from ``xi``
 rather than pasted in as magic constants, and are covered by tests comparing
 ``frobenius(f, k)`` against ``f ** (p**k)``.
+
+The Fp6/Fp12 multiplication and squaring hot paths are *flattened*: they
+compute over plain ints with delayed reduction (one ``% p`` per output
+coefficient instead of one per intermediate) and construct no intermediate
+Fp2/Fp6 objects.  Residues are canonical, so the flattened kernels return
+exactly the same values as the schoolbook tower — the crypto differential
+tests pin this down bit for bit.
 """
 
 from __future__ import annotations
 
 from .constants import FIELD_MODULUS as P
 from .constants import XI_C0, XI_C1
+
+# --------------------------------------------------------------------------
+# Flat kernels over (c0, c1) int pairs.
+#
+# Inputs are reduced (or near-reduced sums of reduced values); outputs are
+# UNREDUCED ints the caller must take mod p.  Keeping everything in raw ints
+# avoids the per-operation Fp2 allocations that dominate the tower's cost in
+# pure Python.
+# --------------------------------------------------------------------------
+
+
+def _f2mul(a0, a1, b0, b1):
+    """Karatsuba Fp2 product; unreduced output pair."""
+    t0 = a0 * b0
+    t1 = a1 * b1
+    return t0 - t1, (a0 + a1) * (b0 + b1) - t0 - t1
+
+
+def _f2sqr(a0, a1):
+    """(a0 + a1 u)^2; unreduced output pair."""
+    return (a0 + a1) * (a0 - a1), 2 * a0 * a1
+
+
+def _f2xi(a0, a1):
+    """Multiply by xi = 9 + u; unreduced output pair."""
+    return XI_C0 * a0 - XI_C1 * a1, XI_C0 * a1 + XI_C1 * a0
+
+
+def _f6mul(a, b):
+    """Flat Fp6 product: a, b are 6-int tuples (c0.c0, c0.c1, c1.c0, c1.c1,
+    c2.c0, c2.c1); returns an unreduced 6-int tuple."""
+    a00, a01, a10, a11, a20, a21 = a
+    b00, b01, b10, b11, b20, b21 = b
+    t00, t01 = _f2mul(a00, a01, b00, b01)
+    t10, t11 = _f2mul(a10, a11, b10, b11)
+    t20, t21 = _f2mul(a20, a21, b20, b21)
+    m0, m1 = _f2mul(a10 + a20, a11 + a21, b10 + b20, b11 + b21)
+    x0, x1 = _f2xi(m0 - t10 - t20, m1 - t11 - t21)
+    c00, c01 = x0 + t00, x1 + t01
+    m0, m1 = _f2mul(a00 + a10, a01 + a11, b00 + b10, b01 + b11)
+    x0, x1 = _f2xi(t20, t21)
+    c10, c11 = m0 - t00 - t10 + x0, m1 - t01 - t11 + x1
+    m0, m1 = _f2mul(a00 + a20, a01 + a21, b00 + b20, b01 + b21)
+    c20, c21 = m0 - t00 - t20 + t10, m1 - t01 - t21 + t11
+    return c00, c01, c10, c11, c20, c21
+
+
+def _f6sqr(a):
+    """Flat Fp6 squaring (same CH-SQR3 sequence as Fp6.square)."""
+    a00, a01, a10, a11, a20, a21 = a
+    s00, s01 = _f2sqr(a00, a01)
+    ab0, ab1 = _f2mul(a00, a01, a10, a11)
+    s10, s11 = 2 * ab0, 2 * ab1
+    s20, s21 = _f2sqr(a00 - a10 + a20, a01 - a11 + a21)
+    bc0, bc1 = _f2mul(a10, a11, a20, a21)
+    s30, s31 = 2 * bc0, 2 * bc1
+    s40, s41 = _f2sqr(a20, a21)
+    x0, x1 = _f2xi(s30, s31)
+    c00, c01 = s00 + x0, s01 + x1
+    x0, x1 = _f2xi(s40, s41)
+    c10, c11 = s10 + x0, s11 + x1
+    c20, c21 = s10 + s20 + s30 - s00 - s40, s11 + s21 + s31 - s01 - s41
+    return c00, c01, c10, c11, c20, c21
+
+
+def _f6mulv(a):
+    """Flat multiply-by-v: (c0, c1, c2) -> (xi*c2, c0, c1)."""
+    a00, a01, a10, a11, a20, a21 = a
+    x0, x1 = _f2xi(a20, a21)
+    return x0, x1, a00, a01, a10, a11
+
+
+def _f6add(a, b):
+    return tuple(x + y for x, y in zip(a, b))
+
+
+def _f6sub(a, b):
+    return tuple(x - y for x, y in zip(a, b))
+
+
+# --------------------------------------------------------------------------
+# Flat Fp12 kernels over 12-int tuples (c0 flat6 ++ c1 flat6).
+#
+# Unlike the 2/6 kernels these return REDUCED tuples, so outputs can feed
+# straight back in — the GT exponentiation chains (fixed-base windows,
+# shared multi-pow ladders) run entirely on these and only materialize an
+# Fp12 object at the end.
+# --------------------------------------------------------------------------
+
+
+def _f12mul(a, b):
+    """Flat Fp12 product (same Karatsuba-over-Fp6 sequence as Fp12.__mul__).
+
+    Fully unpacked — no slicing or generator glue; this is the single
+    hottest GT operation (fixed-base commitment windows, batch multi-pow).
+    """
+    a00, a01, a02, a03, a04, a05, a10, a11, a12, a13, a14, a15 = a
+    b00, b01, b02, b03, b04, b05, b10, b11, b12, b13, b14, b15 = b
+    t00, t01, t02, t03, t04, t05 = _f6mul(
+        (a00, a01, a02, a03, a04, a05), (b00, b01, b02, b03, b04, b05)
+    )
+    t10, t11, t12, t13, t14, t15 = _f6mul(
+        (a10, a11, a12, a13, a14, a15), (b10, b11, b12, b13, b14, b15)
+    )
+    m0, m1, m2, m3, m4, m5 = _f6mul(
+        (a00 + a10, a01 + a11, a02 + a12, a03 + a13, a04 + a14, a05 + a15),
+        (b00 + b10, b01 + b11, b02 + b12, b03 + b13, b04 + b14, b05 + b15),
+    )
+    x0, x1 = _f2xi(t14, t15)
+    return (
+        (t00 + x0) % P, (t01 + x1) % P,
+        (t02 + t10) % P, (t03 + t11) % P,
+        (t04 + t12) % P, (t05 + t13) % P,
+        (m0 - t00 - t10) % P, (m1 - t01 - t11) % P,
+        (m2 - t02 - t12) % P, (m3 - t03 - t13) % P,
+        (m4 - t04 - t14) % P, (m5 - t05 - t15) % P,
+    )
+
+
+def _f12sqr_cyclo(f):
+    """Flat Granger-Scott cyclotomic squaring (unitary elements only)."""
+    g00, g01, g20, g21, g40, g41, g10, g11, g30, g31, g50, g51 = f
+    a20, a21 = _f2sqr(g00, g01)
+    b20, b21 = _f2sqr(g30, g31)
+    x0, x1 = _f2xi(b20, b21)
+    s0, s1 = _f2sqr(g00 + g30, g01 + g31)
+    t000, t001 = a20 + x0, a21 + x1
+    t110, t111 = s0 - a20 - b20, s1 - a21 - b21
+    a20, a21 = _f2sqr(g10, g11)
+    b20, b21 = _f2sqr(g40, g41)
+    x0, x1 = _f2xi(b20, b21)
+    s0, s1 = _f2sqr(g10 + g40, g11 + g41)
+    t010, t011 = a20 + x0, a21 + x1
+    t120, t121 = s0 - a20 - b20, s1 - a21 - b21
+    a20, a21 = _f2sqr(g20, g21)
+    b20, b21 = _f2sqr(g50, g51)
+    x0, x1 = _f2xi(b20, b21)
+    s0, s1 = _f2sqr(g20 + g50, g21 + g51)
+    t020, t021 = a20 + x0, a21 + x1
+    t100, t101 = _f2xi(s0 - a20 - b20, s1 - a21 - b21)
+    return (
+        (3 * t000 - 2 * g00) % P, (3 * t001 - 2 * g01) % P,
+        (3 * t010 - 2 * g20) % P, (3 * t011 - 2 * g21) % P,
+        (3 * t020 - 2 * g40) % P, (3 * t021 - 2 * g41) % P,
+        (3 * t100 + 2 * g10) % P, (3 * t101 + 2 * g11) % P,
+        (3 * t110 + 2 * g30) % P, (3 * t111 + 2 * g31) % P,
+        (3 * t120 + 2 * g50) % P, (3 * t121 + 2 * g51) % P,
+    )
+
+
+def _f12conj(a):
+    """Flat conjugation f -> f^(p^6) (= inverse for unitary elements)."""
+    return a[:6] + tuple(-x % P for x in a[6:])
 
 # --------------------------------------------------------------------------
 # Fp helpers (plain ints)
@@ -225,30 +385,20 @@ class Fp6:
     def __neg__(self) -> "Fp6":
         return Fp6(-self.c0, -self.c1, -self.c2)
 
+    def _flat6(self) -> tuple:
+        c0, c1, c2 = self.c0, self.c1, self.c2
+        return (c0.c0, c0.c1, c1.c0, c1.c1, c2.c0, c2.c1)
+
+    @staticmethod
+    def _from_flat6(flat) -> "Fp6":
+        c00, c01, c10, c11, c20, c21 = flat
+        return Fp6(Fp2(c00, c01), Fp2(c10, c11), Fp2(c20, c21))
+
     def __mul__(self, other: "Fp6") -> "Fp6":
-        a0, a1, a2 = self.c0, self.c1, self.c2
-        b0, b1, b2 = other.c0, other.c1, other.c2
-        t0 = a0 * b0
-        t1 = a1 * b1
-        t2 = a2 * b2
-        c0 = ((a1 + a2) * (b1 + b2) - t1 - t2).mul_by_xi() + t0
-        c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + t2.mul_by_xi()
-        c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
-        return Fp6(c0, c1, c2)
+        return Fp6._from_flat6(_f6mul(self._flat6(), other._flat6()))
 
     def square(self) -> "Fp6":
-        a0, a1, a2 = self.c0, self.c1, self.c2
-        s0 = a0.square()
-        ab = a0 * a1
-        s1 = ab.double()
-        s2 = (a0 - a1 + a2).square()
-        bc = a1 * a2
-        s3 = bc.double()
-        s4 = a2.square()
-        c0 = s0 + s3.mul_by_xi()
-        c1 = s1 + s4.mul_by_xi()
-        c2 = s1 + s2 + s3 - s0 - s4
-        return Fp6(c0, c1, c2)
+        return Fp6._from_flat6(_f6sqr(self._flat6()))
 
     def mul_by_v(self) -> "Fp6":
         """Multiply by v: (c0, c1, c2) -> (xi*c2, c0, c1)."""
@@ -337,25 +487,33 @@ class Fp12:
         return Fp12(-self.c0, -self.c1)
 
     def __mul__(self, other: "Fp12") -> "Fp12":
-        a0, a1 = self.c0, self.c1
-        b0, b1 = other.c0, other.c1
-        t0 = a0 * b0
-        t1 = a1 * b1
-        c0 = t0 + t1.mul_by_v()
-        c1 = (a0 + a1) * (b0 + b1) - t0 - t1
-        return Fp12(c0, c1)
+        a0, a1 = self.c0._flat6(), self.c1._flat6()
+        b0, b1 = other.c0._flat6(), other.c1._flat6()
+        t0 = _f6mul(a0, b0)
+        t1 = _f6mul(a1, b1)
+        c0 = _f6add(t0, _f6mulv(t1))
+        c1 = _f6sub(_f6sub(_f6mul(_f6add(a0, a1), _f6add(b0, b1)), t0), t1)
+        return Fp12(Fp6._from_flat6(c0), Fp6._from_flat6(c1))
 
     def square(self) -> "Fp12":
-        a0, a1 = self.c0, self.c1
-        t = a0 * a1
-        c0 = (a0 + a1) * (a0 + a1.mul_by_v()) - t - t.mul_by_v()
-        c1 = t + t
-        return Fp12(c0, c1)
+        a0, a1 = self.c0._flat6(), self.c1._flat6()
+        t = _f6mul(a0, a1)
+        c0 = _f6sub(_f6sub(_f6mul(_f6add(a0, a1), _f6add(a0, _f6mulv(a1))), t), _f6mulv(t))
+        c1 = _f6add(t, t)
+        return Fp12(Fp6._from_flat6(c0), Fp6._from_flat6(c1))
 
     def conjugate(self) -> "Fp12":
         """f^(p^6): negates the odd-w part.  For unitary elements (the
         cyclotomic subgroup GT lives in) this equals the inverse."""
         return Fp12(self.c0, -self.c1)
+
+    def _flat12(self) -> tuple:
+        """Raw 12-int view (c0 flat6 ++ c1 flat6) for the flat GT kernels."""
+        return self.c0._flat6() + self.c1._flat6()
+
+    @staticmethod
+    def _from_flat12(flat) -> "Fp12":
+        return Fp12(Fp6._from_flat6(flat[:6]), Fp6._from_flat6(flat[6:]))
 
     def inverse(self) -> "Fp12":
         a0, a1 = self.c0, self.c1
@@ -386,14 +544,43 @@ class Fp12:
         """Multiply by the sparse element ``a + b*w + c*w^3`` (a in Fp).
 
         Line functions evaluated at a G1 point have exactly this shape; the
-        sparse product saves roughly half the Fp multiplications of a full
-        Fp12 multiply.
+        product is computed term by term over the flat ``w`` basis (with
+        ``w^6 = xi``), touching only the three nonzero line coefficients.
         """
-        other = Fp12(
-            Fp6(Fp2(a, 0), Fp2.zero(), Fp2.zero()),
-            Fp6(b, c, Fp2.zero()),
+        s0, s1 = self.c0, self.c1
+        g0, g2, g4 = s0.c0, s0.c1, s0.c2
+        g1, g3, g5 = s1.c0, s1.c1, s1.c2
+        g00, g01 = g0.c0, g0.c1
+        g10, g11 = g1.c0, g1.c1
+        g20, g21 = g2.c0, g2.c1
+        g30, g31 = g3.c0, g3.c1
+        g40, g41 = g4.c0, g4.c1
+        g50, g51 = g5.c0, g5.c1
+        b0, b1 = b.c0, b.c1
+        c0, c1 = c.c0, c.c1
+        t0, t1 = _f2mul(b0, b1, g50, g51)
+        u0, u1 = _f2mul(c0, c1, g30, g31)
+        x0, x1 = _f2xi(t0 + u0, t1 + u1)
+        h00, h01 = a * g00 + x0, a * g01 + x1
+        t0, t1 = _f2mul(b0, b1, g00, g01)
+        u0, u1 = _f2xi(*_f2mul(c0, c1, g40, g41))
+        h10, h11 = a * g10 + t0 + u0, a * g11 + t1 + u1
+        t0, t1 = _f2mul(b0, b1, g10, g11)
+        u0, u1 = _f2xi(*_f2mul(c0, c1, g50, g51))
+        h20, h21 = a * g20 + t0 + u0, a * g21 + t1 + u1
+        t0, t1 = _f2mul(b0, b1, g20, g21)
+        u0, u1 = _f2mul(c0, c1, g00, g01)
+        h30, h31 = a * g30 + t0 + u0, a * g31 + t1 + u1
+        t0, t1 = _f2mul(b0, b1, g30, g31)
+        u0, u1 = _f2mul(c0, c1, g10, g11)
+        h40, h41 = a * g40 + t0 + u0, a * g41 + t1 + u1
+        t0, t1 = _f2mul(b0, b1, g40, g41)
+        u0, u1 = _f2mul(c0, c1, g20, g21)
+        h50, h51 = a * g50 + t0 + u0, a * g51 + t1 + u1
+        return Fp12(
+            Fp6(Fp2(h00, h01), Fp2(h20, h21), Fp2(h40, h41)),
+            Fp6(Fp2(h10, h11), Fp2(h30, h31), Fp2(h50, h51)),
         )
-        return self * other
 
     # -- Frobenius ----------------------------------------------------------
 
@@ -434,25 +621,29 @@ class Fp12:
         exponentiation and GT exponentiation hot paths.
         """
         # Flat coefficients over w: f = g0 + g1 w + g2 w^2 + g3 w^3 + g4 w^4 + g5 w^5
-        g0, g1, g2, g3, g4, g5 = self._flat()
+        s0, s1 = self.c0, self.c1
+        g0, g2, g4 = s0.c0, s0.c1, s0.c2
+        g1, g3, g5 = s1.c0, s1.c1, s1.c2
 
-        def _sq(a: Fp2, b: Fp2) -> tuple[Fp2, Fp2]:
-            # (a + b*y)^2 in Fp4 = Fp2[y]/(y^2 - xi)
-            a2 = a.square()
-            b2 = b.square()
-            return a2 + b2.mul_by_xi(), (a + b).square() - a2 - b2
+        def _sq(a: Fp2, b: Fp2):
+            # (a + b*y)^2 in Fp4 = Fp2[y]/(y^2 - xi); unreduced flat pairs
+            a20, a21 = _f2sqr(a.c0, a.c1)
+            b20, b21 = _f2sqr(b.c0, b.c1)
+            x0, x1 = _f2xi(b20, b21)
+            s0_, s1_ = _f2sqr(a.c0 + b.c0, a.c1 + b.c1)
+            return (a20 + x0, a21 + x1), (s0_ - a20 - b20, s1_ - a21 - b21)
 
         t00, t11 = _sq(g0, g3)
         t01, t12 = _sq(g1, g4)
         t02, t10 = _sq(g2, g5)
-        t10 = t10.mul_by_xi()
+        t10 = _f2xi(*t10)
 
-        h0 = (t00 - g0).double() + t00
-        h2 = (t01 - g2).double() + t01
-        h4 = (t02 - g4).double() + t02
-        h1 = (t10 + g1).double() + t10
-        h3 = (t11 + g3).double() + t11
-        h5 = (t12 + g5).double() + t12
+        h0 = Fp2(3 * t00[0] - 2 * g0.c0, 3 * t00[1] - 2 * g0.c1)
+        h2 = Fp2(3 * t01[0] - 2 * g2.c0, 3 * t01[1] - 2 * g2.c1)
+        h4 = Fp2(3 * t02[0] - 2 * g4.c0, 3 * t02[1] - 2 * g4.c1)
+        h1 = Fp2(3 * t10[0] + 2 * g1.c0, 3 * t10[1] + 2 * g1.c1)
+        h3 = Fp2(3 * t11[0] + 2 * g3.c0, 3 * t11[1] + 2 * g3.c1)
+        h5 = Fp2(3 * t12[0] + 2 * g5.c0, 3 * t12[1] + 2 * g5.c1)
         return Fp12._from_flat([h0, h1, h2, h3, h4, h5])
 
     def pow_t(self, t: int) -> "Fp12":

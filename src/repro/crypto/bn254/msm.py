@@ -1,13 +1,22 @@
-"""Multi-scalar multiplication (Pippenger's bucket method).
+"""Multi-scalar multiplication (signed-digit Pippenger + interleaved wNAF).
 
 Proof generation is MSM-bound: the aggregated authenticator is a k-term MSM
 over the challenged chunks' sigmas and the KZG witness is an (s-1)-term MSM
-over the public powers of alpha.  Pippenger turns ``n`` scalar
-multiplications into roughly ``256/c * (n + 2^c)`` group additions; the
-ablation bench ``bench_ablation_msm`` quantifies the win over naive
-double-and-add.
+over the public powers of alpha.  Three fast paths, all bit-identical to the
+naive reference (exact mod-p arithmetic commutes with re-association):
 
-Works for both G1 and G2 (duck-typed on the point API).
+* small inputs use interleaved signed wNAF (Straus): one shared doubling
+  chain plus per-point odd-multiple tables, batch-normalized to affine so
+  every add is a mixed add;
+* large G1 inputs use Pippenger with signed windowed-NAF digits (halving the
+  bucket count — negation is free in affine form) and batch-affine bucket
+  accumulation: bucket adds run on affine coordinates with one Montgomery
+  simultaneous inversion per round instead of a full Jacobian add each;
+* large G2 inputs use the same signed digits with Jacobian buckets fed by
+  mixed adds over batch-normalized affine inputs.
+
+``bench_ablation_msm`` and ``bench_crypto_speed`` quantify the win over
+naive double-and-add.  Works for both G1 and G2 (duck-typed point API).
 """
 
 from __future__ import annotations
@@ -16,7 +25,15 @@ from time import perf_counter
 from typing import Sequence, TypeVar
 
 from ...obs.hotpath import HOTPATH
-from .constants import CURVE_ORDER
+from .constants import (
+    CURVE_ORDER,
+    FIELD_MODULUS as P,
+    GLV_A1,
+    GLV_A2,
+    GLV_B1,
+    GLV_B2,
+    GLV_BETA,
+)
 from .curve import G1Point, G2Point
 
 PointT = TypeVar("PointT", G1Point, G2Point)
@@ -27,14 +44,208 @@ _EMPTY_MSM_MESSAGE = (
     "identity=G2Point.infinity() to state which group's identity you want"
 )
 
+# Below this count the interleaved-wNAF path beats bucket setup costs.
+# Measured crossover vs signed Pippenger on this backend is ~n=100 for both
+# groups (see bench_crypto_speed).
+WNAF_CUTOFF = 96
+
+# Bucket lists are 2^(w-1) entries per window pass; cap the window so a
+# pathological count can never allocate a 65k-slot list (the old schedule's
+# ``min(16, ...)`` did exactly that).  Window 12 = 2048 buckets, already past
+# the point where doubling-chain savings stop paying for bucket overhead at
+# any n this system produces.
+MAX_WINDOW = 12
+
 
 def _window_size(count: int) -> int:
+    """Signed-Pippenger window for ``count`` points.
+
+    Contribution adds are batch-affine (~0.3x a Jacobian add) while the
+    final running-sum reduce pays ~2 Jacobian adds per bucket, so the cost
+    model is ``ceil(254/w) * (0.3n + 2 * 2^(w-1))`` — the minimiser sits
+    near ``log2(n)/2 + 1``, well below the textbook ``log2(n)`` for
+    all-Jacobian buckets.  Measured crossovers: n=64 -> 4, n=256 -> 5,
+    n=1024 -> 6 (asserted in ``tests/crypto/test_msm.py``).
+    """
     if count < 4:
-        return 1
-    if count < 32:
-        return 3
-    bits = count.bit_length()
-    return min(16, max(4, bits - 2))
+        return 2
+    return min(MAX_WINDOW, max(4, count.bit_length() // 2 + 1))
+
+
+def _neg_y(y):
+    """Negate an affine y-coordinate (int for G1, Fp2 for G2)."""
+    if isinstance(y, int):
+        return (P - y) % P
+    return -y
+
+
+def _glv_split(k: int) -> tuple[int, int]:
+    """GLV decomposition: k = k1 + k2*lambda (mod r), |k1|,|k2| < 2^127.
+
+    Babai rounding against the short lattice vectors (GLV_A1, GLV_B1),
+    (GLV_A2, GLV_B2); the halved scalar length halves every doubling chain
+    and window pass in the G1 MSM paths (phi costs one Fp mult per lookup).
+    """
+    c1 = (2 * GLV_B2 * k + CURVE_ORDER) // (2 * CURVE_ORDER)
+    c2 = (-2 * GLV_B1 * k + CURVE_ORDER) // (2 * CURVE_ORDER)
+    return k - c1 * GLV_A1 - c2 * GLV_A2, -c1 * GLV_B1 - c2 * GLV_B2
+
+
+# Safe bit budget for a GLV half-scalar (theory bound is ~2^127).
+_GLV_BITS = 130
+
+
+# -- raw Jacobian kernels (G1 hot loops) -------------------------------------
+#
+# The G1 inner loops run on plain int coordinate triples instead of G1Point
+# objects: no allocation, no attribute lookups, one tuple per step.  z == 0
+# encodes infinity.  Formulas are the same dbl-2009-l / madd-2007-bl /
+# add-2007-bl used by curve.py — exact mod-p arithmetic keeps results
+# bit-identical once normalized to affine.
+
+
+def _jac_double(x1: int, y1: int, z1: int) -> tuple[int, int, int]:
+    a = x1 * x1 % P
+    b = y1 * y1 % P
+    c = b * b % P
+    d = 2 * ((x1 + b) * (x1 + b) - a - c) % P
+    e = 3 * a
+    x3 = (e * e - 2 * d) % P
+    y3 = (e * (d - x3) - 8 * c) % P
+    z3 = 2 * y1 * z1 % P
+    return x3, y3, z3
+
+
+def _jac_add_affine(
+    x1: int, y1: int, z1: int, ax: int, ay: int
+) -> tuple[int, int, int]:
+    if z1 == 0:
+        return ax, ay % P, 1
+    z1z1 = z1 * z1 % P
+    u2 = ax * z1z1 % P
+    s2 = ay * z1 % P * z1z1 % P
+    h = (u2 - x1) % P
+    rr = 2 * (s2 - y1) % P
+    if h == 0:
+        if rr == 0:
+            return _jac_double(x1, y1, z1)
+        return 0, 1, 0
+    hh = h * h % P
+    i = 4 * hh
+    j = h * i % P
+    v = x1 * i % P
+    x3 = (rr * rr - j - 2 * v) % P
+    y3 = (rr * (v - x3) - 2 * y1 * j) % P
+    z3 = ((z1 + h) * (z1 + h) - z1z1 - hh) % P
+    return x3, y3, z3
+
+
+def _jac_add(
+    x1: int, y1: int, z1: int, x2: int, y2: int, z2: int
+) -> tuple[int, int, int]:
+    if z1 == 0:
+        return x2, y2, z2
+    if z2 == 0:
+        return x1, y1, z1
+    z1z1 = z1 * z1 % P
+    z2z2 = z2 * z2 % P
+    u1 = x1 * z2z2 % P
+    u2 = x2 * z1z1 % P
+    s1 = y1 * z2 % P * z2z2 % P
+    s2 = y2 * z1 % P * z1z1 % P
+    h = (u2 - u1) % P
+    rr = 2 * (s2 - s1) % P
+    if h == 0:
+        if rr == 0:
+            return _jac_double(x1, y1, z1)
+        return 0, 1, 0
+    i = 4 * h * h % P
+    j = h * i % P
+    v = u1 * i % P
+    x3 = (rr * rr - j - 2 * v) % P
+    y3 = (rr * (v - x3) - 2 * s1 * j) % P
+    z3 = ((z1 + z2) * (z1 + z2) - z1z1 - z2z2) % P * h % P
+    return x3, y3, z3
+
+
+def _batch_inverse(values: list[int]) -> list[int]:
+    """Montgomery simultaneous inversion of nonzero ints mod ``P``."""
+    n = len(values)
+    prefix = [1] * (n + 1)
+    for i, v in enumerate(values):
+        prefix[i + 1] = prefix[i] * v % P
+    acc = pow(prefix[n], -1, P)
+    out = [0] * n
+    for i in range(n - 1, -1, -1):
+        out[i] = prefix[i] * acc % P
+        acc = acc * values[i] % P
+    return out
+
+
+def _to_affine_batch_raw(
+    triples: list[tuple[int, int, int]]
+) -> list[tuple[int, int]]:
+    """Normalize raw Jacobian triples (z != 0) with one shared inversion."""
+    n = len(triples)
+    prefix = [1] * (n + 1)
+    for i, triple in enumerate(triples):
+        prefix[i + 1] = prefix[i] * triple[2] % P
+    acc = pow(prefix[n], -1, P)
+    out: list[tuple[int, int]] = [None] * n  # type: ignore[list-item]
+    for i in range(n - 1, -1, -1):
+        x, y, z = triples[i]
+        zinv = prefix[i] * acc % P
+        acc = acc * z % P
+        zinv2 = zinv * zinv % P
+        out[i] = (x * zinv2 % P, y * zinv2 % P * zinv % P)
+    return out
+
+
+def _signed_digits(scalar: int, window: int, num_windows: int) -> list[int]:
+    """Base-2^w digits recoded into the signed range [-2^(w-1), 2^(w-1)]."""
+    mask = (1 << window) - 1
+    half = 1 << (window - 1)
+    full = 1 << window
+    digits = [0] * num_windows
+    carry = 0
+    for i in range(num_windows):
+        d = ((scalar >> (i * window)) & mask) + carry
+        if d > half:
+            d -= full
+            carry = 1
+        else:
+            carry = 0
+        digits[i] = d
+    return digits
+
+
+def _wnaf(scalar: int, width: int) -> list[int]:
+    """Width-``w`` non-adjacent form; digits odd in (-2^(w-1), 2^(w-1)).
+
+    Zero runs are skipped in one step (count trailing zeros, extend, shift)
+    so the loop runs once per *nonzero* digit — ~bits/(w+1) iterations
+    instead of bits.
+    """
+    digits: list[int] = []
+    half = 1 << (width - 1)
+    full = 1 << width
+    while scalar:
+        if not scalar & 1:
+            shift = (scalar & -scalar).bit_length() - 1
+            digits.extend([0] * shift)
+            scalar >>= shift
+        d = scalar & (full - 1)
+        if d >= half:
+            d -= full
+        scalar -= d
+        digits.append(d)
+        scalar >>= 1
+        # After a nonzero digit the next w-1 low bits are zero by
+        # construction; emit them without re-testing.
+        if scalar:
+            digits.extend([0] * (width - 1))
+            scalar >>= width - 1
+    return digits
 
 
 def multi_scalar_mul(
@@ -76,28 +287,337 @@ def _multi_scalar_mul(
     if len(pairs) == 1:
         point, scalar = pairs[0]
         return point * scalar
-    window = _window_size(len(pairs))
-    windows = (CURVE_ORDER.bit_length() + window - 1) // window
-    mask = (1 << window) - 1
-    result = infinity
-    for window_index in range(windows - 1, -1, -1):
+    is_g1 = isinstance(pairs[0][0], G1Point)
+    if len(pairs) < WNAF_CUTOFF:
+        # Width 5 pays for its doubled tables once enough streams share the
+        # doubling chain (measured crossover ~16 points).
+        width = 5 if len(pairs) >= 16 else 4
+        if is_g1:
+            return _msm_wnaf_g1(pairs, width=width)
+        return _msm_wnaf(pairs, width=width)
+    if is_g1:
+        return _msm_g1_signed(pairs)
+    return _msm_signed_jacobian(pairs)
+
+
+def multi_scalar_mul_tables(
+    points: Sequence[G1Point],
+    scalars: Sequence[int],
+    tables: Sequence[list[tuple[int, int]] | None],
+    identity: G1Point | None = None,
+) -> G1Point:
+    """G1 MSM reusing precomputed per-point wNAF tables where provided.
+
+    ``tables[i]`` is the affine odd-multiple table of ``points[i]`` (from
+    :func:`wnaf_table_g1`) or ``None`` to build one on the fly.  Exact same
+    group element as :func:`multi_scalar_mul` — only table reuse differs.
+    """
+    if HOTPATH.enabled:
+        t0 = perf_counter()
+        result = _multi_scalar_mul_tables(points, scalars, tables, identity)
+        HOTPATH.add("bn254.msm", perf_counter() - t0)
+        return result
+    return _multi_scalar_mul_tables(points, scalars, tables, identity)
+
+
+def _multi_scalar_mul_tables(
+    points: Sequence[G1Point],
+    scalars: Sequence[int],
+    tables: Sequence[list[tuple[int, int]] | None],
+    identity: G1Point | None = None,
+) -> G1Point:
+    if not (len(points) == len(scalars) == len(tables)):
+        raise ValueError("points, scalars and tables must have equal length")
+    if not points:
+        if identity is None:
+            raise ValueError(_EMPTY_MSM_MESSAGE)
+        return identity
+    reduced = [s % CURVE_ORDER for s in scalars]
+    kept = [
+        (p, s, t)
+        for p, s, t in zip(points, reduced, tables)
+        if s and not p.is_infinity()
+    ]
+    if not kept:
+        return G1Point.infinity()
+    pairs = [(p, s) for p, s, _ in kept]
+    if len(pairs) >= WNAF_CUTOFF:
+        return _msm_g1_signed(pairs)
+    width = 5 if len(pairs) >= 16 else 4
+    return _msm_wnaf_g1(pairs, width=width, tables=[t for _, _, t in kept])
+
+
+def _msm_wnaf(pairs: list[tuple[PointT, int]], width: int = 4) -> PointT:
+    """Interleaved signed wNAF: shared doubling chain, mixed adds."""
+    cls = type(pairs[0][0])
+    table_size = 1 << (width - 2)
+    flat: list[PointT] = []
+    for point, _ in pairs:
+        step = point.double()
+        entry = point
+        flat.append(entry)
+        for _ in range(table_size - 1):
+            entry = entry + step
+            flat.append(entry)
+    affine = cls.to_affine_batch(flat)
+    nafs = [_wnaf(scalar, width) for _, scalar in pairs]
+    top = max(len(naf) for naf in nafs)
+    result = cls.infinity()
+    for bit in range(top - 1, -1, -1):
         if not result.is_infinity():
-            for _ in range(window):
-                result = result.double()
-        shift = window_index * window
-        buckets: list[PointT | None] = [None] * mask
-        for point, scalar in pairs:
-            digit = (scalar >> shift) & mask
-            if digit:
-                current = buckets[digit - 1]
-                buckets[digit - 1] = point if current is None else current + point
-        running = infinity
-        window_sum = infinity
-        for bucket in reversed(buckets):
-            if bucket is not None:
-                running = running + bucket
+            result = result.double()
+        for j, naf in enumerate(nafs):
+            if bit >= len(naf):
+                continue
+            d = naf[bit]
+            if d == 0:
+                continue
+            if d > 0:
+                ax, ay = affine[j * table_size + (d - 1) // 2]
+                result = result.add_affine(ax, ay)
+            else:
+                ax, ay = affine[j * table_size + (-d - 1) // 2]
+                result = result.add_affine(ax, _neg_y(ay))
+    return result
+
+
+def wnaf_table_g1(point: G1Point, width: int) -> list[tuple[int, int]]:
+    """Affine odd multiples P, 3P, .., (2^(width-1)-1)P of a G1 point.
+
+    The cacheable half of the wNAF MSM: fixed points (block digests,
+    authenticators, the generator) reuse these across epochs via
+    :class:`~repro.crypto.bn254.precompute.PrecomputeCache`.
+    """
+    entry = (point.x, point.y, point.z)
+    step = _jac_double(*entry)
+    flat = [entry]
+    for _ in range((1 << (width - 2)) - 1):
+        flat.append(_jac_add(*flat[-1], *step))
+    return _to_affine_batch_raw(flat)
+
+
+def _msm_wnaf_g1(
+    pairs: list[tuple[G1Point, int]],
+    width: int = 4,
+    tables: list[list[tuple[int, int]] | None] | None = None,
+) -> G1Point:
+    """G1 interleaved wNAF: GLV-split scalars on a half-length shared
+    doubling chain, raw-int Jacobian kernels, batch-normalized tables.
+
+    ``tables`` may supply precomputed odd-multiple tables for a subset of
+    the points (entry ``None`` = build here).  Cached tables may be wider
+    than ``width``; each digit stream uses its own table's width.
+    """
+    table_size = 1 << (width - 2)
+    flat: list[tuple[int, int, int]] = []
+    build_indices: list[int] = []
+    for j, (point, _) in enumerate(pairs):
+        if tables is not None and tables[j] is not None:
+            continue
+        build_indices.append(j)
+        entry = (point.x, point.y, point.z)
+        step = _jac_double(*entry)
+        flat.append(entry)
+        for _ in range(table_size - 1):
+            entry = _jac_add(*entry, *step)
+            flat.append(entry)
+    affine = _to_affine_batch_raw(flat) if flat else []
+    built: dict[int, list[tuple[int, int]]] = {
+        j: affine[k * table_size : (k + 1) * table_size]
+        for k, j in enumerate(build_indices)
+    }
+    # One digit stream per GLV half-scalar; phi maps the shared table by
+    # one Fp mult per entry (x -> beta*x), so k2 rides the same chain.
+    streams: list[tuple[list[tuple[int, int]], bool, list[int]]] = []
+    for j, (_, scalar) in enumerate(pairs):
+        base_tab = built.get(j)
+        if base_tab is None:
+            base_tab = tables[j]  # type: ignore[index]
+        w = len(base_tab).bit_length() + 1  # 2^(w-2) entries -> width w
+        k1, k2 = _glv_split(scalar)
+        if k1:
+            streams.append((base_tab, k1 < 0, _wnaf(abs(k1), w)))
+        if k2:
+            phi_tab = [(GLV_BETA * x % P, y) for x, y in base_tab]
+            streams.append((phi_tab, k2 < 0, _wnaf(abs(k2), w)))
+    if not streams:
+        return G1Point.infinity()
+    top = max(len(naf) for _, _, naf in streams)
+    rx = ry = rz = 0
+    for bit in range(top - 1, -1, -1):
+        if rz:
+            rx, ry, rz = _jac_double(rx, ry, rz)
+        for tab, neg, naf in streams:
+            if bit >= len(naf):
+                continue
+            d = naf[bit]
+            if d == 0:
+                continue
+            ax, ay = tab[(d - 1) // 2 if d > 0 else (-d - 1) // 2]
+            if (d < 0) != neg:
+                ay = P - ay
+            rx, ry, rz = _jac_add_affine(rx, ry, rz, ax, ay)
+    if rz == 0:
+        return G1Point.infinity()
+    return G1Point._raw(rx, ry, rz)
+
+
+def _per_window_contributions(
+    pairs: list[tuple[PointT, int]], window: int
+) -> tuple[list[list[tuple]], int, int]:
+    """Signed-digit bucket contributions (bucket, ax, ay) per window pass."""
+    cls = type(pairs[0][0])
+    half = 1 << (window - 1)
+    affine = cls.to_affine_batch([p for p, _ in pairs])
+    num_windows = (CURVE_ORDER.bit_length() + window) // window + 1
+    per_window: list[list[tuple]] = [[] for _ in range(num_windows)]
+    for (_, scalar), (ax, ay) in zip(pairs, affine):
+        for i, d in enumerate(_signed_digits(scalar, window, num_windows)):
+            if d > 0:
+                per_window[i].append((d, ax, ay))
+            elif d < 0:
+                per_window[i].append((-d, ax, _neg_y(ay)))
+    return per_window, num_windows, half
+
+
+def _bucket_reduce(result: PointT, buckets, half: int, window: int) -> PointT:
+    """Fold affine bucket sums into ``result`` via the running-sum trick."""
+    if not result.is_infinity():
+        for _ in range(window):
+            result = result.double()
+    infinity = type(result).infinity()
+    running = infinity
+    window_sum = infinity
+    for b in range(half, 0, -1):
+        entry = buckets[b]
+        if entry is not None:
+            if isinstance(entry, tuple):
+                running = running.add_affine(*entry)
+            else:
+                running = running + entry
+        if not running.is_infinity():
             window_sum = window_sum + running
-        result = result + window_sum
+    return result + window_sum
+
+
+def _msm_g1_signed(pairs: list[tuple[G1Point, int]]) -> G1Point:
+    """Signed Pippenger over G1: GLV-split half-scalars (halving the window
+    passes), batch-affine bucket accumulation, raw-int running sums."""
+    affine = G1Point.to_affine_batch([p for p, _ in pairs])
+    effective: list[tuple[int, int, int]] = []
+    for (ax, ay), (_, scalar) in zip(affine, pairs):
+        k1, k2 = _glv_split(scalar)
+        if k1:
+            effective.append((ax, ay if k1 > 0 else (P - ay) % P, abs(k1)))
+        if k2:
+            effective.append(
+                (GLV_BETA * ax % P, ay if k2 > 0 else (P - ay) % P, abs(k2))
+            )
+    window = _window_size(len(effective))
+    half = 1 << (window - 1)
+    num_windows = (_GLV_BITS + window - 1) // window + 1
+    per_window: list[list[tuple[int, int, int]]] = [[] for _ in range(num_windows)]
+    for ax, ay, k in effective:
+        for i, d in enumerate(_signed_digits(k, window, num_windows)):
+            if d > 0:
+                per_window[i].append((d, ax, ay))
+            elif d < 0:
+                per_window[i].append((-d, ax, (P - ay) % P))
+    rx = ry = rz = 0
+    for i in range(num_windows - 1, -1, -1):
+        if rz:
+            for _ in range(window):
+                rx, ry, rz = _jac_double(rx, ry, rz)
+        contribs = per_window[i]
+        if not contribs:
+            continue
+        buckets = _g1_bucket_accumulate(half, contribs)
+        # Running-sum fold on raw coordinates.
+        sx = sy = sz = 0
+        wx = wy = wz = 0
+        for b in range(half, 0, -1):
+            entry = buckets[b]
+            if entry is not None:
+                sx, sy, sz = _jac_add_affine(sx, sy, sz, entry[0], entry[1])
+            if sz:
+                wx, wy, wz = _jac_add(wx, wy, wz, sx, sy, sz)
+        rx, ry, rz = _jac_add(rx, ry, rz, wx, wy, wz)
+    if rz == 0:
+        return G1Point.infinity()
+    return G1Point._raw(rx, ry, rz)
+
+
+def _g1_bucket_accumulate(
+    half: int, contribs: list[tuple[int, int, int]]
+) -> list[tuple[int, int] | None]:
+    """Accumulate affine contributions into ``half`` buckets.
+
+    Each round schedules at most one pending addition per bucket, shares a
+    single Montgomery inversion across every scheduled denominator, and
+    applies the affine chord/tangent formulas (2M + 1S each).
+    """
+    buckets: list[tuple[int, int] | None] = [None] * (half + 1)
+    pending = contribs
+    while pending:
+        later: list[tuple[int, int, int]] = []
+        sched: list[tuple[int, int, int, int, int]] = []
+        busy: set[int] = set()
+        for b, x, y in pending:
+            if b in busy:
+                later.append((b, x, y))
+                continue
+            cur = buckets[b]
+            if cur is None:
+                buckets[b] = (x, y)
+                continue
+            busy.add(b)
+            buckets[b] = None
+            sched.append((b, cur[0], cur[1], x, y))
+        if sched:
+            denoms = []
+            for _, x1, y1, x2, y2 in sched:
+                if x1 == x2:
+                    # Tangent (doubling) or chord through mirror points
+                    # (sum = infinity); the placeholder keeps the batch
+                    # inversion free of zeros.
+                    denoms.append(2 * y1 % P if (y1 + y2) % P else 1)
+                else:
+                    denoms.append((x2 - x1) % P)
+            inverses = _batch_inverse(denoms)
+            for (b, x1, y1, x2, y2), inv in zip(sched, inverses):
+                if x1 == x2:
+                    if (y1 + y2) % P == 0:
+                        continue
+                    lam = 3 * x1 * x1 % P * inv % P
+                else:
+                    lam = (y2 - y1) * inv % P
+                x3 = (lam * lam - x1 - x2) % P
+                y3 = (lam * (x1 - x3) - y1) % P
+                later.append((b, x3, y3))
+        pending = later
+    return buckets
+
+
+def _msm_signed_jacobian(pairs: list[tuple[PointT, int]]) -> PointT:
+    """Signed Pippenger with Jacobian buckets (G2: affine math over Fp2 is
+    dominated by the Fp2 mults, so mixed adds into Jacobian buckets win)."""
+    cls = type(pairs[0][0])
+    window = _window_size(len(pairs))
+    per_window, num_windows, half = _per_window_contributions(pairs, window)
+    infinity = cls.infinity()
+    result = infinity
+    for i in range(num_windows - 1, -1, -1):
+        contribs = per_window[i]
+        if not contribs:
+            if not result.is_infinity():
+                for _ in range(window):
+                    result = result.double()
+            continue
+        buckets: list[PointT | None] = [None] * (half + 1)
+        for b, ax, ay in contribs:
+            cur = buckets[b]
+            buckets[b] = (infinity if cur is None else cur).add_affine(ax, ay)
+        result = _bucket_reduce(result, buckets, half, window)
     return result
 
 
@@ -106,8 +626,12 @@ class FixedBaseMul:
 
     Authenticator generation performs one ``g1 * M_i(alpha)`` per chunk with
     the *same* base; amortising the precomputation brings the per-chunk cost
-    from ~256 doublings down to ~64 additions.  Also used by the verifier
-    for ``g1^(-y')``.
+    from ~256 doublings down to ~64 mixed additions.  Also used by the
+    verifier for ``g1^(-y')``.
+
+    The table is built with Jacobian adds, then normalized to affine in one
+    Montgomery simultaneous inversion (``to_affine_batch``), so every lookup
+    during :meth:`mul` feeds a cheap mixed add.
     """
 
     def __init__(self, base: PointT, window: int = 4):
@@ -115,17 +639,49 @@ class FixedBaseMul:
             raise ValueError("window must be between 1 and 8")
         self.base = base
         self.window = window
+        if base.is_infinity():
+            self._table: list[list[tuple]] = []
+            return
         bits = CURVE_ORDER.bit_length()
         rows = (bits + window - 1) // window
-        self._table: list[list[PointT]] = []
-        row_base = base
-        for _ in range(rows):
-            row = [row_base]
-            for _ in range((1 << window) - 2):
-                row.append(row[-1] + row_base)
-            self._table.append(row)
-            for _ in range(window):
-                row_base = row_base.double()
+        size = (1 << window) - 1
+        if isinstance(base, G1Point):
+            raw_flat: list[tuple[int, int, int]] = []
+            raw_base = (base.x, base.y, base.z)
+            for _ in range(rows):
+                raw_entry = raw_base
+                raw_flat.append(raw_entry)
+                for _ in range(size - 1):
+                    raw_entry = _jac_add(*raw_entry, *raw_base)
+                    raw_flat.append(raw_entry)
+                for _ in range(window):
+                    raw_base = _jac_double(*raw_base)
+            affine = _to_affine_batch_raw(raw_flat)
+        else:
+            flat: list[PointT] = []
+            row_base = base
+            for _ in range(rows):
+                entry = row_base
+                flat.append(entry)
+                for _ in range(size - 1):
+                    entry = entry + row_base
+                    flat.append(entry)
+                for _ in range(window):
+                    row_base = row_base.double()
+            affine = type(base).to_affine_batch(flat)
+        self._table = [affine[r * size : (r + 1) * size] for r in range(rows)]
+
+    @classmethod
+    def _from_table(
+        cls, base: PointT, window: int, table: list[list[tuple]]
+    ) -> "FixedBaseMul":
+        """Rebuild from a persisted affine table (G1 only — the rows are
+        plain ``(x, y)`` int pairs)."""
+        ctx = cls.__new__(cls)
+        ctx.base = base
+        ctx.window = window
+        ctx._table = table
+        return ctx
 
     def mul(self, scalar: int) -> PointT:
         if HOTPATH.enabled:
@@ -137,13 +693,31 @@ class FixedBaseMul:
 
     def _mul(self, scalar: int) -> PointT:
         scalar %= CURVE_ORDER
-        result = type(self.base).infinity()
+        if not self._table:
+            return type(self.base).infinity()
         mask = (1 << self.window) - 1
+        if isinstance(self.base, G1Point):
+            # Raw-int kernel: the per-chunk authenticator path runs this
+            # thousands of times per epoch.
+            rx = ry = rz = 0
+            table = self._table
+            row_index = 0
+            while scalar:
+                digit = scalar & mask
+                if digit:
+                    ax, ay = table[row_index][digit - 1]
+                    rx, ry, rz = _jac_add_affine(rx, ry, rz, ax, ay)
+                scalar >>= self.window
+                row_index += 1
+            if rz == 0:
+                return G1Point.infinity()
+            return G1Point._raw(rx, ry, rz)
+        result = type(self.base).infinity()
         row_index = 0
         while scalar:
             digit = scalar & mask
             if digit:
-                result = result + self._table[row_index][digit - 1]
+                result = result.add_affine(*self._table[row_index][digit - 1])
             scalar >>= self.window
             row_index += 1
         return result

@@ -7,12 +7,22 @@ untwisting map ``psi(x, y) = (x*w^2, y*w^3)`` with ``w^6 = xi``:
     line through T1, T2 evaluated at P = (xP, yP) in G1:
         l(P) = yP  +  (-lambda * xP) * w  +  (lambda * x_T - y_T) * w^3
 
-where ``lambda`` is the Fp2 slope on the twist.  The final exponentiation
-splits into the easy part ``(p^6-1)(p^2+1)`` and the Devegili/Scott hard part
-``(p^4-p^2+1)/r`` driven by three exponentiations by the BN parameter ``t``.
+where ``lambda`` is the Fp2 slope on the twist.  The loop is split into a
+P-independent *precompute* over the G2 argument (:class:`G2Prepared`
+stores ``(lambda, lambda * x_T - y_T)`` per step — everything the chord
+and tangent lines need except the G1 point) and a cheap evaluation pass.
+Verifier G2 points are fixed per owner key, so preparing once and caching
+(see ``precompute.PrecomputeCache.prepared_g2``) removes every Fp2
+inversion from the warm verify path.
 
-``miller_loop_product`` + a single shared final exponentiation is the
-multi-pairing optimisation the verifier relies on (4 pairings per audit).
+``miller_loop_product`` runs ONE shared squaring chain for all pairs:
+``F <- F^2 * prod_i line_i`` step-for-step equals ``prod_i f_i`` because
+mod-p arithmetic is exact and commutative — bit-identical to multiplying
+individually evaluated loops, at one Fp12 squaring per bit instead of n.
+
+The final exponentiation splits into the easy part ``(p^6-1)(p^2+1)`` and
+the Devegili/Scott hard part ``(p^4-p^2+1)/r`` driven by three
+exponentiations by the BN parameter ``t``.
 """
 
 from __future__ import annotations
@@ -20,15 +30,20 @@ from __future__ import annotations
 from time import perf_counter
 
 from ...obs.hotpath import HOTPATH
-from .constants import ATE_LOOP_COUNT, BN_T, FIELD_MODULUS as P
+from .constants import ATE_LOOP_COUNT, BN_T
 from .curve import G1Point, G2Point
-from .fields import Fp2, Fp6, Fp12, _FROB1, _FROB2
+from .fields import Fp2, Fp12, _FROB1, _FROB2
 
 # Twist-coordinate Frobenius constants: psi(x, y) = (conj(x)*C_X, conj(y)*C_Y).
 _ENDO_X = _FROB1[2]  # xi^((p-1)/3)
 _ENDO_Y = _FROB1[3]  # xi^((p-1)/2)
 _ENDO2_X = _FROB2[2]  # xi^((p^2-1)/3)
 _ENDO2_Y = _FROB2[3]  # xi^((p^2-1)/2)
+
+# Miller-loop bit schedule, most significant bit excluded, high to low.
+_ATE_BITS = tuple(
+    (ATE_LOOP_COUNT >> i) & 1 for i in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1)
+)
 
 
 def _g2_frobenius(x: Fp2, y: Fp2) -> tuple[Fp2, Fp2]:
@@ -39,32 +54,87 @@ def _g2_frobenius_squared(x: Fp2, y: Fp2) -> tuple[Fp2, Fp2]:
     return x * _ENDO2_X, y * _ENDO2_Y
 
 
-def _line_double(
-    t: tuple[Fp2, Fp2], xp: int, yp: int
-) -> tuple[tuple[Fp2, Fp2], tuple[int, Fp2, Fp2]]:
-    """Tangent line at T evaluated at P; returns (2T, sparse line coeffs)."""
+def _coeff_double(t: tuple[Fp2, Fp2]) -> tuple[tuple[Fp2, Fp2], tuple[Fp2, Fp2]]:
+    """Tangent step at T; returns (2T, P-independent line coeffs)."""
     x1, y1 = t
     slope = (x1.square().mul_scalar(3)) * (y1.double().inverse())
     x3 = slope.square() - x1.double()
     y3 = slope * (x1 - x3) - y1
-    line = (yp, slope.mul_scalar(-xp), slope * x1 - y1)
-    return (x3, y3), line
+    return (x3, y3), (slope, slope * x1 - y1)
 
 
-def _line_add(
-    t: tuple[Fp2, Fp2], q: tuple[Fp2, Fp2], xp: int, yp: int
-) -> tuple[tuple[Fp2, Fp2], tuple[int, Fp2, Fp2]]:
-    """Chord line through T and Q evaluated at P; returns (T+Q, coeffs)."""
+def _coeff_add(
+    t: tuple[Fp2, Fp2], q: tuple[Fp2, Fp2]
+) -> tuple[tuple[Fp2, Fp2], tuple[Fp2, Fp2]]:
+    """Chord step through T and Q; returns (T+Q, P-independent coeffs)."""
     x1, y1 = t
     x2, y2 = q
     slope = (y2 - y1) * ((x2 - x1).inverse())
     x3 = slope.square() - x1 - x2
     y3 = slope * (x1 - x3) - y1
-    line = (yp, slope.mul_scalar(-xp), slope * x1 - y1)
-    return (x3, y3), line
+    return (x3, y3), (slope, slope * x1 - y1)
 
 
-def miller_loop(p: G1Point, q: G2Point) -> Fp12:
+class G2Prepared:
+    """P-independent Miller-loop line coefficients for a fixed G2 point.
+
+    ``coeffs`` holds one ``(slope, slope * x_T - y_T)`` pair per tangent /
+    chord step in traversal order (the schedule is identical for every Q,
+    so a shared product loop can walk many prepared points in lockstep).
+    Evaluating at ``P = (xP, yP)`` costs one scalar Fp2 mult per step —
+    no Fp2 inversions, no twist arithmetic.
+    """
+
+    __slots__ = ("coeffs", "infinity")
+
+    def __init__(self, q: G2Point):
+        self.infinity = q.is_infinity()
+        self.coeffs: list[tuple[Fp2, Fp2]] = []
+        if self.infinity:
+            return
+        xq, yq = q.to_affine()
+        t = (xq, yq)
+        coeffs = self.coeffs
+        for bit in _ATE_BITS:
+            t, coeff = _coeff_double(t)
+            coeffs.append(coeff)
+            if bit:
+                t, coeff = _coeff_add(t, (xq, yq))
+                coeffs.append(coeff)
+        # The two optimal-ate correction steps with Frobenius images of Q.
+        q1 = _g2_frobenius(xq, yq)
+        x2, y2 = _g2_frobenius_squared(xq, yq)
+        t, coeff = _coeff_add(t, q1)
+        coeffs.append(coeff)
+        _, coeff = _coeff_add(t, (x2, -y2))
+        coeffs.append(coeff)
+
+    def _state(self) -> tuple[bool, list[tuple[int, int, int, int]]]:
+        """Pure-int form for the on-disk precompute store."""
+        return self.infinity, [
+            (slope.c0, slope.c1, c.c0, c.c1) for slope, c in self.coeffs
+        ]
+
+    @classmethod
+    def _from_state(
+        cls, infinity: bool, flat: list[tuple[int, int, int, int]]
+    ) -> "G2Prepared":
+        prepared = cls.__new__(cls)
+        prepared.infinity = infinity
+        prepared.coeffs = [
+            (Fp2(s0, s1), Fp2(c0, c1)) for s0, s1, c0, c1 in flat
+        ]
+        return prepared
+
+
+def prepare_g2(q: G2Point | G2Prepared) -> G2Prepared:
+    """Precompute (or pass through) Miller-loop lines for ``q``."""
+    if isinstance(q, G2Prepared):
+        return q
+    return G2Prepared(q)
+
+
+def miller_loop(p: G1Point, q: G2Point | G2Prepared) -> Fp12:
     """Miller loop f_{6t+2,Q}(P) * l_{T,Q1}(P) * l_{T+Q1,-Q2}(P)."""
     if HOTPATH.enabled:
         t0 = perf_counter()
@@ -74,27 +144,26 @@ def miller_loop(p: G1Point, q: G2Point) -> Fp12:
     return _miller_loop(p, q)
 
 
-def _miller_loop(p: G1Point, q: G2Point) -> Fp12:
-    if p.is_infinity() or q.is_infinity():
+def _miller_loop(p: G1Point, q: G2Point | G2Prepared) -> Fp12:
+    prepared = prepare_g2(q)
+    if prepared.infinity or p.is_infinity():
         return Fp12.one()
     xp, yp = p.to_affine()
-    xq, yq = q.to_affine()
-    t = (xq, yq)
+    coeffs = prepared.coeffs
     f = Fp12.one()
-    for bit_index in range(ATE_LOOP_COUNT.bit_length() - 2, -1, -1):
-        t, line = _line_double(t, xp, yp)
-        f = f.square().mul_by_line(*line)
-        if (ATE_LOOP_COUNT >> bit_index) & 1:
-            t, line = _line_add(t, (xq, yq), xp, yp)
-            f = f.mul_by_line(*line)
-    # The two optimal-ate correction steps with Frobenius images of Q.
-    q1 = _g2_frobenius(xq, yq)
-    x2, y2 = _g2_frobenius_squared(xq, yq)
-    q2 = (x2, -y2)
-    t, line = _line_add(t, q1, xp, yp)
-    f = f.mul_by_line(*line)
-    _, line = _line_add(t, q2, xp, yp)
-    f = f.mul_by_line(*line)
+    index = 0
+    for bit in _ATE_BITS:
+        slope, c = coeffs[index]
+        index += 1
+        f = f.square().mul_by_line(yp, slope.mul_scalar(-xp), c)
+        if bit:
+            slope, c = coeffs[index]
+            index += 1
+            f = f.mul_by_line(yp, slope.mul_scalar(-xp), c)
+    slope, c = coeffs[index]
+    f = f.mul_by_line(yp, slope.mul_scalar(-xp), c)
+    slope, c = coeffs[index + 1]
+    f = f.mul_by_line(yp, slope.mul_scalar(-xp), c)
     return f
 
 
@@ -137,20 +206,59 @@ def _final_exponentiation(f: Fp12) -> Fp12:
     return t0 * t1
 
 
-def pairing(p: G1Point, q: G2Point) -> Fp12:
+def pairing(p: G1Point, q: G2Point | G2Prepared) -> Fp12:
     """The optimal-ate pairing e(P, Q) into GT (unitary Fp12 subgroup)."""
     return final_exponentiation(miller_loop(p, q))
 
 
-def miller_loop_product(pairs: list[tuple[G1Point, G2Point]]) -> Fp12:
-    """Product of Miller loops (no final exponentiation)."""
-    f = Fp12.one()
+def miller_loop_product(pairs: list[tuple[G1Point, G2Point | G2Prepared]]) -> Fp12:
+    """Product of Miller loops (no final exponentiation).
+
+    All pairs share ONE squaring chain: each step squares the accumulator
+    once and multiplies in every pair's line, which is bit-identical to
+    multiplying individually evaluated loops (exact mod-p arithmetic) at a
+    fraction of the Fp12 squarings.  Accepts :class:`G2Prepared` entries to
+    skip the per-call line precompute.
+    """
+    if HOTPATH.enabled:
+        t0 = perf_counter()
+        result = _miller_loop_product(pairs)
+        HOTPATH.add("bn254.miller_loop", perf_counter() - t0)
+        return result
+    return _miller_loop_product(pairs)
+
+
+def _miller_loop_product(pairs: list[tuple[G1Point, G2Point | G2Prepared]]) -> Fp12:
+    live: list[tuple[int, int, list[tuple[Fp2, Fp2]]]] = []
     for p, q in pairs:
-        f = f * miller_loop(p, q)
+        prepared = prepare_g2(q)
+        if prepared.infinity or p.is_infinity():
+            continue
+        xp, yp = p.to_affine()
+        live.append((xp, yp, prepared.coeffs))
+    if not live:
+        return Fp12.one()
+    f = Fp12.one()
+    index = 0
+    for bit in _ATE_BITS:
+        f = f.square()
+        for xp, yp, coeffs in live:
+            slope, c = coeffs[index]
+            f = f.mul_by_line(yp, slope.mul_scalar(-xp), c)
+        index += 1
+        if bit:
+            for xp, yp, coeffs in live:
+                slope, c = coeffs[index]
+                f = f.mul_by_line(yp, slope.mul_scalar(-xp), c)
+            index += 1
+    for offset in (index, index + 1):
+        for xp, yp, coeffs in live:
+            slope, c = coeffs[offset]
+            f = f.mul_by_line(yp, slope.mul_scalar(-xp), c)
     return f
 
 
-def pairing_product(pairs: list[tuple[G1Point, G2Point]]) -> Fp12:
+def pairing_product(pairs: list[tuple[G1Point, G2Point | G2Prepared]]) -> Fp12:
     """prod_i e(P_i, Q_i) computed with a single final exponentiation.
 
     This is the multi-pairing trick that keeps the on-chain verifier's four
@@ -159,6 +267,6 @@ def pairing_product(pairs: list[tuple[G1Point, G2Point]]) -> Fp12:
     return final_exponentiation(miller_loop_product(pairs))
 
 
-def pairing_check(pairs: list[tuple[G1Point, G2Point]]) -> bool:
+def pairing_check(pairs: list[tuple[G1Point, G2Point | G2Prepared]]) -> bool:
     """True iff prod_i e(P_i, Q_i) == 1 (the EVM precompile semantics)."""
     return pairing_product(pairs).is_one()

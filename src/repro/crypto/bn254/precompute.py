@@ -24,7 +24,19 @@ from .constants import CURVE_ORDER
 from .curve import G1Point, G2Point
 from .fields import Fp12
 from .gt import GTFixedBase
-from .msm import FixedBaseMul, PointT
+from .msm import (
+    FixedBaseMul,
+    PointT,
+    multi_scalar_mul_tables,
+    wnaf_table_g1,
+)
+from .pairing import G2Prepared
+from .serialization import (
+    g1_to_bytes,
+    g2_to_bytes,
+    gt_to_bytes_uncompressed,
+)
+from .store import PrecomputeStore
 
 
 class FixedBaseMSM:
@@ -94,12 +106,39 @@ class PrecomputeCache:
     """
 
     window: int = 4
+    #: G1 fixed-base tables take a wider window than GT/G2: raw-int mixed
+    #: adds make the per-digit cost tiny, so the (64 -> 51 rows) saving on
+    #: the hot psi/authenticator path outweighs the bigger lazy build.
+    g1_window: int = 5
+    #: Width of cached per-point wNAF tables (authenticators, digests):
+    #: with the build amortized away, wider digits keep winning until the
+    #: phi-table map and NAF sparsity flatten out around width 6.
+    wnaf_width: int = 6
+    #: GT commitment window: one step wider than the seed's 4 — the flat
+    #: Fp12 kernels made table builds cheap enough that the warm-path win
+    #: (64 -> 51 multiplications per exponentiation) dominates.
+    gt_window: int = 5
+    #: Optional on-disk backing store (:class:`PrecomputeStore`): table
+    #: misses consult it before building, and fresh builds are written
+    #: back, so a restarted process (or a new pool worker) starts warm.
+    store: PrecomputeStore | None = None
     stats: CacheStats = field(default_factory=CacheStats)
     _gt: dict[Fp12, GTFixedBase] = field(default_factory=dict)
     _g1: dict[G1Point, FixedBaseMul] = field(default_factory=dict)
     _g2: dict[G2Point, FixedBaseMul] = field(default_factory=dict)
     _msm: dict[tuple, FixedBaseMSM] = field(default_factory=dict)
     _digests: dict[tuple[int, int], G1Point] = field(default_factory=dict)
+    _prepared: dict[G2Point, G2Prepared] = field(default_factory=dict)
+    _wnaf: dict[G1Point, list[tuple[int, int]]] = field(default_factory=dict)
+
+    # -- on-disk store plumbing --------------------------------------------
+
+    def _store_load(self, kind: str, key: bytes):
+        return self.store.load(kind, key) if self.store is not None else None
+
+    def _store_save(self, kind: str, key: bytes, value) -> None:
+        if self.store is not None:
+            self.store.save(kind, key, value)
 
     # -- GT fixed-base contexts (Sigma-protocol masking) --------------------
 
@@ -108,7 +147,13 @@ class PrecomputeCache:
         table = self._gt.get(base)
         if table is None:
             self.stats.misses += 1
-            table = GTFixedBase(base, window=self.window)
+            key = gt_to_bytes_uncompressed(base) + bytes([self.gt_window])
+            persisted = self._store_load("gt", key)
+            if persisted is not None:
+                table = GTFixedBase._from_table(base, self.gt_window, persisted)
+            else:
+                table = GTFixedBase(base, window=self.gt_window)
+                self._store_save("gt", key, table._table)
             self._gt[base] = table
         else:
             self.stats.hits += 1
@@ -120,7 +165,15 @@ class PrecomputeCache:
         table = self._g1.get(point)
         if table is None:
             self.stats.misses += 1
-            table = FixedBaseMul(point, window=self.window)
+            key = g1_to_bytes(point) + bytes([self.g1_window])
+            persisted = self._store_load("g1fb", key)
+            if persisted is not None:
+                table = FixedBaseMul._from_table(
+                    point, self.g1_window, persisted
+                )
+            else:
+                table = FixedBaseMul(point, window=self.g1_window)
+                self._store_save("g1fb", key, table._table)
             self._g1[point] = table
         else:
             self.stats.hits += 1
@@ -136,6 +189,73 @@ class PrecomputeCache:
             self.stats.hits += 1
         return table
 
+    # -- prepared Miller-loop lines (verifier G2 arguments) ------------------
+
+    def prepared_g2(self, point: G2Point) -> G2Prepared:
+        """P-independent Miller-loop line coefficients, shared across every
+        pairing against the same G2 point (owner keys are fixed per
+        contract, so the warm verify path pays zero Fp2 inversions)."""
+        prepared = self._prepared.get(point)
+        if prepared is None:
+            self.stats.misses += 1
+            key = g2_to_bytes(point)
+            persisted = self._store_load("g2lines", key)
+            if persisted is not None:
+                prepared = G2Prepared._from_state(*persisted)
+            else:
+                prepared = G2Prepared(point)
+                self._store_save("g2lines", key, prepared._state())
+            self._prepared[point] = prepared
+        else:
+            self.stats.hits += 1
+        return prepared
+
+    # -- cached wNAF tables (fixed points in variable-base MSMs) -------------
+
+    def g1_wnaf_table(self, point: G1Point) -> list[tuple[int, int]]:
+        """Odd-multiple table for a fixed G1 point, shared across epochs."""
+        table = self._wnaf.get(point)
+        if table is None:
+            self.stats.misses += 1
+            key = g1_to_bytes(point) + bytes([self.wnaf_width])
+            persisted = self._store_load("wnaf", key)
+            if persisted is not None:
+                table = persisted
+            else:
+                table = wnaf_table_g1(point, self.wnaf_width)
+                self._store_save("wnaf", key, table)
+            self._wnaf[point] = table
+        else:
+            self.stats.hits += 1
+        return table
+
+    def wnaf_msm(
+        self,
+        points: Sequence[G1Point],
+        scalars: Sequence[int],
+        cacheable: Sequence[bool] | None = None,
+        identity: G1Point | None = None,
+    ) -> G1Point:
+        """G1 MSM with cached tables for the fixed points.
+
+        ``cacheable`` marks which points recur across epochs (digests,
+        authenticators, the generator); unmarked points (fresh proof
+        elements) get throwaway tables so the cache cannot grow without
+        bound.  The result is the exact group element
+        :func:`~repro.crypto.bn254.msm.multi_scalar_mul` returns.
+        """
+        if cacheable is None:
+            tables = [
+                None if p.is_infinity() else self.g1_wnaf_table(p)
+                for p in points
+            ]
+        else:
+            tables = [
+                self.g1_wnaf_table(p) if use and not p.is_infinity() else None
+                for p, use in zip(points, cacheable)
+            ]
+        return multi_scalar_mul_tables(points, scalars, tables, identity)
+
     # -- multi-base tables (the powers-of-alpha MSM) ------------------------
 
     def powers_msm(self, bases: Sequence[PointT]) -> FixedBaseMSM:
@@ -144,7 +264,10 @@ class PrecomputeCache:
         table = self._msm.get(key)
         if table is None:
             self.stats.misses += 1
-            table = FixedBaseMSM(key, window=self.window)
+            window = (
+                self.g1_window if isinstance(key[0], G1Point) else self.window
+            )
+            table = FixedBaseMSM(key, window=window)
             self._msm[key] = table
         else:
             self.stats.hits += 1
@@ -154,14 +277,22 @@ class PrecomputeCache:
 
     def block_digest(self, name: int, index: int) -> G1Point:
         """Memoized H(name || i) — fixed per file, re-hashed every round
-        by the seed verifier."""
+        by the seed verifier.  Hash-to-curve is a pure function of the
+        key, so digest points persist to the store alongside the tables
+        (~0.3 ms of Tonelli-Shanks per point saved on restart)."""
         key = (name, index)
         point = self._digests.get(key)
         if point is None:
-            from ...core.authenticator import block_digest_point
-
             self.stats.misses += 1
-            point = block_digest_point(name, index)
+            store_key = f"{name}:{index}".encode()
+            persisted = self._store_load("digest", store_key)
+            if persisted is not None:
+                point = G1Point(persisted[0], persisted[1], 1)
+            else:
+                from ...core.authenticator import block_digest_point
+
+                point = block_digest_point(name, index)
+                self._store_save("digest", store_key, point.to_affine())
             self._digests[key] = point
         else:
             self.stats.hits += 1

@@ -24,7 +24,7 @@ from typing import Iterable, Sequence
 from ..core.batch import BatchItem, verify_batch_grouped
 from ..core.prover import Prover
 from ..core.verifier import Verifier, VerifyOutcome
-from ..crypto.bn254 import PrecomputeCache
+from ..crypto.bn254 import PrecomputeCache, PrecomputeStore
 from .tasks import (
     AuditInstance,
     BatchVerifyResult,
@@ -41,8 +41,14 @@ class _AuditRuntime:
     Built once per worker process (and once in the parent for inline mode).
     """
 
-    def __init__(self, instances: Sequence[AuditInstance], window: int = 4):
-        self.cache = PrecomputeCache(window=window)
+    def __init__(
+        self,
+        instances: Sequence[AuditInstance],
+        window: int = 4,
+        cache_dir: str | None = None,
+    ):
+        store = PrecomputeStore(cache_dir) if cache_dir else None
+        self.cache = PrecomputeCache(window=window, store=store)
         self.instances: dict[int, AuditInstance] = {
             instance.name: instance for instance in instances
         }
@@ -118,9 +124,11 @@ class _AuditRuntime:
 _RUNTIME: _AuditRuntime | None = None
 
 
-def _init_worker(instances: list[AuditInstance], window: int) -> None:
+def _init_worker(
+    instances: list[AuditInstance], window: int, cache_dir: str | None
+) -> None:
     global _RUNTIME
-    _RUNTIME = _AuditRuntime(instances, window=window)
+    _RUNTIME = _AuditRuntime(instances, window=window, cache_dir=cache_dir)
 
 
 def _prove_in_worker(task: ProveTask) -> ProveOutcome:
@@ -151,6 +159,7 @@ class AuditExecutor:
         instances: Iterable[AuditInstance],
         workers: int = 0,
         window: int = 4,
+        cache_dir: str | None = None,
     ):
         self.instances: dict[int, AuditInstance] = {}
         for instance in instances:
@@ -161,6 +170,11 @@ class AuditExecutor:
             raise ValueError("workers must be >= 0 (0 = one per CPU core)")
         self.workers = workers or os.cpu_count() or 1
         self.window = window
+        # Optional persistent precompute directory: every runtime (inline
+        # and each pool worker) loads tables from — and writes fresh builds
+        # to — the same store, so table work is shared across processes and
+        # survives restarts.
+        self.cache_dir = cache_dir
         self._pool: ProcessPoolExecutor | None = None
         self._inline: _AuditRuntime | None = None
         # Concurrent lane workers share one executor: pool creation and
@@ -229,7 +243,9 @@ class AuditExecutor:
         """The parent-process runtime (inline mode's state, lazily built)."""
         if self._inline is None:
             self._inline = _AuditRuntime(
-                list(self.instances.values()), window=self.window
+                list(self.instances.values()),
+                window=self.window,
+                cache_dir=self.cache_dir,
             )
         return self._inline
 
@@ -239,7 +255,11 @@ class AuditExecutor:
                 self._pool = ProcessPoolExecutor(
                     max_workers=self.workers,
                     initializer=_init_worker,
-                    initargs=(list(self.instances.values()), self.window),
+                    initargs=(
+                        list(self.instances.values()),
+                        self.window,
+                        self.cache_dir,
+                    ),
                 )
             return self._pool
 

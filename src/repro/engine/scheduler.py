@@ -35,7 +35,7 @@ from ..core.challenge import Challenge, epoch_challenge
 from ..core.params import ProtocolParams
 from ..core.proof import PrivateProof
 from ..core.prover import ResponseWithheld
-from ..crypto.bn254 import PrecomputeCache
+from ..crypto.bn254 import PrecomputeCache, PrecomputeStore
 from ..obs.registry import MetricsRegistry, get_registry
 from ..obs.tracing import NULL_TRACER, Tracer
 from ..randomness.beacon import RandomnessBeacon
@@ -151,7 +151,16 @@ class EpochScheduler:
         # Parent-side cache: per-file digest points reused by the grouped
         # verifier across epochs.  Callers that rebuild schedulers per epoch
         # (the lifecycle engine's changing fleet) pass a shared cache in.
-        self.cache = cache or PrecomputeCache()
+        # The default inherits the executor's persistent store (if any), so
+        # verifier tables survive restarts alongside the prover tables.
+        if cache is None:
+            store = (
+                PrecomputeStore(executor.cache_dir)
+                if executor.cache_dir
+                else None
+            )
+            cache = PrecomputeCache(store=store)
+        self.cache = cache
         self.history: list[EpochResult] = []
         # Adversary harness hook: files whose proofs come from a strategy
         # callable instead of the engine's honest prover (the batch verifier

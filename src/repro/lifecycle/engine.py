@@ -96,6 +96,9 @@ class LifecycleConfig:
     slash_fraction: float = 0.5
     fraud_window: float = 10.0
     persist_dir: str | None = None
+    #: directory for the persistent BN254 precompute store (``--crypto-cache``):
+    #: pure derived tables, so it lives outside the determinism domain.
+    crypto_cache_dir: str | None = None
     validate_packages: bool = False
     #: route the engine's settlement/report/stake transactions through each
     #: lane's fee-market mempool (submit at the wallet-suggested tip, mine,
@@ -346,6 +349,7 @@ class LifecycleEngine:
                 for file_id, audit in self._shards.values()
             ],
             workers=config.workers,
+            cache_dir=config.crypto_cache_dir,
         )
         if config.persist_dir:
             self.checkpoint_state()

@@ -129,7 +129,7 @@ def load_engine(persist_dir: str, **overrides):
     from .events import EventTrail
     from .hazard import ChurnModel
 
-    allowed = {"workers"}
+    allowed = {"workers", "crypto_cache_dir"}
     refused = set(overrides) - allowed
     if refused:
         raise ValueError(
@@ -269,5 +269,6 @@ def load_engine(persist_dir: str, **overrides):
             for file_id, audit in engine._shards.values()
         ],
         workers=config.workers,
+        cache_dir=getattr(config, "crypto_cache_dir", None),
     )
     return engine

@@ -5,6 +5,12 @@ Reed-Solomon reduction polynomial x^8 + x^4 + x^3 + x^2 + 1 (0x11D).
 Log/antilog tables give O(1) multiplication; the numpy paths operate on
 whole shards at once, which is what makes megabyte-scale erasure coding
 practical in pure Python.
+
+Bulk shard arithmetic goes through a precomputed 256x256 product table:
+``scalar * vector`` is a single ``take`` gather along the scalar's table
+row — no log/antilog index arithmetic, no zero-masking pass, no per-element
+Python.  The log-table scalar helpers stay as the reference the
+differential tests check the table path against.
 """
 
 from __future__ import annotations
@@ -25,6 +31,12 @@ for _power in range(255):
     if _value & 0x100:
         _value ^= REDUCING_POLY
 _EXP[255:510] = _EXP[:255]  # wraparound so exp lookups never need mod
+
+# Full 256x256 product table (64 KiB): row a is the map x -> a*x.  Built
+# once from the log/antilog tables; rows/columns for 0 stay all-zero.
+_MUL_TABLE = np.zeros((256, 256), dtype=np.uint8)
+_nonzero = np.arange(1, 256)
+_MUL_TABLE[1:, 1:] = _EXP[_LOG[_nonzero][:, None] + _LOG[_nonzero][None, :]]
 
 
 def gf_mul(a: int, b: int) -> int:
@@ -54,29 +66,48 @@ def gf_pow(a: int, exponent: int) -> int:
 
 
 def gf_mul_vector(scalar: int, vector: np.ndarray) -> np.ndarray:
-    """scalar * vector over GF(256), vectorised."""
-    if scalar == 0:
-        return np.zeros_like(vector)
-    if scalar == 1:
-        return vector.copy()
-    log_scalar = int(_LOG[scalar])
+    """scalar * vector over GF(256): one gather along the product-table row."""
+    return _MUL_TABLE[scalar].take(vector)
+
+
+def gf_mul_vector_ref(scalar: int, vector: np.ndarray) -> np.ndarray:
+    """Log-table reference for :func:`gf_mul_vector` (differential tests)."""
     out = np.zeros_like(vector)
-    nonzero = vector != 0
-    out[nonzero] = _EXP[log_scalar + _LOG[vector[nonzero]]]
+    for index, value in enumerate(vector):
+        out[index] = gf_mul(scalar, int(value))
     return out
 
 
 def gf_matmul(matrix: list[list[int]], shards: np.ndarray) -> np.ndarray:
-    """Matrix (rows x k) times shard stack (k x length) over GF(256)."""
+    """Matrix (rows x k) times shard stack (k x length) over GF(256).
+
+    Reported under the ``gf256.encode`` / ``gf256.decode`` HOTPATH legs by
+    the erasure codec that drives it.
+    """
     rows = len(matrix)
     _, length = shards.shape
     out = np.zeros((rows, length), dtype=np.uint8)
     for row_index, row in enumerate(matrix):
-        accumulator = np.zeros(length, dtype=np.uint8)
+        accumulator = out[row_index]
         for coefficient, shard in zip(row, shards):
-            if coefficient:
-                accumulator ^= gf_mul_vector(coefficient, shard)
-        out[row_index] = accumulator
+            if coefficient == 1:
+                accumulator ^= shard
+            elif coefficient:
+                accumulator ^= _MUL_TABLE[coefficient].take(shard)
+    return out
+
+
+def gf_matmul_ref(matrix: list[list[int]], shards: np.ndarray) -> np.ndarray:
+    """Per-element reference for :func:`gf_matmul` (differential tests)."""
+    rows = len(matrix)
+    _, length = shards.shape
+    out = np.zeros((rows, length), dtype=np.uint8)
+    for row_index, row in enumerate(matrix):
+        for position in range(length):
+            value = 0
+            for coefficient, shard in zip(row, shards):
+                value ^= gf_mul(coefficient, int(shard[position]))
+            out[row_index][position] = value
     return out
 
 

@@ -84,8 +84,8 @@ class TestForgedTags:
         labels = [label for label, _ in outcome.reason.pairing_groups]
         assert labels == [
             "zeta*sigma*g2",
-            "(y',chi)*epsilon",
-            "zeta*psi*(delta-r*epsilon)",
+            "(y',chi,r*psi)*epsilon",
+            "zeta*psi*delta",
             "commitment-R",
         ]
         # every leg has a non-empty residual fingerprint

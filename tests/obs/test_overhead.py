@@ -24,8 +24,9 @@ import time
 import pytest
 
 from repro.core import DataOwner, ProtocolParams
-from repro.crypto.bn254 import G1Point
+from repro.crypto.bn254 import G1Point, G2Point
 from repro.crypto.bn254.msm import _multi_scalar_mul, multi_scalar_mul
+from repro.crypto.bn254.pairing import _miller_loop, miller_loop, prepare_g2
 from repro.engine import AuditExecutor, AuditInstance
 from repro.engine.scheduler import EpochScheduler
 from repro.obs import Tracer
@@ -73,6 +74,41 @@ def test_disabled_hotpath_gate_is_within_budget():
         f"disabled hot-path gate costs {overhead:.1%} "
         f"(budget {OVERHEAD_BUDGET:.0%})"
     )
+
+
+def test_disabled_gate_on_prepared_pairing_is_within_budget():
+    """The prepared-line Miller loop is the new warm verify path; its
+    HOTPATH gate must stay one attribute check when profiling is off."""
+    HOTPATH.disable()
+    p = G1Point.generator() * 123456789
+    prepared = prepare_g2(G2Point.generator() * 987654321)
+
+    gated_s, bare_s = _paired_min(
+        lambda: miller_loop(p, prepared),
+        lambda: _miller_loop(p, prepared),
+        calls=3,
+    )
+    overhead = gated_s / bare_s - 1.0
+    assert overhead <= OVERHEAD_BUDGET, (
+        f"disabled prepared-pairing gate costs {overhead:.1%} "
+        f"(budget {OVERHEAD_BUDGET:.0%})"
+    )
+
+
+def test_hotpath_reports_prepared_miller_loop_leg():
+    """Profiling on: the prepared path must attribute time to the
+    bn254.miller_loop leg so `repro top` / fig8 stay truthful."""
+    HOTPATH.enable()
+    try:
+        HOTPATH.reset()
+        p = G1Point.generator() * 31337
+        prepared = prepare_g2(G2Point.generator() * 271828)
+        miller_loop(p, prepared)
+        snapshot = HOTPATH.snapshot()
+    finally:
+        HOTPATH.disable()
+    leg = snapshot["bn254.miller_loop"]
+    assert leg["calls"] == 1 and leg["seconds"] > 0.0
 
 
 def test_instrumented_epoch_pipeline_is_within_budget():

@@ -64,6 +64,7 @@ class CheckpointEntry:
     challenged_by: str | None = None
     fraud_reason: str | None = None
     gas_used: int = 0
+    da_commitment: object | None = None  # DaCommitment once post_da_root lands
 
     @property
     def commitment_bytes(self) -> int:
@@ -186,6 +187,60 @@ class CheckpointContract(Contract):
             bytes=commitment.byte_size(),
         )
         return entry.checkpoint_id
+
+    def post_da_root(
+        self, ctx: CallContext, checkpoint_id: int, commitment_bytes: bytes
+    ):
+        """Bind a DA commitment (erasure-coded chunk NMT) to a checkpoint.
+
+        The 119-byte :class:`~repro.da.commit.DaCommitment` names the
+        (n, k) extension, the per-chunk byte length, and the namespaced
+        Merkle root of the extended chunk set — everything a sampling
+        light client needs to verify chunks against on-chain state alone.
+        Only the checkpoint's poster may bind it (it is *their*
+        availability obligation), and the embedded checkpoint root and
+        epoch must match the bonded commitment, so a DA root can never
+        point at different data than the verdict tree it claims to cover.
+        """
+        from ...da.commit import DaCommitment
+
+        self.require(
+            0 <= checkpoint_id < len(self.checkpoints), "unknown checkpoint"
+        )
+        entry = self.checkpoints[checkpoint_id]
+        self.require(
+            ctx.sender == entry.poster,
+            "only the checkpoint poster may bind its DA commitment",
+        )
+        self.require(
+            entry.da_commitment is None,
+            "DA commitment already posted for this checkpoint",
+        )
+        try:
+            commitment = DaCommitment.from_bytes(bytes(commitment_bytes))
+        except ValueError as exc:
+            raise RevertError(f"bad DA commitment: {exc}") from None
+        self.require(
+            commitment.checkpoint_root == entry.commitment.root,
+            "DA commitment does not bind the committed checkpoint root",
+        )
+        self.require(
+            commitment.epoch == entry.commitment.epoch,
+            "DA commitment epoch does not match the checkpoint",
+        )
+        gas = self.gas_model.schedule.storage_gas(len(commitment_bytes))
+        ctx.gas.consume(gas)
+        entry.gas_used += gas
+        entry.da_commitment = commitment
+        self.emit(
+            "da_committed",
+            checkpoint=checkpoint_id,
+            epoch=commitment.epoch,
+            lane=commitment.lane_id,
+            n=commitment.n,
+            k=commitment.k,
+            chunk_bytes=commitment.chunk_bytes,
+        )
 
     # ------------------------------------------------------------------ #
     # Fraud proofs                                                        #
@@ -391,10 +446,25 @@ class CheckpointContract(Contract):
         ctx.gas.consume(gas)
         entry.gas_used += gas
         tree = MerkleTree(leaf_list)
-        self.require(
-            tree.root == entry.commitment.root,
-            "supplied leaves do not rebuild the committed root",
-        )
+        if tree.root != entry.commitment.root:
+            # A light client holding only a *partial* leaf set used to hit
+            # the same opaque root-mismatch revert as a genuinely wrong
+            # set.  Name the real problem and the documented way in.  The
+            # size check stays inside the root-mismatch branch on purpose:
+            # a leaf set that DOES rebuild the root must always reach the
+            # count checks, or forging ``num_leaves`` itself would become
+            # unpunishable (the true set has a different size).
+            self.require(
+                len(leaf_list) == entry.commitment.num_leaves,
+                f"partial-leaf-set: got {len(leaf_list)} leaves for a "
+                f"checkpoint committing {entry.commitment.num_leaves}; "
+                "reconstruct the full epoch from DA samples "
+                "(da_sample_get -> k-of-n reconstruction) before "
+                "challenging counts",
+            )
+            raise RevertError(
+                "supplied leaves do not rebuild the committed root"
+            )
         fraud_reason = None
         accepted = 0
         names = set()
@@ -490,6 +560,13 @@ class CheckpointContract(Contract):
         if checkpoint_id is None:
             return None
         return self.checkpoints[checkpoint_id].commitment
+
+    def da_commitment_for_epoch(self, ctx: CallContext, epoch: int):
+        """The DA commitment bound to an epoch's checkpoint, if posted."""
+        checkpoint_id = self._by_epoch.get(epoch)
+        if checkpoint_id is None:
+            return None
+        return self.checkpoints[checkpoint_id].da_commitment
 
     def status(self, ctx: CallContext) -> dict:
         return {

@@ -331,6 +331,39 @@ class CheckpointLightClient:
                 report.disagreements.append((commitment.epoch, record.name))
         return report
 
+    def replay_reconstructed(
+        self,
+        commitment: Checkpoint,
+        reconstruction,
+        report: CheckpointReplayReport | None = None,
+    ) -> CheckpointReplayReport:
+        """Replay a checkpoint from a DA k-of-n reconstruction.
+
+        The trust-free path in: ``reconstruction`` is a
+        :class:`~repro.da.commit.DaReconstruction` produced by
+        :meth:`~repro.da.sampling.DaSampler.reconstruct` — its records were
+        decoded from sampled chunks and already proven to hash to the DA
+        commitment's bound checkpoint root.  This method refuses anything
+        unverified or bound to a *different* checkpoint, then runs the
+        ordinary full replay, so ``challenge_counts`` evidence and verdict
+        re-checks never rest on aggregator-served leaf sets.
+        """
+        from ..da.errors import DaReconstructionMismatch, DaUnreconstructed
+
+        if not getattr(reconstruction, "verified", False):
+            raise DaUnreconstructed(
+                "light client got an unverified reconstruction: sample and "
+                "reconstruct via DaSampler before replaying"
+            )
+        if reconstruction.commitment.checkpoint_root != commitment.root:
+            raise DaReconstructionMismatch(
+                "reconstruction is bound to a different checkpoint root "
+                "than the commitment being replayed"
+            )
+        return self.replay_checkpoint(
+            commitment, reconstruction.records, report=report
+        )
+
 
 def audit_the_auditor_checkpoints(
     contract, bundles, params: ProtocolParams | None = None

@@ -19,6 +19,8 @@
     python -m repro congest --storm --griefer --lanes 2       # + fee griefing
     python -m repro serve --lanes 2 --port 8645               # JSON-RPC service
     python -m repro serve --concurrent --probe                # CI smoke probe
+    python -m repro da-sample --lanes 2 --withhold 0.25       # DA sampling demo
+    python -m repro da-sample --fraud                         # + counts slash
     python -m repro models   --users 5000
 
 Everything runs locally against the simulated substrates; the tool exists
@@ -1076,6 +1078,233 @@ def _cmd_top(args: argparse.Namespace) -> int:
         fabric.close()
 
 
+def _cmd_da_sample(args: argparse.Namespace) -> int:
+    """Data-availability sampling demo over a live RPC service.
+
+    Stands up the same sharded service as ``repro serve`` with DA enabled,
+    settles epochs, then plays a sampling light client over the real
+    socket: happy-path sampling (O(samples) download), a withholding
+    aggregator caught by the same schedule, and k-of-n reconstruction
+    driving an on-chain ``challenge_counts`` slash with ``--fraud``.
+    """
+    from .chain import CheckpointLightClient, Transaction
+    from .chain.fabric import ShardedChainFabric
+    from .chain.mempool import MempoolConfig
+    from .da import (
+        DaParams,
+        DaSampler,
+        DaWithholdingDetected,
+        NmtProof,
+        build_da_bundle,
+        bundle_fetch,
+        detection_probability,
+    )
+    from .engine import AuditExecutor, AuditInstance
+    from .obs import get_registry, register_core_instruments
+    from .rollup import Checkpoint, CrossShardAggregator
+    from .rpc import RpcClient, RpcDispatcher, RpcTcpServer, ServiceNode
+    from .sim.workloads import archive_file
+
+    if not 1 <= args.data_chunks < args.chunks <= 255:
+        print("da-sample: need 1 <= --data-chunks < --chunks <= 255",
+              file=sys.stderr)
+        return 2
+    if not 0.0 <= args.withhold <= 1.0:
+        print("da-sample: --withhold must be in [0, 1]", file=sys.stderr)
+        return 2
+
+    rng = random.Random(args.seed)
+    params = ProtocolParams(s=args.s, k=args.k)
+    da_params = DaParams(n=args.chunks, k=args.data_chunks)
+    registry = get_registry()
+    register_core_instruments(registry)
+    fabric = ShardedChainFabric(num_lanes=args.lanes, mempool=MempoolConfig())
+    owner = DataOwner(params, rng=rng)
+    instances = [
+        AuditInstance.from_package(
+            owner.prepare(
+                archive_file(args.size, tag=f"da-{index}").data,
+                fresh_keypair=index == 0,
+            ),
+            owner_id="da",
+        )
+        for index in range(args.fleet)
+    ]
+    executor = AuditExecutor(instances, workers=1)
+    beacon = HashChainBeacon(b"cli-da-sample")
+    aggregator = CrossShardAggregator(
+        fabric, executor, params, beacon, rng=rng, da_params=da_params
+    )
+    node = ServiceNode(fabric, aggregator=aggregator)
+    dispatcher = RpcDispatcher(registry=registry)
+    node.register_on(dispatcher)
+    server = RpcTcpServer(dispatcher, host="127.0.0.1", port=0)
+    ok = True
+    try:
+        aggregator.run(args.epochs)
+        host, port = server.serve_in_thread()
+        with RpcClient(host, port) as client:
+
+            def rpc_fetch(lane_id, epoch, indices):
+                reply = client.call(
+                    "da_sample_get",
+                    {"epoch": epoch, "lane": lane_id, "indices": list(indices)},
+                )
+                responses = {}
+                for row in reply["chunks"]:
+                    responses[row["index"]] = (
+                        (bytes.fromhex(row["data"]),
+                         NmtProof.from_object(row["proof"]))
+                        if row["available"]
+                        else None
+                    )
+                return responses
+
+            sampler = DaSampler(rpc_fetch, registry=registry)
+            epoch = args.epochs - 1
+            listing = client.call("da_commitment_get", {"epoch": epoch})
+            print(f"DA commitments for epoch {epoch}: "
+                  f"{len(listing['lanes'])} lanes, (n, k) = "
+                  f"({da_params.n}, {da_params.k})")
+
+            from .da import DaCommitment
+
+            seed = args.seed.to_bytes(8, "big", signed=True)
+            commitments = {
+                row["lane"]: DaCommitment.from_bytes(
+                    bytes.fromhex(row["commitment"])
+                )
+                for row in listing["lanes"]
+            }
+            for lane_id, commitment in sorted(commitments.items()):
+                report = sampler.sample(commitment, seed, budget=args.samples)
+                settled = aggregator.settlement_for_epoch(epoch).lanes[lane_id]
+                full = settled.da.chunk_payload_bytes()
+                print(f"  lane {lane_id}: sampled {len(report.outcomes)} of "
+                      f"{commitment.n} chunks -> "
+                      f"{'available' if report.available else 'WITHHELD'}; "
+                      f"downloaded {report.downloaded_bytes:,} B "
+                      f"(full chunk set {full:,} B)")
+                ok = ok and report.available
+
+            if args.withhold > 0:
+                lane_id = min(commitments)
+                commitment = commitments[lane_id]
+                hidden = max(1, round(args.withhold * commitment.n))
+                settled = aggregator.settlement_for_epoch(epoch).lanes[lane_id]
+                settled.da.withhold(range(hidden))
+                analytic = detection_probability(
+                    hidden / commitment.n, args.samples
+                )
+                report = sampler.sample(commitment, seed, budget=args.samples)
+                try:
+                    report.raise_if_withheld()
+                    caught = False
+                except DaWithholdingDetected as exc:
+                    caught = True
+                    print(f"withholding: lane {lane_id} hiding {hidden}/"
+                          f"{commitment.n} chunks -> DETECTED "
+                          f"({len(exc.failures)} failed samples; analytic "
+                          f"P = {analytic:.4f})")
+                if not caught:
+                    print(f"withholding: lane {lane_id} hiding {hidden}/"
+                          f"{commitment.n} chunks -> missed this run "
+                          f"(analytic P = {analytic:.4f})")
+                # Escalation: the surviving chunks still reconstruct the
+                # epoch (withheld fraction is below the code's n-k slack),
+                # proving the leaf set without trusting the aggregator.
+                reconstruction = sampler.reconstruct(commitment, seed)
+                contract = aggregator.pipelines[lane_id].contract
+                light = CheckpointLightClient(
+                    contract.export_instance_registry(), params, beacon
+                )
+                replay = light.replay_reconstructed(
+                    settled.bundle.checkpoint, reconstruction
+                )
+                print(f"reconstruction: {len(reconstruction.records)} records "
+                      f"from {reconstruction.chunks_used} chunks; light-client "
+                      f"replay -> "
+                      f"{'consistent' if replay.consistent else 'INCONSISTENT'}")
+                ok = ok and replay.consistent
+
+            if args.fraud:
+                # A lying aggregator posts an honest root with swapped
+                # accepted/rejected counts, plus the DA commitment its
+                # obligation demands.  A light client reconstructs the
+                # leaf set from sampled chunks alone and slashes the
+                # counts forgery on chain.
+                lane_id = min(aggregator.pipelines)
+                pipeline = aggregator.pipelines[lane_id]
+                lane = fabric.lane(lane_id)
+                contract = pipeline.contract
+                extra = args.epochs
+                result = pipeline.scheduler.run_epoch(extra)
+                honest = result.checkpoint
+                forged = Checkpoint(
+                    epoch=extra,
+                    root=honest.checkpoint.root,
+                    accepted=honest.checkpoint.rejected,
+                    rejected=honest.checkpoint.accepted,
+                    num_leaves=honest.checkpoint.num_leaves,
+                    proof_digest=honest.checkpoint.proof_digest,
+                )
+                receipt = lane.transact(
+                    Transaction(
+                        sender=pipeline.aggregator,
+                        to=pipeline.contract_address,
+                        method="post_checkpoint",
+                        args=(forged.to_bytes(),),
+                        value=contract.posting_bond_wei,
+                    ),
+                    payload_bytes=forged.byte_size(),
+                )
+                da_bundle = build_da_bundle(lane_id, extra, honest, da_params)
+                lane.transact(
+                    Transaction(
+                        sender=pipeline.aggregator,
+                        to=pipeline.contract_address,
+                        method="post_da_root",
+                        args=(receipt.return_value,
+                              da_bundle.commitment.to_bytes()),
+                    ),
+                    payload_bytes=da_bundle.commitment.byte_size(),
+                )
+                local = DaSampler(
+                    bundle_fetch({(lane_id, extra): da_bundle}),
+                    registry=registry,
+                )
+                reconstruction = local.reconstruct(da_bundle.commitment, seed)
+                challenger = lane.create_account(1.0, label="da-challenger")
+                leaves = reconstruction.counts_challenge_leaves()
+                challenge = lane.transact(
+                    Transaction(
+                        sender=challenger,
+                        to=pipeline.contract_address,
+                        method="challenge_counts",
+                        args=(receipt.return_value, leaves),
+                        value=contract.challenge_bond_wei,
+                    ),
+                    payload_bytes=sum(len(leaf) for leaf in leaves),
+                )
+                slashed = [
+                    e for e in challenge.events
+                    if e.name == "checkpoint_slashed"
+                ]
+                caught = bool(challenge.success and slashed)
+                print(f"fraud proof: counts-forged checkpoint challenged from "
+                      f"{reconstruction.chunks_used} reconstructed chunks -> "
+                      f"{'slashed' if caught else 'NOT slashed'}"
+                      + (f" ({slashed[0].payload['reason']})" if slashed
+                         else ""))
+                ok = ok and caught
+    finally:
+        server.close()
+        aggregator.close()
+        executor.close()
+        fabric.close()
+    return 0 if ok else 1
+
+
 def _cmd_models(args: argparse.Namespace) -> int:
     capacity = ChainCapacityModel()
     load = ProviderLoadModel()
@@ -1351,6 +1580,34 @@ def build_parser() -> argparse.ArgumentParser:
                      help="self-host a tiny two-lane service in-process "
                      "and read it back (no running serve needed)")
     top.set_defaults(func=_cmd_top)
+
+    da_sample = sub.add_parser(
+        "da-sample",
+        help="data-availability sampling: a light client verifies chunk "
+        "availability over RPC, catches withholding, and reconstructs "
+        "the leaf set from k-of-n chunks",
+    )
+    da_sample.add_argument("--lanes", type=int, default=2)
+    da_sample.add_argument("--fleet", type=int, default=4,
+                           help="audit instances across the fabric")
+    da_sample.add_argument("--epochs", type=int, default=1)
+    da_sample.add_argument("--samples", type=int, default=18,
+                           help="light-client sample budget per epoch")
+    da_sample.add_argument("--chunks", type=int, default=32,
+                           help="extended chunks per epoch (RS n)")
+    da_sample.add_argument("--data-chunks", type=int, default=8,
+                           help="chunks needed to reconstruct (RS k)")
+    da_sample.add_argument("--withhold", type=float, default=0.25,
+                           help="fraction of one lane's chunks to withhold "
+                           "for the detection demo (0 disables)")
+    da_sample.add_argument("--fraud", action="store_true",
+                           help="also post a counts-forged checkpoint and "
+                           "slash it from DA-reconstructed leaves")
+    da_sample.add_argument("--size", type=int, default=1_500)
+    da_sample.add_argument("--s", type=int, default=6)
+    da_sample.add_argument("--k", type=int, default=4)
+    da_sample.add_argument("--seed", type=int, default=0)
+    da_sample.set_defaults(func=_cmd_da_sample)
 
     models = sub.add_parser("models", help="print the Section VII-D models")
     models.add_argument("--users", type=int, default=5_000)

@@ -1,0 +1,84 @@
+"""Data availability for checkpoint light clients.
+
+Erasure-coded chunk commitments under a namespaced Merkle tree, plus the
+sampling client that makes withholding detectable at O(samples) download
+cost and escalates to full k-of-n reconstruction when needed.
+"""
+
+from .commit import (
+    DA_COMMITMENT_BYTES,
+    DEFAULT_DA_PARAMS,
+    DaBundle,
+    DaCommitment,
+    DaParams,
+    DaReconstruction,
+    build_da_bundle,
+    records_blob,
+    records_from_blob,
+    reconstruct_records,
+    rs_code,
+)
+from .errors import (
+    DaError,
+    DaReconstructionMismatch,
+    DaUnavailable,
+    DaUnreconstructed,
+    DaWithholdingDetected,
+)
+from .nmt import (
+    NAMESPACE_BYTES,
+    NMT_ROOT_BYTES,
+    NamespacedMerkleTree,
+    NmtAbsenceProof,
+    NmtProof,
+    NmtRoot,
+    make_namespace,
+    split_namespace,
+    verify_nmt_absence,
+    verify_nmt_proof,
+)
+from .sampling import (
+    DEFAULT_SAMPLE_BUDGET,
+    DaSampler,
+    SampleOutcome,
+    SampleReport,
+    bundle_fetch,
+    detection_probability,
+    sample_indices,
+)
+
+__all__ = [
+    "DA_COMMITMENT_BYTES",
+    "DEFAULT_DA_PARAMS",
+    "DEFAULT_SAMPLE_BUDGET",
+    "NAMESPACE_BYTES",
+    "NMT_ROOT_BYTES",
+    "DaBundle",
+    "DaCommitment",
+    "DaError",
+    "DaParams",
+    "DaReconstruction",
+    "DaReconstructionMismatch",
+    "DaSampler",
+    "DaUnavailable",
+    "DaUnreconstructed",
+    "DaWithholdingDetected",
+    "NamespacedMerkleTree",
+    "NmtAbsenceProof",
+    "NmtProof",
+    "NmtRoot",
+    "SampleOutcome",
+    "SampleReport",
+    "build_da_bundle",
+    "bundle_fetch",
+    "detection_probability",
+    "make_namespace",
+    "records_blob",
+    "records_from_blob",
+    "reconstruct_records",
+    "rs_code",
+    "sample_indices",
+    "split_namespace",
+    "verify_nmt_absence",
+    "verify_nmt_proof",
+]

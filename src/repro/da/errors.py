@@ -1,0 +1,51 @@
+"""Structured error taxonomy for the data-availability layer.
+
+Every failure mode a sampling light client can hit has its own class and a
+stable ``code`` string, mirroring the structured rejection reasons of the
+audit layer: RPC handlers and CLI surfaces key off ``code`` instead of
+parsing prose, and tests pin the codes as part of the wire contract.
+"""
+
+from __future__ import annotations
+
+
+class DaError(Exception):
+    """Base class for all data-availability failures."""
+
+    code = "da-error"
+
+
+class DaWithholdingDetected(DaError):
+    """At least one sampled chunk was withheld or failed verification.
+
+    ``failures`` carries the per-sample outcomes that triggered the flag,
+    so an escalating client can name the exact indices in its report.
+    """
+
+    code = "withholding-detected"
+
+    def __init__(self, message: str, failures=()):
+        super().__init__(message)
+        self.failures = tuple(failures)
+
+
+class DaUnavailable(DaError):
+    """Fewer than ``k`` verifiable chunks could be fetched: the epoch's
+    leaf set is unrecoverable from what the aggregator serves."""
+
+    code = "unavailable"
+
+
+class DaReconstructionMismatch(DaError):
+    """Chunks decoded, but the rebuilt leaf set does not hash to the
+    committed checkpoint root — the DA commitment and the checkpoint
+    commitment disagree, which an honest aggregator can never produce."""
+
+    code = "reconstruction-mismatch"
+
+
+class DaUnreconstructed(DaError):
+    """A full-data operation (``challenge_counts`` leaves) was requested
+    from a client that has not completed a verified reconstruction."""
+
+    code = "unreconstructed"

@@ -483,6 +483,10 @@ CORE_INSTRUMENTS: tuple[tuple[str, str, str, tuple[str, ...]], ...] = (
     ("counter", "lifecycle_epochs_total", "lifecycle epochs completed", ()),
     ("counter", "lifecycle_events_total", "lifecycle trail events by kind", ("kind",)),
     ("histogram", "lifecycle_epoch_seconds", "wall-clock per lifecycle epoch", ()),
+    ("counter", "da_samples_total", "DA chunks sampled, by outcome", ("outcome",)),
+    ("counter", "da_withholding_detected_total", "sampling runs that flagged withholding", ()),
+    ("counter", "da_reconstructions_total", "k-of-n leaf-set reconstructions, by outcome", ("outcome",)),
+    ("histogram", "da_sample_run_seconds", "wall-clock per sampling run", ()),
 )
 
 

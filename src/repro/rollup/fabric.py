@@ -33,7 +33,7 @@ from typing import Sequence
 
 from ..crypto.merkle import MerkleProof, MerkleTree, verify_merkle_proof
 from .checkpoint import Checkpoint, CheckpointBundle
-from .pipeline import CheckpointPipeline, SettledEpoch
+from .pipeline import CheckpointPipeline, EpochNotSettled, SettledEpoch
 
 FABRIC_CHECKPOINT_VERSION = 0x01
 
@@ -235,6 +235,14 @@ class FabricSettlement:
     def total_commitment_gas(self) -> int:
         return sum(settled.receipt.gas_used for settled in self.lanes.values())
 
+    def da_commitments(self) -> dict[int, object]:
+        """Per-lane DA commitments for this epoch (empty without DA)."""
+        return {
+            lane_id: settled.da.commitment
+            for lane_id, settled in self.lanes.items()
+            if settled.da is not None
+        }
+
 
 class CrossShardAggregator:
     """Settles engine epochs across every fabric lane and rolls them up.
@@ -264,6 +272,7 @@ class CrossShardAggregator:
         concurrent_lanes: bool = False,
         pooled_verify: bool = False,
         tracer=None,
+        da_params=None,
     ):
         # Imported lazily to keep the rollup layer importable without the
         # chain package on every path (mirrors pipeline.py's convention).
@@ -286,7 +295,9 @@ class CrossShardAggregator:
         # interleave their enter/exit stacks into one garbled tree.
         self.tracer = None if self.concurrent_lanes else tracer
         self._lane_workers: ThreadPoolExecutor | None = None
+        self.da_params = da_params
         self.settled: list[FabricSettlement] = []
+        self._settled_by_epoch: dict[int, int] = {}
         self.lane_names: dict[int, frozenset[int]] = {}
         self.pipelines: dict[int, CheckpointPipeline] = {}
         self.schedulers: dict[int, "EpochScheduler"] = {}
@@ -328,7 +339,14 @@ class CrossShardAggregator:
                 pooled_verify=pooled_verify,
                 tracer=self.tracer,
             )
-            pipeline = CheckpointPipeline(scheduler, lane, address, account)
+            pipeline = CheckpointPipeline(
+                scheduler,
+                lane,
+                address,
+                account,
+                da_params=da_params,
+                lane_id=lane_id,
+            )
             pipeline.register_fleet()
             self.lane_names[lane_id] = names
             self.schedulers[lane_id] = scheduler
@@ -382,6 +400,7 @@ class CrossShardAggregator:
             [(lane_id, settled.bundle) for lane_id, settled in lanes.items()],
         )
         settlement = FabricSettlement(epoch=epoch, lanes=lanes, fabric=fabric_bundle)
+        self._settled_by_epoch[epoch] = len(self.settled)
         self.settled.append(settlement)
         return settlement
 
@@ -390,10 +409,10 @@ class CrossShardAggregator:
 
     def settlement_for_epoch(self, epoch: int) -> FabricSettlement:
         """Serve the data-availability obligation for one fabric epoch."""
-        for settlement in self.settled:
-            if settlement.epoch == epoch:
-                return settlement
-        raise KeyError(f"epoch {epoch} not settled by this aggregator")
+        index = self._settled_by_epoch.get(epoch)
+        if index is None:
+            raise EpochNotSettled(epoch, role="aggregator")
+        return self.settled[index]
 
     def export_instance_registry(self) -> dict[int, tuple[bytes, int]]:
         """Union of every lane contract's on-chain instance registry."""

@@ -16,15 +16,41 @@ own funded account, retains every epoch's
 leaves must be servable to challengers and light clients), and exposes the
 per-epoch on-chain receipts so callers can compare measured bytes/gas
 against the per-round path.
+
+With ``da_params`` set, the pipeline additionally erasure-codes each
+settled epoch's leaf set into a :class:`~repro.da.commit.DaBundle`
+(namespace = lane‖epoch) and posts the 119-byte DA commitment alongside
+the checkpoint, turning the availability obligation into something light
+clients can *sample* instead of trusting.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from ..chain.blockchain import Blockchain
 from ..chain.transaction import Receipt, Transaction
 from .checkpoint import CheckpointBundle
+
+
+class EpochNotSettled(KeyError):
+    """Lookup of an epoch this pipeline/aggregator never settled.
+
+    Subclasses :class:`KeyError` so long-standing ``except KeyError``
+    callers keep working, but carries the epoch as structured data and —
+    unlike a bare KeyError, whose ``str()`` wraps the message in quotes —
+    renders its message verbatim for RPC/CLI surfaces.
+    """
+
+    code = "epoch-not-settled"
+
+    def __init__(self, epoch: int, role: str = "pipeline"):
+        super().__init__(f"epoch {epoch} not settled by this {role}")
+        self.epoch = epoch
+        self.role = role
+
+    def __str__(self) -> str:
+        return self.args[0]
 
 
 @dataclass
@@ -36,6 +62,8 @@ class SettledEpoch:
     bundle: CheckpointBundle
     checkpoint_id: int
     receipt: Receipt
+    da: object | None = field(default=None)   # DaBundle when DA is enabled
+    da_receipt: Receipt | None = field(default=None)
 
 
 class CheckpointPipeline:
@@ -47,6 +75,8 @@ class CheckpointPipeline:
         chain: Blockchain,
         contract_address: str,
         aggregator_account: str,
+        da_params=None,
+        lane_id: int = 0,
     ):
         if not getattr(scheduler, "checkpoint_mode", False):
             raise ValueError(
@@ -56,7 +86,13 @@ class CheckpointPipeline:
         self.chain = chain
         self.contract_address = contract_address
         self.aggregator = aggregator_account
+        self.da_params = da_params
+        self.lane_id = lane_id
         self.settled: list[SettledEpoch] = []
+        # Settled epochs indexed by number: lookups used to linear-scan
+        # `settled` and leak bare KeyErrors; the index keeps serving O(1)
+        # as histories grow and the structured error names the miss.
+        self._by_epoch: dict[int, int] = {}
 
     @property
     def contract(self):
@@ -113,22 +149,65 @@ class CheckpointPipeline:
         )
         if not receipt.success:
             raise RuntimeError(f"checkpoint posting failed: {receipt.error}")
+        checkpoint_id = receipt.return_value
+        da_bundle = None
+        da_receipt = None
+        if self.da_params is not None:
+            from ..da.commit import build_da_bundle
+
+            da_bundle = build_da_bundle(
+                self.lane_id, epoch, bundle, self.da_params
+            )
+            da_bytes = da_bundle.commitment.to_bytes()
+            da_receipt = self.chain.transact(
+                Transaction(
+                    sender=self.aggregator,
+                    to=self.contract_address,
+                    method="post_da_root",
+                    args=(checkpoint_id, da_bytes),
+                ),
+                payload_bytes=len(da_bytes),
+            )
+            if not da_receipt.success:
+                raise RuntimeError(
+                    f"DA commitment posting failed: {da_receipt.error}"
+                )
         settled = SettledEpoch(
             epoch=epoch,
             result=result,
             bundle=bundle,
-            checkpoint_id=receipt.return_value,
+            checkpoint_id=checkpoint_id,
             receipt=receipt,
+            da=da_bundle,
+            da_receipt=da_receipt,
         )
+        self._by_epoch[epoch] = len(self.settled)
         self.settled.append(settled)
         return settled
 
     def run(self, epochs: int, start_epoch: int = 0) -> list[SettledEpoch]:
         return [self.settle_epoch(start_epoch + i) for i in range(epochs)]
 
+    def settled_for_epoch(self, epoch: int) -> SettledEpoch:
+        """One settled epoch by number, or a structured miss."""
+        index = self._by_epoch.get(epoch)
+        if index is None:
+            raise EpochNotSettled(epoch)
+        return self.settled[index]
+
     def bundle_for_epoch(self, epoch: int) -> CheckpointBundle:
         """Serve the data-availability bundle for one settled epoch."""
-        for settled in self.settled:
-            if settled.epoch == epoch:
-                return settled.bundle
-        raise KeyError(f"epoch {epoch} not settled by this pipeline")
+        return self.settled_for_epoch(epoch).bundle
+
+    def da_bundle_for_epoch(self, epoch: int):
+        """Serve the erasure-coded DA bundle for one settled epoch.
+
+        Raises :class:`EpochNotSettled` for unknown epochs and
+        :class:`ValueError` when the pipeline runs without DA enabled.
+        """
+        settled = self.settled_for_epoch(epoch)
+        if settled.da is None:
+            raise ValueError(
+                "pipeline settled this epoch without DA (da_params unset)"
+            )
+        return settled.da

@@ -38,6 +38,8 @@ SERVICE_METHODS = [
     "audit_status",
     "checkpoint_get",
     "fabric_proof_get",
+    "da_commitment_get",
+    "da_sample_get",
     "explorer_summary",
     "explorer_blocks",
     "explorer_lanes",
@@ -413,6 +415,128 @@ class ServiceNode:
             "lane_proof": _merkle_proof_object(proof.lane_proof),
             "leaf_proof": _merkle_proof_object(proof.leaf_proof),
             "verified": settlement.fabric.verify_inclusion(proof),
+        }
+
+    # -- data availability ------------------------------------------------------
+
+    #: Per-request chunk-index cap for ``da_sample_get`` — generous next to
+    #: the default sample budget (18) yet keeps one frame well under the
+    #: transport's MAX_FRAME_BYTES.
+    DA_SAMPLE_MAX_INDICES = 64
+
+    def _settled_lane(self, settlement, lane):
+        _require(
+            isinstance(lane, int) and not isinstance(lane, bool),
+            "lane must be an integer",
+        )
+        settled = settlement.lanes.get(lane)
+        if settled is None:
+            raise RpcError(
+                NOT_FOUND,
+                f"no lane {lane} in epoch {settlement.epoch} "
+                f"(lanes: {sorted(settlement.lanes)})",
+            )
+        return settled
+
+    def da_commitment_get(
+        self, epoch: "int | None" = None, lane: "int | None" = None
+    ) -> dict:
+        """Per-lane DA commitments for one epoch (latest when omitted).
+
+        Everything a sampling light client needs before its first fetch:
+        the (n, k) extension, chunk size, and the 64-byte namespaced root
+        it will verify every sampled chunk against.
+        """
+        settlement = self._settlement(epoch)
+        if lane is None:
+            lanes = sorted(settlement.lanes)
+        else:
+            self._settled_lane(settlement, lane)
+            lanes = [lane]
+        out = []
+        for lane_id in lanes:
+            settled = settlement.lanes[lane_id]
+            if settled.da is None:
+                continue
+            commitment = settled.da.commitment
+            out.append(
+                {
+                    "lane": lane_id,
+                    "epoch": commitment.epoch,
+                    "n": commitment.n,
+                    "k": commitment.k,
+                    "chunk_bytes": commitment.chunk_bytes,
+                    "checkpoint_root": _hex(commitment.checkpoint_root),
+                    "nmt_root": _hex(commitment.root.to_bytes()),
+                    "commitment": _hex(commitment.to_bytes()),
+                }
+            )
+        if not out:
+            raise RpcError(
+                UNSUPPORTED,
+                "this aggregator settles without DA commitments "
+                "(da_params unset)",
+            )
+        return {"epoch": settlement.epoch, "lanes": out}
+
+    def da_sample_get(self, epoch: int, lane: int, indices: list) -> dict:
+        """Serve sampled DA chunks with their NMT openings.
+
+        The aggregator-side half of the sampling protocol: each requested
+        index answers either ``{available: true, data, proof}`` or
+        ``{available: false}`` — a withheld chunk is an *answer* (one the
+        client counts against the aggregator), not an error.
+        """
+        _require(
+            isinstance(epoch, int) and not isinstance(epoch, bool),
+            "epoch must be an integer",
+        )
+        _require(isinstance(indices, list) and indices, "indices must be a non-empty array")
+        _require(
+            len(indices) <= self.DA_SAMPLE_MAX_INDICES,
+            f"at most {self.DA_SAMPLE_MAX_INDICES} indices per request",
+        )
+        for index in indices:
+            _require(
+                isinstance(index, int) and not isinstance(index, bool)
+                and index >= 0,
+                "indices must be non-negative integers",
+            )
+        settlement = self._settlement(epoch)
+        settled = self._settled_lane(settlement, lane)
+        if settled.da is None:
+            raise RpcError(
+                UNSUPPORTED,
+                "this aggregator settles without DA commitments "
+                "(da_params unset)",
+            )
+        bundle = settled.da
+        n = bundle.commitment.n
+        _require(
+            all(index < n for index in indices),
+            f"chunk indices must be below n={n}",
+        )
+        chunks = []
+        for index in indices:
+            response = bundle.chunk_with_proof(index)
+            if response is None:
+                chunks.append({"index": index, "available": False})
+            else:
+                chunk, proof = response
+                chunks.append(
+                    {
+                        "index": index,
+                        "available": True,
+                        "data": _hex(chunk),
+                        "proof": proof.to_object(),
+                    }
+                )
+        return {
+            "epoch": settlement.epoch,
+            "lane": lane,
+            "n": n,
+            "k": bundle.commitment.k,
+            "chunks": chunks,
         }
 
     # -- explorer family -------------------------------------------------------

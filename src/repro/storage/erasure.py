@@ -23,6 +23,11 @@ from ..obs.hotpath import HOTPATH
 from .gf256 import gf_matmul, gf_matrix_invert, gf_mul, gf_pow
 
 
+#: Bytes of the big-endian length header :meth:`ReedSolomonCode.encode_framed`
+#: prepends, making framed shard sets self-describing on the wire.
+FRAME_HEADER_BYTES = 8
+
+
 def _systematic_matrix(n: int, k: int) -> list[list[int]]:
     """n x k generator matrix whose top k rows are the identity."""
     vandermonde = [[gf_pow(row, col) for col in range(k)] for row in range(1, n + 1)]
@@ -125,6 +130,40 @@ class ReedSolomonCode:
         )
         recovered = gf_matmul(inverse, stack)
         return recovered.reshape(-1).tobytes()[:data_length]
+
+    def encode_framed(self, data: bytes) -> list[Shard]:
+        """Encode with a self-describing length header.
+
+        ``decode`` needs the caller to remember ``data_length`` — fine when
+        encoder and decoder share state, unsafe when shards travel (DA
+        chunks served over RPC carry no side channel).  Framing prepends an
+        8-byte big-endian length so any ``k`` shards alone reconstruct the
+        exact original bytes, including the empty payload the bare encoder
+        rejects (the frame itself is never empty).
+        """
+        return self.encode(len(data).to_bytes(FRAME_HEADER_BYTES, "big") + data)
+
+    def decode_framed(self, shards: list[Shard]) -> bytes:
+        """Reconstruct framed data from any >= k shards, no length needed."""
+        length = self.shard_length_framed(shards)
+        raw = self.decode(shards, self.k * length)
+        payload_length = int.from_bytes(raw[:FRAME_HEADER_BYTES], "big")
+        if FRAME_HEADER_BYTES + payload_length > len(raw):
+            raise ValueError(
+                f"framed length {payload_length} exceeds decoded capacity "
+                f"{len(raw) - FRAME_HEADER_BYTES}"
+            )
+        return raw[FRAME_HEADER_BYTES : FRAME_HEADER_BYTES + payload_length]
+
+    def shard_length_framed(self, shards: list[Shard]) -> int:
+        """Per-shard byte length of a framed shard set (must be uniform)."""
+        lengths = {len(shard.data) for shard in shards}
+        if len(lengths) != 1:
+            raise ValueError("inconsistent shard lengths")
+        (length,) = lengths
+        if length * self.k < FRAME_HEADER_BYTES:
+            raise ValueError("shards too short to carry a length frame")
+        return length
 
     def repair(self, shards: list[Shard], missing_index: int, data_length: int) -> Shard:
         """Regenerate one lost shard from any k survivors."""

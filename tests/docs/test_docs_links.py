@@ -98,7 +98,8 @@ def test_scenarios_cli_commands_parse():
     """Every `python -m repro ...` invocation in the docs must still parse."""
     from repro.cli import build_parser
 
-    command_re = re.compile(r"python -m repro ([a-z]+(?: [^\n`#]*)?)")
+    # subcommand names may be hyphenated (e.g. ``da-sample``)
+    command_re = re.compile(r"python -m repro ([a-z][a-z-]*(?: [^\n`#]*)?)")
     parser = build_parser()
     checked = 0
     for doc in DOC_FILES:

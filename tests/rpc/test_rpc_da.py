@@ -1,0 +1,245 @@
+"""DA over JSON-RPC: commitments, sampled chunks, and the error taxonomy.
+
+Regression net for the availability-path sweep: unknown epochs answer
+NOT_FOUND with the structured ``EpochNotSettled`` message (not a
+quote-wrapped KeyError repr bubbling up as INTERNAL), DA-less aggregators
+answer UNSUPPORTED, and a real :class:`~repro.da.sampling.DaSampler`
+works end to end over the ``da_sample_get`` wire — withheld chunks
+arriving as ``available: false`` *answers* the client holds against the
+aggregator.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.chain.fabric import ShardedChainFabric
+from repro.chain.mempool import MempoolConfig
+from repro.core import DataOwner
+from repro.da import DaCommitment, DaParams, DaSampler, NmtProof, verify_nmt_proof
+from repro.engine import AuditExecutor, AuditInstance
+from repro.obs import MetricsRegistry
+from repro.randomness import HashChainBeacon
+from repro.rollup import CrossShardAggregator
+from repro.rpc import (
+    SERVICE_METHODS,
+    RpcClient,
+    RpcClientError,
+    RpcDispatcher,
+    RpcTcpServer,
+    ServiceNode,
+)
+from repro.sim.workloads import archive_file
+
+DA_PARAMS = DaParams(n=16, k=4)
+NOT_FOUND = -32010
+UNSUPPORTED = -32011
+INVALID_PARAMS = -32602
+
+
+@pytest.fixture(scope="module")
+def da_stack(params):
+    """A 2-lane DA-enabled fabric with two settled epochs, behind a server."""
+    rng = random.Random(0xDA5E)
+    owner = DataOwner(params, rng=rng)
+    instances = []
+    for index in range(3):
+        package = owner.prepare(
+            archive_file(700, tag=f"dasvc-{index}").data,
+            fresh_keypair=index == 0,
+        )
+        instances.append(AuditInstance.from_package(package, owner_id="dasvc"))
+    fabric = ShardedChainFabric(num_lanes=2, mempool=MempoolConfig())
+    with AuditExecutor(instances, workers=1) as executor:
+        aggregator = CrossShardAggregator(
+            fabric, executor, params, HashChainBeacon(b"dasvc"),
+            rng=rng, da_params=DA_PARAMS,
+        )
+        aggregator.run(2)
+        node = ServiceNode(fabric, aggregator=aggregator)
+        dispatcher = RpcDispatcher()
+        node.register_on(dispatcher)
+        server = RpcTcpServer(dispatcher)
+        server.serve_in_thread()
+        client = RpcClient(*server.address)
+        yield client, instances, aggregator
+        client.close()
+        server.close()
+        aggregator.close()
+    fabric.close()
+
+
+def _rpc_fetch(client):
+    """A DaSampler FetchFn speaking the da_sample_get wire."""
+
+    def fetch(lane_id, epoch, indices):
+        result = client.call(
+            "da_sample_get",
+            {"epoch": epoch, "lane": lane_id, "indices": list(indices)},
+        )
+        out = {}
+        for row in result["chunks"]:
+            if row["available"]:
+                out[row["index"]] = (
+                    bytes.fromhex(row["data"]),
+                    NmtProof.from_object(row["proof"]),
+                )
+            else:
+                out[row["index"]] = None
+        return out
+
+    return fetch
+
+
+def _lane_bundle(aggregator, epoch, lane):
+    return aggregator.settlement_for_epoch(epoch).lanes[lane].da
+
+
+# --------------------------------------------------------------------- #
+# The availability-path error taxonomy                                  #
+# --------------------------------------------------------------------- #
+
+def test_checkpoint_get_unknown_epoch_maps_to_not_found(da_stack):
+    client, _, _ = da_stack
+    with pytest.raises(RpcClientError) as excinfo:
+        client.call("checkpoint_get", {"epoch": 9})
+    assert excinfo.value.code == NOT_FOUND
+    # The structured EpochNotSettled message, verbatim: a bare KeyError
+    # would render quote-wrapped ("'epoch 9 ...'") or, worse, surface as
+    # INTERNAL from the dispatcher.
+    assert str(excinfo.value) == "[-32010] epoch 9 not settled by this aggregator"
+
+
+def test_da_methods_are_registered(da_stack):
+    assert "da_commitment_get" in SERVICE_METHODS
+    assert "da_sample_get" in SERVICE_METHODS
+
+
+def test_da_commitment_get_latest_covers_every_lane(da_stack):
+    client, _, aggregator = da_stack
+    result = client.call("da_commitment_get")
+    assert result["epoch"] == 1
+    assert [row["lane"] for row in result["lanes"]] == [0, 1]
+    for row in result["lanes"]:
+        commitment = DaCommitment.from_bytes(bytes.fromhex(row["commitment"]))
+        expected = _lane_bundle(aggregator, 1, row["lane"]).commitment
+        assert commitment == expected
+        assert row["n"] == DA_PARAMS.n and row["k"] == DA_PARAMS.k
+        assert row["checkpoint_root"] == expected.checkpoint_root.hex()
+        assert row["nmt_root"] == expected.root.to_bytes().hex()
+
+
+def test_da_commitment_get_by_epoch_and_lane(da_stack):
+    client, _, aggregator = da_stack
+    result = client.call("da_commitment_get", {"epoch": 0, "lane": 1})
+    assert result["epoch"] == 0
+    assert len(result["lanes"]) == 1
+    assert result["lanes"][0]["lane"] == 1
+    with pytest.raises(RpcClientError) as excinfo:
+        client.call("da_commitment_get", {"epoch": 0, "lane": 7})
+    assert excinfo.value.code == NOT_FOUND
+    assert "no lane 7" in str(excinfo.value)
+    with pytest.raises(RpcClientError) as excinfo:
+        client.call("da_commitment_get", {"epoch": 5})
+    assert excinfo.value.code == NOT_FOUND
+
+
+def test_da_less_aggregator_answers_unsupported(da_stack):
+    client, _, aggregator = da_stack
+    settlement = aggregator.settlement_for_epoch(0)
+    hidden = {lane: settled.da for lane, settled in settlement.lanes.items()}
+    try:
+        for settled in settlement.lanes.values():
+            settled.da = None
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("da_commitment_get", {"epoch": 0})
+        assert excinfo.value.code == UNSUPPORTED
+        assert "da_params unset" in str(excinfo.value)
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call(
+                "da_sample_get", {"epoch": 0, "lane": 0, "indices": [0]}
+            )
+        assert excinfo.value.code == UNSUPPORTED
+    finally:
+        for lane, settled in settlement.lanes.items():
+            settled.da = hidden[lane]
+
+
+def test_da_sample_get_validation(da_stack):
+    client, _, _ = da_stack
+    cases = [
+        ({"epoch": 0, "lane": 0, "indices": []}, "non-empty"),
+        ({"epoch": 0, "lane": 0, "indices": list(range(65))}, "at most 64"),
+        ({"epoch": 0, "lane": 0, "indices": [-1]}, "non-negative"),
+        ({"epoch": 0, "lane": 0, "indices": [DA_PARAMS.n]}, "below n="),
+        ({"epoch": 0, "lane": "zero", "indices": [0]}, "lane must be"),
+        ({"epoch": "zero", "lane": 0, "indices": [0]}, "epoch must be"),
+    ]
+    for bad_params, needle in cases:
+        with pytest.raises(RpcClientError) as excinfo:
+            client.call("da_sample_get", bad_params)
+        assert excinfo.value.code == INVALID_PARAMS, bad_params
+        assert needle in str(excinfo.value)
+    with pytest.raises(RpcClientError) as excinfo:
+        client.call("da_sample_get", {"epoch": 9, "lane": 0, "indices": [0]})
+    assert excinfo.value.code == NOT_FOUND
+
+
+# --------------------------------------------------------------------- #
+# Chunks over the wire                                                  #
+# --------------------------------------------------------------------- #
+
+def test_da_sample_get_serves_verifiable_chunks(da_stack):
+    client, _, aggregator = da_stack
+    bundle = _lane_bundle(aggregator, 0, 0)
+    result = client.call(
+        "da_sample_get", {"epoch": 0, "lane": 0, "indices": [0, 3, 11]}
+    )
+    assert result["n"] == DA_PARAMS.n and result["k"] == DA_PARAMS.k
+    for row in result["chunks"]:
+        assert row["available"] is True
+        chunk = bytes.fromhex(row["data"])
+        proof = NmtProof.from_object(row["proof"])
+        assert chunk == bundle.chunks[row["index"]]
+        assert proof.leaf_index == row["index"]
+        assert verify_nmt_proof(bundle.commitment.root, proof)
+
+
+def test_sampler_runs_end_to_end_over_rpc(da_stack):
+    client, _, aggregator = da_stack
+    sampler = DaSampler(_rpc_fetch(client), registry=MetricsRegistry())
+    for lane in (0, 1):
+        commitment = _lane_bundle(aggregator, 1, lane).commitment
+        report = sampler.sample(commitment, b"\x07" * 8, budget=6)
+        assert report.available, report.to_object()
+    # Escalation works over the same wire: full k-of-n reconstruction.
+    commitment = _lane_bundle(aggregator, 1, 0).commitment
+    reconstruction = sampler.reconstruct(commitment, b"\x07" * 8)
+    assert reconstruction.verified
+    expected = aggregator.settlement_for_epoch(1).lanes[0].bundle.records
+    assert reconstruction.records == expected
+
+
+def test_withheld_chunks_are_answers_not_errors(da_stack):
+    client, _, aggregator = da_stack
+    bundle = _lane_bundle(aggregator, 0, 1)
+    try:
+        bundle.withhold([2, 5])
+        result = client.call(
+            "da_sample_get", {"epoch": 0, "lane": 1, "indices": [2, 4, 5]}
+        )
+        by_index = {row["index"]: row for row in result["chunks"]}
+        assert by_index[2] == {"index": 2, "available": False}
+        assert by_index[5] == {"index": 5, "available": False}
+        assert by_index[4]["available"] is True
+        # And the sampling client books them as withholding evidence.
+        sampler = DaSampler(_rpc_fetch(client), registry=MetricsRegistry())
+        report = sampler.sample(
+            bundle.commitment, b"\x01" * 8, budget=DA_PARAMS.n
+        )
+        assert {o.index for o in report.failures} == {2, 5}
+        assert all(o.reason == "missing" for o in report.failures)
+    finally:
+        bundle.withheld.clear()

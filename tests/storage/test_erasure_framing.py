@@ -1,0 +1,114 @@
+"""Self-describing RS framing: length travels inside the shards.
+
+Regression net for the availability-path bugfix: ``decode`` used to
+require the caller to track ``data_length`` out of band, which is exactly
+the kind of side channel a DA chunk fetched from an untrusted server
+doesn't have.  ``encode_framed``/``decode_framed`` carry an 8-byte length
+prefix inside the coded payload, so any k-of-n shard subset is fully
+self-describing — including the zero-length, one-byte, and chunk-boundary
+±1 payloads that off-by-one framing bugs live on.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+
+import pytest
+
+from repro.storage.erasure import FRAME_HEADER_BYTES, ReedSolomonCode, Shard
+
+
+@pytest.fixture(scope="module")
+def code() -> ReedSolomonCode:
+    return ReedSolomonCode(n=7, k=3)
+
+
+def payload(size: int) -> bytes:
+    return bytes((17 * i + 5) % 251 for i in range(size))
+
+
+def test_zero_length_payload_roundtrips(code):
+    shards = code.encode_framed(b"")
+    assert len(shards) == code.n
+    assert code.decode_framed(shards[: code.k]) == b""
+
+
+def test_one_byte_payload_roundtrips(code):
+    shards = code.encode_framed(b"\x5a")
+    assert code.decode_framed(shards[-code.k :]) == b"\x5a"
+
+
+@pytest.mark.parametrize("size", sorted({
+    0, 1, 2,
+    # ±1 around the k-aligned chunk boundaries the padding logic straddles
+    # (the frame adds 8 bytes, so boundary b sits at payload b*k - 8).
+    3 * 3 - 8 - 1, 3 * 3 - 8, 3 * 3 - 8 + 1,
+    3 * 4 - 8 - 1, 3 * 4 - 8, 3 * 4 - 8 + 1,
+    3 * 10 - 8 - 1, 3 * 10 - 8, 3 * 10 - 8 + 1,
+    100,
+}))
+def test_boundary_sizes_roundtrip(code, size):
+    data = payload(size)
+    shards = code.encode_framed(data)
+    assert code.decode_framed(shards[: code.k]) == data
+
+
+def test_any_k_subset_decodes(code):
+    data = payload(41)
+    shards = code.encode_framed(data)
+    rng = random.Random(0xE2A)
+    subsets = list(itertools.combinations(range(code.n), code.k))
+    rng.shuffle(subsets)
+    for subset in subsets[:15]:
+        picked = [shards[i] for i in subset]
+        assert code.decode_framed(picked) == data
+
+
+def test_framed_and_bare_encodings_agree(code):
+    """The frame is a plain prefix: bare decode sees header || payload."""
+    data = payload(20)
+    framed = code.encode_framed(data)
+    length = code.shard_length_framed(framed)
+    raw = code.decode(framed[: code.k], code.k * length)
+    assert raw[:FRAME_HEADER_BYTES] == len(data).to_bytes(FRAME_HEADER_BYTES, "big")
+    assert raw[FRAME_HEADER_BYTES : FRAME_HEADER_BYTES + len(data)] == data
+
+
+def test_too_few_shards_rejected(code):
+    shards = code.encode_framed(payload(10))
+    with pytest.raises(ValueError, match="need at least"):
+        code.decode_framed(shards[: code.k - 1])
+
+
+def test_inconsistent_shard_lengths_rejected(code):
+    shards = code.encode_framed(payload(10))[: code.k]
+    shards[0] = Shard(index=shards[0].index, data=shards[0].data + b"\x00")
+    with pytest.raises(ValueError, match="inconsistent shard lengths"):
+        code.decode_framed(shards)
+
+
+def test_shards_too_short_for_a_frame_rejected(code):
+    stub = [Shard(index=i, data=b"\x00") for i in range(code.k)]
+    with pytest.raises(ValueError, match="too short to carry a length frame"):
+        code.decode_framed(stub)
+
+
+def test_overclaiming_length_header_rejected(code):
+    """A corrupted header cannot make the decoder read past the payload."""
+    shards = code.encode_framed(payload(6))
+    # Systematic code: shard 0 holds the leading header bytes. Claim an
+    # enormous payload length.
+    data = bytearray(shards[0].data)
+    data[0] = 0xFF
+    shards[0] = Shard(index=0, data=bytes(data))
+    with pytest.raises(ValueError, match="exceeds decoded capacity"):
+        code.decode_framed(shards[: code.k])
+
+
+def test_bare_encode_still_rejects_empty(code):
+    with pytest.raises(ValueError, match="cannot encode empty data"):
+        code.encode(b"")
+    # ...which is exactly why the framed path exists: empty payloads are
+    # representable because the frame itself is never empty.
+    assert code.decode_framed(code.encode_framed(b"")[: code.k]) == b""

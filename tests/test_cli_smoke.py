@@ -120,6 +120,16 @@ CASES = [
          "verify  p50"],
     ),
     (
+        "da-sample",
+        ["da-sample", "--lanes", "2", "--fleet", "2", "--epochs", "1",
+         "--size", "500", "--s", "4", "--k", "3", "--chunks", "16",
+         "--data-chunks", "4", "--samples", "12", "--withhold", "0.25",
+         "--fraud"],
+        ["DA commitments for epoch 0", "available", "DETECTED",
+         "reconstruction:", "replay -> consistent", "fraud proof",
+         "slashed"],
+    ),
+    (
         "models",
         ["models", "--users", "1000"],
         ["chain throughput", "users/provider"],
